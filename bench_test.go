@@ -1,0 +1,241 @@
+// Package trajan_test hosts the experiment benchmark harness: one
+// benchmark per table/figure of DESIGN.md's experiment index (E1–E10).
+// Each benchmark regenerates its experiment end to end, so
+// `go test -bench=. -benchmem` both times the analyses and re-validates
+// the experiment pipeline; the rendered artifacts themselves come from
+// `go run ./cmd/paper`.
+package trajan_test
+
+import (
+	"testing"
+
+	"trajan/internal/experiments"
+	"trajan/internal/holistic"
+	"trajan/internal/model"
+	"trajan/internal/netcalc"
+	"trajan/internal/trajectory"
+)
+
+// BenchmarkTable2_Trajectory times the full Property-2 analysis of the
+// paper example (E1).
+func BenchmarkTable2_Trajectory(b *testing.B) {
+	fs := model.PaperExample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trajectory.Analyze(fs, trajectory.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_Holistic times the holistic baseline on the example
+// (E1).
+func BenchmarkTable2_Holistic(b *testing.B) {
+	fs := model.PaperExample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := holistic.Analyze(fs, holistic.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_NetCalc times the network-calculus baseline on the
+// example (E1/E6 comparator).
+func BenchmarkTable2_NetCalc(b *testing.B) {
+	fs := model.PaperExample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := netcalc.Analyze(fs, netcalc.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathRelations regenerates the Figure-1 relation table (E2).
+func BenchmarkPathRelations(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Figure1Relations(); tab == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkBusyPeriodTrace regenerates the Figure-2 busy-period
+// trajectory trace from a full simulation (E3).
+func BenchmarkBusyPeriodTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2Trace(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEFRouter regenerates the Figure-3 router experiment:
+// EF latency under FP+WFQ with background traffic (E4).
+func BenchmarkEFRouter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3EFRouter(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEFNonPreemption regenerates the E5 δ-sweep.
+func BenchmarkEFNonPreemption(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EFNonPreemptionSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUtilizationSweep regenerates the E6 utilization sweep
+// (all analyses plus the adversary at each load point).
+func BenchmarkUtilizationSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UtilizationSweep(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathLengthSweep regenerates the E7 hop-count sweep.
+func BenchmarkPathLengthSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PathLengthSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSoundness regenerates a reduced E8 soundness/tightness pass.
+func BenchmarkSoundness(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SoundnessTightness(2, 99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdmission regenerates the E9 admission-capacity table.
+func BenchmarkAdmission(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AdmissionCapacity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJitter regenerates the E10 jitter study.
+func BenchmarkJitter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.JitterStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPriorityLadder regenerates the E11 scheduler comparison.
+func BenchmarkPriorityLadder(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PriorityLadder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSplitRing regenerates the E12 split-flow experiment.
+func BenchmarkSplitRing(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SplitRing(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPriceOfDeterminism regenerates the E13 statistics sweep.
+func BenchmarkPriceOfDeterminism(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PriceOfDeterminism(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBreakdownUtilization regenerates the E14 breakdown study.
+func BenchmarkBreakdownUtilization(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BreakdownUtilization(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAFDX regenerates the E15 AFDX case study.
+func BenchmarkAFDX(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AFDXCaseStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeScaling times the trajectory analysis as the flow
+// count grows — the ablation DESIGN.md calls out for the Smax fixpoint
+// cost.
+func BenchmarkAnalyzeScaling(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		fs := tandemSet(b, n)
+		b.Run(benchName("flows", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trajectory.Analyze(fs, trajectory.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func tandemSet(tb testing.TB, n int) *model.FlowSet {
+	tb.Helper()
+	flows := make([]*model.Flow, n)
+	path := []model.NodeID{1, 2, 3, 4, 5}
+	for k := range flows {
+		flows[k] = model.UniformFlow(
+			benchName("f", k), model.Time(10*n), 0, 0, 2, path...)
+	}
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), flows)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fs
+}
+
+func benchName(prefix string, n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return prefix + "0"
+	}
+	var buf []byte
+	for n > 0 {
+		buf = append([]byte{digits[n%10]}, buf...)
+		n /= 10
+	}
+	return prefix + string(buf)
+}

@@ -1,0 +1,168 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation plus the repository's extension experiments (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+// paper-vs-measured discussion).
+//
+// Usage:
+//
+//	paper [-out dir] [-quick] [-only E1,E6,...]
+//
+// Tables render to stdout; CSV series additionally land in -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"trajan/internal/experiments"
+	"trajan/internal/report"
+	"trajan/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+}
+
+type renderable interface{ String() string }
+
+func run(args []string, w io.Writer) error {
+	fl := flag.NewFlagSet("paper", flag.ContinueOnError)
+	var (
+		outDir   = fl.String("out", "", "directory for CSV series and SVG figures (optional)")
+		quick    = fl.Bool("quick", false, "reduce trial counts for a fast pass")
+		only     = fl.String("only", "", "comma-separated experiment ids (e.g. E1,E6)")
+		htmlPath = fl.String("html", "", "additionally write a self-contained HTML report to this file")
+	)
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	trials := 8
+	if *quick {
+		trials = 2
+	}
+
+	steps := []struct {
+		id, title string
+		file      string // CSV filename; empty for stdout-only tables
+		run       func() (renderable, error)
+	}{
+		{"E1", "Table 1 (deadlines)", "", func() (renderable, error) { return experiments.Table1(), nil }},
+		{"E1", "Table 2 (trajectory vs holistic)", "", func() (renderable, error) { return experiments.Table2() }},
+		{"E2", "Figure 1 semantics (path relations)", "", func() (renderable, error) { return experiments.Figure1Relations(), nil }},
+		{"E3", "Figure 2 semantics (busy-period trajectory)", "", func() (renderable, error) {
+			s, err := experiments.Figure2Trace()
+			return stringRenderable(s), err
+		}},
+		{"E4", "Figure 3 semantics (EF under FP+WFQ)", "", func() (renderable, error) { return experiments.Figure3EFRouter() }},
+		{"E5", "EF non-preemption sweep", "e5_ef_nonpreemption.csv", func() (renderable, error) { return experiments.EFNonPreemptionSweep() }},
+		{"E6", "Utilization sweep", "e6_utilization.csv", func() (renderable, error) { return experiments.UtilizationSweep(1) }},
+		{"E7", "Path-length sweep", "e7_pathlength.csv", func() (renderable, error) { return experiments.PathLengthSweep() }},
+		{"E8", "Soundness & tightness", "", func() (renderable, error) { return experiments.SoundnessTightness(trials, 99) }},
+		{"E9", "Admission capacity", "", func() (renderable, error) { return experiments.AdmissionCapacity() }},
+		{"E10", "Jitter study", "e10_jitter.csv", func() (renderable, error) { return experiments.JitterStudy() }},
+		{"E11", "Priority ladder (FIFO vs EF vs FP/FIFO)", "", func() (renderable, error) { return experiments.PriorityLadder() }},
+		{"E12", "Assumption-1 split on ring arcs", "", func() (renderable, error) { return experiments.SplitRing(1) }},
+		{"E13", "Price of determinism (bound vs p99/mean)", "e13_determinism.csv", func() (renderable, error) { return experiments.PriceOfDeterminism() }},
+		{"E14", "Breakdown utilization", "", func() (renderable, error) { return experiments.BreakdownUtilization() }},
+		{"E15", "AFDX case study", "", func() (renderable, error) { return experiments.AFDXCaseStudy() }},
+		{"E16", "Per-hop arrival bounds", "", func() (renderable, error) { return experiments.PerHopBudgets() }},
+	}
+
+	var htmlParts []string
+	for _, s := range steps {
+		if !want(s.id) {
+			continue
+		}
+		fmt.Fprintf(w, "== %s: %s ==\n", s.id, s.title)
+		out, err := s.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.id, err)
+		}
+		fmt.Fprintln(w, out.String())
+		if *htmlPath != "" {
+			htmlParts = append(htmlParts, htmlSection(s.id, s.title, out))
+		}
+		if s.file != "" && *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, s.file)
+			if err := os.WriteFile(path, []byte(out.String()), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "(written to %s)\n", path)
+			// CSV experiments additionally render as SVG figures.
+			if csv, ok := out.(*report.CSV); ok {
+				chart, err := viz.FromCSV(csv, s.title, "ticks")
+				if err != nil {
+					return fmt.Errorf("%s: chart: %w", s.id, err)
+				}
+				svg, err := chart.SVG()
+				if err != nil {
+					return fmt.Errorf("%s: chart: %w", s.id, err)
+				}
+				svgPath := strings.TrimSuffix(path, ".csv") + ".svg"
+				if err := os.WriteFile(svgPath, []byte(svg), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "(figure written to %s)\n", svgPath)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if *htmlPath != "" {
+		doc := "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>trajan experiments</title>" +
+			"<style>body{font-family:sans-serif;max-width:64em;margin:2em auto}pre{background:#f6f6f6;padding:1em;overflow-x:auto}</style>" +
+			"</head><body>\n<h1>trajan — experiment report</h1>\n" +
+			strings.Join(htmlParts, "\n") + "\n</body></html>\n"
+		if err := os.WriteFile(*htmlPath, []byte(doc), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(HTML report written to %s)\n", *htmlPath)
+	}
+	return nil
+}
+
+// htmlSection renders one experiment for the HTML report: tables and
+// traces as <pre>, CSV series as an embedded SVG figure plus a
+// collapsible data block.
+func htmlSection(id, title string, out renderable) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<h2>%s — %s</h2>\n", html.EscapeString(id), html.EscapeString(title))
+	if csv, ok := out.(*report.CSV); ok {
+		if chart, err := viz.FromCSV(csv, title, "ticks"); err == nil {
+			if svg, err := chart.SVG(); err == nil {
+				b.WriteString(svg)
+			}
+		}
+		fmt.Fprintf(&b, "<details><summary>data</summary><pre>%s</pre></details>\n",
+			html.EscapeString(csv.String()))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "<pre>%s</pre>\n", html.EscapeString(out.String()))
+	return b.String()
+}
+
+type stringRenderable string
+
+func (s stringRenderable) String() string { return string(s) }
+
+var _ renderable = (*report.Table)(nil)
+var _ renderable = (*report.CSV)(nil)

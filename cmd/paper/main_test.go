@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSelectedExperiments: -only runs exactly the requested ids.
+func TestSelectedExperiments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E1,E2", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "== E1:") || !strings.Contains(out, "== E2:") {
+		t.Errorf("selected experiments missing:\n%s", out)
+	}
+	if strings.Contains(out, "== E6:") {
+		t.Errorf("unselected experiment ran:\n%s", out)
+	}
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "tau3") {
+		t.Errorf("table content missing:\n%s", out)
+	}
+}
+
+// TestCSVOutput: -out writes the series files.
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-only", "E5", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e5_ef_nonpreemption.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "background_cost,") {
+		t.Errorf("csv header wrong: %q", string(data)[:40])
+	}
+}
+
+// TestPriorityLadderExperiment: E11 renders all three scheduler
+// columns.
+func TestPriorityLadderExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E11"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"voice", "video", "bulk", "fp/fifo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E11 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSVGFigures: CSV experiments also produce well-formed SVG figures.
+func TestSVGFigures(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-only", "E7", "-out", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "e7_pathlength.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(svg)
+	if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "<polyline") {
+		t.Errorf("figure malformed: %.80s", s)
+	}
+}
+
+// TestHTMLReport: the self-contained report embeds tables and figures.
+func TestHTMLReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.html")
+	var b strings.Builder
+	if err := run([]string{"-only", "E1,E5", "-html", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"<!DOCTYPE html>", "Table 2", "<svg", "<details>"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command simulate runs the packet-level discrete-event simulator on a
+// flow-set configuration and reports observed worst-case responses next
+// to the analytical bounds. It can search adversarially for bad
+// scenarios (-adversary), drive the DiffServ router model (-diffserv),
+// and print a Figure-2 style busy-period trace for one packet (-trace).
+//
+// Usage:
+//
+//	simulate [-config flows.json] [-packets N] [-seed S]
+//	         [-adversary] [-restarts R] [-diffserv] [-trace flowIndex]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"trajan/internal/adversary"
+	"trajan/internal/diffserv"
+	"trajan/internal/model"
+	"trajan/internal/report"
+	"trajan/internal/sim"
+	"trajan/internal/trajectory"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fl := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		configPath  = fl.String("config", "", "flow-set JSON (default: the paper's example)")
+		packets     = fl.Int("packets", 8, "packets simulated per flow")
+		seed        = fl.Int64("seed", 1, "random seed")
+		useAdv      = fl.Bool("adversary", false, "search for worst-case scenarios instead of one random run")
+		restarts    = fl.Int("restarts", 32, "adversary random restarts")
+		useDiffserv = fl.Bool("diffserv", false, "use the FP+WFQ DiffServ router scheduler")
+		traceFlow   = fl.Int("trace", -1, "print the busy-period trajectory of this flow's first packet")
+		gantt       = fl.Bool("gantt", false, "render the per-node service timeline (non-adversary runs)")
+		packetCSV   = fl.String("packet-csv", "", "write the per-packet hop log to this file (non-adversary runs)")
+	)
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+
+	fs, err := loadFlowSet(*configPath)
+	if err != nil {
+		return err
+	}
+	traj, err := trajectory.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		return fmt.Errorf("trajectory analysis: %w", err)
+	}
+
+	var sched func(model.NodeID) sim.Scheduler
+	if *useDiffserv {
+		sched = diffserv.Factory(diffserv.DefaultWeights())
+	}
+
+	tab := report.NewTable("Simulated worst responses vs trajectory bounds",
+		"flow", "observed", "bound", "tightness", "strategy")
+
+	if *useAdv {
+		finds, err := adversary.Search(fs, adversary.Options{
+			Seed: *seed, Restarts: *restarts, Packets: *packets, Scheduler: sched,
+		})
+		if err != nil {
+			return err
+		}
+		for i, f := range finds {
+			tab.AddRow(fs.Flows[i].Name, f.MaxResponse, traj.Bounds[i],
+				fmt.Sprintf("%.2f", float64(f.MaxResponse)/float64(traj.Bounds[i])), f.Strategy)
+		}
+	} else {
+		eng := sim.NewEngine(fs, sim.Config{NewScheduler: sched, RecordServices: *traceFlow >= 0 || *gantt})
+		sc := sim.RandomScenario(fs, rand.New(rand.NewSource(*seed)), *packets, 100, 20, 0)
+		res, err := eng.Run(sc)
+		if err != nil {
+			return err
+		}
+		for i, st := range res.PerFlow {
+			tab.AddRow(fs.Flows[i].Name, st.MaxResponse, traj.Bounds[i],
+				fmt.Sprintf("%.2f", float64(st.MaxResponse)/float64(traj.Bounds[i])), "random")
+		}
+		if *traceFlow >= 0 {
+			trace, err := sim.TrajectoryTrace(fs, res, *traceFlow, 0)
+			if err != nil {
+				return err
+			}
+			defer fmt.Fprintln(out, trace)
+		}
+		if *gantt {
+			to := res.Makespan
+			if to > 240 {
+				to = 240
+			}
+			g, err := sim.Gantt(fs, res, 0, to)
+			if err != nil {
+				return err
+			}
+			defer fmt.Fprintln(out, g)
+		}
+		if *packetCSV != "" {
+			f, err := os.Create(*packetCSV)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := sim.WritePacketCSV(f, fs, res); err != nil {
+				return err
+			}
+		}
+	}
+	return tab.Render(out)
+}
+
+func loadFlowSet(path string) (*model.FlowSet, error) {
+	if path == "" {
+		return model.PaperExample(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return model.ParseFlowSet(f)
+}

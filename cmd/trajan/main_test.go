@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+// TestDefaultAnalysesPaperExample: with no flags the tool analyses the
+// paper example under all three methods.
+func TestDefaultAnalysesPaperExample(t *testing.T) {
+	out := runCLI(t)
+	for _, want := range []string{"tau1", "trajectory", "holistic", "netcalc", "31", "43"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMethodFilter: -method trajectory omits the baselines.
+func TestMethodFilter(t *testing.T) {
+	out := runCLI(t, "-method", "trajectory")
+	if strings.Contains(out, "holistic") || strings.Contains(out, "netcalc") {
+		t.Errorf("baselines leaked into filtered output:\n%s", out)
+	}
+}
+
+// TestDetailFlag prints the interference breakdown.
+func TestDetailFlag(t *testing.T) {
+	out := runCLI(t, "-detail", "-method", "trajectory")
+	for _, want := range []string{"Bslow=", "packets=", "direction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("detail output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEFFlag runs Property 3 over a mixed-class config file.
+func TestEFFlag(t *testing.T) {
+	cfg := `{"network":{"lmin":1,"lmax":1},"flows":[
+	  {"name":"voice","period":40,"deadline":60,"path":[1,2,3],"cost":2},
+	  {"name":"bulk","period":30,"class":"BE","path":[1,2,3],"cost":9}
+	]}`
+	path := filepath.Join(t.TempDir(), "flows.json")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-config", path, "-ef")
+	if !strings.Contains(out, "voice") || !strings.Contains(out, "delta") {
+		t.Errorf("EF output:\n%s", out)
+	}
+	if strings.Contains(out, "bulk") {
+		t.Errorf("non-EF flow listed in EF verdicts:\n%s", out)
+	}
+}
+
+// TestSensitivityFlag prints headroom per flow.
+func TestSensitivityFlag(t *testing.T) {
+	out := runCLI(t, "-method", "trajectory", "-sensitivity")
+	if !strings.Contains(out, "min period") || !strings.Contains(out, "cost headroom") {
+		t.Errorf("sensitivity output:\n%s", out)
+	}
+}
+
+// TestSmaxModes: all three estimators run; bogus ones error.
+func TestSmaxModes(t *testing.T) {
+	for _, m := range []string{"prefix", "tail", "noqueue"} {
+		runCLI(t, "-method", "trajectory", "-smax", m)
+	}
+	var b strings.Builder
+	if err := run([]string{"-smax", "bogus"}, &b); err == nil {
+		t.Error("bogus smax mode accepted")
+	}
+}
+
+// TestBadConfigErrors: unreadable and invalid configs are reported.
+func TestBadConfigErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "/nonexistent.json"}, &b); err == nil {
+		t.Error("missing config accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}, &b); err == nil {
+		t.Error("broken config accepted")
+	}
+}
+
+// TestSplitConfigReportsChainedBounds: a config whose flows violate
+// Assumption 1 is split, and the trajectory rows report the ORIGINAL
+// flows with jitter-chained bounds.
+func TestSplitConfigReportsChainedBounds(t *testing.T) {
+	cfg := `{"network":{"lmin":1,"lmax":1},"flows":[
+	  {"name":"base","period":40,"deadline":100,"path":[1,2,3,4,5],"cost":3},
+	  {"name":"weave","period":40,"deadline":100,"path":[2,3,9,4,5],"cost":3}
+	]}`
+	path := filepath.Join(t.TempDir(), "flows.json")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-config", path, "-method", "trajectory")
+	if !strings.Contains(out, "weave") || strings.Contains(out, "weave~") {
+		t.Errorf("original flow names expected, fragments leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "trajectory*") || !strings.Contains(out, "split") {
+		t.Errorf("split notice missing:\n%s", out)
+	}
+}
+
+// TestExplainFlag prints the derivation for one flow.
+func TestExplainFlag(t *testing.T) {
+	out := runCLI(t, "-method", "trajectory", "-explain", "tau2")
+	for _, want := range []string{"R(tau2) = 37", "Bslow=16", "W(t*)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	var b strings.Builder
+	if err := run([]string{"-method", "trajectory", "-explain", "nope"}, &b); err == nil {
+		t.Error("unknown flow accepted")
+	}
+}

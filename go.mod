@@ -1,0 +1,3 @@
+module trajan
+
+go 1.22

@@ -1,0 +1,392 @@
+// Package adversary searches for worst-case simulation scenarios: the
+// arrival offsets, release jitters, link delays and FIFO tie-breaks
+// that maximize a flow's observed end-to-end response time.
+//
+// The search combines three strategies:
+//
+//  1. structural heuristics — synchronized releases and "merge
+//     alignment", which times each interferer so its packets reach the
+//     node where it first meets the target's path just before the
+//     target's packet (the congestion pattern behind the trajectory
+//     analysis's worst case);
+//  2. random restarts over valid scenarios;
+//  3. greedy hill climbing on per-flow offsets and per-packet jitters.
+//
+// Because every scenario is validated against the flow-set contract,
+// any response the adversary observes is a certified lower bound on the
+// true worst case: analysis bound < adversary observation would prove
+// the analysis unsound. The experiment suite runs exactly that check.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+)
+
+// Options tunes the search effort.
+type Options struct {
+	// Seed makes the search deterministic.
+	Seed int64
+	// Restarts is the number of random restarts (default 32).
+	Restarts int
+	// Packets is the number of packets simulated per flow (default 8).
+	Packets int
+	// ClimbSteps is the number of hill-climbing mutations attempted per
+	// start point (default 64).
+	ClimbSteps int
+	// Scheduler overrides the node scheduler (nil = plain FIFO).
+	Scheduler func(model.NodeID) sim.Scheduler
+	// Parallelism bounds concurrent restarts (0 = GOMAXPROCS, 1 =
+	// serial). Each restart derives its RNG deterministically from
+	// Seed and its index, so results are identical at any setting.
+	Parallelism int
+}
+
+func (o Options) restarts() int {
+	if o.Restarts <= 0 {
+		return 32
+	}
+	return o.Restarts
+}
+
+func (o Options) packets() int {
+	if o.Packets <= 0 {
+		return 8
+	}
+	return o.Packets
+}
+
+func (o Options) climbSteps() int {
+	if o.ClimbSteps <= 0 {
+		return 64
+	}
+	return o.ClimbSteps
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Finding is the worst observation for one flow.
+type Finding struct {
+	// Flow is the target flow's index.
+	Flow int
+	// MaxResponse is the largest end-to-end response time observed.
+	MaxResponse model.Time
+	// WorstSeq is the packet attaining it.
+	WorstSeq int
+	// Scenario reproduces the observation.
+	Scenario *sim.Scenario
+	// Strategy names the search phase that found it.
+	Strategy string
+}
+
+// Search returns, for every flow, the worst response the adversary
+// could provoke. Restarts fan out across Options.workers() goroutines;
+// each restart seeds its own RNG from (Seed, index), so the outcome is
+// independent of the worker count.
+func Search(fs *model.FlowSet, opt Options) ([]Finding, error) {
+	eng := sim.NewEngine(fs, sim.Config{NewScheduler: opt.Scheduler})
+
+	best := make([]Finding, fs.N())
+	for i := range best {
+		best[i] = Finding{Flow: i, MaxResponse: -1}
+	}
+	merge := func(dst []Finding, sc *sim.Scenario, strategy string, res *sim.Result) {
+		for i, st := range res.PerFlow {
+			if st.Count > 0 && st.MaxResponse > dst[i].MaxResponse {
+				dst[i] = Finding{
+					Flow: i, MaxResponse: st.MaxResponse, WorstSeq: st.WorstSeq,
+					Scenario: sc.Clone(), Strategy: strategy,
+				}
+			}
+		}
+	}
+	consider := func(dst []Finding, sc *sim.Scenario, strategy string) error {
+		res, err := eng.Run(sc)
+		if err != nil {
+			return err
+		}
+		merge(dst, sc, strategy, res)
+		return nil
+	}
+
+	// Phase 1: structural heuristics (serial; they are few and cheap).
+	for _, sc := range structuralScenarios(fs, opt) {
+		if err := consider(best, sc.sc, sc.name); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2+3: random restarts, each refined by hill climbing per
+	// target flow. Restarts are independent; run them on a worker pool
+	// and merge per-restart findings in restart order (ties keep the
+	// earlier restart, matching serial execution).
+	maxOffset := maxPeriod(fs)
+	restarts := opt.restarts()
+	perRestart := make([][]Finding, restarts)
+	errs := make([]error, restarts)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := opt.workers()
+	if workers > restarts {
+		workers = restarts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range work {
+				local := make([]Finding, fs.N())
+				for i := range local {
+					local[i] = Finding{Flow: i, MaxResponse: -1}
+				}
+				rng := rand.New(rand.NewSource(opt.Seed + int64(r)*0x9e3779b9))
+				sc := sim.RandomScenario(fs, rng, opt.packets(), maxOffset, maxPeriod(fs)/4, 0)
+				if err := consider(local, sc, "random"); err != nil {
+					errs[r] = err
+					continue
+				}
+				for target := 0; target < fs.N(); target++ {
+					climbed, err := climb(fs, eng, rng, sc, target, opt)
+					if err != nil {
+						errs[r] = err
+						break
+					}
+					if err := consider(local, climbed, "climb"); err != nil {
+						errs[r] = err
+						break
+					}
+				}
+				perRestart[r] = local
+			}
+		}()
+	}
+	for r := 0; r < restarts; r++ {
+		work <- r
+	}
+	close(work)
+	wg.Wait()
+	for r := 0; r < restarts; r++ {
+		if errs[r] != nil {
+			return nil, errs[r]
+		}
+		for i, f := range perRestart[r] {
+			if f.MaxResponse > best[i].MaxResponse {
+				best[i] = f
+			}
+		}
+	}
+	for i := range best {
+		if best[i].MaxResponse < 0 {
+			return nil, fmt.Errorf("adversary: no packet of flow %d delivered in any scenario", i)
+		}
+	}
+	return best, nil
+}
+
+type namedScenario struct {
+	name string
+	sc   *sim.Scenario
+}
+
+// structuralScenarios produces the deterministic heuristic starts.
+func structuralScenarios(fs *model.FlowSet, opt Options) []namedScenario {
+	var out []namedScenario
+
+	// Synchronized periodic release, default tie-break.
+	out = append(out, namedScenario{"synchronized", sim.PeriodicScenario(fs, nil, opt.packets())})
+
+	// Per-target: align every interferer's arrival at its merge node
+	// with the target's, and make the target lose all ties.
+	for target := range fs.Flows {
+		offsets := make([]model.Time, fs.N())
+		tie := make([]int, fs.N())
+		for j := range fs.Flows {
+			tie[j] = j + 1
+		}
+		tie[target] = fs.N() + 1 // served last on simultaneous arrival
+		for j := range fs.Flows {
+			if j == target {
+				continue
+			}
+			rel := fs.Relation(target, j)
+			if !rel.Intersects {
+				continue
+			}
+			// Time j so its first packet reaches first_{j,target} when
+			// the target's does (earliest-traversal estimate).
+			dT := fs.Smin(target, rel.FirstJI)
+			dJ := fs.Smin(j, rel.FirstJI)
+			offsets[j] = dT - dJ
+		}
+		addAligned := func(name string, offs []model.Time) {
+			// Shift to keep all offsets non-negative.
+			var minOff model.Time
+			for _, o := range offs {
+				if o < minOff {
+					minOff = o
+				}
+			}
+			shifted := make([]model.Time, len(offs))
+			for j := range offs {
+				shifted[j] = offs[j] - minOff
+			}
+			sc := sim.PeriodicScenario(fs, shifted, opt.packets())
+			sc.TieBreak = tie
+			out = append(out, namedScenario{name: name, sc: sc})
+		}
+		// Deep variant: align each interferer at every node it shares
+		// with the target (congestion may be worst downstream, not at
+		// the junction).
+		for _, depth := range []int{1, 2, 3} {
+			deep := make([]model.Time, fs.N())
+			for j := range fs.Flows {
+				if j == target {
+					continue
+				}
+				rel := fs.Relation(target, j)
+				if !rel.Intersects {
+					continue
+				}
+				idx := depth
+				if idx >= len(rel.Shared) {
+					idx = len(rel.Shared) - 1
+				}
+				h := rel.Shared[idx]
+				deep[j] = fs.Smin(target, h) - fs.Smin(j, h)
+			}
+			addAligned(fmt.Sprintf("merge-deep%d:%s", depth, fs.Flows[target].Name), deep)
+		}
+		// Shift to keep all offsets non-negative.
+		var minOff model.Time
+		for _, o := range offsets {
+			if o < minOff {
+				minOff = o
+			}
+		}
+		for j := range offsets {
+			offsets[j] -= minOff
+		}
+		sc := sim.PeriodicScenario(fs, offsets, opt.packets())
+		sc.TieBreak = tie
+		out = append(out, namedScenario{
+			name: fmt.Sprintf("merge-align:%s", fs.Flows[target].Name),
+			sc:   sc,
+		})
+		// Perturbed variants: interferers one tick earlier/later.
+		for _, d := range []model.Time{-2, -1, 1, 2} {
+			po := append([]model.Time(nil), offsets...)
+			for j := range po {
+				if j != target {
+					po[j] += d
+					if po[j] < 0 {
+						po[j] = 0
+					}
+				}
+			}
+			psc := sim.PeriodicScenario(fs, po, opt.packets())
+			psc.TieBreak = tie
+			out = append(out, namedScenario{
+				name: fmt.Sprintf("merge-align%+d:%s", d, fs.Flows[target].Name),
+				sc:   psc,
+			})
+		}
+	}
+	return out
+}
+
+// climb greedily mutates a scenario to maximize the target flow's worst
+// response.
+func climb(fs *model.FlowSet, eng *sim.Engine, rng *rand.Rand, start *sim.Scenario, target int, opt Options) (*sim.Scenario, error) {
+	cur := start.Clone()
+	res, err := eng.Run(cur)
+	if err != nil {
+		return nil, err
+	}
+	curBest := res.PerFlow[target].MaxResponse
+
+	for step := 0; step < opt.climbSteps(); step++ {
+		cand := cur.Clone()
+		mutate(fs, rng, cand, target)
+		if cand.Validate(fs) != nil {
+			continue
+		}
+		r, err := eng.Run(cand)
+		if err != nil {
+			return nil, err
+		}
+		if v := r.PerFlow[target].MaxResponse; v > curBest {
+			cur, curBest = cand, v
+		}
+	}
+	return cur, nil
+}
+
+// mutate applies one random valid perturbation.
+func mutate(fs *model.FlowSet, rng *rand.Rand, sc *sim.Scenario, target int) {
+	switch rng.Intn(4) {
+	case 0: // shift one flow's whole release pattern
+		j := rng.Intn(fs.N())
+		d := model.Time(rng.Int63n(9) - 4)
+		for k := range sc.Gen[j] {
+			sc.Gen[j][k] += d
+		}
+		if len(sc.Gen[j]) > 0 && sc.Gen[j][0] < 0 {
+			for k := range sc.Gen[j] {
+				sc.Gen[j][k] -= sc.Gen[j][0]
+			}
+		}
+	case 1: // stretch one inter-arrival gap
+		j := rng.Intn(fs.N())
+		if len(sc.Gen[j]) < 2 {
+			return
+		}
+		k := 1 + rng.Intn(len(sc.Gen[j])-1)
+		d := model.Time(rng.Int63n(int64(fs.Flows[j].Period)/2 + 1))
+		for m := k; m < len(sc.Gen[j]); m++ {
+			sc.Gen[j][m] += d
+		}
+	case 2: // re-draw one packet's release jitter
+		j := rng.Intn(fs.N())
+		if fs.Flows[j].Jitter == 0 || sc.Jit == nil || sc.Jit[j] == nil {
+			return
+		}
+		k := rng.Intn(len(sc.Jit[j]))
+		sc.Jit[j][k] = model.Time(rng.Int63n(int64(fs.Flows[j].Jitter) + 1))
+	case 3: // re-draw one packet's link delays
+		if fs.Net.Lmin == fs.Net.Lmax || sc.Link == nil {
+			return
+		}
+		j := rng.Intn(fs.N())
+		if sc.Link[j] == nil {
+			return
+		}
+		k := rng.Intn(len(sc.Link[j]))
+		for s := range sc.Link[j][k] {
+			sc.Link[j][k][s] = fs.Net.Lmin + model.Time(rng.Int63n(int64(fs.Net.Lmax-fs.Net.Lmin)+1))
+		}
+	}
+	_ = target
+}
+
+func maxPeriod(fs *model.FlowSet) model.Time {
+	var m model.Time
+	for _, f := range fs.Flows {
+		if f.Period > m {
+			m = f.Period
+		}
+	}
+	return m
+}

@@ -1,0 +1,27 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestDeepMergeAlignScenarios: the structural phase includes the
+// depth-aligned variants and all of them are valid scenarios.
+func TestDeepMergeAlignScenarios(t *testing.T) {
+	fs := model.PaperExample()
+	scs := structuralScenarios(fs, Options{Packets: 3})
+	deep := 0
+	for _, ns := range scs {
+		if err := ns.sc.Validate(fs); err != nil {
+			t.Errorf("%s: invalid scenario: %v", ns.name, err)
+		}
+		if strings.HasPrefix(ns.name, "merge-deep") {
+			deep++
+		}
+	}
+	if deep != 3*fs.N() {
+		t.Errorf("%d deep merge-align scenarios, want %d", deep, 3*fs.N())
+	}
+}

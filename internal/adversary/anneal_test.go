@@ -1,0 +1,93 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"trajan/internal/holistic"
+	"trajan/internal/model"
+	"trajan/internal/sim"
+	"trajan/internal/trajectory"
+	"trajan/internal/workload"
+)
+
+// TestAnnealNeverRegresses: SearchAnnealed must dominate Search on
+// every flow.
+func TestAnnealNeverRegresses(t *testing.T) {
+	fs := model.PaperExample()
+	opt := Options{Seed: 4, Restarts: 4, Packets: 4, ClimbSteps: 10}
+	base, err := Search(fs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealed, err := SearchAnnealed(fs, opt, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if annealed[i].MaxResponse < base[i].MaxResponse {
+			t.Errorf("flow %d: annealed %d < base %d",
+				i, annealed[i].MaxResponse, base[i].MaxResponse)
+		}
+	}
+}
+
+// TestAnnealStaysSound: annealed observations still respect the
+// analytical bounds on random sets — the stronger search must not
+// manufacture invalid scenarios.
+func TestAnnealStaysSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 4; trial++ {
+		fs, err := workload.RandomLine(rng, workload.RandomLineParams{
+			Nodes: 5, Flows: 4, MaxUtilization: 0.5,
+			CostLo: 1, CostHi: 4, JitterHi: 2, AllowReverse: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traj, err := trajectory.Analyze(fs, trajectory.Options{})
+		if err != nil {
+			continue
+		}
+		hol, holErr := holistic.Analyze(fs, holistic.Options{})
+		finds, err := SearchAnnealed(fs, Options{Seed: int64(trial), Restarts: 4, Packets: 4, ClimbSteps: 12}, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range finds {
+			if err := f.Scenario.Validate(fs); err != nil {
+				t.Fatalf("trial %d flow %d: invalid annealed scenario: %v", trial, i, err)
+			}
+			if f.MaxResponse > traj.Bounds[i] {
+				t.Errorf("trial %d flow %d: annealed %d > trajectory bound %d",
+					trial, i, f.MaxResponse, traj.Bounds[i])
+			}
+			if holErr == nil && f.MaxResponse > hol.Bounds[i] {
+				t.Errorf("trial %d flow %d: annealed %d > holistic bound %d",
+					trial, i, f.MaxResponse, hol.Bounds[i])
+			}
+		}
+	}
+}
+
+// TestAnnealDirect: the low-level Anneal call improves or preserves a
+// deliberately bad starting scenario.
+func TestAnnealDirect(t *testing.T) {
+	f1 := model.UniformFlow("f1", 60, 0, 0, 3, 1, 2)
+	f2 := model.UniformFlow("f2", 60, 0, 0, 3, 1, 2)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	eng := sim.NewEngine(fs, sim.Config{})
+	// Start far apart: no interference at all.
+	start := sim.PeriodicScenario(fs, []model.Time{0, 30}, 2)
+	rng := rand.New(rand.NewSource(6))
+	_, v, err := Anneal(fs, eng, rng, start, 0, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 7 {
+		t.Errorf("anneal end value %d below the no-interference response", v)
+	}
+	if v > 10 {
+		t.Errorf("anneal exceeded the exact worst case 10: %d", v)
+	}
+}

@@ -1,0 +1,19 @@
+package adversary
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+)
+
+// simRun replays a finding's scenario and returns the flow's observed
+// maximum response.
+func simRun(t *testing.T, fs *model.FlowSet, f Finding) (model.Time, error) {
+	t.Helper()
+	res, err := sim.NewEngine(fs, sim.Config{}).Run(f.Scenario)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerFlow[f.Flow].MaxResponse, nil
+}

@@ -1,0 +1,93 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+	"trajan/internal/trajectory"
+	"trajan/internal/workload"
+)
+
+// TestMeshSplitSoundnessSweep: randomized grid workloads whose BFS
+// routes require Assumption-1 splitting. The chained parent bounds of
+// AnalyzeSplit must dominate adversarial simulations of the ORIGINAL
+// unsplit flows — the end-to-end guarantee a deployment would quote.
+func TestMeshSplitSoundnessSweep(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < trials; trial++ {
+		mesh, err := workload.Mesh(rng, workload.MeshParams{
+			Rows: 3, Cols: 3, Flows: 5,
+			MaxUtilization: 0.4 + 0.15*rng.Float64(),
+			CostLo:         1, CostHi: 3, JitterHi: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		split, err := trajectory.AnalyzeSplit(mesh.Split, trajectory.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bounds, err := split.BoundsFor(mesh.Original)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lax, err := model.NewFlowSetLax(model.UnitDelayNetwork(), mesh.Original)
+		if err != nil {
+			t.Fatal(err)
+		}
+		finds, err := Search(lax, Options{Seed: int64(trial), Restarts: 8, Packets: 4, ClimbSteps: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range finds {
+			if f.MaxResponse > bounds[i] {
+				t.Errorf("trial %d flow %s: observed %d > chained bound %d (strategy %s)",
+					trial, mesh.Original[i].Name, f.MaxResponse, bounds[i], f.Strategy)
+			}
+		}
+	}
+}
+
+// TestMeshSteadyStateBelowBounds: long sampled runs on mesh workloads
+// also respect the chained bounds (cheaper, broader coverage than the
+// adversary).
+func TestMeshSteadyStateBelowBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	mesh, err := workload.Mesh(rng, workload.MeshParams{
+		Rows: 3, Cols: 4, Flows: 7, MaxUtilization: 0.5,
+		CostLo: 1, CostHi: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := trajectory.AnalyzeSplit(mesh.Split, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := split.BoundsFor(mesh.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, err := model.NewFlowSetLax(model.UnitDelayNetwork(), mesh.Original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		ds, err := sim.SteadyState(lax, seed, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range ds {
+			if d.Max > bounds[i] {
+				t.Errorf("seed %d flow %s: sampled max %d > chained bound %d",
+					seed, mesh.Original[i].Name, d.Max, bounds[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package adversary
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestSearchParallelMatchesSerial: per-restart seeding makes the
+// search outcome independent of the worker count.
+func TestSearchParallelMatchesSerial(t *testing.T) {
+	fs := model.PaperExample()
+	opt := Options{Seed: 9, Restarts: 6, Packets: 4, ClimbSteps: 12}
+
+	opt.Parallelism = 1
+	serial, err := Search(fs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		opt.Parallelism = workers
+		par, err := Search(fs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i].MaxResponse != serial[i].MaxResponse {
+				t.Errorf("workers=%d flow %d: %d ≠ serial %d",
+					workers, i, par[i].MaxResponse, serial[i].MaxResponse)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package adversary
+
+import (
+	"testing"
+
+	"trajan/internal/holistic"
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+// TestPaperExampleSoundness drives the adversary against the paper's
+// example and checks that no observed response exceeds either analysis
+// bound. The adversary's observations are certified lower bounds on the
+// true worst case, so a violation here would disprove the analysis.
+func TestPaperExampleSoundness(t *testing.T) {
+	fs := model.PaperExample()
+
+	traj, err := trajectory.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hol, err := holistic.Analyze(fs, holistic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finds, err := Search(fs, Options{Seed: 1, Restarts: 24, Packets: 6, ClimbSteps: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range finds {
+		name := fs.Flows[i].Name
+		t.Logf("%s: observed=%d (strategy %s) trajectory=%d holistic=%d",
+			name, f.MaxResponse, f.Strategy, traj.Bounds[i], hol.Bounds[i])
+		if f.MaxResponse > traj.Bounds[i] {
+			t.Errorf("%s: observed response %d exceeds trajectory bound %d (strategy %s)",
+				name, f.MaxResponse, traj.Bounds[i], f.Strategy)
+		}
+		if f.MaxResponse > hol.Bounds[i] {
+			t.Errorf("%s: observed response %d exceeds holistic bound %d (strategy %s)",
+				name, f.MaxResponse, hol.Bounds[i], f.Strategy)
+		}
+	}
+}

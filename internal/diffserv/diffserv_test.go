@@ -1,0 +1,276 @@
+package diffserv
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+)
+
+func TestDSCPClassification(t *testing.T) {
+	cases := []struct {
+		d     DSCP
+		class model.Class
+		name  string
+	}{
+		{EF, model.ClassEF, "EF"},
+		{AF11, model.ClassAF, "AF11"},
+		{AF32, model.ClassAF, "AF32"},
+		{AF43, model.ClassAF, "AF43"},
+		{CS0, model.ClassBE, "BE"},
+		{DSCP(7), model.ClassBE, "DSCP(7)"},
+	}
+	for _, c := range cases {
+		if c.d.Class() != c.class {
+			t.Errorf("%v class %v, want %v", c.d, c.d.Class(), c.class)
+		}
+		if c.d.String() != c.name {
+			t.Errorf("String() = %q, want %q", c.d.String(), c.name)
+		}
+	}
+}
+
+func TestAFClassDropPrecedence(t *testing.T) {
+	cases := []struct {
+		d           DSCP
+		class, drop int
+	}{
+		{AF11, 1, 1}, {AF12, 1, 2}, {AF13, 1, 3},
+		{AF21, 2, 1}, {AF22, 2, 2}, {AF23, 2, 3},
+		{AF31, 3, 1}, {AF41, 4, 1}, {AF43, 4, 3},
+	}
+	for _, c := range cases {
+		cl, dp, ok := c.d.AFClass()
+		if !ok || cl != c.class || dp != c.drop {
+			t.Errorf("%d: AFClass = (%d,%d,%v), want (%d,%d)", c.d, cl, dp, ok, c.class, c.drop)
+		}
+	}
+	if _, _, ok := EF.AFClass(); ok {
+		t.Error("EF is not AF")
+	}
+	if !EF.Valid() || DSCP(64).Valid() {
+		t.Error("Valid broken")
+	}
+}
+
+func TestClassifyClass(t *testing.T) {
+	if ClassifyClass(model.ClassEF) != EF || ClassifyClass(model.ClassAF) != AF11 || ClassifyClass(model.ClassBE) != CS0 {
+		t.Error("default marking broken")
+	}
+}
+
+func TestTokenBucketValidate(t *testing.T) {
+	bad := []TokenBucket{
+		{Rate: 0, RatePeriod: 1, Burst: 1},
+		{Rate: 1, RatePeriod: 0, Burst: 1},
+		{Rate: 1, RatePeriod: 1, Burst: 0},
+	}
+	for i, tb := range bad {
+		if err := tb.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := TokenBucket{Rate: 1, RatePeriod: 10, Burst: 5}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTokenBucketPolice: a full bucket admits Burst work at once, then
+// refuses until refilled.
+func TestTokenBucketPolice(t *testing.T) {
+	tb := &TokenBucket{Rate: 1, RatePeriod: 10, Burst: 3}
+	for k := 0; k < 3; k++ {
+		if !tb.Police(0, 1) {
+			t.Fatalf("packet %d refused with full bucket", k)
+		}
+	}
+	if tb.Police(0, 1) {
+		t.Fatal("4th packet admitted from an empty bucket")
+	}
+	if tb.Police(9, 1) {
+		t.Fatal("admitted before the refill tick")
+	}
+	if !tb.Police(10, 1) {
+		t.Fatal("refused after one refill period")
+	}
+	if !tb.Conforms(30, 1) {
+		t.Fatal("Conforms should pass after idle refill")
+	}
+}
+
+// TestTokenBucketShape: non-conforming packets are delayed to the
+// refill schedule, not dropped.
+func TestTokenBucketShape(t *testing.T) {
+	tb := &TokenBucket{Rate: 1, RatePeriod: 10, Burst: 1}
+	if got := tb.Shape(0, 1); got != 0 {
+		t.Fatalf("first packet delayed to %d", got)
+	}
+	// Bucket now empty; next conformance point is t = 10.
+	if got := tb.Shape(0, 1); got != 10 {
+		t.Fatalf("second packet shaped to %d, want 10", got)
+	}
+	if got := tb.Shape(11, 1); got != 20 {
+		t.Fatalf("third packet shaped to %d, want 20", got)
+	}
+}
+
+// TestShapeReleases: a burst is spread at the sustained rate, order
+// preserved.
+func TestShapeReleases(t *testing.T) {
+	tb := &TokenBucket{Rate: 1, RatePeriod: 5, Burst: 2}
+	out := tb.ShapeReleases([]model.Time{0, 0, 0, 0}, 1)
+	want := []model.Time{0, 0, 5, 10}
+	for k := range want {
+		if out[k] != want[k] {
+			t.Fatalf("shaped %v, want %v", out, want)
+		}
+	}
+	for k := 1; k < len(out); k++ {
+		if out[k] < out[k-1] {
+			t.Fatal("shaping reordered packets")
+		}
+	}
+}
+
+// TestWFQProportionalService: with both queues persistently backlogged,
+// service shares converge to the configured weights (3:1).
+func TestWFQProportionalService(t *testing.T) {
+	w := NewWFQ(Weights{AF: 3, BE: 1})
+	mk := func(class model.Class, seq int) sim.QueuedPacket {
+		return sim.QueuedPacket{
+			P:     &sim.Packet{Flow: int(class), Seq: seq},
+			Class: class,
+			Cost:  1,
+		}
+	}
+	const n = 40
+	for k := 0; k < n; k++ {
+		w.Enqueue(mk(model.ClassAF, k))
+		w.Enqueue(mk(model.ClassBE, k))
+	}
+	af, be := 0, 0
+	for k := 0; k < 20; k++ {
+		q, ok := w.Dequeue()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		if q.Class == model.ClassAF {
+			af++
+		} else {
+			be++
+		}
+	}
+	// Expect ~15:5; allow one packet of slack from tag rounding.
+	if af < 14 || af > 16 {
+		t.Errorf("AF served %d of 20, want ≈15", af)
+	}
+	_ = be
+}
+
+// TestWFQUnknownClassPanics: enqueueing an EF packet into the non-EF
+// aggregate is a programming error.
+func TestWFQUnknownClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	w := NewWFQ(DefaultWeights())
+	w.Enqueue(sim.QueuedPacket{P: &sim.Packet{}, Class: model.ClassEF, Cost: 1})
+}
+
+func TestNewWFQBadWeightsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewWFQ(Weights{AF: 0, BE: 1})
+}
+
+// TestSchedulerEFPriority: an EF packet arriving amid AF/BE backlog is
+// served as soon as the server frees, ahead of the whole backlog.
+func TestSchedulerEFPriority(t *testing.T) {
+	s := NewScheduler(DefaultWeights())
+	mk := func(class model.Class, flow int, arr model.Time) sim.QueuedPacket {
+		return sim.QueuedPacket{
+			P:       &sim.Packet{Flow: flow},
+			Class:   class,
+			Arrived: arr,
+			Cost:    5,
+		}
+	}
+	s.Enqueue(mk(model.ClassBE, 1, 0))
+	s.Enqueue(mk(model.ClassAF, 2, 0))
+	s.Enqueue(mk(model.ClassAF, 3, 0))
+	s.Enqueue(mk(model.ClassEF, 4, 7)) // arrives later than the backlog
+	if s.Len() != 4 {
+		t.Fatalf("len %d", s.Len())
+	}
+	q, _ := s.Dequeue()
+	if q.P.Flow != 4 {
+		t.Errorf("first dequeue flow %d, want EF flow 4", q.P.Flow)
+	}
+}
+
+// TestSchedulerWorkConserving: EF idle → WFQ classes are served.
+func TestSchedulerWorkConserving(t *testing.T) {
+	s := NewScheduler(DefaultWeights())
+	s.Enqueue(sim.QueuedPacket{P: &sim.Packet{Flow: 1}, Class: model.ClassBE, Cost: 1})
+	if q, ok := s.Dequeue(); !ok || q.P.Flow != 1 {
+		t.Error("BE starved on idle EF")
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Error("phantom packet")
+	}
+}
+
+// TestRouterNonPreemptionBlocking drives the full Figure-3 router in
+// the simulator: an EF packet arriving one tick after a huge BE packet
+// started service is blocked for exactly C_BE − 1 ticks (the quantity
+// Lemma 4 charges), and never by more.
+func TestRouterNonPreemptionBlocking(t *testing.T) {
+	voice := model.UniformFlow("voice", 100, 0, 0, 2, 1)
+	bulk := model.UniformFlow("bulk", 100, 0, 0, 9, 1)
+	bulk.Class = model.ClassBE
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{voice, bulk})
+	eng := sim.NewEngine(fs, sim.Config{NewScheduler: Factory(DefaultWeights())})
+	sc := sim.PeriodicScenario(fs, []model.Time{1, 0}, 1) // bulk starts at 0, voice arrives at 1
+	res, err := eng.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Voice waits for the bulk packet to finish at 9, then serves 2.
+	if got := res.PerFlow[0].MaxResponse; got != 10 {
+		t.Errorf("voice response %d, want 10 (8 blocking + 2 service)", got)
+	}
+	// The blocking is C_BE − 1 = 8, matching Lemma 4's first-node term.
+	if blocking := res.PerFlow[0].MaxResponse - 2; blocking != 9-1 {
+		t.Errorf("blocking %d, want 8", blocking)
+	}
+}
+
+// TestRouterEFAggregateFIFO: within the EF class the router is FIFO —
+// two EF flows at one router behave exactly as under the plain FIFO
+// scheduler.
+func TestRouterEFAggregateFIFO(t *testing.T) {
+	f1 := model.UniformFlow("f1", 100, 0, 0, 3, 1)
+	f2 := model.UniformFlow("f2", 100, 0, 0, 3, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	sc := sim.PeriodicScenario(fs, nil, 2)
+	plain, err := sim.NewEngine(fs, sim.Config{}).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := sim.NewEngine(fs, sim.Config{NewScheduler: Factory(DefaultWeights())}).Run(sc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs.Flows {
+		if plain.PerFlow[i].MaxResponse != routed.PerFlow[i].MaxResponse {
+			t.Errorf("flow %d: plain %d vs router %d", i,
+				plain.PerFlow[i].MaxResponse, routed.PerFlow[i].MaxResponse)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package diffserv models the DiffServ-compliant router of the paper's
+// Figure 3: packets carry a class code (DSCP) selected at the network
+// boundary; core routers map the code to a per-hop behaviour (PHB). The
+// EF class is scheduled with fixed priority over the AF and best-effort
+// classes, which share the residual bandwidth under WFQ; scheduling is
+// non-preemptive. The router scheduler plugs into the discrete-event
+// simulator (sim.Scheduler), and the ingress conditioning (token-bucket
+// shaping/policing) bounds what EF traffic may enter.
+package diffserv
+
+import "fmt"
+
+import "trajan/internal/model"
+
+// DSCP is a Differentiated Services codepoint (RFC 2474, 6 bits).
+type DSCP uint8
+
+// Standard codepoints (RFC 2597 for AF, RFC 2598 for EF).
+const (
+	CS0  DSCP = 0 // default / best effort
+	AF11 DSCP = 10
+	AF12 DSCP = 12
+	AF13 DSCP = 14
+	AF21 DSCP = 18
+	AF22 DSCP = 20
+	AF23 DSCP = 22
+	AF31 DSCP = 26
+	AF32 DSCP = 28
+	AF33 DSCP = 30
+	AF41 DSCP = 34
+	AF42 DSCP = 36
+	AF43 DSCP = 38
+	EF   DSCP = 46
+)
+
+// Valid reports whether the codepoint fits in 6 bits.
+func (d DSCP) Valid() bool { return d < 64 }
+
+// AFClass returns the AF class (1–4) and drop precedence (1–3) of an AF
+// codepoint, or ok=false for non-AF codepoints.
+func (d DSCP) AFClass() (class, drop int, ok bool) {
+	switch d {
+	case AF11, AF12, AF13:
+		class = 1
+	case AF21, AF22, AF23:
+		class = 2
+	case AF31, AF32, AF33:
+		class = 3
+	case AF41, AF42, AF43:
+		class = 4
+	default:
+		return 0, 0, false
+	}
+	// AF codepoints are 8·class + 2·drop (RFC 2597): AF11 = 10, AF12 = 12, …
+	drop = (int(d) % 8) / 2
+	return class, drop, true
+}
+
+// Class maps the codepoint to the scheduling class of the router model.
+func (d DSCP) Class() model.Class {
+	if d == EF {
+		return model.ClassEF
+	}
+	if _, _, ok := d.AFClass(); ok {
+		return model.ClassAF
+	}
+	return model.ClassBE
+}
+
+// String names well-known codepoints.
+func (d DSCP) String() string {
+	if d == EF {
+		return "EF"
+	}
+	if c, p, ok := d.AFClass(); ok {
+		return fmt.Sprintf("AF%d%d", c, p)
+	}
+	if d == CS0 {
+		return "BE"
+	}
+	return fmt.Sprintf("DSCP(%d)", uint8(d))
+}
+
+// ClassifyClass returns the default codepoint for a scheduling class —
+// the marking an ingress router applies.
+func ClassifyClass(c model.Class) DSCP {
+	switch c {
+	case model.ClassEF:
+		return EF
+	case model.ClassAF:
+		return AF11
+	default:
+		return CS0
+	}
+}

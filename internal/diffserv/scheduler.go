@@ -1,0 +1,146 @@
+package diffserv
+
+import (
+	"container/heap"
+	"fmt"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+)
+
+// wfqScale keeps finish-tag arithmetic integral: a packet of size c in
+// a queue of weight w advances that queue's finish tag by c·wfqScale/w.
+const wfqScale = 1 << 16
+
+// Scheduler is the paper's Figure-3 router scheduler: the EF class is
+// served at fixed priority whenever its queue is non-empty (FIFO within
+// the class); AF and best-effort packets share the remaining capacity
+// under weighted fair queueing. Service is non-preemptive: a dequeued
+// packet always runs to completion, which is exactly the blocking
+// Lemma 4 charges to EF flows.
+type Scheduler struct {
+	ef  *sim.FIFOScheduler
+	wfq *WFQ
+}
+
+// Weights configures the WFQ share of the non-EF classes. Resources
+// provisioned for EF that EF does not use are automatically available
+// to them (work conservation).
+type Weights struct {
+	AF, BE int64
+}
+
+// DefaultWeights gives AF three times the best-effort share.
+func DefaultWeights() Weights { return Weights{AF: 3, BE: 1} }
+
+// NewScheduler builds a router scheduler with the given WFQ weights.
+func NewScheduler(w Weights) *Scheduler {
+	return &Scheduler{ef: sim.NewFIFOScheduler(), wfq: NewWFQ(w)}
+}
+
+// Factory adapts NewScheduler to sim.Config.NewScheduler.
+func Factory(w Weights) func(model.NodeID) sim.Scheduler {
+	return func(model.NodeID) sim.Scheduler { return NewScheduler(w) }
+}
+
+// Enqueue routes the packet to its class queue.
+func (s *Scheduler) Enqueue(q sim.QueuedPacket) {
+	if q.Class == model.ClassEF {
+		s.ef.Enqueue(q)
+		return
+	}
+	s.wfq.Enqueue(q)
+}
+
+// Dequeue serves EF strictly first, then the WFQ aggregate.
+func (s *Scheduler) Dequeue() (sim.QueuedPacket, bool) {
+	if q, ok := s.ef.Dequeue(); ok {
+		return q, true
+	}
+	return s.wfq.Dequeue()
+}
+
+// Len is the total backlog across classes.
+func (s *Scheduler) Len() int { return s.ef.Len() + s.wfq.Len() }
+
+// WFQ is a self-clocked weighted fair queueing scheduler (SCFQ): each
+// arriving packet receives a virtual finish tag
+//
+//	F = max(V, F_last(class)) + size·scale/weight
+//
+// where V is the tag of the packet most recently dequeued, and packets
+// are served in tag order. SCFQ approximates GPS within one packet size
+// per queue, which is the fairness model the paper assumes for the
+// AF/BE aggregate ([6]).
+type WFQ struct {
+	weights  map[model.Class]int64
+	lastF    map[model.Class]int64
+	virtual  int64
+	q        wfqHeap
+	arrivals int
+}
+
+// NewWFQ builds an SCFQ scheduler over the AF and BE classes.
+func NewWFQ(w Weights) *WFQ {
+	if w.AF <= 0 || w.BE <= 0 {
+		panic(fmt.Sprintf("diffserv: non-positive WFQ weights %+v", w))
+	}
+	return &WFQ{
+		weights: map[model.Class]int64{model.ClassAF: w.AF, model.ClassBE: w.BE},
+		lastF:   make(map[model.Class]int64),
+	}
+}
+
+// Enqueue tags and queues a packet.
+func (w *WFQ) Enqueue(q sim.QueuedPacket) {
+	wt, ok := w.weights[q.Class]
+	if !ok {
+		panic(fmt.Sprintf("diffserv: WFQ has no weight for class %s", q.Class))
+	}
+	start := w.virtual
+	if f, ok := w.lastF[q.Class]; ok && f > start {
+		start = f
+	}
+	finish := start + int64(q.Cost)*wfqScale/wt
+	w.lastF[q.Class] = finish
+	heap.Push(&w.q, wfqEntry{finish: finish, seq: w.arrivals, q: q})
+	w.arrivals++
+}
+
+// Dequeue pops the smallest finish tag and advances virtual time.
+func (w *WFQ) Dequeue() (sim.QueuedPacket, bool) {
+	if len(w.q) == 0 {
+		return sim.QueuedPacket{}, false
+	}
+	e := heap.Pop(&w.q).(wfqEntry)
+	w.virtual = e.finish
+	return e.q, true
+}
+
+// Len is the WFQ backlog.
+func (w *WFQ) Len() int { return len(w.q) }
+
+type wfqEntry struct {
+	finish int64
+	seq    int
+	q      sim.QueuedPacket
+}
+
+type wfqHeap []wfqEntry
+
+func (h wfqHeap) Len() int { return len(h) }
+func (h wfqHeap) Less(a, b int) bool {
+	if h[a].finish != h[b].finish {
+		return h[a].finish < h[b].finish
+	}
+	return h[a].seq < h[b].seq
+}
+func (h wfqHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *wfqHeap) Push(x interface{}) { *h = append(*h, x.(wfqEntry)) }
+func (h *wfqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

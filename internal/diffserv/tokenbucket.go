@@ -1,0 +1,114 @@
+package diffserv
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+)
+
+// TokenBucket is the traffic conditioner of a DiffServ boundary router:
+// EF traffic is delivered with low latency *up to a negotiated rate*,
+// enforced by metering against a bucket of depth Burst that refills
+// Rate tokens every RatePeriod ticks. One token admits one processing
+// unit of traffic.
+type TokenBucket struct {
+	// Rate tokens are added every RatePeriod ticks (a rational rate,
+	// keeping all arithmetic integral).
+	Rate       model.Time
+	RatePeriod model.Time
+	// Burst is the bucket depth: the largest instantaneous excess the
+	// conditioner tolerates.
+	Burst model.Time
+
+	tokens   model.Time
+	lastFill model.Time
+	inited   bool
+}
+
+// Validate checks the conditioner parameters.
+func (tb *TokenBucket) Validate() error {
+	if tb.Rate <= 0 || tb.RatePeriod <= 0 {
+		return fmt.Errorf("diffserv: token bucket rate %d/%d not positive", tb.Rate, tb.RatePeriod)
+	}
+	if tb.Burst <= 0 {
+		return fmt.Errorf("diffserv: token bucket burst %d not positive", tb.Burst)
+	}
+	return nil
+}
+
+// refill credits tokens for the time elapsed up to now.
+func (tb *TokenBucket) refill(now model.Time) {
+	if !tb.inited {
+		tb.tokens = tb.Burst
+		tb.lastFill = now
+		tb.inited = true
+		return
+	}
+	if now <= tb.lastFill {
+		return
+	}
+	elapsed := now - tb.lastFill
+	add := (elapsed / tb.RatePeriod) * tb.Rate
+	tb.tokens += add
+	tb.lastFill += (elapsed / tb.RatePeriod) * tb.RatePeriod
+	if tb.tokens > tb.Burst {
+		tb.tokens = tb.Burst
+		tb.lastFill = now
+	}
+}
+
+// Conforms reports whether a packet of the given size arriving at now
+// conforms without consuming tokens.
+func (tb *TokenBucket) Conforms(now, size model.Time) bool {
+	tb.refill(now)
+	return tb.tokens >= size
+}
+
+// Police consumes tokens for a conforming packet and reports false
+// (drop) for a non-conforming one — RFC 2598's "drop probability" made
+// deterministic.
+func (tb *TokenBucket) Police(now, size model.Time) bool {
+	tb.refill(now)
+	if tb.tokens < size {
+		return false
+	}
+	tb.tokens -= size
+	return true
+}
+
+// Shape returns the earliest time ≥ now at which a packet of the given
+// size conforms, consuming the tokens then — the boundary-router
+// shaping used by admission-control schemes (the paper's reference
+// [12]). The returned delay is what a shaped packet adds to its release
+// jitter.
+func (tb *TokenBucket) Shape(now, size model.Time) model.Time {
+	tb.refill(now)
+	if tb.tokens >= size {
+		tb.tokens -= size
+		return now
+	}
+	deficit := size - tb.tokens
+	rounds := model.CeilDiv(deficit, tb.Rate)
+	t := tb.lastFill + rounds*tb.RatePeriod
+	tb.refill(t)
+	tb.tokens -= size
+	return t
+}
+
+// ShapeReleases shapes a whole release sequence (e.g. a scenario's
+// generation times) through the bucket, returning the conforming
+// release times; order is preserved and separation never shrinks.
+func (tb *TokenBucket) ShapeReleases(gens []model.Time, size model.Time) []model.Time {
+	out := make([]model.Time, len(gens))
+	var last model.Time
+	for k, g := range gens {
+		t := g
+		if k > 0 && t < last {
+			t = last
+		}
+		t = tb.Shape(t, size)
+		out[k] = t
+		last = t
+	}
+	return out
+}

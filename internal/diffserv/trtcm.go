@@ -1,0 +1,181 @@
+package diffserv
+
+import "fmt"
+
+import "trajan/internal/model"
+
+// Color is the marking a meter assigns to a packet, mapping to AF drop
+// precedence (green = lowest drop probability).
+type Color int
+
+const (
+	Green Color = iota
+	Yellow
+	Red
+)
+
+// String names the color.
+func (c Color) String() string {
+	switch c {
+	case Green:
+		return "green"
+	case Yellow:
+		return "yellow"
+	case Red:
+		return "red"
+	default:
+		return fmt.Sprintf("Color(%d)", int(c))
+	}
+}
+
+// SRTCM is the single-rate three-color marker of RFC 2697: one
+// committed rate (CIR) feeding a committed burst bucket (CBS) whose
+// overflow feeds an excess burst bucket (EBS). Conforming traffic is
+// green, CBS-exceeding-but-EBS-conforming traffic yellow, the rest
+// red — the marking AF classes map onto drop precedences.
+type SRTCM struct {
+	// CIR tokens per CIRPeriod ticks.
+	CIR, CIRPeriod model.Time
+	// CBS and EBS are the committed and excess bucket depths.
+	CBS, EBS model.Time
+
+	tc, te   model.Time
+	lastFill model.Time
+	inited   bool
+}
+
+// Validate checks the meter parameters.
+func (m *SRTCM) Validate() error {
+	if m.CIR <= 0 || m.CIRPeriod <= 0 {
+		return fmt.Errorf("diffserv: srTCM rate %d/%d not positive", m.CIR, m.CIRPeriod)
+	}
+	if m.CBS <= 0 || m.EBS < 0 {
+		return fmt.Errorf("diffserv: srTCM buckets CBS=%d EBS=%d invalid", m.CBS, m.EBS)
+	}
+	return nil
+}
+
+func (m *SRTCM) refill(now model.Time) {
+	if !m.inited {
+		m.tc, m.te = m.CBS, m.EBS
+		m.lastFill = now
+		m.inited = true
+		return
+	}
+	if now <= m.lastFill {
+		return
+	}
+	rounds := (now - m.lastFill) / m.CIRPeriod
+	add := rounds * m.CIR
+	m.lastFill += rounds * m.CIRPeriod
+	// Committed bucket fills first; overflow tops up the excess bucket.
+	if m.tc+add <= m.CBS {
+		m.tc += add
+		return
+	}
+	spill := m.tc + add - m.CBS
+	m.tc = m.CBS
+	m.te += spill
+	if m.te > m.EBS {
+		m.te = m.EBS
+	}
+}
+
+// Mark meters a packet of the given size arriving at now and returns
+// its color, consuming tokens per RFC 2697 (color-blind mode).
+func (m *SRTCM) Mark(now, size model.Time) Color {
+	m.refill(now)
+	if m.tc >= size {
+		m.tc -= size
+		return Green
+	}
+	if m.te >= size {
+		m.te -= size
+		return Yellow
+	}
+	return Red
+}
+
+// TRTCM is the two-rate three-color marker of RFC 2698: a peak rate
+// (PIR/PBS) gates red, a committed rate (CIR/CBS) separates green from
+// yellow.
+type TRTCM struct {
+	CIR, CIRPeriod model.Time
+	CBS            model.Time
+	PIR, PIRPeriod model.Time
+	PBS            model.Time
+
+	tc, tp  model.Time
+	lastC   model.Time
+	lastP   model.Time
+	initedC bool
+	initedP bool
+}
+
+// Validate checks the meter parameters, including PIR ≥ CIR.
+func (m *TRTCM) Validate() error {
+	if m.CIR <= 0 || m.CIRPeriod <= 0 || m.PIR <= 0 || m.PIRPeriod <= 0 {
+		return fmt.Errorf("diffserv: trTCM rates must be positive")
+	}
+	if m.CBS <= 0 || m.PBS <= 0 {
+		return fmt.Errorf("diffserv: trTCM buckets must be positive")
+	}
+	cir := float64(m.CIR) / float64(m.CIRPeriod)
+	pir := float64(m.PIR) / float64(m.PIRPeriod)
+	if pir < cir {
+		return fmt.Errorf("diffserv: trTCM peak rate %.3f below committed rate %.3f", pir, cir)
+	}
+	return nil
+}
+
+func (m *TRTCM) refill(now model.Time) {
+	if !m.initedC {
+		m.tc, m.lastC, m.initedC = m.CBS, now, true
+	}
+	if !m.initedP {
+		m.tp, m.lastP, m.initedP = m.PBS, now, true
+	}
+	if now > m.lastC {
+		rounds := (now - m.lastC) / m.CIRPeriod
+		m.tc += rounds * m.CIR
+		m.lastC += rounds * m.CIRPeriod
+		if m.tc > m.CBS {
+			m.tc = m.CBS
+		}
+	}
+	if now > m.lastP {
+		rounds := (now - m.lastP) / m.PIRPeriod
+		m.tp += rounds * m.PIR
+		m.lastP += rounds * m.PIRPeriod
+		if m.tp > m.PBS {
+			m.tp = m.PBS
+		}
+	}
+}
+
+// Mark meters a packet per RFC 2698 (color-blind mode): red if it
+// exceeds the peak profile, yellow if it exceeds only the committed
+// profile, green otherwise.
+func (m *TRTCM) Mark(now, size model.Time) Color {
+	m.refill(now)
+	if m.tp < size {
+		return Red
+	}
+	if m.tc < size {
+		m.tp -= size
+		return Yellow
+	}
+	m.tp -= size
+	m.tc -= size
+	return Green
+}
+
+// DSCPFor maps an AF class (1–4) and a meter color to the RFC 2597
+// codepoint with the corresponding drop precedence.
+func DSCPFor(afClass int, c Color) (DSCP, error) {
+	if afClass < 1 || afClass > 4 {
+		return 0, fmt.Errorf("diffserv: AF class %d outside 1..4", afClass)
+	}
+	drop := int(c) + 1 // green→1, yellow→2, red→3
+	return DSCP(8*afClass + 2*drop), nil
+}

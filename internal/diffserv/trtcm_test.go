@@ -1,0 +1,156 @@
+package diffserv
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+)
+
+func TestColorString(t *testing.T) {
+	if Green.String() != "green" || Yellow.String() != "yellow" || Red.String() != "red" {
+		t.Error("color names")
+	}
+	if Color(9).String() != "Color(9)" {
+		t.Error("unknown color name")
+	}
+}
+
+func TestSRTCMValidate(t *testing.T) {
+	bad := []SRTCM{
+		{CIR: 0, CIRPeriod: 1, CBS: 1},
+		{CIR: 1, CIRPeriod: 0, CBS: 1},
+		{CIR: 1, CIRPeriod: 1, CBS: 0},
+		{CIR: 1, CIRPeriod: 1, CBS: 1, EBS: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := SRTCM{CIR: 1, CIRPeriod: 10, CBS: 3, EBS: 2}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSRTCMColorLadder: a burst drains green, then yellow, then red;
+// idle time refills committed first.
+func TestSRTCMColorLadder(t *testing.T) {
+	m := &SRTCM{CIR: 1, CIRPeriod: 10, CBS: 2, EBS: 2}
+	want := []Color{Green, Green, Yellow, Yellow, Red}
+	for k, w := range want {
+		if got := m.Mark(0, 1); got != w {
+			t.Fatalf("packet %d: %v, want %v", k, got, w)
+		}
+	}
+	// One refill period: one token into the committed bucket.
+	if got := m.Mark(10, 1); got != Green {
+		t.Errorf("after refill: %v, want green", got)
+	}
+	if got := m.Mark(10, 1); got != Red {
+		t.Errorf("still empty: %v, want red", got)
+	}
+	// Long idle: committed saturates, spill tops up excess.
+	if got := m.Mark(1000, 2); got != Green {
+		t.Errorf("after long idle: %v", got)
+	}
+	if got := m.Mark(1000, 2); got != Yellow {
+		t.Errorf("excess after long idle: %v", got)
+	}
+}
+
+func TestTRTCMValidate(t *testing.T) {
+	bad := TRTCM{CIR: 2, CIRPeriod: 1, CBS: 1, PIR: 1, PIRPeriod: 1, PBS: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("PIR < CIR accepted")
+	}
+	good := TRTCM{CIR: 1, CIRPeriod: 10, CBS: 2, PIR: 3, PIRPeriod: 10, PBS: 4}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTRTCMColors: red when the peak profile is exhausted, yellow when
+// only the committed one is, green otherwise — and yellow still drains
+// the peak bucket.
+func TestTRTCMColors(t *testing.T) {
+	m := &TRTCM{CIR: 1, CIRPeriod: 10, CBS: 1, PIR: 2, PIRPeriod: 10, PBS: 3}
+	if got := m.Mark(0, 1); got != Green {
+		t.Fatalf("first: %v", got)
+	}
+	// Committed empty, peak has 2 left.
+	if got := m.Mark(0, 1); got != Yellow {
+		t.Fatalf("second: %v", got)
+	}
+	if got := m.Mark(0, 1); got != Yellow {
+		t.Fatalf("third: %v", got)
+	}
+	// Peak exhausted.
+	if got := m.Mark(0, 1); got != Red {
+		t.Fatalf("fourth: %v", got)
+	}
+	// Refill both buckets one period later: committed +1, peak +2.
+	if got := m.Mark(10, 1); got != Green {
+		t.Fatalf("after refill: %v", got)
+	}
+}
+
+// TestTRTCMRedConsumesNothing: red packets leave both buckets intact.
+func TestTRTCMRedConsumesNothing(t *testing.T) {
+	m := &TRTCM{CIR: 1, CIRPeriod: 10, CBS: 1, PIR: 1, PIRPeriod: 10, PBS: 1}
+	if got := m.Mark(0, 1); got != Green {
+		t.Fatal("first not green")
+	}
+	if got := m.Mark(0, 5); got != Red {
+		t.Fatal("oversized not red")
+	}
+	// The oversized red packet must not have drained the refill.
+	if got := m.Mark(10, 1); got != Green {
+		t.Errorf("after refill: %v", got)
+	}
+}
+
+func TestDSCPFor(t *testing.T) {
+	cases := []struct {
+		class int
+		color Color
+		want  DSCP
+	}{
+		{1, Green, AF11}, {1, Yellow, AF12}, {1, Red, AF13},
+		{3, Green, AF31}, {4, Red, AF43},
+	}
+	for _, c := range cases {
+		got, err := DSCPFor(c.class, c.color)
+		if err != nil || got != c.want {
+			t.Errorf("DSCPFor(%d,%v) = %v,%v want %v", c.class, c.color, got, err, c.want)
+		}
+	}
+	if _, err := DSCPFor(0, Green); err == nil {
+		t.Error("class 0 accepted")
+	}
+	if _, err := DSCPFor(5, Green); err == nil {
+		t.Error("class 5 accepted")
+	}
+}
+
+// TestMetersAreDeterministic: identical packet sequences mark
+// identically (pure integer arithmetic).
+func TestMetersAreDeterministic(t *testing.T) {
+	seq := []struct{ at, size model.Time }{
+		{0, 1}, {3, 2}, {7, 1}, {12, 3}, {30, 1}, {31, 1},
+	}
+	run := func() []Color {
+		m := &SRTCM{CIR: 1, CIRPeriod: 5, CBS: 3, EBS: 2}
+		var out []Color
+		for _, p := range seq {
+			out = append(out, m.Mark(p.at, p.size))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("nondeterministic marking at %d", k)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package ef
+
+import (
+	"testing"
+
+	"trajan/internal/diffserv"
+	"trajan/internal/model"
+	"trajan/internal/sim"
+	"trajan/internal/trajectory"
+)
+
+func efFlow(name string, cost model.Time, path ...model.NodeID) *model.Flow {
+	return model.UniformFlow(name, 100, 0, 0, cost, path...)
+}
+
+func beFlow(name string, cost model.Time, path ...model.NodeID) *model.Flow {
+	f := model.UniformFlow(name, 100, 0, 0, cost, path...)
+	f.Class = model.ClassBE
+	return f
+}
+
+// TestDeltaNoBackground: without non-EF flows δ is identically zero.
+func TestDeltaNoBackground(t *testing.T) {
+	fs := model.PaperExample()
+	for i := range fs.Flows {
+		if d := NonPreemptionDelay(fs, i); d != 0 {
+			t.Errorf("flow %d: δ = %d without background", i, d)
+		}
+	}
+}
+
+// TestDeltaNonEFFlowIsZero: δ is only defined for EF flows.
+func TestDeltaNonEFFlowIsZero(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		efFlow("e", 2, 1, 2),
+		beFlow("b", 9, 1, 2),
+	})
+	if d := NonPreemptionDelay(fs, 1); d != 0 {
+		t.Errorf("BE flow δ = %d", d)
+	}
+}
+
+// TestDeltaIngressBlocking: Lemma 4's first-node term — a non-EF flow
+// whose crossing starts at the EF flow's ingress blocks C−1.
+func TestDeltaIngressBlocking(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		efFlow("e", 2, 1, 2),
+		beFlow("b", 9, 1), // shares only the ingress
+	})
+	per := NonPreemptionPerNode(fs, 0)
+	if per[0] != 8 || per[1] != 0 {
+		t.Errorf("per-node δ = %v, want [8 0]", per)
+	}
+}
+
+// TestDeltaJoinerBlocking: a non-EF flow joining mid-path blocks C−1
+// at the join node.
+func TestDeltaJoinerBlocking(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		efFlow("e", 2, 1, 2, 3),
+		beFlow("b", 7, 9, 2, 8), // joins P_e at node 2 only
+	})
+	per := NonPreemptionPerNode(fs, 0)
+	if per[0] != 0 || per[1] != 6 || per[2] != 0 {
+		t.Errorf("per-node δ = %v, want [0 6 0]", per)
+	}
+}
+
+// TestDeltaReverseBlocking: a reverse non-EF flow blocks C−1 at every
+// shared node after its first.
+func TestDeltaReverseBlocking(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		efFlow("e", 2, 1, 2, 3),
+		beFlow("b", 5, 3, 2, 1), // head-on
+	})
+	per := NonPreemptionPerNode(fs, 0)
+	// Node 1 (= e's ingress): b's crossing of P_e ends there, but for e
+	// it is the last shared node of a reverse flow → first-node rule
+	// does not apply (first_{b,e} = 3), so node 1 gets the on-tail
+	// reverse charge only if 1 ∈ (first, last]: yes (1 is b's last).
+	// Nodes 2 and 1 each block 4; node 3 is first_{b,e}: joiner charge 4.
+	if per[0] != 0 || per[1] != 4 || per[2] != 4 {
+		t.Errorf("per-node δ = %v, want [0 4 4]", per)
+	}
+}
+
+// TestDeltaSameDirectionPipelining: a same-direction non-EF flow
+// blocks (C_b − C_e^{pre} + Lmax − Lmin)⁺ after its join node.
+func TestDeltaSameDirectionPipelining(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		efFlow("e", 2, 1, 2, 3),
+		beFlow("b", 7, 1, 2, 3), // travels with e
+	})
+	per := NonPreemptionPerNode(fs, 0)
+	// Node 1: ingress blocking 7−1 = 6. Nodes 2,3: 7−2+0 = 5 each
+	// (Lmax = Lmin).
+	if per[0] != 6 || per[1] != 5 || per[2] != 5 {
+		t.Errorf("per-node δ = %v, want [6 5 5]", per)
+	}
+	// With Lmax−Lmin = 3 the residual grows by the link jitter.
+	fs2 := model.MustNewFlowSet(model.Network{Lmin: 1, Lmax: 4}, []*model.Flow{
+		efFlow("e", 2, 1, 2, 3),
+		beFlow("b", 7, 1, 2, 3),
+	})
+	per2 := NonPreemptionPerNode(fs2, 0)
+	if per2[1] != 8 || per2[2] != 8 {
+		t.Errorf("per-node δ with link jitter = %v, want [6 8 8]", per2)
+	}
+}
+
+// TestDeltaPipeliningClampsAtZero: a small background packet behind a
+// large EF packet cannot "un-block".
+func TestDeltaPipeliningClampsAtZero(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		efFlow("e", 9, 1, 2),
+		beFlow("b", 2, 1, 2),
+	})
+	per := NonPreemptionPerNode(fs, 0)
+	// Node 1: 2−1 = 1. Node 2: (2−9+0)⁺ = 0.
+	if per[0] != 1 || per[1] != 0 {
+		t.Errorf("per-node δ = %v, want [1 0]", per)
+	}
+}
+
+// TestDeltaTakesWorstCasePerNode: with several background flows at a
+// node, only the worst single blocker counts (one packet in service).
+func TestDeltaTakesWorstCasePerNode(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		efFlow("e", 2, 1, 2),
+		beFlow("b1", 5, 9, 2, 8),
+		beFlow("b2", 9, 7, 2, 6),
+	})
+	per := NonPreemptionPerNode(fs, 0)
+	if per[1] != 8 { // max(5,9) − 1
+		t.Errorf("node-2 δ = %d, want 8", per[1])
+	}
+}
+
+// TestNonPreemptionDelays covers the vector helper.
+func TestNonPreemptionDelays(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		efFlow("e", 2, 1, 2),
+		beFlow("b", 9, 1, 2),
+	})
+	ds := NonPreemptionDelays(fs)
+	if ds[0] != NonPreemptionDelay(fs, 0) || ds[1] != 0 {
+		t.Errorf("delays %v", ds)
+	}
+}
+
+// TestAnalyzeMixedClasses: Property 3 = Property 2 over the EF subset
+// plus δ; the result exposes the mapping back to full-set indices.
+func TestAnalyzeMixedClasses(t *testing.T) {
+	e1 := efFlow("e1", 2, 1, 2)
+	e2 := efFlow("e2", 2, 1, 2)
+	b := beFlow("b", 9, 1, 2)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{e1, b, e2})
+	res, err := Analyze(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EFIndex) != 2 || res.EFIndex[0] != 0 || res.EFIndex[1] != 2 {
+		t.Fatalf("EF index %v", res.EFIndex)
+	}
+	// Pure-EF bound: two cost-2 flows on a 2-node tandem = 2+2+1+2 = 7;
+	// plus δ = 8 (node 1) + (9−2)⁺=7 (node 2) = 15.
+	for k := range res.EFIndex {
+		if res.Deltas[k] != 15 {
+			t.Errorf("δ[%d] = %d, want 15", k, res.Deltas[k])
+		}
+		if res.Trajectory.Bounds[k] != 7+15 {
+			t.Errorf("bound[%d] = %d, want 22", k, res.Trajectory.Bounds[k])
+		}
+	}
+	if b, ok := res.BoundOf(2); !ok || b != 22 {
+		t.Errorf("BoundOf(2) = %d,%v", b, ok)
+	}
+	if _, ok := res.BoundOf(1); ok {
+		t.Error("BoundOf must refuse non-EF flows")
+	}
+}
+
+// TestAnalyzeNoEFFlows errors out.
+func TestAnalyzeNoEFFlows(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{beFlow("b", 2, 1)})
+	if _, err := Analyze(fs, trajectory.Options{}); err == nil {
+		t.Error("EF analysis of a BE-only set accepted")
+	}
+}
+
+// TestEFBoundSoundAgainstRouterSim: drive the Figure-3 router in the
+// simulator with EF voice and heavy BE background; the Property-3
+// bound must dominate every observed response.
+func TestEFBoundSoundAgainstRouterSim(t *testing.T) {
+	voice1 := model.UniformFlow("v1", 40, 0, 0, 2, 1, 2, 3)
+	voice2 := model.UniformFlow("v2", 40, 0, 0, 2, 1, 2, 3)
+	bulk := beFlow("bulk", 9, 1, 2, 3)
+	bulk.Period = 30
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{voice1, voice2, bulk})
+	res, err := Analyze(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(fs, sim.Config{NewScheduler: diffserv.Factory(diffserv.DefaultWeights())})
+	// Adversarial-ish sweep: stagger the bulk flow to catch EF packets
+	// mid-service at each node.
+	for off := model.Time(0); off < 12; off++ {
+		sc := sim.PeriodicScenario(fs, []model.Time{off % 3, 0, off}, 4)
+		sc.TieBreak = []int{3, 2, 1}
+		r, err := eng.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, idx := range res.EFIndex {
+			if got := r.PerFlow[idx].MaxResponse; got > res.Trajectory.Bounds[k] {
+				t.Errorf("offset %d: flow %s observed %d > Property-3 bound %d",
+					off, fs.Flows[idx].Name, got, res.Trajectory.Bounds[k])
+			}
+		}
+	}
+}
+
+// TestEFDeltaGrowsWithBackgroundSize: the experiment E5 shape — δ and
+// hence the EF bound grow with the background packet size.
+func TestEFDeltaGrowsWithBackgroundSize(t *testing.T) {
+	prev := model.Time(-1)
+	for _, bc := range []model.Time{2, 5, 9, 14} {
+		voice := model.UniformFlow("v", 50, 0, 0, 2, 1, 2, 3)
+		bulk := beFlow("bulk", bc, 1, 2, 3)
+		fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{voice, bulk})
+		res, err := Analyze(fs, trajectory.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trajectory.Bounds[0] <= prev {
+			t.Errorf("background cost %d: bound %d did not grow past %d",
+				bc, res.Trajectory.Bounds[0], prev)
+		}
+		prev = res.Trajectory.Bounds[0]
+	}
+}

@@ -1,0 +1,45 @@
+package ef_test
+
+import (
+	"fmt"
+
+	"trajan/internal/ef"
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+// ExampleAnalyze bounds EF voice over a DiffServ backbone with bulk
+// best-effort background: the background contributes only the Lemma-4
+// non-preemption blocking δ, not FIFO queueing.
+func ExampleAnalyze() {
+	voice := model.UniformFlow("voice", 40 /*T*/, 0, 60 /*D*/, 2 /*C*/, 1, 2, 3)
+	bulk := model.UniformFlow("bulk", 30, 0, 0, 9, 1, 2, 3)
+	bulk.Class = model.ClassBE
+
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), []*model.Flow{voice, bulk})
+	if err != nil {
+		panic(err)
+	}
+	res, err := ef.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("delta=%d bound=%d\n", res.Deltas[0], res.Trajectory.Bounds[0])
+	// Output:
+	// delta=22 bound=30
+}
+
+// ExampleNonPreemptionPerNode shows Lemma 4's per-node decomposition:
+// ingress blocking C−1, then pipelined residues C − C_voice.
+func ExampleNonPreemptionPerNode() {
+	voice := model.UniformFlow("voice", 40, 0, 0, 2, 1, 2, 3)
+	bulk := model.UniformFlow("bulk", 30, 0, 0, 9, 1, 2, 3)
+	bulk.Class = model.ClassBE
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), []*model.Flow{voice, bulk})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ef.NonPreemptionPerNode(fs, 0))
+	// Output:
+	// [8 7 7]
+}

@@ -1,0 +1,284 @@
+// Package exact computes the TRUE worst-case end-to-end response time
+// of tiny flow sets by exhaustive scenario enumeration, providing
+// ground truth against which the analytical bounds are verified.
+//
+// For systems small enough (2–4 flows, short periods, few packets),
+// the space of distinct schedules is finite once one fixes
+//
+//   - each flow's initial offset in [0, Ti) (later packets at maximal
+//     rate — densest traffic dominates for FIFO worst cases on the
+//     first packets),
+//   - each packet's release jitter in {0, Ji} (the extremes;
+//     intermediate values are dominated for the tagged flow when the
+//     search also scans offsets, and the enumeration optionally covers
+//     all values for certification),
+//   - the FIFO tie-break permutation, and
+//   - link delays at the extremes {Lmin, Lmax}.
+//
+// The enumeration is exponential; Verify guards its budget and refuses
+// oversized inputs rather than running forever. Its purpose is the test
+// suite: on an enumerated family of micro systems, the trajectory bound
+// must dominate the exact worst case (soundness) and ideally touch it
+// (tightness).
+package exact
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+)
+
+// Options bounds the enumeration.
+type Options struct {
+	// Packets is the number of packets per flow (default 3).
+	Packets int
+	// MaxScenarios caps the enumeration size (default 2_000_000);
+	// Verify errors out beyond it.
+	MaxScenarios int64
+	// FullJitter enumerates every jitter value in [0, Ji] instead of
+	// just the extremes.
+	FullJitter bool
+	// OffsetStride enumerates offsets in steps of this size (default 1,
+	// i.e. every offset in [0, Ti)).
+	OffsetStride model.Time
+	// Scheduler overrides the node discipline (nil = plain FIFO),
+	// allowing exhaustive verification of FP/FIFO and DiffServ bounds.
+	Scheduler func(model.NodeID) sim.Scheduler
+	// Parallelism bounds the worker count; the enumeration is
+	// partitioned by the first flow's offset and merged
+	// deterministically (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+}
+
+func (o Options) packets() int {
+	if o.Packets <= 0 {
+		return 3
+	}
+	return o.Packets
+}
+
+func (o Options) maxScenarios() int64 {
+	if o.MaxScenarios <= 0 {
+		return 2_000_000
+	}
+	return o.MaxScenarios
+}
+
+func (o Options) stride() model.Time {
+	if o.OffsetStride <= 0 {
+		return 1
+	}
+	return o.OffsetStride
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is the exact worst case found.
+type Result struct {
+	// Worst[i] is the exact worst-case end-to-end response of flow i
+	// over the enumerated scenario space.
+	Worst []model.Time
+	// Scenarios is the number of simulations performed.
+	Scenarios int64
+	// Witness[i] reproduces flow i's worst observation.
+	Witness []*sim.Scenario
+}
+
+// Verify exhaustively enumerates the scenario space of the flow set
+// and returns the exact worst-case responses. It errors out if the
+// space exceeds Options.MaxScenarios.
+func Verify(fs *model.FlowSet, opt Options) (*Result, error) {
+	n := fs.N()
+	if n == 0 {
+		return nil, fmt.Errorf("exact: empty flow set")
+	}
+
+	// Enumeration axes per flow: offset, jitter choices; global: link
+	// delay choice (uniform per scenario at the extremes), tie-break
+	// rotation.
+	jitChoices := make([][]model.Time, n)
+	var total int64 = 1
+	for i, f := range fs.Flows {
+		offsets := int64(model.CeilDiv(f.Period, opt.stride()))
+		total *= offsets
+		if f.Jitter > 0 {
+			if opt.FullJitter {
+				jitChoices[i] = make([]model.Time, f.Jitter+1)
+				for v := model.Time(0); v <= f.Jitter; v++ {
+					jitChoices[i][v] = v
+				}
+			} else {
+				jitChoices[i] = []model.Time{0, f.Jitter}
+			}
+			total *= int64(len(jitChoices[i]))
+		} else {
+			jitChoices[i] = []model.Time{0}
+		}
+	}
+	linkChoices := []model.Time{fs.Net.Lmax}
+	if fs.Net.Lmin != fs.Net.Lmax {
+		linkChoices = []model.Time{fs.Net.Lmin, fs.Net.Lmax}
+		total *= int64(len(linkChoices))
+	}
+	total *= int64(n) // tie-break rotations: each flow gets to lose ties
+	if total > opt.maxScenarios() {
+		return nil, fmt.Errorf("exact: %d scenarios exceed budget %d", total, opt.maxScenarios())
+	}
+
+	// Partition the enumeration by the first flow's (offset, jitter)
+	// choice; each partition is explored independently by one worker
+	// and results are merged deterministically (max per flow; the
+	// earliest partition wins ties so the witness is stable).
+	type task struct {
+		off model.Time
+		jit model.Time
+	}
+	var tasks []task
+	for off := model.Time(0); off < fs.Flows[0].Period; off += opt.stride() {
+		for _, j := range jitChoices[0] {
+			tasks = append(tasks, task{off, j})
+		}
+	}
+	partials := make([]*Result, len(tasks))
+	errs := make([]error, len(tasks))
+	workers := opt.workers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := sim.NewEngine(fs, sim.Config{NewScheduler: opt.Scheduler})
+			for ti := range work {
+				local := &Result{
+					Worst:   make([]model.Time, n),
+					Witness: make([]*sim.Scenario, n),
+				}
+				for i := range local.Worst {
+					local.Worst[i] = -1
+				}
+				offsets := make([]model.Time, n)
+				jits := make([]model.Time, n)
+				offsets[0], jits[0] = tasks[ti].off, tasks[ti].jit
+				var rec func(flow int) error
+				rec = func(flow int) error {
+					if flow == n {
+						return runCombo(fs, eng, opt, offsets, jits, linkChoices, local)
+					}
+					f := fs.Flows[flow]
+					for off := model.Time(0); off < f.Period; off += opt.stride() {
+						offsets[flow] = off
+						for _, j := range jitChoices[flow] {
+							jits[flow] = j
+							if err := rec(flow + 1); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				}
+				errs[ti] = rec(1)
+				partials[ti] = local
+			}
+		}()
+	}
+	for ti := range tasks {
+		work <- ti
+	}
+	close(work)
+	wg.Wait()
+
+	res := &Result{
+		Worst:   make([]model.Time, n),
+		Witness: make([]*sim.Scenario, n),
+	}
+	for i := range res.Worst {
+		res.Worst[i] = -1
+	}
+	for ti := range tasks {
+		if errs[ti] != nil {
+			return nil, errs[ti]
+		}
+		p := partials[ti]
+		res.Scenarios += p.Scenarios
+		for i := range res.Worst {
+			if p.Worst[i] > res.Worst[i] {
+				res.Worst[i] = p.Worst[i]
+				res.Witness[i] = p.Witness[i]
+			}
+		}
+	}
+	for i, w := range res.Worst {
+		if w < 0 {
+			return nil, fmt.Errorf("exact: flow %d never delivered", i)
+		}
+	}
+	return res, nil
+}
+
+// runCombo simulates one offset/jitter assignment under every link
+// extreme and tie-break rotation.
+func runCombo(fs *model.FlowSet, eng *sim.Engine, opt Options,
+	offsets, jits []model.Time, linkChoices []model.Time, res *Result) error {
+	n := fs.N()
+	for _, ld := range linkChoices {
+		for loser := 0; loser < n; loser++ {
+			sc := sim.PeriodicScenario(fs, offsets, opt.packets())
+			sc.Jit = make([][]model.Time, n)
+			for i := range sc.Jit {
+				row := make([]model.Time, opt.packets())
+				for k := range row {
+					row[k] = jits[i]
+				}
+				sc.Jit[i] = row
+			}
+			if ld != fs.Net.Lmax {
+				sc.Link = make([][][]model.Time, n)
+				for i, f := range fs.Flows {
+					per := make([][]model.Time, opt.packets())
+					for k := range per {
+						links := make([]model.Time, len(f.Path)-1)
+						for s := range links {
+							links[s] = ld
+						}
+						per[k] = links
+					}
+					sc.Link[i] = per
+				}
+			}
+			tie := make([]int, n)
+			for i := range tie {
+				tie[i] = i + 1
+			}
+			tie[loser] = n + 1
+			sc.TieBreak = tie
+
+			r, err := eng.Run(sc)
+			if err != nil {
+				return err
+			}
+			res.Scenarios++
+			for i, st := range r.PerFlow {
+				if st.Count > 0 && st.MaxResponse > res.Worst[i] {
+					res.Worst[i] = st.MaxResponse
+					res.Witness[i] = sc
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package exact
+
+import (
+	"testing"
+
+	"trajan/internal/diffserv"
+	"trajan/internal/ef"
+	"trajan/internal/fpfifo"
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+// TestExactFPFIFOFamily: exhaustive ground truth for the FP/FIFO
+// analysis over micro priority ladders — no counterexample exists
+// within the enumerated spaces.
+func TestExactFPFIFOFamily(t *testing.T) {
+	type system struct {
+		name  string
+		flows []*model.Flow
+		prio  []int
+	}
+	systems := []system{
+		{
+			name: "hi-lo one node",
+			flows: []*model.Flow{
+				model.UniformFlow("hi", 12, 0, 0, 2, 1),
+				model.UniformFlow("lo", 12, 0, 0, 5, 1),
+			},
+			prio: []int{1, 0},
+		},
+		{
+			name: "ladder tandem",
+			flows: []*model.Flow{
+				model.UniformFlow("hi", 14, 0, 0, 2, 1, 2),
+				model.UniformFlow("mid", 14, 0, 0, 3, 1, 2),
+				model.UniformFlow("lo", 14, 0, 0, 4, 1, 2),
+			},
+			prio: []int{2, 1, 0},
+		},
+		{
+			name: "same level plus blocker",
+			flows: []*model.Flow{
+				model.UniformFlow("a", 13, 1, 0, 2, 1, 2),
+				model.UniformFlow("b", 13, 0, 0, 2, 1, 2),
+				model.UniformFlow("bulk", 13, 0, 0, 5, 1),
+			},
+			prio: []int{1, 1, 0},
+		},
+		{
+			name: "crossing priorities",
+			flows: []*model.Flow{
+				model.UniformFlow("hi", 12, 0, 0, 2, 1, 2, 3),
+				model.UniformFlow("lo", 12, 0, 0, 3, 4, 2, 5),
+			},
+			prio: []int{1, 0},
+		},
+	}
+	for _, sys := range systems {
+		fs, err := model.NewFlowSet(model.UnitDelayNetwork(), sys.flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fpfifo.Analyze(fs, sys.prio, fpfifo.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", sys.name, err)
+		}
+		exact, err := Verify(fs, Options{
+			Packets:    3,
+			FullJitter: true,
+			Scheduler:  fpfifo.Factory(sys.prio),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", sys.name, err)
+		}
+		for i := range fs.Flows {
+			if exact.Worst[i] > res.Bounds[i] {
+				t.Errorf("%s flow %s (prio %d): EXACT %d exceeds FP/FIFO bound %d",
+					sys.name, fs.Flows[i].Name, sys.prio[i], exact.Worst[i], res.Bounds[i])
+			}
+		}
+		t.Logf("%s: exact=%v bounds=%v scenarios=%d",
+			sys.name, exact.Worst, res.Bounds, exact.Scenarios)
+	}
+}
+
+// TestExactEFAgainstDiffservRouter: exhaustive ground truth for
+// Property 3 against the real Figure-3 router scheduler (FP + WFQ).
+func TestExactEFAgainstDiffservRouter(t *testing.T) {
+	voice := model.UniformFlow("voice", 14, 0, 0, 2, 1, 2)
+	voice2 := model.UniformFlow("voice2", 14, 1, 0, 2, 1, 2)
+	bulk := model.UniformFlow("bulk", 14, 0, 0, 5, 1, 2)
+	bulk.Class = model.ClassBE
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), []*model.Flow{voice, voice2, bulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property-3 bounds for the EF flows.
+	efRes, err := ef.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Verify(fs, Options{
+		Packets:    3,
+		FullJitter: true,
+		Scheduler:  diffserv.Factory(diffserv.DefaultWeights()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, idx := range efRes.EFIndex {
+		if exact.Worst[idx] > efRes.Trajectory.Bounds[k] {
+			t.Errorf("EF flow %s: EXACT %d exceeds Property-3 bound %d",
+				fs.Flows[idx].Name, exact.Worst[idx], efRes.Trajectory.Bounds[k])
+		}
+	}
+	t.Logf("EF exact=%v bounds=%v scenarios=%d",
+		exact.Worst, efRes.Trajectory.Bounds, exact.Scenarios)
+}

@@ -1,0 +1,126 @@
+package exact
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+)
+
+// The sporadic analysis covers ANY arrival pattern; when a deployment
+// is actually synchronized strictly periodic — every flow releases at
+// offset_i, offset_i + Ti, … with zero jitter and fixed link delays —
+// the schedule is deterministic and eventually periodic, so EXACT
+// responses are computable by simulating until the schedule repeats.
+
+// HyperperiodResult is the exact periodic-case outcome.
+type HyperperiodResult struct {
+	// Hyperperiod is lcm(Ti).
+	Hyperperiod model.Time
+	// Worst[i] is flow i's exact worst-case response in steady state
+	// (transient included: the maximum over the whole simulated run).
+	Worst []model.Time
+	// SteadyAfter is the number of hyperperiods simulated before the
+	// response pattern repeated.
+	SteadyAfter int
+}
+
+// AnalyzePeriodic computes exact responses for a synchronized periodic
+// system: flows release at the given offsets with their periods, zero
+// jitter, maximal costs, and all link delays pinned to Lmax. It
+// simulates hyperperiod by hyperperiod until two consecutive
+// hyperperiods produce identical response patterns (the schedule of a
+// deterministic periodic system is eventually cyclic), then reports
+// the maxima.
+//
+// maxHyperperiods guards against pathological convergence and against
+// huge lcm values (the simulation budget is hyperperiod·count packets
+// per flow).
+func AnalyzePeriodic(fs *model.FlowSet, offsets []model.Time, maxHyperperiods int) (*HyperperiodResult, error) {
+	if offsets != nil && len(offsets) != fs.N() {
+		return nil, fmt.Errorf("exact: %d offsets for %d flows", len(offsets), fs.N())
+	}
+	for _, f := range fs.Flows {
+		if f.Jitter != 0 {
+			return nil, fmt.Errorf("exact: periodic analysis requires zero jitter (flow %q has %d)",
+				f.Name, f.Jitter)
+		}
+	}
+	if maxHyperperiods < 2 {
+		maxHyperperiods = 8
+	}
+	hp := model.Time(1)
+	for _, f := range fs.Flows {
+		hp = lcm(hp, f.Period)
+		if hp > 1<<22 {
+			return nil, fmt.Errorf("exact: hyperperiod exceeds budget (%d)", hp)
+		}
+	}
+
+	eng := sim.NewEngine(fs, sim.Config{})
+	var prev [][]model.Time
+	for rounds := 2; rounds <= maxHyperperiods; rounds++ {
+		horizon := hp * model.Time(rounds)
+		sc := &sim.Scenario{Gen: make([][]model.Time, fs.N())}
+		for i, f := range fs.Flows {
+			var off model.Time
+			if offsets != nil {
+				off = offsets[i]
+			}
+			for t := off; t < off+horizon; t += f.Period {
+				sc.Gen[i] = append(sc.Gen[i], t)
+			}
+		}
+		res, err := eng.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		// Group responses per flow; res.Packets is in seed order
+		// (flow-major, seq-minor), so appending preserves sequence
+		// order within each flow.
+		perFlow := make([][]model.Time, fs.N())
+		for _, p := range res.Packets {
+			perFlow[p.Flow] = append(perFlow[p.Flow], p.Response())
+		}
+		// Compare the last two hyperperiods' response patterns.
+		stable := prev != nil
+		if prev != nil {
+			for i, f := range fs.Flows {
+				perHP := int(hp / f.Period)
+				last := perFlow[i][len(perFlow[i])-perHP:]
+				prevLast := prev[i][len(prev[i])-perHP:]
+				for k := range last {
+					if last[k] != prevLast[k] {
+						stable = false
+						break
+					}
+				}
+			}
+		}
+		if stable {
+			out := &HyperperiodResult{Hyperperiod: hp, SteadyAfter: rounds - 1,
+				Worst: make([]model.Time, fs.N())}
+			for i := range perFlow {
+				for _, r := range perFlow[i] {
+					if r > out.Worst[i] {
+						out.Worst[i] = r
+					}
+				}
+			}
+			return out, nil
+		}
+		prev = perFlow
+	}
+	return nil, fmt.Errorf("exact: schedule did not repeat within %d hyperperiods", maxHyperperiods)
+}
+
+func gcd(a, b model.Time) model.Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b model.Time) model.Time {
+	return a / gcd(a, b) * b
+}

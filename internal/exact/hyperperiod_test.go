@@ -1,0 +1,108 @@
+package exact
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+// TestPeriodicSingleFlow: a lone periodic flow has constant response.
+func TestPeriodicSingleFlow(t *testing.T) {
+	f := model.UniformFlow("f", 10, 0, 0, 3, 1, 2)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	res, err := AnalyzePeriodic(fs, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hyperperiod != 10 {
+		t.Errorf("hyperperiod %d", res.Hyperperiod)
+	}
+	if res.Worst[0] != 7 { // 2×3 + 1 link
+		t.Errorf("worst %d, want 7", res.Worst[0])
+	}
+}
+
+// TestPeriodicSynchronizedCollision: two synchronized flows on one
+// node — exact worst is both packets back to back, every hyperperiod.
+func TestPeriodicSynchronizedCollision(t *testing.T) {
+	f1 := model.UniformFlow("f1", 12, 0, 0, 3, 1)
+	f2 := model.UniformFlow("f2", 18, 0, 0, 3, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	res, err := AnalyzePeriodic(fs, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hyperperiod != 36 {
+		t.Errorf("hyperperiod %d, want 36", res.Hyperperiod)
+	}
+	// At t=0 (and every 36) both release; the loser sees 6.
+	if res.Worst[0] != 3 || res.Worst[1] != 6 {
+		t.Errorf("worst %v, want [3 6] (tie-break favours flow 0)", res.Worst)
+	}
+}
+
+// TestPeriodicOffsetsAvoidCollision: desynchronizing the releases
+// removes the queueing entirely — the payoff of offset scheduling,
+// quantified exactly.
+func TestPeriodicOffsetsAvoidCollision(t *testing.T) {
+	f1 := model.UniformFlow("f1", 12, 0, 0, 3, 1)
+	f2 := model.UniformFlow("f2", 12, 0, 0, 3, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	sync, err := AnalyzePeriodic(fs, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset, err := AnalyzePeriodic(fs, []model.Time{0, 6}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync.Worst[1] != 6 || offset.Worst[1] != 3 {
+		t.Errorf("sync %v offset %v; offsets should remove the collision",
+			sync.Worst, offset.Worst)
+	}
+}
+
+// TestPeriodicBelowSporadicBound: the exact periodic worst case can
+// never exceed the sporadic trajectory bound (periodic ⊂ sporadic).
+func TestPeriodicBelowSporadicBound(t *testing.T) {
+	fs := model.PaperExample()
+	res, err := AnalyzePeriodic(fs, []model.Time{0, 5, 9, 13, 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj, err := trajectory.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs.Flows {
+		if res.Worst[i] > traj.Bounds[i] {
+			t.Errorf("flow %d: periodic exact %d above sporadic bound %d",
+				i, res.Worst[i], traj.Bounds[i])
+		}
+	}
+	if res.Hyperperiod != 36 {
+		t.Errorf("hyperperiod %d", res.Hyperperiod)
+	}
+}
+
+// TestPeriodicValidation: jitter, offsets arity and hyperperiod budget
+// are enforced.
+func TestPeriodicValidation(t *testing.T) {
+	j := model.UniformFlow("j", 10, 2, 0, 1, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{j})
+	if _, err := AnalyzePeriodic(fs, nil, 4); err == nil {
+		t.Error("jittered flow accepted")
+	}
+	f := model.UniformFlow("f", 10, 0, 0, 1, 1)
+	fs2 := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	if _, err := AnalyzePeriodic(fs2, []model.Time{1, 2}, 4); err == nil {
+		t.Error("offsets arity accepted")
+	}
+	big1 := model.UniformFlow("a", 1<<12, 0, 0, 1, 1)
+	big2 := model.UniformFlow("b", (1<<12)+1, 0, 0, 1, 1)
+	fs3 := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{big1, big2})
+	if _, err := AnalyzePeriodic(fs3, nil, 4); err == nil {
+		t.Error("huge hyperperiod accepted")
+	}
+}

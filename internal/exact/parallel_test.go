@@ -1,0 +1,35 @@
+package exact
+
+import (
+	"reflect"
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestVerifyParallelMatchesSerial: the exhaustive result is a pure
+// maximum over the partitioned scenario space, so any worker count
+// must report identical worst cases and scenario counts.
+func TestVerifyParallelMatchesSerial(t *testing.T) {
+	f1 := model.UniformFlow("a", 11, 1, 0, 3, 1, 2)
+	f2 := model.UniformFlow("b", 13, 0, 0, 2, 2, 1)
+	fs := model.MustNewFlowSet(model.Network{Lmin: 1, Lmax: 2}, []*model.Flow{f1, f2})
+
+	serial, err := Verify(fs, Options{Packets: 3, FullJitter: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := Verify(fs, Options{Packets: 3, FullJitter: true, Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par.Worst, serial.Worst) {
+			t.Errorf("workers=%d: %v ≠ serial %v", workers, par.Worst, serial.Worst)
+		}
+		if par.Scenarios != serial.Scenarios {
+			t.Errorf("workers=%d: %d scenarios ≠ serial %d",
+				workers, par.Scenarios, serial.Scenarios)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// csvCells parses a rendered CSV into rows of cells.
+func csvCells(t *testing.T, s string) [][]string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("csv too short:\n%s", s)
+	}
+	out := make([][]string, 0, len(lines))
+	for _, l := range lines {
+		out = append(out, strings.Split(l, ","))
+	}
+	return out
+}
+
+func atoi(t *testing.T, s string) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("not an int: %q", s)
+	}
+	return v
+}
+
+func TestTable1(t *testing.T) {
+	s := Table1().String()
+	for _, want := range []string{"tau1", "40", "tau5", "50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestTable2Claims: the rendered Table 2 carries the paper's headline
+// claims — >25% improvement and the feasibility flip.
+func TestTable2Claims(t *testing.T) {
+	tab, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	dataLines := lines[3:] // title, header, rule
+	if len(dataLines) != 5 {
+		t.Fatalf("want 5 flows, got %d:\n%s", len(dataLines), s)
+	}
+	for _, l := range dataLines {
+		fields := strings.Fields(l)
+		// flow Di traj hol improv% trajFeas holFeas paperT paperH
+		imp := atoi(t, fields[4])
+		if imp <= 25 {
+			t.Errorf("improvement %d%% ≤ 25%% in %q", imp, l)
+		}
+		if fields[5] != "true" || fields[6] != "false" {
+			t.Errorf("feasibility flip broken in %q", l)
+		}
+	}
+}
+
+func TestFigure1RelationsComplete(t *testing.T) {
+	s := Figure1Relations().String()
+	// 18 intersecting ordered pairs in the example (τ1⁄τ2 disjoint).
+	if got := strings.Count(s, "(tau"); got != 18 {
+		t.Errorf("got %d pairs, want 18:\n%s", got, s)
+	}
+	if !strings.Contains(s, "reverse") || !strings.Contains(s, "same") {
+		t.Error("both directions must appear")
+	}
+}
+
+func TestFigure2TraceWalksBackwards(t *testing.T) {
+	s, err := Figure2Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i11 := strings.Index(s, "node 11")
+	i2 := strings.LastIndex(s, "node 2")
+	if i11 < 0 || i2 < 0 || i11 > i2 {
+		t.Errorf("trace must walk from node 11 back to node 2:\n%s", s)
+	}
+}
+
+func TestFigure3EFRouterSound(t *testing.T) {
+	tab, err := Figure3EFRouter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for _, l := range lines[3:] {
+		f := strings.Fields(l)
+		observed, bound := atoi(t, f[3]), atoi(t, f[4])
+		if observed > bound {
+			t.Errorf("observed %d > bound %d in %q", observed, bound, l)
+		}
+	}
+}
+
+// TestEFNonPreemptionMonotone: δ and the bound grow with background
+// packet size.
+func TestEFNonPreemptionMonotone(t *testing.T) {
+	csv, err := EFNonPreemptionSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvCells(t, csv.String())
+	var prevDelta, prevBound int64 = -1, -1
+	for _, r := range rows[1:] {
+		delta, bound := atoi(t, r[1]), atoi(t, r[2])
+		if delta < prevDelta || bound < prevBound {
+			t.Errorf("non-monotone row %v", r)
+		}
+		prevDelta, prevBound = delta, bound
+	}
+}
+
+// TestUtilizationSweepShapes: trajectory ≤ holistic ≤ … and the
+// Charny–Le Boudec bound goes infinite past its threshold while the
+// observed worst never exceeds the trajectory bound.
+func TestUtilizationSweepShapes(t *testing.T) {
+	csv, err := UtilizationSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvCells(t, csv.String())
+	sawInf := false
+	for _, r := range rows[1:] {
+		traj, hol := atoi(t, r[1]), atoi(t, r[2])
+		obs := atoi(t, r[6])
+		if traj > hol {
+			t.Errorf("trajectory %d > holistic %d at util %s", traj, hol, r[0])
+		}
+		if obs > traj {
+			t.Errorf("observed %d > trajectory %d at util %s", obs, traj, r[0])
+		}
+		if r[5] == "inf" {
+			sawInf = true
+		}
+	}
+	if !sawInf {
+		t.Error("Charny–Le Boudec blow-up not reproduced in the sweep")
+	}
+}
+
+// TestPathLengthSweepRatios: holistic/trajectory ratio stays above 1.
+func TestPathLengthSweepRatios(t *testing.T) {
+	csv, err := PathLengthSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvCells(t, csv.String())
+	for _, r := range rows[1:] {
+		traj, hol := atoi(t, r[1]), atoi(t, r[2])
+		if hol <= traj {
+			t.Errorf("holistic %d not above trajectory %d at %s hops", hol, traj, r[0])
+		}
+	}
+}
+
+// TestSoundnessTightnessNoViolations: the E8 table must report zero
+// violations with ratios ≤ 1.
+func TestSoundnessTightnessNoViolations(t *testing.T) {
+	tab, err := SoundnessTightness(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for _, l := range lines[3:] {
+		f := strings.Fields(l)
+		if f[len(f)-1] != "0" {
+			t.Errorf("violations in %q", l)
+		}
+		ratio := f[3]
+		if !strings.HasPrefix(ratio, "0.") && ratio != "1.00" {
+			t.Errorf("tightness ratio %q above 1 in %q", ratio, l)
+		}
+	}
+}
+
+// TestAdmissionCapacityOrdering: trajectory admits at least as many
+// calls as holistic, which admits at least as many as network calculus.
+func TestAdmissionCapacityOrdering(t *testing.T) {
+	tab, err := AdmissionCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	caps := map[string]int64{}
+	for _, l := range lines[3:] {
+		f := strings.Fields(l)
+		caps[f[0]] = atoi(t, f[len(f)-1])
+	}
+	if !(caps["trajectory"] >= caps["holistic"] && caps["holistic"] >= caps["network"]) {
+		t.Errorf("capacity ordering broken: %v", caps)
+	}
+	if caps["trajectory"] < 2*caps["holistic"] {
+		t.Errorf("expected a decisive trajectory advantage, got %v", caps)
+	}
+}
+
+// TestJitterStudyBounded: analytic jitters dominate observed ones.
+func TestJitterStudyBounded(t *testing.T) {
+	csv, err := JitterStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvCells(t, csv.String())
+	for _, r := range rows[1:] {
+		traj, hol, obs := atoi(t, r[1]), atoi(t, r[2]), atoi(t, r[3])
+		if obs > traj || traj > hol {
+			t.Errorf("jitter ordering broken: %v", r)
+		}
+	}
+}
+
+// TestPriorityLadderTradeoffs: E11's headline — class separation
+// improves the top class at the bottom classes' expense, and plain
+// FIFO treats everyone alike.
+func TestPriorityLadderTradeoffs(t *testing.T) {
+	tab, err := PriorityLadder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	vals := map[string][]string{}
+	for _, l := range lines[3:] {
+		f := strings.Fields(l)
+		vals[f[0]] = f
+	}
+	fifoVoice := atoi(t, vals["voice"][2])
+	efVoice := atoi(t, vals["voice"][3])
+	ladderVoice := atoi(t, vals["voice"][4])
+	ladderBulk := atoi(t, vals["bulk"][4])
+	fifoBulk := atoi(t, vals["bulk"][2])
+	if efVoice >= fifoVoice {
+		t.Errorf("EF separation did not help voice: %d vs %d", efVoice, fifoVoice)
+	}
+	if ladderVoice >= fifoVoice {
+		t.Errorf("ladder did not help voice: %d vs %d", ladderVoice, fifoVoice)
+	}
+	if ladderBulk <= fifoBulk {
+		t.Errorf("ladder should cost bulk: %d vs %d", ladderBulk, fifoBulk)
+	}
+}
+
+// TestSplitRingSound: the chained bounds dominate the unsplit
+// simulation's observations.
+func TestSplitRingSound(t *testing.T) {
+	tab, err := SplitRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	sawFragment := false
+	for _, l := range lines[3:] {
+		f := strings.Fields(l)
+		frags, bound, obs := atoi(t, f[1]), atoi(t, f[2]), atoi(t, f[3])
+		if obs > bound {
+			t.Errorf("observed %d > chained bound %d in %q", obs, bound, l)
+		}
+		if frags > 0 {
+			sawFragment = true
+		}
+	}
+	if !sawFragment {
+		t.Error("no arc was split — the experiment lost its point")
+	}
+}
+
+// TestPriceOfDeterminismOrdering: mean ≤ p50 ≤ p99 ≤ observed max ≤
+// bound on every row.
+func TestPriceOfDeterminismOrdering(t *testing.T) {
+	csv, err := PriceOfDeterminism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvCells(t, csv.String())
+	for _, r := range rows[1:] {
+		bound, max, p99, p50 := atoi(t, r[1]), atoi(t, r[2]), atoi(t, r[3]), atoi(t, r[4])
+		if !(p50 <= p99 && p99 <= max && max <= bound) {
+			t.Errorf("ordering broken in %v", r)
+		}
+	}
+}
+
+// TestBreakdownUtilizationOrdering: trajectory sustains at least the
+// holistic load, which sustains at least the network-calculus load.
+func TestBreakdownUtilizationOrdering(t *testing.T) {
+	tab, err := BreakdownUtilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	vals := map[string]float64{}
+	for _, l := range lines[3:] {
+		f := strings.Fields(l)
+		v, err := strconv.ParseFloat(f[len(f)-1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[f[0]] = v
+	}
+	if !(vals["trajectory"] >= vals["holistic"] && vals["holistic"] >= vals["network"]) {
+		t.Errorf("breakdown ordering broken: %v", vals)
+	}
+	if vals["trajectory"] < 0.8 {
+		t.Errorf("trajectory breakdown %v unexpectedly low", vals["trajectory"])
+	}
+}
+
+// TestAFDXCaseStudySound: the case study internally cross-checks the
+// bounds against simulation; here we additionally verify the rendered
+// ordering observed ≤ trajectory ≤ holistic.
+func TestAFDXCaseStudySound(t *testing.T) {
+	tab, err := AFDXCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for _, l := range lines[3:] {
+		f := strings.Fields(l)
+		traj, hol, obs := atoi(t, f[2]), atoi(t, f[3]), atoi(t, f[4])
+		if !(obs <= traj && traj <= hol) {
+			t.Errorf("ordering broken in %q", l)
+		}
+	}
+}
+
+// TestPerHopBudgetsConsistent: arrival bounds are per-flow
+// non-decreasing and the rendered hop shares are non-negative.
+func TestPerHopBudgetsConsistent(t *testing.T) {
+	tab, err := PerHopBudgets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 3+22 { // 4+4+6+6+5 hops
+		t.Fatalf("unexpectedly short table:\n%s", s)
+	}
+	for _, l := range lines[3:] {
+		f := strings.Fields(l)
+		share := atoi(t, f[len(f)-1])
+		if share < 0 {
+			t.Errorf("negative hop share in %q", l)
+		}
+	}
+}

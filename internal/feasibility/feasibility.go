@@ -1,0 +1,148 @@
+// Package feasibility turns response-time bounds into schedulability
+// verdicts and implements the deterministic admission control the paper
+// motivates for the EF class (Section 6): a new flow is admitted only
+// if, with it included, every EF flow still meets its end-to-end
+// deadline under the trajectory bounds.
+package feasibility
+
+import (
+	"fmt"
+
+	"trajan/internal/ef"
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+// Verdict is one flow's schedulability decision.
+type Verdict struct {
+	// Flow is the flow's index in the flow set.
+	Flow int
+	// Name is the flow's name.
+	Name string
+	// Bound is the analysed worst-case end-to-end response time.
+	Bound model.Time
+	// Deadline is the flow's end-to-end deadline Di.
+	Deadline model.Time
+	// Slack is Deadline - Bound (negative when infeasible).
+	Slack model.Time
+	// Jitter is the end-to-end jitter bound (Definition 2).
+	Jitter model.Time
+	// Feasible reports Bound ≤ Deadline. Flows with no deadline
+	// (Deadline == 0) are vacuously feasible.
+	Feasible bool
+}
+
+// Report is the verdict set of a whole analysis.
+type Report struct {
+	Method      string
+	Verdicts    []Verdict
+	AllFeasible bool
+}
+
+// Check evaluates bounds against the flow set's deadlines. Jitters may
+// be nil.
+func Check(fs *model.FlowSet, bounds, jitters []model.Time, method string) (*Report, error) {
+	if len(bounds) != fs.N() {
+		return nil, fmt.Errorf("feasibility: %d bounds for %d flows", len(bounds), fs.N())
+	}
+	rep := &Report{Method: method, AllFeasible: true}
+	for i, f := range fs.Flows {
+		v := Verdict{
+			Flow:     i,
+			Name:     f.Name,
+			Bound:    bounds[i],
+			Deadline: f.Deadline,
+		}
+		if jitters != nil {
+			v.Jitter = jitters[i]
+		}
+		if f.Deadline > 0 {
+			v.Slack = f.Deadline - bounds[i]
+			v.Feasible = bounds[i] <= f.Deadline
+		} else {
+			v.Feasible = true
+		}
+		if !v.Feasible {
+			rep.AllFeasible = false
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	return rep, nil
+}
+
+// Controller is an incremental EF admission controller: it maintains
+// the set of admitted flows (EF flows under test plus the fixed
+// lower-class background) and accepts a candidate only if the whole
+// resulting set remains feasible under the trajectory analysis
+// (Property 3 when non-EF background flows are present).
+type Controller struct {
+	net      model.Network
+	opt      trajectory.Options
+	admitted []*model.Flow
+}
+
+// NewController starts a controller over an empty network. Background
+// (non-EF) flows may be pre-installed with Preload; they are never
+// checked for deadlines but contribute non-preemption blocking.
+func NewController(net model.Network, opt trajectory.Options) *Controller {
+	return &Controller{net: net, opt: opt}
+}
+
+// Preload installs flows without an admission test (e.g. the AF/BE
+// background, or already-contracted EF flows).
+func (c *Controller) Preload(flows ...*model.Flow) {
+	for _, f := range flows {
+		c.admitted = append(c.admitted, f.Clone())
+	}
+}
+
+// Admitted returns the currently admitted flows.
+func (c *Controller) Admitted() []*model.Flow { return c.admitted }
+
+// TryAdmit tests the candidate flow against the current set. On
+// success the flow is committed and the post-admission report returned;
+// on refusal the state is unchanged and the hypothetical report
+// explains which flow would have missed its deadline.
+func (c *Controller) TryAdmit(f *model.Flow) (bool, *Report, error) {
+	trial := make([]*model.Flow, 0, len(c.admitted)+1)
+	for _, g := range c.admitted {
+		trial = append(trial, g.Clone())
+	}
+	trial = append(trial, f.Clone())
+	trial = model.EnforceAssumption1(trial)
+	fs, err := model.NewFlowSet(c.net, trial)
+	if err != nil {
+		return false, nil, fmt.Errorf("feasibility: candidate %q: %w", f.Name, err)
+	}
+	res, err := ef.Analyze(fs, c.opt)
+	if err != nil {
+		// Analysis divergence (overload) is a refusal, not a failure.
+		return false, &Report{Method: "trajectory-ef", AllFeasible: false}, nil
+	}
+	rep := &Report{Method: "trajectory-ef", AllFeasible: true}
+	for k, idx := range res.EFIndex {
+		fl := fs.Flows[idx]
+		v := Verdict{
+			Flow:     idx,
+			Name:     fl.Name,
+			Bound:    res.Trajectory.Bounds[k],
+			Deadline: fl.Deadline,
+			Jitter:   res.Trajectory.Jitters[k],
+		}
+		if fl.Deadline > 0 {
+			v.Slack = fl.Deadline - v.Bound
+			v.Feasible = v.Bound <= fl.Deadline
+		} else {
+			v.Feasible = true
+		}
+		if !v.Feasible {
+			rep.AllFeasible = false
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	if !rep.AllFeasible {
+		return false, rep, nil
+	}
+	c.admitted = append(c.admitted, f.Clone())
+	return true, rep, nil
+}

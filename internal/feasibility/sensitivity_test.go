@@ -1,0 +1,107 @@
+package feasibility
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+// TestSensitivityPaperExample: every flow of the example has headroom
+// (the set is feasible with slack), and the probed limits are
+// consistent: re-checking at the limit is feasible, one step beyond is
+// not.
+func TestSensitivityPaperExample(t *testing.T) {
+	fs := model.PaperExample()
+	sens, err := AnalyzeSensitivity(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) != fs.N() {
+		t.Fatalf("%d results", len(sens))
+	}
+	for _, s := range sens {
+		f := fs.Flows[s.Flow]
+		if s.MinPeriod > f.Period {
+			t.Errorf("%s: min period %d above current %d", f.Name, s.MinPeriod, f.Period)
+		}
+		if s.MaxCostScalePercent < 100 {
+			t.Errorf("%s: cost scale %d%% below 100%%", f.Name, s.MaxCostScalePercent)
+		}
+		// Boundary consistency for the period.
+		at := f.Clone()
+		at.Period = s.MinPeriod
+		cand, err := withFlow(fs, s.Flow, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := feasible(cand, trajectory.Options{}); !ok {
+			t.Errorf("%s: reported min period %d is infeasible", f.Name, s.MinPeriod)
+		}
+		if s.MinPeriod > 1 {
+			below := f.Clone()
+			below.Period = s.MinPeriod - 1
+			cand, err := withFlow(fs, s.Flow, below)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok, _ := feasible(cand, trajectory.Options{}); ok {
+				t.Errorf("%s: period %d below the reported minimum is still feasible",
+					f.Name, s.MinPeriod-1)
+			}
+		}
+	}
+}
+
+// TestSensitivityCostBoundary: the cost-scale limit is likewise exact
+// at percent granularity.
+func TestSensitivityCostBoundary(t *testing.T) {
+	fs := model.PaperExample()
+	sens, err := AnalyzeSensitivity(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sens[0] // τ1
+	f := fs.Flows[0].Clone()
+	for k := range f.Cost {
+		f.Cost[k] = f.Cost[k] * model.Time(s.MaxCostScalePercent) / 100
+	}
+	cand, err := withFlow(fs, 0, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := feasible(cand, trajectory.Options{}); !ok {
+		t.Errorf("reported cost scale %d%% infeasible", s.MaxCostScalePercent)
+	}
+}
+
+// TestSensitivityRequiresFeasibleStart: an infeasible set is rejected.
+func TestSensitivityRequiresFeasibleStart(t *testing.T) {
+	f1 := model.UniformFlow("a", 50, 0, 3, 3, 1, 2) // deadline 3 < min traversal
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1})
+	if _, err := AnalyzeSensitivity(fs, trajectory.Options{}); err == nil {
+		t.Error("infeasible start accepted")
+	}
+}
+
+// TestSensitivityTightSystem: a flow already at its deadline has no
+// cost headroom beyond rounding.
+func TestSensitivityTightSystem(t *testing.T) {
+	// Single flow: bound = 3C + 2; deadline exactly equal at C=4.
+	f := model.UniformFlow("a", 50, 0, 14, 4, 1, 2, 3)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	sens, err := AnalyzeSensitivity(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4·125% = 5 → bound 17 > 14, so the scale must stay below 125%.
+	if sens[0].MaxCostScalePercent >= 125 {
+		t.Errorf("cost scale %d%% should be capped below 125%%", sens[0].MaxCostScalePercent)
+	}
+	// A lone flow is constrained only by its own node utilization:
+	// T = C = 4 keeps every node at exactly 100% (still schedulable —
+	// each packet completes before the next), T = 3 overloads.
+	if sens[0].MinPeriod != 4 {
+		t.Errorf("lone flow min period %d, want 4", sens[0].MinPeriod)
+	}
+}

@@ -1,0 +1,34 @@
+package fpfifo_test
+
+import (
+	"fmt"
+
+	"trajan/internal/fpfifo"
+	"trajan/internal/model"
+)
+
+// ExampleAnalyze bounds a three-level priority ladder: the top class is
+// shielded from queueing below it, paying only one packet of
+// non-preemptive blocking.
+func ExampleAnalyze() {
+	flows := []*model.Flow{
+		model.UniformFlow("voice", 60, 0, 0, 2, 1, 2, 3),
+		model.UniformFlow("video", 60, 0, 0, 4, 1, 2, 3),
+		model.UniformFlow("bulk", 60, 0, 0, 9, 1, 2, 3),
+	}
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), flows)
+	if err != nil {
+		panic(err)
+	}
+	res, err := fpfifo.Analyze(fs, []int{2, 1, 0}, fpfifo.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for i, f := range fs.Flows {
+		fmt.Printf("%s R=%d\n", f.Name, res.Bounds[i])
+	}
+	// Output:
+	// voice R=32
+	// video R=44
+	// bulk R=47
+}

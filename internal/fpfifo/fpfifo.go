@@ -1,0 +1,320 @@
+// Package fpfifo extends the analysis to FP/FIFO scheduling: every
+// flow carries a fixed priority, nodes serve the highest-priority
+// queued packet first (non-preemptively), and packets of equal
+// priority are served FIFO. The paper's Section-6 DiffServ
+// architecture is the two-level special case — EF above everything
+// else — and this package generalizes it to arbitrary priority
+// ladders (e.g. EF > AF4 > … > AF1 > BE).
+//
+// The analysis is holistic-style (jitter-propagating per-node busy
+// periods) rather than a trajectory generalization: the trajectory
+// approach for FP/FIFO was only published later by the same authors,
+// and deriving it soundly is out of scope here. The bounds are
+// validated against the simulator's FP/FIFO scheduler in the test
+// suite; for the two-level case they are cross-checked against
+// package ef.
+package fpfifo
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// MaxIterations caps the fixed points (default 256).
+	MaxIterations int
+	// Horizon aborts diverging iterations (default 1<<20, matching
+	// package holistic — divergent jitter feedback grows geometrically).
+	Horizon model.Time
+}
+
+func (o Options) maxIterations() int {
+	if o.MaxIterations <= 0 {
+		return 256
+	}
+	return o.MaxIterations
+}
+
+func (o Options) horizon() model.Time {
+	if o.Horizon <= 0 {
+		return 1 << 20
+	}
+	return o.Horizon
+}
+
+// Result is the FP/FIFO analysis outcome.
+type Result struct {
+	// Bounds[i] is the worst-case end-to-end response time of flow i.
+	Bounds []model.Time
+	// Jitters[i] is the end-to-end jitter (Definition 2).
+	Jitters []model.Time
+	// NodeResponse[i][k] is the per-node worst-case sojourn.
+	NodeResponse [][]model.Time
+	// Sweeps is the number of global propagation sweeps.
+	Sweeps int
+}
+
+// Analyze bounds every flow's worst-case end-to-end response time
+// under FP/FIFO scheduling. prio[i] is flow i's priority — larger
+// values are MORE urgent. The per-node sojourn of a packet m of flow i
+// arriving x after the start of its level-(≥prio_i) busy period solves
+//
+//	start(x) = B + HP(start) + SP(x) − C_i
+//	sojourn(x) = start(x) + C_i − x
+//
+// where B is the largest single lower-priority packet minus one
+// (non-preemptive blocking), HP counts higher-priority packets
+// arriving before m starts (they overtake the queue), and SP counts
+// same-priority packets arriving no later than m (FIFO within the
+// level, m's own predecessors included, m itself counted by the +C_i).
+func Analyze(fs *model.FlowSet, prio []int, opt Options) (*Result, error) {
+	n := fs.N()
+	if len(prio) != n {
+		return nil, fmt.Errorf("fpfifo: %d priorities for %d flows", len(prio), n)
+	}
+	horizon := opt.horizon()
+
+	jit := make([][]model.Time, n)
+	resp := make([][]model.Time, n)
+	for i, f := range fs.Flows {
+		jit[i] = make([]model.Time, len(f.Path))
+		resp[i] = make([]model.Time, len(f.Path))
+		for k := range jit[i] {
+			jit[i][k] = f.Jitter
+			resp[i][k] = f.Cost[k]
+		}
+	}
+
+	sweeps := 0
+	for ; sweeps < opt.maxIterations(); sweeps++ {
+		changed := false
+		for _, h := range fs.Nodes() {
+			at := fs.FlowsAt(h)
+			for _, i := range at {
+				r, err := nodeSojourn(fs, h, i, at, prio, jit, opt)
+				if err != nil {
+					return nil, err
+				}
+				k := fs.Flows[i].Path.Index(h)
+				if r > resp[i][k] {
+					if r > horizon {
+						return nil, fmt.Errorf("fpfifo: response of flow %q at node %d exceeds horizon",
+							fs.Flows[i].Name, h)
+					}
+					resp[i][k] = r
+					changed = true
+				}
+			}
+		}
+		for i, f := range fs.Flows {
+			maxArr, minArr := f.Jitter, model.Time(0)
+			for k := range f.Path {
+				if w := maxArr - minArr; w > jit[i][k] {
+					jit[i][k] = w
+					changed = true
+				}
+				maxArr += resp[i][k] + fs.Net.Lmax
+				minArr += f.Cost[k] + fs.Net.Lmin
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if sweeps == opt.maxIterations() {
+		return nil, fmt.Errorf("fpfifo: no fixed point within %d sweeps", sweeps)
+	}
+
+	res := &Result{
+		Bounds:       make([]model.Time, n),
+		Jitters:      make([]model.Time, n),
+		NodeResponse: resp,
+		Sweeps:       sweeps + 1,
+	}
+	for i, f := range fs.Flows {
+		r := f.Jitter + model.Time(len(f.Path)-1)*fs.Net.Lmax
+		for k := range f.Path {
+			r += resp[i][k]
+		}
+		res.Bounds[i] = r
+		res.Jitters[i] = r - f.MinTraversal(fs.Net.Lmin)
+	}
+	return res, nil
+}
+
+// nodeSojourn maximizes the per-node sojourn of flow i at node h over
+// the arrival offsets x within the level busy period.
+func nodeSojourn(fs *model.FlowSet, h model.NodeID, i int, at []int, prio []int, jit [][]model.Time, opt Options) (model.Time, error) {
+	p := prio[i]
+	// Non-preemptive blocking: largest lower-priority packet minus one.
+	var block model.Time
+	for _, j := range at {
+		if prio[j] < p {
+			if c := fs.Flows[j].CostAt(h) - 1; c > block {
+				block = c
+			}
+		}
+	}
+	jitAt := func(j int) model.Time {
+		return jit[j][fs.Flows[j].Path.Index(h)]
+	}
+	countIn := func(j int, win model.Time) model.Time {
+		return model.OnePlusFloorPos(win+jitAt(j), fs.Flows[j].Period) * fs.Flows[j].CostAt(h)
+	}
+	// Level busy period: blocking + all work of priority ≥ p.
+	bp := block
+	for _, j := range at {
+		if prio[j] >= p {
+			bp += fs.Flows[j].CostAt(h)
+		}
+	}
+	for iter := 0; ; iter++ {
+		if iter >= opt.maxIterations() {
+			return 0, fmt.Errorf("fpfifo: level-%d busy period at node %d did not converge", p, h)
+		}
+		nb := block
+		for _, j := range at {
+			if prio[j] >= p {
+				nb += countIn(j, bp)
+			}
+		}
+		if nb == bp {
+			break
+		}
+		if nb > opt.horizon() {
+			return 0, fmt.Errorf("fpfifo: level-%d busy period at node %d diverges", p, h)
+		}
+		bp = nb
+	}
+
+	ci := fs.Flows[i].CostAt(h)
+	sojournAt := func(x model.Time) (model.Time, error) {
+		// Same-priority work arriving in [0, x] (m included via +ci at
+		// the end: SP counts m's queue, so subtract one ci here).
+		var sp model.Time
+		for _, j := range at {
+			if prio[j] == p {
+				sp += countIn(j, x)
+			}
+		}
+		sp -= ci // m itself, re-added after the start fixpoint
+		if sp < 0 {
+			sp = 0
+		}
+		// Start-time fixpoint over higher-priority arrivals.
+		start := block + sp
+		for iter := 0; ; iter++ {
+			if iter >= opt.maxIterations() {
+				return 0, fmt.Errorf("fpfifo: start fixpoint at node %d did not converge", h)
+			}
+			ns := block + sp
+			for _, j := range at {
+				if prio[j] > p {
+					// Closed window [0, start]: an arrival at the exact
+					// service-decision tick still overtakes m (the
+					// engine applies all same-tick arrivals before the
+					// node picks its next packet).
+					ns += countIn(j, start)
+				}
+			}
+			if ns == start {
+				break
+			}
+			if ns > opt.horizon() {
+				return 0, fmt.Errorf("fpfifo: start fixpoint at node %d diverges", h)
+			}
+			start = ns
+		}
+		return start + ci - x, nil
+	}
+
+	best, err := sojournAt(0)
+	if err != nil {
+		return 0, err
+	}
+	// Candidate offsets: same-priority arrival jumps within the busy
+	// period (capped as in package holistic).
+	limit := bp
+	for _, j := range at {
+		if prio[j] != p {
+			continue
+		}
+		fj := fs.Flows[j]
+		jh := jitAt(j)
+		for k := model.FloorDiv(jh, fj.Period) + 1; ; k++ {
+			x := k*fj.Period - jh
+			if x <= 0 {
+				continue
+			}
+			if x > limit {
+				break
+			}
+			s, err := sojournAt(x)
+			if err != nil {
+				return 0, err
+			}
+			if s > best {
+				best = s
+			}
+		}
+	}
+	return best, nil
+}
+
+// NewScheduler builds a sim scheduler implementing FP/FIFO: highest
+// priority first, FIFO (arrival order, tie-break) within a priority.
+// prio maps flow index to priority (larger = more urgent).
+func NewScheduler(prio []int) sim.Scheduler {
+	return &scheduler{prio: prio}
+}
+
+// Factory adapts NewScheduler to sim.Config.NewScheduler.
+func Factory(prio []int) func(model.NodeID) sim.Scheduler {
+	return func(model.NodeID) sim.Scheduler { return NewScheduler(prio) }
+}
+
+type scheduler struct {
+	prio []int
+	q    []sim.QueuedPacket
+}
+
+func (s *scheduler) Enqueue(q sim.QueuedPacket) { s.q = append(s.q, q) }
+
+func (s *scheduler) Dequeue() (sim.QueuedPacket, bool) {
+	if len(s.q) == 0 {
+		return sim.QueuedPacket{}, false
+	}
+	best := 0
+	for k := 1; k < len(s.q); k++ {
+		if s.better(k, best) {
+			best = k
+		}
+	}
+	out := s.q[best]
+	s.q = append(s.q[:best], s.q[best+1:]...)
+	return out, true
+}
+
+func (s *scheduler) Len() int { return len(s.q) }
+
+// better reports whether queue slot a should be served before slot b.
+func (s *scheduler) better(a, b int) bool {
+	qa, qb := s.q[a], s.q[b]
+	pa, pb := s.prio[qa.P.Flow], s.prio[qb.P.Flow]
+	if pa != pb {
+		return pa > pb
+	}
+	if qa.Arrived != qb.Arrived {
+		return qa.Arrived < qb.Arrived
+	}
+	if qa.P.TieBreak != qb.P.TieBreak {
+		return qa.P.TieBreak < qb.P.TieBreak
+	}
+	if qa.P.Flow != qb.P.Flow {
+		return qa.P.Flow < qb.P.Flow
+	}
+	return qa.P.Seq < qb.P.Seq
+}

@@ -1,0 +1,211 @@
+package fpfifo
+
+import (
+	"math/rand"
+	"testing"
+
+	"trajan/internal/holistic"
+	"trajan/internal/model"
+	"trajan/internal/sim"
+	"trajan/internal/workload"
+)
+
+// TestEqualPrioritiesMatchHolistic: with one priority level, FP/FIFO
+// degenerates to plain FIFO and must reproduce the holistic bounds
+// exactly (same formulation).
+func TestEqualPrioritiesMatchHolistic(t *testing.T) {
+	fs := model.PaperExample()
+	prio := make([]int, fs.N())
+	fp, err := Analyze(fs, prio, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hol, err := holistic.Analyze(fs, holistic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs.Flows {
+		if fp.Bounds[i] != hol.Bounds[i] {
+			t.Errorf("flow %d: fpfifo %d ≠ holistic %d", i, fp.Bounds[i], hol.Bounds[i])
+		}
+	}
+}
+
+// TestPriorityShieldsHighClass: raising a flow's priority above its
+// interferers removes their queueing interference, leaving only the
+// single-packet non-preemptive blocking.
+func TestPriorityShieldsHighClass(t *testing.T) {
+	hi := model.UniformFlow("hi", 50, 0, 0, 2, 1)
+	lo1 := model.UniformFlow("lo1", 50, 0, 0, 7, 1)
+	lo2 := model.UniformFlow("lo2", 50, 0, 0, 5, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{hi, lo1, lo2})
+	res, err := Analyze(fs, []int{2, 1, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hi: blocked by max(7,5)−1 = 6 plus its own 2.
+	if res.Bounds[0] != 8 {
+		t.Errorf("hi bound %d, want 8", res.Bounds[0])
+	}
+	// lo1 is additionally queued behind hi and lo2.
+	if res.Bounds[1] < 7+2+5 {
+		t.Errorf("lo1 bound %d suspiciously small", res.Bounds[1])
+	}
+}
+
+// TestPriorityLadderMonotone: in a 3-level ladder, higher priority
+// never yields a worse bound for otherwise identical flows.
+func TestPriorityLadderMonotone(t *testing.T) {
+	mk := func(name string) *model.Flow {
+		return model.UniformFlow(name, 60, 0, 0, 3, 1, 2, 3)
+	}
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(),
+		[]*model.Flow{mk("a"), mk("b"), mk("c")})
+	res, err := Analyze(fs, []int{3, 2, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Bounds[0] <= res.Bounds[1] && res.Bounds[1] <= res.Bounds[2]) {
+		t.Errorf("ladder bounds not monotone: %v", res.Bounds)
+	}
+}
+
+// TestArityChecked: wrong priority vector length is an error.
+func TestArityChecked(t *testing.T) {
+	fs := model.PaperExample()
+	if _, err := Analyze(fs, []int{1}, Options{}); err == nil {
+		t.Error("wrong-length priorities accepted")
+	}
+}
+
+// TestSchedulerOrdering: direct unit test of the FP/FIFO queue.
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler([]int{1, 3, 3, 2})
+	mk := func(flow int, arr model.Time, tie int) sim.QueuedPacket {
+		return sim.QueuedPacket{P: &sim.Packet{Flow: flow, TieBreak: tie}, Arrived: arr}
+	}
+	s.Enqueue(mk(0, 0, 0)) // lowest priority, earliest arrival
+	s.Enqueue(mk(3, 1, 0)) // mid priority
+	s.Enqueue(mk(1, 5, 2)) // top priority, late, worse tie
+	s.Enqueue(mk(2, 5, 1)) // top priority, late, better tie
+	want := []int{2, 1, 3, 0}
+	for k, w := range want {
+		q, ok := s.Dequeue()
+		if !ok || q.P.Flow != w {
+			t.Fatalf("dequeue %d: flow %d, want %d", k, q.P.Flow, w)
+		}
+	}
+	if s.Len() != 0 {
+		t.Error("queue not drained")
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Error("phantom packet")
+	}
+}
+
+// TestSimNonPreemptiveBlocking: engine-level check that a low-priority
+// packet in service blocks a high-priority arrival for its residual
+// time only.
+func TestSimNonPreemptiveBlocking(t *testing.T) {
+	hi := model.UniformFlow("hi", 100, 0, 0, 2, 1)
+	lo := model.UniformFlow("lo", 100, 0, 0, 9, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{hi, lo})
+	prio := []int{2, 1}
+	eng := sim.NewEngine(fs, sim.Config{NewScheduler: Factory(prio)})
+	sc := sim.PeriodicScenario(fs, []model.Time{1, 0}, 1)
+	res, err := eng.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lo serves [0,9); hi arrives at 1, starts at 9, done 11 → resp 10.
+	if got := res.PerFlow[0].MaxResponse; got != 10 {
+		t.Errorf("hi response %d, want 10", got)
+	}
+}
+
+// TestBoundsSoundAgainstSim: randomized FP/FIFO simulations across a
+// 3-level priority ladder never exceed the analysis bounds.
+func TestBoundsSoundAgainstSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		fs, err := workload.RandomLine(rng, workload.RandomLineParams{
+			Nodes: 5, Flows: 4, MaxUtilization: 0.5,
+			CostLo: 1, CostHi: 4, JitterHi: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prio := make([]int, fs.N())
+		for i := range prio {
+			prio[i] = i % 3
+		}
+		res, err := Analyze(fs, prio, Options{})
+		if err != nil {
+			continue // divergence is a legitimate refusal
+		}
+		eng := sim.NewEngine(fs, sim.Config{NewScheduler: Factory(prio)})
+		for run := 0; run < 12; run++ {
+			sc := sim.RandomScenario(fs, rng, 5, 60, 15, 0)
+			r, err := eng.Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, st := range r.PerFlow {
+				if st.Count > 0 && st.MaxResponse > res.Bounds[i] {
+					t.Errorf("trial %d run %d flow %d: observed %d > bound %d (prio %d)",
+						trial, run, i, st.MaxResponse, res.Bounds[i], prio[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTwoLevelConsistentWithEF: with EF flows at top priority over one
+// background flow, the FP/FIFO bound and package ef's Property-3 bound
+// are both sound; they need not coincide (different analyses), but
+// both must dominate the simulated worst case at the same scenarios.
+func TestTwoLevelConsistentWithEF(t *testing.T) {
+	voice := model.UniformFlow("v", 40, 0, 0, 2, 1, 2, 3)
+	bulk := model.UniformFlow("bulk", 30, 0, 0, 9, 1, 2, 3)
+	bulk.Class = model.ClassBE
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{voice, bulk})
+	res, err := Analyze(fs, []int{1, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(fs, sim.Config{NewScheduler: Factory([]int{1, 0})})
+	for off := model.Time(0); off < 12; off++ {
+		sc := sim.PeriodicScenario(fs, []model.Time{off % 3, off}, 4)
+		r, err := eng.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.PerFlow[0].MaxResponse; got > res.Bounds[0] {
+			t.Errorf("offset %d: voice observed %d > fpfifo bound %d", off, got, res.Bounds[0])
+		}
+	}
+}
+
+// TestJitterDefinition2: jitter output follows Definition 2.
+func TestJitterDefinition2(t *testing.T) {
+	fs := model.PaperExample()
+	res, err := Analyze(fs, make([]int, fs.N()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fs.Flows {
+		if res.Jitters[i] != res.Bounds[i]-f.MinTraversal(fs.Net.Lmin) {
+			t.Errorf("flow %d jitter %d", i, res.Jitters[i])
+		}
+	}
+}
+
+// TestOverloadRefused: a saturated level errors out.
+func TestOverloadRefused(t *testing.T) {
+	f1 := model.UniformFlow("a", 4, 0, 0, 3, 1)
+	f2 := model.UniformFlow("b", 4, 0, 0, 3, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	if _, err := Analyze(fs, []int{1, 1}, Options{}); err == nil {
+		t.Error("overload accepted")
+	}
+}

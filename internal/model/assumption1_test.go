@@ -1,0 +1,137 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestCheckAssumption1Clean(t *testing.T) {
+	fs := PaperExample()
+	if v := CheckAssumption1(fs.Flows); len(v) != 0 {
+		t.Errorf("paper example must satisfy assumption 1, got %v", v)
+	}
+}
+
+// TestCheckAssumption1LeaveAndReturn: a flow leaving the path and
+// re-entering it violates the assumption in both orientations.
+func TestCheckAssumption1LeaveAndReturn(t *testing.T) {
+	fi := flowOn("i", 1, 2, 3, 4, 5)
+	fj := flowOn("j", 2, 3, 9, 4, 5) // leaves Pi at 9, returns at 4
+	v := CheckAssumption1([]*Flow{fi, fj})
+	if len(v) == 0 {
+		t.Fatal("violation not detected")
+	}
+	found := false
+	for _, x := range v {
+		if x.PathFlow == 0 && x.CrossFlow == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected violation of flow 1 against path 0, got %v", v)
+	}
+}
+
+// TestCheckAssumption1DirectionChange: a flow that doubles back on the
+// path (visits 3,4 then returns toward lower indices via another node)
+// is flagged.
+func TestCheckAssumption1DirectionChange(t *testing.T) {
+	fi := flowOn("i", 1, 2, 3, 4, 5)
+	fj := flowOn("j", 2, 3, 4, 9) // fine: contiguous
+	if v := CheckAssumption1([]*Flow{fi, fj}); len(v) != 0 {
+		t.Fatalf("contiguous crossing flagged: %v", v)
+	}
+	fk := flowOn("k", 9, 2, 4, 8) // skips node 3: not the same links
+	if v := CheckAssumption1([]*Flow{fi, fk}); len(v) == 0 {
+		t.Error("skipping crossing not flagged")
+	}
+}
+
+func TestEnforceAssumption1SplitsReentrant(t *testing.T) {
+	fi := flowOn("i", 1, 2, 3, 4, 5)
+	fj := flowOn("j", 2, 3, 9, 4, 5)
+	out := EnforceAssumption1([]*Flow{fi, fj})
+	if v := CheckAssumption1(out); len(v) != 0 {
+		t.Fatalf("split did not converge: %v", v)
+	}
+	if len(out) != 3 {
+		t.Fatalf("expected 3 flows after split, got %d", len(out))
+	}
+	// The fragments must cover fj's path and record their parent.
+	var fragNodes []NodeID
+	for _, f := range out[1:] {
+		if p, ok := f.Parent(); !ok || p != 1 {
+			t.Errorf("fragment %q parent = %d,%v; want 1,true", f.Name, p, ok)
+		}
+		fragNodes = append(fragNodes, f.Path...)
+	}
+	if len(fragNodes) != 5 {
+		t.Errorf("fragments cover %d nodes, want 5", len(fragNodes))
+	}
+	for k, h := range fj.Path {
+		if fragNodes[k] != h {
+			t.Errorf("fragment node %d = %d, want %d", k, fragNodes[k], h)
+		}
+	}
+}
+
+func TestEnforceAssumption1PreservesCleanSets(t *testing.T) {
+	fs := PaperExample()
+	out := EnforceAssumption1(fs.Flows)
+	if len(out) != len(fs.Flows) {
+		t.Errorf("clean set resized from %d to %d", len(fs.Flows), len(out))
+	}
+	for i, f := range out {
+		if f.Name != fs.Flows[i].Name {
+			t.Errorf("flow %d renamed to %q", i, f.Name)
+		}
+		if f.IsVirtual() {
+			t.Errorf("flow %q marked virtual", f.Name)
+		}
+	}
+}
+
+// TestEnforceAssumption1DeepSplit: a flow weaving across the path
+// needs several cuts.
+func TestEnforceAssumption1DeepSplit(t *testing.T) {
+	fi := flowOn("i", 1, 2, 3, 4, 5, 6, 7)
+	fj := flowOn("j", 2, 90, 4, 91, 6) // touches Pi at 2, 4, 6 via detours
+	out := EnforceAssumption1([]*Flow{fi, fj})
+	if v := CheckAssumption1(out); len(v) != 0 {
+		t.Fatalf("deep split did not converge: %v", v)
+	}
+	frags := 0
+	for _, f := range out {
+		if f.IsVirtual() {
+			frags++
+		}
+	}
+	if frags < 3 {
+		t.Errorf("expected ≥3 fragments, got %d", frags)
+	}
+}
+
+// TestEnforceAssumption1CutPreservesParameters: fragments keep period,
+// jitter, deadline, class and the per-node costs of their segment.
+func TestEnforceAssumption1CutPreservesParameters(t *testing.T) {
+	fi := flowOn("i", 1, 2, 3, 4, 5)
+	fj := &Flow{
+		Name: "j", Period: 20, Jitter: 3, Deadline: 99,
+		Path: Path{2, 3, 9, 4, 5}, Cost: []Time{1, 2, 3, 4, 5},
+		Class: ClassAF, parent: -1,
+	}
+	out := EnforceAssumption1([]*Flow{fi, fj})
+	for _, f := range out {
+		if !f.IsVirtual() {
+			continue
+		}
+		if f.Period != 20 || f.Jitter != 3 || f.Deadline != 99 || f.Class != ClassAF {
+			t.Errorf("fragment %q lost parameters: %+v", f.Name, f)
+		}
+		for k, h := range f.Path {
+			if f.Cost[k] != fj.CostAt(h) {
+				t.Errorf("fragment %q cost at node %d = %d, want %d",
+					f.Name, h, f.Cost[k], fj.CostAt(h))
+			}
+		}
+	}
+}

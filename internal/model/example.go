@@ -1,0 +1,37 @@
+package model
+
+// PaperExample builds the flow set of the paper's Section 5 example:
+// five sporadic flows on an 11-node network, all with period 36, no
+// release jitter, processing time 4 on every visited node, and
+// Lmin = Lmax = 1. Deadlines are Table 1's (40, 45, 55, 55, 50).
+//
+// Expected results (Table 2):
+//
+//	flow                τ1  τ2  τ3  τ4  τ5
+//	trajectory approach 31  43  53  53  44
+//	holistic approach   43  63  73  73  56
+func PaperExample() *FlowSet {
+	const (
+		period = 36
+		cost   = 4
+	)
+	flows := []*Flow{
+		UniformFlow("tau1", period, 0, 40, cost, 1, 3, 4, 5),
+		UniformFlow("tau2", period, 0, 45, cost, 9, 10, 7, 6),
+		UniformFlow("tau3", period, 0, 55, cost, 2, 3, 4, 7, 10, 11),
+		UniformFlow("tau4", period, 0, 55, cost, 2, 3, 4, 7, 10, 11),
+		UniformFlow("tau5", period, 0, 50, cost, 2, 3, 4, 7, 8),
+	}
+	return MustNewFlowSet(UnitDelayNetwork(), flows)
+}
+
+// PaperTrajectoryBounds are Table 2's trajectory-approach worst-case
+// end-to-end response times for PaperExample.
+var PaperTrajectoryBounds = []Time{31, 43, 53, 53, 44}
+
+// PaperHolisticBounds are Table 2's holistic-approach worst-case
+// end-to-end response times for PaperExample.
+var PaperHolisticBounds = []Time{43, 63, 73, 73, 56}
+
+// PaperDeadlines are Table 1's end-to-end deadlines for PaperExample.
+var PaperDeadlines = []Time{40, 45, 55, 55, 50}

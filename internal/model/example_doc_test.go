@@ -1,0 +1,46 @@
+package model_test
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+)
+
+// ExampleRelate shows the paper's Figure-1 notation for a
+// reverse-direction pair: τj enters τi's path at its far end.
+func ExampleRelate() {
+	fi := model.UniformFlow("i", 36, 0, 0, 4, 1, 3, 4, 5)
+	fj := model.UniformFlow("j", 36, 0, 0, 4, 7, 4, 3, 2)
+	r := model.Relate(fi, fj)
+	fmt.Printf("first_ji=%d last_ji=%d first_ij=%d same-direction=%v\n",
+		r.FirstJI, r.LastJI, r.FirstIJ, r.SameDirection)
+	// Output:
+	// first_ji=4 last_ji=3 first_ij=3 same-direction=false
+}
+
+// ExampleEnforceAssumption1 splits a flow that leaves a path and
+// returns to it — the paper's Assumption-1 device.
+func ExampleEnforceAssumption1() {
+	base := model.UniformFlow("base", 40, 0, 0, 3, 1, 2, 3, 4, 5)
+	weave := model.UniformFlow("weave", 40, 0, 0, 3, 2, 3, 9, 4, 5)
+	out := model.EnforceAssumption1([]*model.Flow{base, weave})
+	for _, f := range out {
+		fmt.Printf("%s %v virtual=%v\n", f.Name, f.Path, f.IsVirtual())
+	}
+	// Output:
+	// base [1 2 3 4 5] virtual=false
+	// weave~a [2 3 9] virtual=true
+	// weave~b [4 5] virtual=true
+}
+
+// ExampleTopology_Route computes a shortest source route on a grid.
+func ExampleTopology_Route() {
+	grid := model.GridTopology(3, 3) // nodes r*3+c
+	p, err := grid.Route(0, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d hops\n", len(p)-1)
+	// Output:
+	// 4 hops
+}

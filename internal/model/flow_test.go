@@ -1,0 +1,164 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPathBasics(t *testing.T) {
+	p := Path{1, 3, 4, 5}
+	if p.First() != 1 || p.Last() != 5 {
+		t.Errorf("First/Last = %d/%d", p.First(), p.Last())
+	}
+	if !p.Contains(4) || p.Contains(2) {
+		t.Error("Contains broken")
+	}
+	if p.Index(4) != 2 || p.Index(99) != -1 {
+		t.Error("Index broken")
+	}
+	if p.Pre(3) != 1 || p.Pre(5) != 4 {
+		t.Error("Pre broken")
+	}
+	if p.Suc(1) != 3 || p.Suc(4) != 5 {
+		t.Error("Suc broken")
+	}
+}
+
+func TestPathPrePanics(t *testing.T) {
+	p := Path{1, 3}
+	for _, h := range []NodeID{1, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pre(%d) did not panic", h)
+				}
+			}()
+			p.Pre(h)
+		}()
+	}
+}
+
+func TestPathSucPanics(t *testing.T) {
+	p := Path{1, 3}
+	for _, h := range []NodeID{3, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Suc(%d) did not panic", h)
+				}
+			}()
+			p.Suc(h)
+		}()
+	}
+}
+
+func TestPathCloneIndependent(t *testing.T) {
+	p := Path{1, 2, 3}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestFlowValidate(t *testing.T) {
+	good := UniformFlow("f", 10, 1, 20, 2, 1, 2, 3)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid flow rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Flow)
+		want   string
+	}{
+		{"empty path", func(f *Flow) { f.Path = nil; f.Cost = nil }, "empty path"},
+		{"loop", func(f *Flow) { f.Path = Path{1, 2, 1}; f.Cost = []Time{1, 1, 1} }, "twice"},
+		{"cost mismatch", func(f *Flow) { f.Cost = f.Cost[:2] }, "costs"},
+		{"zero period", func(f *Flow) { f.Period = 0 }, "period"},
+		{"negative jitter", func(f *Flow) { f.Jitter = -1 }, "jitter"},
+		{"negative deadline", func(f *Flow) { f.Deadline = -5 }, "deadline"},
+		{"zero cost", func(f *Flow) { f.Cost[1] = 0 }, "cost"},
+	}
+	for _, c := range cases {
+		f := good.Clone()
+		c.mutate(f)
+		err := f.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestFlowCostAt(t *testing.T) {
+	f := &Flow{Name: "f", Period: 10, Path: Path{1, 2, 3}, Cost: []Time{5, 7, 2}, parent: -1}
+	if f.CostAt(2) != 7 {
+		t.Errorf("CostAt(2) = %d", f.CostAt(2))
+	}
+	if f.CostAt(99) != 0 {
+		t.Error("CostAt off-path must be 0 (paper convention)")
+	}
+}
+
+func TestSlowNodeAndCandidates(t *testing.T) {
+	f := &Flow{Name: "f", Period: 10, Path: Path{1, 2, 3, 4}, Cost: []Time{5, 7, 7, 2}, parent: -1}
+	n, c := f.SlowNode()
+	if n != 2 || c != 7 {
+		t.Errorf("SlowNode = (%d,%d), want (2,7)", n, c)
+	}
+	cand := f.SlowCandidates()
+	if len(cand) != 2 || cand[0] != 2 || cand[1] != 3 {
+		t.Errorf("SlowCandidates = %v", cand)
+	}
+}
+
+func TestTotalCostAndMinTraversal(t *testing.T) {
+	f := &Flow{Name: "f", Period: 10, Path: Path{1, 2, 3}, Cost: []Time{5, 7, 2}, parent: -1}
+	if f.TotalCost() != 14 {
+		t.Errorf("TotalCost = %d", f.TotalCost())
+	}
+	// Definition 2's subtrahend: all processing plus Lmin per link.
+	if got := f.MinTraversal(3); got != 14+2*3 {
+		t.Errorf("MinTraversal = %d", got)
+	}
+}
+
+func TestUniformFlow(t *testing.T) {
+	f := UniformFlow("u", 36, 0, 40, 4, 1, 3, 4, 5)
+	if len(f.Cost) != 4 {
+		t.Fatalf("cost length %d", len(f.Cost))
+	}
+	for _, c := range f.Cost {
+		if c != 4 {
+			t.Errorf("non-uniform cost %d", c)
+		}
+	}
+	if f.Class != ClassEF {
+		t.Error("UniformFlow must default to EF")
+	}
+	if f.IsVirtual() {
+		t.Error("fresh flow must not be virtual")
+	}
+}
+
+func TestFlowCloneIndependence(t *testing.T) {
+	f := UniformFlow("f", 10, 0, 0, 1, 1, 2)
+	g := f.Clone()
+	g.Cost[0] = 9
+	g.Path[0] = 9
+	if f.Cost[0] != 1 || f.Path[0] != 1 {
+		t.Error("Clone shares slices")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassEF.String() != "EF" || ClassAF.String() != "AF" || ClassBE.String() != "BE" {
+		t.Error("class names broken")
+	}
+	if Class(42).String() != "Class(42)" {
+		t.Error("unknown class formatting broken")
+	}
+}

@@ -1,0 +1,254 @@
+package model
+
+import (
+	"fmt"
+)
+
+// FlowSet bundles a network with a validated set of flows and
+// precomputes the pairwise path relations that every analysis consumes.
+type FlowSet struct {
+	Net   Network
+	Flows []*Flow
+
+	// rel[i][j] is the relation of interferer j against flow i's path.
+	rel [][]PathRelation
+}
+
+// NewFlowSet validates the network and flows, verifies Assumption 1
+// (returning an error listing the violations if it fails — call
+// EnforceAssumption1 first to split offenders), checks name uniqueness,
+// and precomputes all pairwise relations.
+func NewFlowSet(net Network, flows []*Flow) (*FlowSet, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("flowset: no flows")
+	}
+	names := make(map[string]struct{}, len(flows))
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := names[f.Name]; dup {
+			return nil, fmt.Errorf("flowset: duplicate flow name %q", f.Name)
+		}
+		names[f.Name] = struct{}{}
+	}
+	if v := CheckAssumption1(flows); len(v) > 0 {
+		return nil, fmt.Errorf("flowset: assumption 1 violated (%d pairs), e.g. %s; apply EnforceAssumption1", len(v), v[0])
+	}
+	fs := &FlowSet{Net: net, Flows: flows}
+	fs.rel = make([][]PathRelation, len(flows))
+	for i, fi := range flows {
+		fs.rel[i] = make([]PathRelation, len(flows))
+		for j, fj := range flows {
+			if i == j {
+				continue
+			}
+			fs.rel[i][j] = Relate(fi, fj)
+		}
+	}
+	return fs, nil
+}
+
+// NewFlowSetLax builds a flow set WITHOUT the Assumption-1 check. The
+// discrete-event simulator does not depend on the assumption (it is an
+// analysis device), so simulation-only callers may run the original,
+// unsplit flows; the analytical packages must be given the split set
+// from EnforceAssumption1 instead.
+func NewFlowSetLax(net Network, flows []*Flow) (*FlowSet, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("flowset: no flows")
+	}
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	fs := &FlowSet{Net: net, Flows: flows}
+	fs.rel = make([][]PathRelation, len(flows))
+	for i, fi := range flows {
+		fs.rel[i] = make([]PathRelation, len(flows))
+		for j, fj := range flows {
+			if i == j {
+				continue
+			}
+			fs.rel[i][j] = Relate(fi, fj)
+		}
+	}
+	return fs, nil
+}
+
+// MustNewFlowSet is NewFlowSet panicking on error; for tests and
+// examples with known-good literals.
+func MustNewFlowSet(net Network, flows []*Flow) *FlowSet {
+	fs, err := NewFlowSet(net, flows)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// N returns the number of flows.
+func (fs *FlowSet) N() int { return len(fs.Flows) }
+
+// Relation returns the precomputed relation of interferer j against
+// flow i's path.
+func (fs *FlowSet) Relation(i, j int) PathRelation {
+	return fs.rel[i][j]
+}
+
+// Interferers returns the indices of flows whose paths intersect flow
+// i's path (excluding i itself).
+func (fs *FlowSet) Interferers(i int) []int {
+	var out []int
+	for j := range fs.Flows {
+		if j != i && fs.rel[i][j].Intersects {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Nodes returns the sorted set of all node identifiers appearing on any
+// path.
+func (fs *FlowSet) Nodes() []NodeID {
+	seen := make(map[NodeID]struct{})
+	var out []NodeID
+	for _, f := range fs.Flows {
+		for _, h := range f.Path {
+			if _, ok := seen[h]; !ok {
+				seen[h] = struct{}{}
+				out = append(out, h)
+			}
+		}
+	}
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && out[b] < out[b-1]; b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}
+
+// FlowsAt returns the indices of flows visiting node h.
+func (fs *FlowSet) FlowsAt(h NodeID) []int {
+	var out []int
+	for i, f := range fs.Flows {
+		if f.Path.Contains(h) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Smin returns Smin^h_i: the minimum time for a packet of flow i to go
+// from its source to (its arrival at) node h — all processing on the
+// nodes before h plus Lmin per link, with no queueing. Smin at the
+// source node is 0.
+func (fs *FlowSet) Smin(i int, h NodeID) Time {
+	f := fs.Flows[i]
+	k := f.Path.Index(h)
+	if k < 0 {
+		panic(fmt.Sprintf("model.Smin: node %d not on path of flow %q", h, f.Name))
+	}
+	var s Time
+	for m := 0; m < k; m++ {
+		s += f.Cost[m] + fs.Net.Lmin
+	}
+	return s
+}
+
+// MinArrival is Smin plus the flow-i packet's processing at h: the
+// earliest completion at node h relative to release.
+func (fs *FlowSet) MinArrival(i int, h NodeID) Time {
+	return fs.Smin(i, h) + fs.Flows[i].CostAt(h)
+}
+
+// M computes M^h_i from the paper's notation list:
+//
+//	M^h_i = Σ_{h'=first_i}^{pre_i(h)} ( min_{j same-direction, h'∈Pj} C^{h'}_j + Lmin )
+//
+// the earliest possible start of the busy-period chain at node h: at
+// every earlier node of Pi at least one packet of some same-direction
+// flow must be processed before the chain can advance. The paper's
+// literal "C^{h'}_j = 0 if h'∉Pj" convention would make the minimum
+// degenerate to 0 whenever any same-direction flow skips h'; since M is
+// an *earliest arrival* lower bound built from packets that actually
+// traverse h', the minimum here ranges over flows that visit h'.
+// The flow i itself always qualifies (first_{i,i} = first_{i,i}).
+func (fs *FlowSet) M(i int, h NodeID) Time {
+	f := fs.Flows[i]
+	k := f.Path.Index(h)
+	if k < 0 {
+		panic(fmt.Sprintf("model.M: node %d not on path of flow %q", h, f.Name))
+	}
+	var s Time
+	for m := 0; m < k; m++ {
+		hp := f.Path[m]
+		minC := f.Cost[m] // flow i itself
+		for j, fj := range fs.Flows {
+			if j == i {
+				continue
+			}
+			r := fs.rel[i][j]
+			if !r.Intersects || !r.SameDirection {
+				continue
+			}
+			if c := fj.CostAt(hp); c > 0 && c < minC {
+				minC = c
+			}
+		}
+		s += minC + fs.Net.Lmin
+	}
+	return s
+}
+
+// MaxSameDirCost returns max over flows j with first_{j,i} = first_{i,j}
+// (same direction as flow i, including i itself) of C^h_j — the
+// "counted-twice packet" term of Lemma 2 at node h.
+func (fs *FlowSet) MaxSameDirCost(i int, h NodeID) Time {
+	maxC := fs.Flows[i].CostAt(h)
+	for j, fj := range fs.Flows {
+		if j == i {
+			continue
+		}
+		r := fs.rel[i][j]
+		if !r.Intersects || !r.SameDirection {
+			continue
+		}
+		if c := fj.CostAt(h); c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
+}
+
+// TotalUtilizationAt returns Σ_{j: h∈Pj} C^h_j / T_j as a float, the
+// long-run load offered to node h. Values above 1 make the node's busy
+// periods unbounded.
+func (fs *FlowSet) TotalUtilizationAt(h NodeID) float64 {
+	var u float64
+	for _, f := range fs.Flows {
+		if c := f.CostAt(h); c > 0 {
+			u += float64(c) / float64(f.Period)
+		}
+	}
+	return u
+}
+
+// MaxUtilization returns the highest per-node utilization across the
+// network — the stability margin of the flow set.
+func (fs *FlowSet) MaxUtilization() float64 {
+	var u float64
+	for _, h := range fs.Nodes() {
+		if v := fs.TotalUtilizationAt(h); v > u {
+			u = v
+		}
+	}
+	return u
+}

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFlowSet hardens the JSON entry point: arbitrary input must
+// either parse into a valid flow set or return an error — never panic,
+// and never produce a set that fails its own invariants.
+func FuzzParseFlowSet(f *testing.F) {
+	f.Add(paperJSON)
+	f.Add(`{"network":{"lmin":0,"lmax":0},"flows":[{"name":"a","period":1,"path":[1],"cost":1}]}`)
+	f.Add(`{"network":{"lmin":1,"lmax":1},"flows":[{"name":"a","period":10,"path":[1,2,3,4,5],"cost":1},
+	       {"name":"b","period":10,"path":[2,3,9,4,5],"cost":1}]}`)
+	f.Add(`{"network":{"lmin":2,"lmax":1},"flows":[]}`)
+	f.Add(`{"flows":[{"name":"x","period":-3,"path":[1],"cost":[1,2]}]}`)
+	f.Add(`[]`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, input string) {
+		fs, err := ParseFlowSet(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Parsed sets must satisfy the module invariants.
+		if fs.N() == 0 {
+			t.Fatal("parser returned an empty set without error")
+		}
+		for _, fl := range fs.Flows {
+			if vErr := fl.Validate(); vErr != nil {
+				t.Fatalf("parser returned invalid flow: %v", vErr)
+			}
+		}
+		if v := CheckAssumption1(fs.Flows); len(v) != 0 {
+			t.Fatalf("parser returned a set violating assumption 1: %v", v)
+		}
+	})
+}
+
+// FuzzRelate hardens the relation algebra over arbitrary path pairs:
+// anchors must lie on both paths and the shared set must be symmetric
+// in size.
+func FuzzRelate(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{5, 4, 3}, []byte{3, 4, 5})
+	f.Add([]byte{1}, []byte{1})
+	f.Add([]byte{1, 2}, []byte{9, 8})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		pa, ok := pathFromBytes(a)
+		if !ok {
+			return
+		}
+		pb, ok := pathFromBytes(b)
+		if !ok {
+			return
+		}
+		fa := UniformFlow("a", 10, 0, 0, 1, pa...)
+		fb := UniformFlow("b", 10, 0, 0, 1, pb...)
+		r := Relate(fa, fb)
+		rb := Relate(fb, fa)
+		if r.Intersects != rb.Intersects {
+			t.Fatal("intersection asymmetric")
+		}
+		if !r.Intersects {
+			return
+		}
+		for _, h := range []NodeID{r.FirstJI, r.LastJI, r.FirstIJ, r.LastIJ, r.SlowJI} {
+			if !fa.Path.Contains(h) || !fb.Path.Contains(h) {
+				t.Fatalf("anchor %d off a path (%v vs %v)", h, pa, pb)
+			}
+		}
+		if len(r.Shared) != len(rb.Shared) {
+			t.Fatalf("shared sets differ: %v vs %v", r.Shared, rb.Shared)
+		}
+		if r.SameDirection != rb.SameDirection {
+			t.Fatalf("direction asymmetric on %v vs %v", pa, pb)
+		}
+	})
+}
+
+// pathFromBytes builds a loop-free path from fuzz bytes.
+func pathFromBytes(bs []byte) ([]NodeID, bool) {
+	if len(bs) == 0 || len(bs) > 12 {
+		return nil, false
+	}
+	seen := map[NodeID]bool{}
+	var p []NodeID
+	for _, b := range bs {
+		n := NodeID(b % 16)
+		if seen[n] {
+			return nil, false
+		}
+		seen[n] = true
+		p = append(p, n)
+	}
+	return p, true
+}

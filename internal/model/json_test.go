@@ -1,0 +1,141 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const paperJSON = `{
+  "network": {"lmin": 1, "lmax": 1},
+  "flows": [
+    {"name": "tau1", "period": 36, "deadline": 40, "path": [1,3,4,5], "cost": 4},
+    {"name": "tau2", "period": 36, "deadline": 45, "path": [9,10,7,6], "cost": 4},
+    {"name": "tau3", "period": 36, "deadline": 55, "path": [2,3,4,7,10,11], "cost": 4},
+    {"name": "tau4", "period": 36, "deadline": 55, "path": [2,3,4,7,10,11], "cost": 4},
+    {"name": "tau5", "period": 36, "deadline": 50, "path": [2,3,4,7,8], "cost": 4}
+  ]
+}`
+
+func TestParseFlowSetPaperExample(t *testing.T) {
+	fs, err := ParseFlowSet(strings.NewReader(paperJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := PaperExample()
+	if fs.N() != ref.N() {
+		t.Fatalf("parsed %d flows, want %d", fs.N(), ref.N())
+	}
+	for i, f := range fs.Flows {
+		g := ref.Flows[i]
+		if f.Name != g.Name || f.Period != g.Period || f.Deadline != g.Deadline {
+			t.Errorf("flow %d mismatch: %+v vs %+v", i, f, g)
+		}
+		if len(f.Path) != len(g.Path) {
+			t.Errorf("flow %d path length", i)
+		}
+	}
+}
+
+func TestParseFlowSetScalarAndArrayCosts(t *testing.T) {
+	in := `{"network":{"lmin":0,"lmax":2},"flows":[
+	  {"name":"a","period":10,"path":[1,2],"cost":[3,5]},
+	  {"name":"b","period":10,"path":[2,3],"cost":7}
+	]}`
+	fs, err := ParseFlowSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Flows[0].Cost[0] != 3 || fs.Flows[0].Cost[1] != 5 {
+		t.Errorf("array cost = %v", fs.Flows[0].Cost)
+	}
+	if fs.Flows[1].Cost[0] != 7 || fs.Flows[1].Cost[1] != 7 {
+		t.Errorf("scalar cost = %v", fs.Flows[1].Cost)
+	}
+}
+
+func TestParseFlowSetClasses(t *testing.T) {
+	in := `{"network":{"lmin":1,"lmax":1},"flows":[
+	  {"name":"e","period":10,"path":[1,2],"cost":1,"class":"EF"},
+	  {"name":"a","period":10,"path":[1,2],"cost":1,"class":"af"},
+	  {"name":"b","period":10,"path":[1,2],"cost":1,"class":"BE"},
+	  {"name":"d","period":10,"path":[1,2],"cost":1}
+	]}`
+	fs, err := ParseFlowSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Class{ClassEF, ClassAF, ClassBE, ClassEF}
+	for i, c := range want {
+		if fs.Flows[i].Class != c {
+			t.Errorf("flow %d class = %v, want %v", i, fs.Flows[i].Class, c)
+		}
+	}
+}
+
+func TestParseFlowSetErrors(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"bad json", `{`, "decoding"},
+		{"unknown field", `{"network":{"lmin":1,"lmax":1},"flows":[],"extra":1}`, "decoding"},
+		{"bad class", `{"network":{"lmin":1,"lmax":1},"flows":[{"name":"a","period":1,"path":[1],"cost":1,"class":"XX"}]}`, "class"},
+		{"missing cost", `{"network":{"lmin":1,"lmax":1},"flows":[{"name":"a","period":1,"path":[1]}]}`, "cost"},
+		{"cost arity", `{"network":{"lmin":1,"lmax":1},"flows":[{"name":"a","period":1,"path":[1,2],"cost":[1]}]}`, "costs"},
+		{"cost type", `{"network":{"lmin":1,"lmax":1},"flows":[{"name":"a","period":1,"path":[1],"cost":"x"}]}`, "number"},
+		{"no flows", `{"network":{"lmin":1,"lmax":1},"flows":[]}`, "no flows"},
+	}
+	for _, c := range cases {
+		_, err := ParseFlowSet(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestParseFlowSetAppliesAssumption1: a weaving flow is split during
+// parsing rather than rejected.
+func TestParseFlowSetAppliesAssumption1(t *testing.T) {
+	in := `{"network":{"lmin":1,"lmax":1},"flows":[
+	  {"name":"i","period":10,"path":[1,2,3,4,5],"cost":1},
+	  {"name":"j","period":10,"path":[2,3,9,4,5],"cost":1}
+	]}`
+	fs, err := ParseFlowSet(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.N() != 3 {
+		t.Errorf("expected split into 3 flows, got %d", fs.N())
+	}
+}
+
+func TestMarshalConfigRoundTrip(t *testing.T) {
+	fs := PaperExample()
+	cfg := fs.MarshalConfig()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFlowSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != fs.N() {
+		t.Fatalf("round trip lost flows: %d vs %d", back.N(), fs.N())
+	}
+	for i := range fs.Flows {
+		a, b := fs.Flows[i], back.Flows[i]
+		if a.Name != b.Name || a.Period != b.Period || a.Jitter != b.Jitter ||
+			a.Deadline != b.Deadline || a.Class != b.Class || len(a.Path) != len(b.Path) {
+			t.Errorf("flow %d changed in round trip", i)
+		}
+		for k := range a.Path {
+			if a.Path[k] != b.Path[k] || a.Cost[k] != b.Cost[k] {
+				t.Errorf("flow %d node %d changed", i, k)
+			}
+		}
+	}
+}

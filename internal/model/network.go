@@ -1,0 +1,27 @@
+package model
+
+import "fmt"
+
+// Network captures the paper's network model: links are FIFO and the
+// delay of a packet between two adjacent nodes lies in [Lmin, Lmax].
+// There are no failures and no packet losses.
+type Network struct {
+	// Lmin is the minimum network delay between two adjacent nodes.
+	Lmin Time
+	// Lmax is the maximum network delay between two adjacent nodes.
+	Lmax Time
+}
+
+// Validate checks 0 ≤ Lmin ≤ Lmax.
+func (n Network) Validate() error {
+	if n.Lmin < 0 {
+		return fmt.Errorf("network: negative Lmin %d", n.Lmin)
+	}
+	if n.Lmax < n.Lmin {
+		return fmt.Errorf("network: Lmax %d < Lmin %d", n.Lmax, n.Lmin)
+	}
+	return nil
+}
+
+// UnitDelayNetwork is the network of the paper's example: Lmin = Lmax = 1.
+func UnitDelayNetwork() Network { return Network{Lmin: 1, Lmax: 1} }

@@ -1,0 +1,195 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology is the network graph: directed links between nodes. The
+// flow model needs only paths, but real deployments derive paths from
+// a topology — the paper's footnote 1 ("we can use source routing or
+// MPLS") presumes one. Topology validates that paths follow existing
+// links and computes shortest routes for the workload generators.
+type Topology struct {
+	adj map[NodeID][]NodeID
+}
+
+// NewTopology creates an empty graph.
+func NewTopology() *Topology {
+	return &Topology{adj: make(map[NodeID][]NodeID)}
+}
+
+// AddLink adds a directed link u→v (idempotent).
+func (t *Topology) AddLink(u, v NodeID) {
+	if u == v {
+		panic(fmt.Sprintf("model.Topology: self-link at node %d", u))
+	}
+	for _, w := range t.adj[u] {
+		if w == v {
+			return
+		}
+	}
+	t.adj[u] = append(t.adj[u], v)
+	if _, ok := t.adj[v]; !ok {
+		t.adj[v] = nil
+	}
+}
+
+// AddBidirectional adds u→v and v→u.
+func (t *Topology) AddBidirectional(u, v NodeID) {
+	t.AddLink(u, v)
+	t.AddLink(v, u)
+}
+
+// HasLink reports whether u→v exists.
+func (t *Topology) HasLink(u, v NodeID) bool {
+	for _, w := range t.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes returns the sorted node set.
+func (t *Topology) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(t.adj))
+	for n := range t.adj {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Neighbors returns u's successors in deterministic order.
+func (t *Topology) Neighbors(u NodeID) []NodeID {
+	out := append([]NodeID(nil), t.adj[u]...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// ValidatePath checks that a path exists edge by edge.
+func (t *Topology) ValidatePath(p Path) error {
+	if len(p) == 0 {
+		return fmt.Errorf("topology: empty path")
+	}
+	if _, ok := t.adj[p[0]]; !ok {
+		return fmt.Errorf("topology: unknown node %d", p[0])
+	}
+	for k := 1; k < len(p); k++ {
+		if !t.HasLink(p[k-1], p[k]) {
+			return fmt.Errorf("topology: no link %d→%d", p[k-1], p[k])
+		}
+	}
+	return nil
+}
+
+// ValidateFlows checks every flow's path against the graph.
+func (t *Topology) ValidateFlows(flows []*Flow) error {
+	for _, f := range flows {
+		if err := t.ValidatePath(f.Path); err != nil {
+			return fmt.Errorf("flow %q: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// Route returns a shortest path (hop count) from src to dst using BFS
+// with deterministic neighbor order, or an error when unreachable —
+// the "source routing" of the paper's footnote.
+func (t *Topology) Route(src, dst NodeID) (Path, error) {
+	if _, ok := t.adj[src]; !ok {
+		return nil, fmt.Errorf("topology: unknown source %d", src)
+	}
+	if _, ok := t.adj[dst]; !ok {
+		return nil, fmt.Errorf("topology: unknown destination %d", dst)
+	}
+	if src == dst {
+		return Path{src}, nil
+	}
+	prev := map[NodeID]NodeID{src: src}
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.Neighbors(u) {
+			if _, seen := prev[v]; seen {
+				continue
+			}
+			prev[v] = u
+			if v == dst {
+				var rev Path
+				for n := dst; ; n = prev[n] {
+					rev = append(rev, n)
+					if n == src {
+						break
+					}
+				}
+				p := make(Path, len(rev))
+				for i := range rev {
+					p[i] = rev[len(rev)-1-i]
+				}
+				return p, nil
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil, fmt.Errorf("topology: node %d unreachable from %d", dst, src)
+}
+
+// LineTopology builds the bidirectional line 0–1–…–(n-1).
+func LineTopology(n int) *Topology {
+	t := NewTopology()
+	for i := 0; i+1 < n; i++ {
+		t.AddBidirectional(NodeID(i), NodeID(i+1))
+	}
+	return t
+}
+
+// RingTopology builds the unidirectional cycle 0→1→…→(n-1)→0.
+func RingTopology(n int) *Topology {
+	t := NewTopology()
+	for i := 0; i < n; i++ {
+		t.AddLink(NodeID(i), NodeID((i+1)%n))
+	}
+	return t
+}
+
+// StarTopology builds hub 0 with bidirectional spokes to 1..n.
+func StarTopology(leaves int) *Topology {
+	t := NewTopology()
+	for i := 1; i <= leaves; i++ {
+		t.AddBidirectional(0, NodeID(i))
+	}
+	return t
+}
+
+// GridTopology builds a rows×cols bidirectional mesh; node (r,c) has
+// identifier r·cols+c.
+func GridTopology(rows, cols int) *Topology {
+	t := NewTopology()
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				t.AddBidirectional(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				t.AddBidirectional(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return t
+}
+
+// PaperTopology reconstructs a graph consistent with the Section-5
+// example: it contains exactly the links the five flows traverse.
+func PaperTopology() *Topology {
+	t := NewTopology()
+	for _, f := range PaperExample().Flows {
+		for k := 1; k < len(f.Path); k++ {
+			t.AddLink(f.Path[k-1], f.Path[k])
+		}
+	}
+	return t
+}

@@ -1,0 +1,176 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyLinks(t *testing.T) {
+	tp := NewTopology()
+	tp.AddLink(1, 2)
+	tp.AddLink(1, 2) // idempotent
+	tp.AddBidirectional(2, 3)
+	if !tp.HasLink(1, 2) || tp.HasLink(2, 1) {
+		t.Error("directed link semantics broken")
+	}
+	if !tp.HasLink(2, 3) || !tp.HasLink(3, 2) {
+		t.Error("bidirectional link broken")
+	}
+	if n := tp.Neighbors(1); len(n) != 1 || n[0] != 2 {
+		t.Errorf("neighbors %v", n)
+	}
+	nodes := tp.Nodes()
+	if len(nodes) != 3 || nodes[0] != 1 || nodes[2] != 3 {
+		t.Errorf("nodes %v", nodes)
+	}
+}
+
+func TestTopologySelfLinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self-link accepted")
+		}
+	}()
+	NewTopology().AddLink(1, 1)
+}
+
+func TestValidatePath(t *testing.T) {
+	tp := LineTopology(4)
+	if err := tp.ValidatePath(Path{0, 1, 2, 3}); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+	if err := tp.ValidatePath(Path{3, 2, 1}); err != nil {
+		t.Errorf("reverse path rejected on bidirectional line: %v", err)
+	}
+	if err := tp.ValidatePath(Path{0, 2}); err == nil {
+		t.Error("link-skipping path accepted")
+	}
+	if err := tp.ValidatePath(Path{9}); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := tp.ValidatePath(nil); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestValidateFlows(t *testing.T) {
+	tp := PaperTopology()
+	fs := PaperExample()
+	if err := tp.ValidateFlows(fs.Flows); err != nil {
+		t.Errorf("paper flows rejected by the paper topology: %v", err)
+	}
+	bad := []*Flow{UniformFlow("x", 10, 0, 0, 1, 1, 7)}
+	if err := tp.ValidateFlows(bad); err == nil {
+		t.Error("off-topology flow accepted")
+	}
+}
+
+func TestRouteLine(t *testing.T) {
+	tp := LineTopology(5)
+	p, err := tp.Route(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 || p[0] != 0 || p[4] != 4 {
+		t.Errorf("route %v", p)
+	}
+	back, err := tp.Route(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 4 {
+		t.Errorf("reverse route %v", back)
+	}
+	if self, err := tp.Route(2, 2); err != nil || len(self) != 1 {
+		t.Errorf("self route %v, %v", self, err)
+	}
+}
+
+func TestRouteRingIsDirectional(t *testing.T) {
+	tp := RingTopology(5)
+	// 0→3 clockwise takes 3 hops; 3→0 takes 2.
+	p1, err := tp.Route(0, 3)
+	if err != nil || len(p1) != 4 {
+		t.Errorf("route 0→3: %v, %v", p1, err)
+	}
+	p2, err := tp.Route(3, 0)
+	if err != nil || len(p2) != 3 {
+		t.Errorf("route 3→0: %v, %v", p2, err)
+	}
+}
+
+func TestRouteUnreachable(t *testing.T) {
+	tp := NewTopology()
+	tp.AddLink(1, 2)
+	tp.AddLink(3, 4)
+	if _, err := tp.Route(1, 4); err == nil {
+		t.Error("unreachable route accepted")
+	}
+	if _, err := tp.Route(9, 1); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := tp.Route(1, 9); err == nil {
+		t.Error("unknown destination accepted")
+	}
+}
+
+// TestRouteGridShortest: BFS routes in a grid have Manhattan length.
+func TestRouteGridShortest(t *testing.T) {
+	const rows, cols = 4, 5
+	tp := GridTopology(rows, cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	cases := []struct{ r1, c1, r2, c2 int }{
+		{0, 0, 3, 4}, {1, 1, 1, 3}, {3, 0, 0, 0}, {2, 4, 2, 4},
+	}
+	for _, c := range cases {
+		p, err := tp.Route(id(c.r1, c.c1), id(c.r2, c.c2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		manhattan := abs(c.r1-c.r2) + abs(c.c1-c.c2)
+		if len(p)-1 != manhattan {
+			t.Errorf("route (%d,%d)→(%d,%d) length %d, want %d",
+				c.r1, c.c1, c.r2, c.c2, len(p)-1, manhattan)
+		}
+		if err := tp.ValidatePath(p); err != nil {
+			t.Errorf("route invalid: %v", err)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Property: every BFS route is valid, loop-free and no longer than any
+// other discovered route between random grid endpoints.
+func TestRouteProperties(t *testing.T) {
+	tp := GridTopology(4, 4)
+	f := func(a, b uint8) bool {
+		src, dst := NodeID(a%16), NodeID(b%16)
+		p, err := tp.Route(src, dst)
+		if err != nil {
+			return false
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			return false
+		}
+		if err := tp.ValidatePath(p); err != nil {
+			return false
+		}
+		seen := map[NodeID]bool{}
+		for _, n := range p {
+			if seen[n] {
+				return false
+			}
+			seen[n] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package netcalc
+
+import (
+	"math"
+
+	"trajan/internal/model"
+)
+
+// BacklogBounds computes, per node, an upper bound on the backlog (in
+// work units) a router must buffer: the vertical deviation between the
+// node's aggregate arrival curve — with output-burstiness propagation
+// as in Analyze — and its unit-rate service curve. RFC 2598 sizes EF
+// queues by exactly this quantity; the simulator's observed
+// Result.NodeBacklog must stay below it (checked in the test suite).
+//
+// The returned map carries math.Inf(1) for nodes whose burstiness
+// fixed point diverges.
+func BacklogBounds(fs *model.FlowSet, opt Options) (map[model.NodeID]float64, error) {
+	res, err := Analyze(fs, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[model.NodeID]float64, len(res.NodeDelay))
+	for node, d := range res.NodeDelay {
+		if math.IsInf(d, 1) || !res.Stable {
+			out[node] = math.Inf(1)
+			continue
+		}
+		// For the unit-rate server β(t) = t the two deviations
+		// coincide: β(t+d) ≥ α(t) ⟺ d ≥ α(t) − t, so
+		// hDev = sup_t (α(t) − t) = vDev. The delay bound therefore IS
+		// the backlog bound in work units.
+		out[node] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package netcalc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+	"trajan/internal/workload"
+)
+
+// TestBacklogBoundsDominateSimulation: the per-node backlog bound must
+// cover every observed backlog, across random scenarios on the paper
+// example.
+func TestBacklogBoundsDominateSimulation(t *testing.T) {
+	fs := model.PaperExample()
+	bounds, err := BacklogBounds(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(fs, sim.Config{})
+	rng := rand.New(rand.NewSource(5))
+	for run := 0; run < 20; run++ {
+		sc := sim.RandomScenario(fs, rng, 6, 72, 10, 0)
+		res, err := eng.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node, bl := range res.NodeBacklog {
+			b, ok := bounds[node]
+			if !ok {
+				t.Fatalf("no bound for node %d", node)
+			}
+			if float64(bl.MaxWork) > b+1e-9 {
+				t.Errorf("run %d node %d: observed backlog %d > bound %.1f",
+					run, node, bl.MaxWork, b)
+			}
+		}
+	}
+}
+
+// TestBacklogBoundsFinite: the stable example yields finite bounds on
+// every node; an overloaded node yields +Inf.
+func TestBacklogBoundsFinite(t *testing.T) {
+	fs := model.PaperExample()
+	bounds, err := BacklogBounds(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, b := range bounds {
+		if math.IsInf(b, 1) || b <= 0 {
+			t.Errorf("node %d: bound %v", node, b)
+		}
+	}
+	f1 := model.UniformFlow("a", 4, 0, 0, 3, 1)
+	f2 := model.UniformFlow("b", 4, 0, 0, 3, 1)
+	over := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	ob, err := BacklogBounds(over, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ob[1], 1) {
+		t.Errorf("overloaded node bound %v, want +Inf", ob[1])
+	}
+}
+
+// TestSimBacklogAccounting: a synchronized burst at one node yields an
+// exactly predictable peak backlog.
+func TestSimBacklogAccounting(t *testing.T) {
+	f1 := model.UniformFlow("a", 100, 0, 0, 3, 1)
+	f2 := model.UniformFlow("b", 100, 0, 0, 4, 1)
+	f3 := model.UniformFlow("c", 100, 0, 0, 5, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2, f3})
+	res, err := sim.NewEngine(fs, sim.Config{}).Run(sim.PeriodicScenario(fs, nil, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := res.NodeBacklog[1]
+	if bl.MaxPackets != 3 || bl.MaxWork != 12 {
+		t.Errorf("backlog %+v, want {3 12}", bl)
+	}
+}
+
+// TestBacklogGrowsDownstream: with a merging topology, the merge node
+// buffers more than the private ingress nodes.
+func TestBacklogGrowsDownstream(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	fs, err := workload.RandomLine(rng, workload.RandomLineParams{
+		Nodes: 4, Flows: 5, MaxUtilization: 0.6, CostLo: 2, CostHi: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := BacklogBounds(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: every visited node has a positive bound that is at least
+	// one max packet.
+	for _, h := range fs.Nodes() {
+		var maxC model.Time
+		for _, j := range fs.FlowsAt(h) {
+			if c := fs.Flows[j].CostAt(h); c > maxC {
+				maxC = c
+			}
+		}
+		if bounds[h] < float64(maxC) {
+			t.Errorf("node %d: bound %.1f below one packet %d", h, bounds[h], maxC)
+		}
+	}
+}

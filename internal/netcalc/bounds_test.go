@@ -1,0 +1,177 @@
+package netcalc
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestAnalyzeSingleFlow: one flow on a unit-rate node has per-node
+// delay ≈ its own burst; the end-to-end bound must dominate the true
+// traversal.
+func TestAnalyzeSingleFlow(t *testing.T) {
+	f := model.UniformFlow("f", 100, 0, 0, 4, 1, 2, 3)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	res, err := Analyze(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("single flow must be stable")
+	}
+	if res.Bounds[0] < f.MinTraversal(fs.Net.Lmin) {
+		t.Errorf("bound %d below min traversal %d", res.Bounds[0], f.MinTraversal(fs.Net.Lmin))
+	}
+	if res.Bounds[0] >= model.TimeInfinity {
+		t.Error("bound must be finite")
+	}
+}
+
+// TestAnalyzePaperExample: finite, stable, and dominated by neither
+// exact analysis — network calculus with per-node propagation sits
+// between trajectory and naive bounds on this example.
+func TestAnalyzePaperExample(t *testing.T) {
+	fs := model.PaperExample()
+	res, err := Analyze(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("paper example must be stable under network calculus")
+	}
+	for i, f := range fs.Flows {
+		if res.Bounds[i] < f.MinTraversal(fs.Net.Lmin) {
+			t.Errorf("%s: bound %d below floor", f.Name, res.Bounds[i])
+		}
+		if res.Bounds[i] >= model.TimeInfinity {
+			t.Errorf("%s: infinite bound on a 44%%-utilized network", f.Name)
+		}
+	}
+	for _, h := range fs.Nodes() {
+		if d, ok := res.NodeDelay[h]; !ok || d < 0 {
+			t.Errorf("node %d delay %v", h, d)
+		}
+	}
+}
+
+// TestAnalyzeMonotoneInLoad: doubling the packet size (halving
+// headroom) cannot shrink any bound.
+func TestAnalyzeMonotoneInLoad(t *testing.T) {
+	small, err := Analyze(model.PaperExample(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]*model.Flow, 0, 5)
+	for _, f := range model.PaperExample().Flows {
+		g := f.Clone()
+		for k := range g.Cost {
+			g.Cost[k] *= 2
+		}
+		big = append(big, g)
+	}
+	bigRes, err := Analyze(model.MustNewFlowSet(model.UnitDelayNetwork(), big), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.Bounds {
+		if bigRes.Bounds[i] < small.Bounds[i] {
+			t.Errorf("flow %d: heavier load shrank bound %d → %d",
+				i, small.Bounds[i], bigRes.Bounds[i])
+		}
+	}
+}
+
+// TestAnalyzeOverload: a saturated node yields infinite bounds, not an
+// infinite loop.
+func TestAnalyzeOverload(t *testing.T) {
+	f1 := model.UniformFlow("f1", 4, 0, 0, 3, 1)
+	f2 := model.UniformFlow("f2", 4, 0, 0, 3, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	res, err := Analyze(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stable {
+		t.Error("overload reported stable")
+	}
+	for i, b := range res.Bounds {
+		if b != model.TimeInfinity {
+			t.Errorf("flow %d: bound %d, want infinity", i, b)
+		}
+	}
+}
+
+// TestCharnyLeBoudecLowUtilization: below the 1/(H−1) threshold the
+// bound is finite and dominates the per-hop floor.
+func TestCharnyLeBoudecLowUtilization(t *testing.T) {
+	// 3-hop paths (H=3): threshold ν < 1/2. Use ν = 4/36 per flow ≈ 0.22
+	// total at the shared nodes.
+	f1 := model.UniformFlow("f1", 36, 0, 0, 4, 1, 2, 3)
+	f2 := model.UniformFlow("f2", 36, 0, 0, 4, 2, 3, 4)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	res, err := CharnyLeBoudec(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("low utilization must be stable")
+	}
+	for i, f := range fs.Flows {
+		if res.Bounds[i] < f.MinTraversal(fs.Net.Lmin) {
+			t.Errorf("%s: bound %d below floor", f.Name, res.Bounds[i])
+		}
+	}
+}
+
+// TestCharnyLeBoudecBlowUp: past ν ≥ 1/(H−1) the closed form explodes —
+// the limitation of aggregate-FIFO bounds the paper cites ([11]).
+func TestCharnyLeBoudecBlowUp(t *testing.T) {
+	// H = 6 → threshold 0.2. Load the shared nodes to 0.44 (paper-like).
+	fs := model.PaperExample()
+	res, err := CharnyLeBoudec(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stable {
+		t.Error("paper example is above the Charny–Le Boudec threshold; bound must blow up")
+	}
+	for i, b := range res.Bounds {
+		if b != model.TimeInfinity {
+			t.Errorf("flow %d: bound %d, want infinity", i, b)
+		}
+	}
+}
+
+// TestCharnyLeBoudecMonotoneInUtilization: raising utilization raises
+// the finite bound.
+func TestCharnyLeBoudecMonotoneInUtilization(t *testing.T) {
+	mk := func(period model.Time) *model.FlowSet {
+		f1 := model.UniformFlow("f1", period, 0, 0, 4, 1, 2)
+		f2 := model.UniformFlow("f2", period, 0, 0, 4, 1, 2)
+		return model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	}
+	lo, err := CharnyLeBoudec(mk(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := CharnyLeBoudec(mk(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lo.Stable || !hi.Stable {
+		t.Fatal("both settings are below the H=2 threshold (ν<1)")
+	}
+	for i := range lo.Bounds {
+		if hi.Bounds[i] <= lo.Bounds[i] {
+			t.Errorf("flow %d: bound did not grow with utilization (%d vs %d)",
+				i, lo.Bounds[i], hi.Bounds[i])
+		}
+	}
+}
+
+// TestCharnyLeBoudecEmpty: degenerate input is an error.
+func TestCharnyLeBoudecEmpty(t *testing.T) {
+	if _, err := CharnyLeBoudec(&model.FlowSet{}); err == nil {
+		t.Error("empty set accepted")
+	}
+}

@@ -1,0 +1,340 @@
+// Package netcalc implements the network-calculus comparison baseline
+// (the paper's Section 3, references [4] and [11]): min-plus arrival
+// and service curves, per-node FIFO-aggregate delay bounds with output
+// burstiness propagation, and the Charny–Le Boudec closed-form bound
+// for networks with aggregate scheduling, which is finite only at low
+// utilization — the behaviour the paper cites as the limitation of the
+// approach.
+//
+// Curves are piecewise-linear, wide-sense increasing functions
+// [0,∞)→[0,∞), represented by segments with float64 arithmetic (the
+// bounds here are a comparison baseline; the exact integer analyses
+// live in packages trajectory and holistic).
+package netcalc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Segment is one affine piece: on [X, nextX), f(t) = Y + Slope·(t-X).
+// The last segment extends to infinity.
+type Segment struct {
+	X, Y, Slope float64
+}
+
+// Curve is a piecewise-linear wide-sense increasing function. The zero
+// value is the zero function.
+type Curve struct {
+	segs []Segment
+}
+
+// NewCurve builds a curve from segments sorted by X. It panics on
+// malformed input (unsorted, negative slope, or decreasing joins),
+// since curves are constructed from code, not user input.
+func NewCurve(segs ...Segment) Curve {
+	if len(segs) == 0 {
+		segs = []Segment{{0, 0, 0}}
+	}
+	if segs[0].X != 0 {
+		panic("netcalc: first segment must start at 0")
+	}
+	for i := range segs {
+		if segs[i].Slope < 0 {
+			panic(fmt.Sprintf("netcalc: negative slope %v", segs[i].Slope))
+		}
+		if i > 0 {
+			prev := segs[i-1]
+			if segs[i].X <= prev.X {
+				panic("netcalc: segments not strictly sorted by X")
+			}
+			endY := prev.Y + prev.Slope*(segs[i].X-prev.X)
+			if segs[i].Y < endY-1e-9 {
+				panic("netcalc: curve decreases at a join")
+			}
+		}
+	}
+	return Curve{segs: append([]Segment(nil), segs...)}
+}
+
+// Zero is the identically-zero curve.
+func Zero() Curve { return NewCurve(Segment{0, 0, 0}) }
+
+// TokenBucket returns the affine arrival curve α(t) = σ + ρ·t — the
+// envelope of a flow shaped to burst σ and sustained rate ρ.
+func TokenBucket(sigma, rho float64) Curve {
+	return NewCurve(Segment{0, sigma, rho})
+}
+
+// RateLatency returns the service curve β(t) = R·max(0, t-T): a server
+// guaranteeing rate R after latency T.
+func RateLatency(rate, latency float64) Curve {
+	if latency <= 0 {
+		return NewCurve(Segment{0, 0, rate})
+	}
+	return NewCurve(Segment{0, 0, 0}, Segment{latency, 0, rate})
+}
+
+// Eval evaluates the curve at t (t < 0 yields 0).
+func (c Curve) Eval(t float64) float64 {
+	if t < 0 || len(c.segs) == 0 {
+		return 0
+	}
+	i := sort.Search(len(c.segs), func(k int) bool { return c.segs[k].X > t }) - 1
+	s := c.segs[i]
+	return s.Y + s.Slope*(t-s.X)
+}
+
+// FinalRate is the slope of the last segment — the curve's long-run
+// growth rate.
+func (c Curve) FinalRate() float64 {
+	if len(c.segs) == 0 {
+		return 0
+	}
+	return c.segs[len(c.segs)-1].Slope
+}
+
+// Breakpoints returns the X coordinates where the curve changes slope.
+func (c Curve) Breakpoints() []float64 {
+	out := make([]float64, len(c.segs))
+	for i, s := range c.segs {
+		out[i] = s.X
+	}
+	return out
+}
+
+// merge returns the union of both curves' breakpoints plus the
+// crossing points of the current pieces.
+func mergeBreakpoints(a, b Curve) []float64 {
+	xs := append(a.Breakpoints(), b.Breakpoints()...)
+	// Crossing points between pieces.
+	for _, sa := range a.segs {
+		for _, sb := range b.segs {
+			if sa.Slope == sb.Slope {
+				continue
+			}
+			// Solve sa.Y + sa.Slope (x - sa.X) = sb.Y + sb.Slope (x - sb.X).
+			x := (sb.Y - sb.Slope*sb.X - sa.Y + sa.Slope*sa.X) / (sa.Slope - sb.Slope)
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	out := xs[:0]
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if len(out) == 0 || x-out[len(out)-1] > 1e-12 {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 || out[0] != 0 {
+		out = append([]float64{0}, out...)
+	}
+	return out
+}
+
+// combine builds the pointwise combination f(a(x), b(x)) sampled on the
+// merged breakpoints; valid when the result is again PWL on those
+// pieces (true for + and min).
+func combine(a, b Curve, f func(x, y float64) float64) Curve {
+	xs := mergeBreakpoints(a, b)
+	segs := make([]Segment, 0, len(xs))
+	for i, x := range xs {
+		y := f(a.Eval(x), b.Eval(x))
+		var slope float64
+		if i < len(xs)-1 {
+			next := xs[i+1]
+			slope = (f(a.Eval(next), b.Eval(next)) - y) / (next - x)
+		} else {
+			// Final slope: combine the final rates.
+			dx := 1.0
+			slope = f(a.Eval(x+dx), b.Eval(x+dx)) - y
+		}
+		if slope < 0 {
+			slope = 0
+		}
+		segs = append(segs, Segment{X: x, Y: y, Slope: slope})
+	}
+	return squash(segs)
+}
+
+// squash removes zero-length and slope-redundant segments.
+func squash(segs []Segment) Curve {
+	out := segs[:0]
+	for _, s := range segs {
+		if n := len(out); n > 0 {
+			p := out[n-1]
+			if math.Abs(p.Slope-s.Slope) < 1e-12 && math.Abs(p.Y+p.Slope*(s.X-p.X)-s.Y) < 1e-9 {
+				continue // collinear continuation
+			}
+		}
+		out = append(out, s)
+	}
+	return Curve{segs: append([]Segment(nil), out...)}
+}
+
+// Add returns the pointwise sum — the arrival curve of an aggregate.
+func (c Curve) Add(d Curve) Curve {
+	return combine(c, d, func(x, y float64) float64 { return x + y })
+}
+
+// Min returns the pointwise minimum.
+func (c Curve) Min(d Curve) Curve {
+	return combine(c, d, math.Min)
+}
+
+// ConvolveConvex returns the min-plus convolution a ⊗ b of two convex
+// curves (e.g. rate-latency service curves): the classic result is that
+// it concatenates the segments of both curves in increasing slope
+// order. Concatenating the service curves of nodes in tandem "pays the
+// burst only once".
+func ConvolveConvex(a, b Curve) Curve {
+	type piece struct{ len, slope float64 }
+	var pieces []piece
+	collect := func(c Curve) {
+		for i, s := range c.segs {
+			if i < len(c.segs)-1 {
+				pieces = append(pieces, piece{len: c.segs[i+1].X - s.X, slope: s.Slope})
+			} else {
+				pieces = append(pieces, piece{len: math.Inf(1), slope: s.Slope})
+			}
+		}
+	}
+	collect(a)
+	collect(b)
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].slope < pieces[j].slope })
+	segs := []Segment{}
+	x, y := 0.0, a.Eval(0)+b.Eval(0)
+	for _, p := range pieces {
+		segs = append(segs, Segment{X: x, Y: y, Slope: p.slope})
+		if math.IsInf(p.len, 1) {
+			break
+		}
+		x += p.len
+		y += p.slope * p.len
+	}
+	return squash(segs)
+}
+
+// HorizontalDeviation returns sup_t inf{d ≥ 0 : β(t+d) ≥ α(t)} — the
+// delay bound of a FIFO system serving arrivals bounded by α with
+// service curve β. It is +Inf when α's long-run rate exceeds β's.
+func HorizontalDeviation(alpha, beta Curve) float64 {
+	if alpha.FinalRate() > beta.FinalRate()+1e-12 {
+		return math.Inf(1)
+	}
+	// The supremum is attained at a breakpoint of α (α is scanned where
+	// it is "highest relative to its past") or at t=0.
+	var worst float64
+	for _, t := range alpha.Breakpoints() {
+		d := inverseGap(beta, t, alpha.Eval(t))
+		if d > worst {
+			worst = d
+		}
+	}
+	// Also scan β's breakpoints mapped back through α's pieces: the gap
+	// t ↦ β⁻¹(α(t)) − t is piecewise linear between these events, so the
+	// candidate set below is exhaustive.
+	for _, x := range beta.Breakpoints() {
+		// Find t with α(t) = β(x): the deviation candidate is x - t.
+		t := inverseAt(alpha, beta.Eval(x))
+		if t >= 0 {
+			if d := x - t; d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// inverseGap returns inf{d ≥ 0 : beta(t+d) ≥ target}.
+func inverseGap(beta Curve, t, target float64) float64 {
+	x := inverseAt(beta, target)
+	if math.IsInf(x, 1) {
+		return math.Inf(1)
+	}
+	if x < t {
+		return 0
+	}
+	return x - t
+}
+
+// inverseAt returns the smallest x with c(x) ≥ y (+Inf if never).
+func inverseAt(c Curve, y float64) float64 {
+	if y <= c.Eval(0) {
+		return 0
+	}
+	for i, s := range c.segs {
+		var endY float64
+		if i < len(c.segs)-1 {
+			endY = s.Y + s.Slope*(c.segs[i+1].X-s.X)
+		} else {
+			endY = math.Inf(1)
+			if s.Slope == 0 {
+				endY = s.Y
+			}
+		}
+		if y <= endY {
+			if s.Slope == 0 {
+				if y <= s.Y {
+					return s.X
+				}
+				continue
+			}
+			return s.X + (y-s.Y)/s.Slope
+		}
+	}
+	return math.Inf(1)
+}
+
+// VerticalDeviation returns sup_t (α(t) − β(t)) — the backlog bound.
+func VerticalDeviation(alpha, beta Curve) float64 {
+	if alpha.FinalRate() > beta.FinalRate()+1e-12 {
+		return math.Inf(1)
+	}
+	var worst float64
+	for _, x := range mergeBreakpoints(alpha, beta) {
+		if d := alpha.Eval(x) - beta.Eval(x); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// DeconvolveAffine returns the output arrival curve α ⊘ β for an affine
+// arrival α = (σ, ρ) served with rate-latency β = (R, T), ρ ≤ R:
+// the classic closed form (σ + ρ·T, ρ).
+func DeconvolveAffine(alpha, beta Curve) (Curve, error) {
+	if len(alpha.segs) != 1 {
+		return Curve{}, fmt.Errorf("netcalc: deconvolution implemented for affine arrival curves only")
+	}
+	sigma, rho := alpha.segs[0].Y, alpha.segs[0].Slope
+	R, T := beta.FinalRate(), beta.latency()
+	if rho > R+1e-12 {
+		return Curve{}, fmt.Errorf("netcalc: arrival rate %v exceeds service rate %v", rho, R)
+	}
+	return TokenBucket(sigma+rho*T, rho), nil
+}
+
+// latency is the largest t with c(t) = 0.
+func (c Curve) latency() float64 {
+	var t float64
+	for i, s := range c.segs {
+		if s.Y > 0 {
+			return t
+		}
+		if s.Slope > 0 {
+			return s.X
+		}
+		if i < len(c.segs)-1 {
+			t = c.segs[i+1].X
+		} else {
+			return math.Inf(1)
+		}
+	}
+	return t
+}

@@ -1,0 +1,169 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCurveEval(t *testing.T) {
+	tb := TokenBucket(5, 2)
+	if !approx(tb.Eval(0), 5) || !approx(tb.Eval(3), 11) {
+		t.Errorf("token bucket eval: %v, %v", tb.Eval(0), tb.Eval(3))
+	}
+	rl := RateLatency(3, 4)
+	if !approx(rl.Eval(0), 0) || !approx(rl.Eval(4), 0) || !approx(rl.Eval(6), 6) {
+		t.Errorf("rate latency eval: %v %v %v", rl.Eval(0), rl.Eval(4), rl.Eval(6))
+	}
+	if rl.Eval(-1) != 0 {
+		t.Error("negative time must evaluate to 0")
+	}
+	if Zero().Eval(100) != 0 {
+		t.Error("zero curve")
+	}
+}
+
+func TestCurveConstructorsValidate(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nonzero start": func() { NewCurve(Segment{X: 1, Y: 0, Slope: 1}) },
+		"neg slope":     func() { NewCurve(Segment{X: 0, Y: 0, Slope: -1}) },
+		"unsorted":      func() { NewCurve(Segment{0, 0, 1}, Segment{0, 1, 1}) },
+		"decreasing":    func() { NewCurve(Segment{0, 5, 1}, Segment{2, 0, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := TokenBucket(2, 1)
+	b := TokenBucket(3, 2)
+	s := a.Add(b)
+	for _, x := range []float64{0, 1, 2.5, 10} {
+		if !approx(s.Eval(x), a.Eval(x)+b.Eval(x)) {
+			t.Errorf("Add at %v: %v", x, s.Eval(x))
+		}
+	}
+	if !approx(s.FinalRate(), 3) {
+		t.Errorf("final rate %v", s.FinalRate())
+	}
+}
+
+func TestMin(t *testing.T) {
+	// A token bucket min a pure rate: the rate wins early, the bucket
+	// late, crossing at σ/(ρdiff).
+	a := TokenBucket(6, 1)
+	b := NewCurve(Segment{0, 0, 3})
+	m := a.Min(b)
+	for _, x := range []float64{0, 1, 2, 3, 4, 10} {
+		if !approx(m.Eval(x), math.Min(a.Eval(x), b.Eval(x))) {
+			t.Errorf("Min at %v: got %v want %v", x, m.Eval(x), math.Min(a.Eval(x), b.Eval(x)))
+		}
+	}
+}
+
+// TestConvolveConvex: rate-latency ⊗ rate-latency = rate-latency with
+// summed latencies and min rate — the tandem "pay bursts only once"
+// service curve.
+func TestConvolveConvex(t *testing.T) {
+	a := RateLatency(3, 2)
+	b := RateLatency(5, 1)
+	c := ConvolveConvex(a, b)
+	want := RateLatency(3, 3)
+	for _, x := range []float64{0, 2, 3, 4, 10} {
+		if !approx(c.Eval(x), want.Eval(x)) {
+			t.Errorf("convolution at %v: %v want %v", x, c.Eval(x), want.Eval(x))
+		}
+	}
+}
+
+func TestConvolveConvexIdentityWithZeroLatency(t *testing.T) {
+	a := RateLatency(2, 0)
+	b := RateLatency(7, 0)
+	c := ConvolveConvex(a, b)
+	if !approx(c.Eval(10), 20) {
+		t.Errorf("min-rate convolution at 10: %v", c.Eval(10))
+	}
+}
+
+// TestHorizontalDeviationClosedForm: for α=(σ,ρ), β=(R,T) with ρ≤R the
+// delay bound is T + σ/R.
+func TestHorizontalDeviationClosedForm(t *testing.T) {
+	cases := []struct{ sigma, rho, rate, lat float64 }{
+		{4, 1, 2, 3},
+		{10, 0.5, 1, 0},
+		{1, 1, 1, 5},
+	}
+	for _, c := range cases {
+		d := HorizontalDeviation(TokenBucket(c.sigma, c.rho), RateLatency(c.rate, c.lat))
+		want := c.lat + c.sigma/c.rate
+		if !approx(d, want) {
+			t.Errorf("hdev(σ=%v,ρ=%v;R=%v,T=%v) = %v, want %v", c.sigma, c.rho, c.rate, c.lat, d, want)
+		}
+	}
+}
+
+func TestHorizontalDeviationUnstable(t *testing.T) {
+	d := HorizontalDeviation(TokenBucket(1, 3), RateLatency(2, 0))
+	if !math.IsInf(d, 1) {
+		t.Errorf("overloaded deviation %v, want +Inf", d)
+	}
+}
+
+// TestVerticalDeviationClosedForm: backlog bound σ + ρT.
+func TestVerticalDeviationClosedForm(t *testing.T) {
+	v := VerticalDeviation(TokenBucket(4, 1), RateLatency(2, 3))
+	if !approx(v, 4+1*3) {
+		t.Errorf("vdev = %v, want 7", v)
+	}
+	if !math.IsInf(VerticalDeviation(TokenBucket(1, 3), RateLatency(2, 0)), 1) {
+		t.Error("unstable vdev must be +Inf")
+	}
+}
+
+// TestDeconvolveAffine: output burstiness σ + ρT at rate ρ.
+func TestDeconvolveAffine(t *testing.T) {
+	out, err := DeconvolveAffine(TokenBucket(4, 1), RateLatency(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(out.Eval(0), 7) || !approx(out.FinalRate(), 1) {
+		t.Errorf("output curve (%v, %v)", out.Eval(0), out.FinalRate())
+	}
+	if _, err := DeconvolveAffine(TokenBucket(1, 5), RateLatency(2, 0)); err == nil {
+		t.Error("rate overload accepted")
+	}
+	multi := NewCurve(Segment{0, 0, 1}, Segment{5, 5, 2})
+	if _, err := DeconvolveAffine(multi, RateLatency(3, 0)); err == nil {
+		t.Error("non-affine arrival accepted")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	if !approx(RateLatency(2, 7).latency(), 7) {
+		t.Error("latency of rate-latency curve")
+	}
+	if !approx(TokenBucket(1, 1).latency(), 0) {
+		t.Error("latency of token bucket")
+	}
+}
+
+// TestHorizontalDeviationPiecewise: a two-piece arrival curve against a
+// rate-latency server — the worst gap sits at the arrival breakpoint.
+func TestHorizontalDeviationPiecewise(t *testing.T) {
+	// α: burst 2 then rate 2 until t=3 (y=8), then rate 0.5.
+	alpha := NewCurve(Segment{0, 2, 2}, Segment{3, 8, 0.5})
+	beta := RateLatency(1, 1)
+	// β(t) = t−1. α(3) = 8 → crossing at t = 9 → gap 6. Check.
+	d := HorizontalDeviation(alpha, beta)
+	if !approx(d, 6) {
+		t.Errorf("piecewise hdev = %v, want 6", d)
+	}
+}

@@ -1,0 +1,97 @@
+package netcalc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Deconvolve computes the min-plus deconvolution
+//
+//	(α ⊘ β)(t) = sup_{u ≥ 0} [ α(t+u) − β(u) ]
+//
+// for piecewise-linear curves — the output arrival curve of a flow
+// constrained by α served with curve β. It requires α's long-run rate
+// not to exceed β's (otherwise the supremum is infinite).
+//
+// For fixed t the supremum over u of a difference of PWL functions is
+// attained where some piece changes: at β's breakpoints, at points
+// where t+u crosses an α breakpoint, or in the tail (equal final
+// rates). As t varies, the active-piece combination changes only when
+// t crosses a difference of breakpoints, so the result is PWL with
+// kinks among {bα − bβ}; evaluating the supremum exactly on that
+// candidate set reconstructs the curve.
+func Deconvolve(alpha, beta Curve) (Curve, error) {
+	if alpha.FinalRate() > beta.FinalRate()+1e-12 {
+		return Curve{}, fmt.Errorf("netcalc: deconvolution unbounded (arrival rate %v > service rate %v)",
+			alpha.FinalRate(), beta.FinalRate())
+	}
+	aBps := alpha.Breakpoints()
+	bBps := beta.Breakpoints()
+
+	// A far-out u sample captures the tail (needed when the final rates
+	// are equal and the tail difference dominates).
+	var maxBp float64
+	for _, x := range append(append([]float64{}, aBps...), bBps...) {
+		if x > maxBp {
+			maxBp = x
+		}
+	}
+	tailU := 2*maxBp + 1
+
+	supAt := func(t float64) float64 {
+		best := math.Inf(-1)
+		try := func(u float64) {
+			if u < 0 {
+				return
+			}
+			if v := alpha.Eval(t+u) - beta.Eval(u); v > best {
+				best = v
+			}
+		}
+		try(0)
+		try(tailU)
+		for _, u := range bBps {
+			try(u)
+		}
+		for _, ba := range aBps {
+			try(ba - t)
+		}
+		return best
+	}
+
+	// Candidate t values where the active pieces can change.
+	tsSet := map[float64]struct{}{0: {}}
+	for _, ba := range aBps {
+		tsSet[ba] = struct{}{}
+		for _, bb := range bBps {
+			if d := ba - bb; d > 0 {
+				tsSet[d] = struct{}{}
+			}
+		}
+	}
+	ts := make([]float64, 0, len(tsSet))
+	for t := range tsSet {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+
+	segs := make([]Segment, 0, len(ts))
+	for i, t := range ts {
+		y := supAt(t)
+		var slope float64
+		if i+1 < len(ts) {
+			next := ts[i+1]
+			slope = (supAt(next) - y) / (next - t)
+		} else {
+			slope = supAt(t+1) - y
+		}
+		if slope < 0 {
+			// The deconvolution of wide-sense increasing curves is
+			// wide-sense increasing; numerical dust only.
+			slope = 0
+		}
+		segs = append(segs, Segment{X: t, Y: y, Slope: slope})
+	}
+	return squash(segs), nil
+}

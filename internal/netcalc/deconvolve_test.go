@@ -1,0 +1,116 @@
+package netcalc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDeconvolveMatchesAffineClosedForm: on token-bucket/rate-latency
+// pairs the general deconvolution reproduces (σ+ρT, ρ).
+func TestDeconvolveMatchesAffineClosedForm(t *testing.T) {
+	cases := []struct{ sigma, rho, rate, lat float64 }{
+		{4, 1, 2, 3},
+		{10, 0.5, 1, 0},
+		{1, 2, 2, 5}, // equal rates
+	}
+	for _, c := range cases {
+		alpha := TokenBucket(c.sigma, c.rho)
+		beta := RateLatency(c.rate, c.lat)
+		want, err := DeconvolveAffine(alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Deconvolve(alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range []float64{0, 0.5, 1, 3, 7, 20} {
+			if !approx(got.Eval(x), want.Eval(x)) {
+				t.Errorf("σ=%v ρ=%v R=%v T=%v at %v: %v want %v",
+					c.sigma, c.rho, c.rate, c.lat, x, got.Eval(x), want.Eval(x))
+			}
+		}
+	}
+}
+
+// TestDeconvolveIsUpperEnvelope: the result dominates α(t+u) − β(u)
+// for sampled (t,u) and touches it somewhere (supremum property).
+func TestDeconvolveIsUpperEnvelope(t *testing.T) {
+	alpha := NewCurve(Segment{0, 3, 2}, Segment{4, 11, 0.5})
+	beta := RateLatency(1.5, 2)
+	out, err := Deconvolve(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		tt := rng.Float64() * 15
+		u := rng.Float64() * 15
+		lower := alpha.Eval(tt+u) - beta.Eval(u)
+		if out.Eval(tt) < lower-1e-6 {
+			t.Fatalf("out(%v)=%v below α(t+u)−β(u)=%v at u=%v", tt, out.Eval(tt), lower, u)
+		}
+	}
+	// Supremum is attained at u=latency-ish points: check the value at
+	// t=0 equals the burst inflation α(T)−0 shape.
+	atZero := out.Eval(0)
+	best := math.Inf(-1)
+	for u := 0.0; u < 30; u += 0.01 {
+		if v := alpha.Eval(u) - beta.Eval(u); v > best {
+			best = v
+		}
+	}
+	if math.Abs(atZero-best) > 1e-6 {
+		t.Errorf("out(0)=%v, dense-scan sup %v", atZero, best)
+	}
+}
+
+// TestDeconvolveUnbounded: arrival rate above service rate is refused.
+func TestDeconvolveUnbounded(t *testing.T) {
+	if _, err := Deconvolve(TokenBucket(1, 3), RateLatency(2, 0)); err == nil {
+		t.Error("unbounded deconvolution accepted")
+	}
+}
+
+// TestDeconvolveMultiPieceArrival: a two-rate arrival through a
+// rate-latency server — spot values verified against a dense numeric
+// supremum.
+func TestDeconvolveMultiPieceArrival(t *testing.T) {
+	alpha := NewCurve(Segment{0, 2, 3}, Segment{2, 8, 1})
+	beta := RateLatency(2, 1.5)
+	out, err := Deconvolve(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 0.7, 1.5, 2, 3.3, 6, 10} {
+		best := math.Inf(-1)
+		for u := 0.0; u < 40; u += 0.005 {
+			if v := alpha.Eval(tt+u) - beta.Eval(u); v > best {
+				best = v
+			}
+		}
+		if math.Abs(out.Eval(tt)-best) > 1e-2 {
+			t.Errorf("t=%v: symbolic %v vs dense %v", tt, out.Eval(tt), best)
+		}
+	}
+}
+
+// TestDeconvolveMonotoneNondecreasing: the output is a valid
+// wide-sense increasing curve.
+func TestDeconvolveMonotoneNondecreasing(t *testing.T) {
+	alpha := NewCurve(Segment{0, 1, 2}, Segment{3, 7, 0.25})
+	beta := RateLatency(1, 4)
+	out, err := Deconvolve(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := out.Eval(0)
+	for x := 0.1; x < 20; x += 0.1 {
+		cur := out.Eval(x)
+		if cur < prev-1e-9 {
+			t.Fatalf("decreasing at %v: %v < %v", x, cur, prev)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,46 @@
+package netcalc_test
+
+import (
+	"fmt"
+
+	"trajan/internal/netcalc"
+)
+
+// ExampleHorizontalDeviation computes the classic token-bucket through
+// rate-latency delay bound T + σ/R.
+func ExampleHorizontalDeviation() {
+	alpha := netcalc.TokenBucket(4, 1) // burst 4, rate 1
+	beta := netcalc.RateLatency(2, 3)  // rate 2 after latency 3
+	d := netcalc.HorizontalDeviation(alpha, beta)
+	b := netcalc.VerticalDeviation(alpha, beta)
+	fmt.Printf("delay ≤ %v, backlog ≤ %v\n", d, b)
+	// Output:
+	// delay ≤ 5, backlog ≤ 7
+}
+
+// ExampleConvolveConvex concatenates two rate-latency servers — the
+// "pay bursts only once" tandem service curve.
+func ExampleConvolveConvex() {
+	tandem := netcalc.ConvolveConvex(
+		netcalc.RateLatency(3, 2),
+		netcalc.RateLatency(5, 1),
+	)
+	fmt.Printf("rate %v after latency %v\n", tandem.FinalRate(), tandem.Eval(3))
+	// Output:
+	// rate 3 after latency 0
+}
+
+// ExampleDeconvolve derives a flow's output arrival curve after a
+// rate-latency server: the burst grows by ρ·T.
+func ExampleDeconvolve() {
+	out, err := netcalc.Deconvolve(
+		netcalc.TokenBucket(4, 1),
+		netcalc.RateLatency(2, 3),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("output burst %v, rate %v\n", out.Eval(0), out.FinalRate())
+	// Output:
+	// output burst 7, rate 1
+}

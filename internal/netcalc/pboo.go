@@ -1,0 +1,178 @@
+package netcalc
+
+import (
+	"math"
+
+	"trajan/internal/model"
+)
+
+// Leftover returns the service curve left to a flow at a node whose
+// capacity β (convex, e.g. rate-latency) is shared with cross traffic
+// bounded by αCross (concave, e.g. a token-bucket sum), under blind
+// (arbitrary) multiplexing: the non-decreasing closure of (β − αCross)⁺.
+// It is valid for any work-conserving discipline, FIFO included, at
+// the price of pessimism.
+//
+// The difference d = β − αCross is convex (convex minus concave), so
+// its closure has a simple exact shape: flat at m0 = max(d(0), 0)
+// until d climbs back to m0, then it follows d. The crossing point is
+// computed exactly inside the affine piece where it occurs — naive
+// interpolation between breakpoints would OVERestimate the curve on
+// the crossing piece, which is the unsound direction for a service
+// curve.
+func Leftover(beta, alphaCross Curve) Curve {
+	xs := mergeBreakpoints(beta, alphaCross)
+	d := func(x float64) float64 { return beta.Eval(x) - alphaCross.Eval(x) }
+	m0 := d(0)
+	if m0 < 0 {
+		m0 = 0
+	}
+	tailSlope := beta.FinalRate() - alphaCross.FinalRate()
+	if tailSlope < 0 {
+		tailSlope = 0
+	}
+
+	// Find the return point xr: the smallest x where d(x) ≥ m0 with d
+	// non-decreasing afterwards. By convexity it is the last upward
+	// crossing of level m0.
+	segs := []Segment{{X: 0, Y: m0, Slope: 0}}
+	for k := 0; k < len(xs); k++ {
+		xa := xs[k]
+		var xb float64
+		last := k == len(xs)-1
+		if !last {
+			xb = xs[k+1]
+		} else {
+			xb = xa + 1 // probe the tail piece
+		}
+		ya, yb := d(xa), d(xb)
+		if yb <= m0+1e-12 {
+			continue // still at or below the plateau
+		}
+		// Upward crossing inside [xa, xb): solve the affine piece.
+		var xr float64
+		if ya >= m0 {
+			xr = xa
+		} else {
+			xr = xa + (m0-ya)*(xb-xa)/(yb-ya)
+		}
+		// From xr on, the closure follows d exactly: emit the remainder
+		// of this piece and all later pieces.
+		slope := (yb - ya) / (xb - xa)
+		segs = append(segs, Segment{X: xr, Y: m0, Slope: slope})
+		for m := k + 1; m < len(xs); m++ {
+			x := xs[m]
+			var sl float64
+			if m+1 < len(xs) {
+				sl = (d(xs[m+1]) - d(x)) / (xs[m+1] - x)
+			} else {
+				sl = tailSlope
+			}
+			segs = append(segs, Segment{X: x, Y: d(x), Slope: sl})
+		}
+		return squash(segs)
+	}
+	// Never climbed above m0 within the breakpoints: flat, then the
+	// tail rate (if positive) from the last breakpoint's crossing.
+	if tailSlope > 0 {
+		lastX := xs[len(xs)-1]
+		yLast := d(lastX)
+		xr := lastX
+		if yLast < m0 {
+			xr = lastX + (m0-yLast)/tailSlope
+		}
+		segs = append(segs, Segment{X: xr, Y: m0, Slope: tailSlope})
+	}
+	return squash(segs)
+}
+
+// AnalyzePBOO derives per-flow end-to-end delay bounds by the
+// pay-bursts-only-once argument: for each flow, compute the leftover
+// service curve at every visited node (unit-rate server minus the
+// cross traffic's arrival curve, propagated with output burstiness as
+// in Analyze), convolve the leftovers along the path, and take the
+// horizontal deviation against the flow's own arrival curve. Compared
+// to the per-node sums of Analyze, the flow's burst is "paid" once
+// rather than at every hop; compared to the FIFO-aware analyses it
+// loses the FIFO ordering information (leftover service assumes blind
+// multiplexing), so neither dominates universally.
+func AnalyzePBOO(fs *model.FlowSet, opt Options) (*Result, error) {
+	// Reuse Analyze's burstiness propagation for the cross-traffic
+	// curves at each node.
+	base, err := Analyze(fs, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Bounds:    make([]model.Time, fs.N()),
+		NodeDelay: base.NodeDelay,
+		Stable:    base.Stable,
+	}
+	if !base.Stable {
+		for i := range res.Bounds {
+			res.Bounds[i] = model.TimeInfinity
+		}
+		return res, nil
+	}
+	// Rebuild the converged per-node per-flow arrival curves the same
+	// way Analyze does: the ingress burst inflated by each upstream
+	// node's delay bound, rescaled between nodes with different costs.
+	linkJitter := float64(fs.Net.Lmax - fs.Net.Lmin)
+	sigmaAt := func(i, k int) (sigma, rho float64) {
+		f := fs.Flows[i]
+		c0 := float64(f.Cost[0])
+		sigma = c0 * (1 + float64(f.Jitter)/float64(f.Period))
+		rho = c0 / float64(f.Period)
+		for m := 0; m < k; m++ {
+			d := base.NodeDelay[f.Path[m]]
+			cCur, cNext := float64(f.Cost[m]), float64(f.Cost[m+1])
+			sigma = (sigma + rho*(d+linkJitter)) / cCur * cNext
+			rho = cNext / float64(f.Period)
+		}
+		return sigma, rho
+	}
+
+	for i, f := range fs.Flows {
+		// End-to-end leftover: convolution of per-node leftovers.
+		var pathBeta Curve
+		first := true
+		diverged := false
+		for _, h := range f.Path {
+			cross := Zero()
+			for _, j := range fs.FlowsAt(h) {
+				if j == i {
+					continue
+				}
+				kj := fs.Flows[j].Path.Index(h)
+				sj, rj := sigmaAt(j, kj)
+				cross = cross.Add(TokenBucket(sj, rj))
+			}
+			leftover := Leftover(RateLatency(1, 0), cross)
+			if leftover.FinalRate() <= 1e-12 {
+				diverged = true
+				break
+			}
+			if first {
+				pathBeta, first = leftover, false
+			} else {
+				pathBeta = ConvolveConvex(pathBeta, leftover)
+			}
+		}
+		if diverged {
+			res.Bounds[i] = model.TimeInfinity
+			res.Stable = false
+			continue
+		}
+		sigma0 := float64(f.Cost[0]) * (1 + float64(f.Jitter)/float64(f.Period))
+		rho0 := float64(f.Cost[0]) / float64(f.Period)
+		d := HorizontalDeviation(TokenBucket(sigma0, rho0), pathBeta)
+		if math.IsInf(d, 1) {
+			res.Bounds[i] = model.TimeInfinity
+			res.Stable = false
+			continue
+		}
+		total := float64(f.Jitter) + d + float64(len(f.Path)-1)*float64(fs.Net.Lmax)
+		res.Bounds[i] = model.Time(math.Ceil(total - 1e-9))
+	}
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestLeftoverClosedForm: unit server minus a token bucket (σ,ρ) is,
+// after closure, the rate-latency curve with rate 1−ρ and latency
+// σ/(1−ρ).
+func TestLeftoverClosedForm(t *testing.T) {
+	beta := RateLatency(1, 0)
+	cross := TokenBucket(4, 0.5)
+	lo := Leftover(beta, cross)
+	want := RateLatency(0.5, 8)
+	for _, x := range []float64{0, 2, 7.9, 8, 9, 20} {
+		if !approx(lo.Eval(x), want.Eval(x)) {
+			t.Errorf("leftover(%v) = %v, want %v", x, lo.Eval(x), want.Eval(x))
+		}
+	}
+}
+
+// TestLeftoverNeverAboveRaw: the closure must never exceed the raw
+// positive difference where the difference is rising — the unsound
+// overestimate the exact crossing construction prevents.
+func TestLeftoverNeverAboveRaw(t *testing.T) {
+	beta := RateLatency(2, 3)
+	cross := NewCurve(Segment{0, 5, 0.25})
+	lo := Leftover(beta, cross)
+	for x := 0.0; x < 40; x += 0.05 {
+		raw := beta.Eval(x) - cross.Eval(x)
+		if raw < 0 {
+			raw = 0
+		}
+		// Closure ≥ raw is impossible beyond the plateau; in general
+		// closure(x) = max(plateau, raw-once-rising), and it must never
+		// exceed max(raw(x), plateau).
+		plateau := math.Max(beta.Eval(0)-cross.Eval(0), 0)
+		if lo.Eval(x) > math.Max(raw, plateau)+1e-9 {
+			t.Fatalf("closure overshoots at %v: %v > max(raw %v, plateau %v)",
+				x, lo.Eval(x), raw, plateau)
+		}
+	}
+}
+
+// TestLeftoverSaturated: cross traffic at or above the server rate
+// leaves a zero-rate curve.
+func TestLeftoverSaturated(t *testing.T) {
+	lo := Leftover(RateLatency(1, 0), TokenBucket(1, 1.5))
+	if lo.FinalRate() > 1e-12 {
+		t.Errorf("saturated leftover rate %v", lo.FinalRate())
+	}
+}
+
+// TestAnalyzePBOOSingleFlow: with no cross traffic PBOO reduces to the
+// flow's own burst through a unit-rate path.
+func TestAnalyzePBOOSingleFlow(t *testing.T) {
+	f := model.UniformFlow("f", 100, 0, 0, 4, 1, 2, 3)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	res, err := AnalyzePBOO(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable || res.Bounds[0] >= model.TimeInfinity {
+		t.Fatalf("unstable single flow: %+v", res)
+	}
+	if res.Bounds[0] < f.MinTraversal(fs.Net.Lmin)-8 {
+		// PBOO measures the service delay of the whole burst; it must
+		// at least cover one packet's work plus links.
+		t.Errorf("bound %d implausibly small", res.Bounds[0])
+	}
+}
+
+// TestAnalyzePBOOPaysBurstOnce: on a long path with one crossing flow
+// at the ingress, PBOO beats the per-node analysis (which re-pays the
+// burst per hop) — the textbook advantage.
+func TestAnalyzePBOOPaysBurstOnce(t *testing.T) {
+	long := model.UniformFlow("long", 60, 0, 0, 3, 1, 2, 3, 4, 5, 6, 7, 8)
+	cross := model.UniformFlow("cross", 60, 0, 0, 3, 9, 1, 10)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{long, cross})
+	perNode, err := Analyze(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pboo, err := AnalyzePBOO(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pboo.Bounds[0] >= perNode.Bounds[0] {
+		t.Errorf("PBOO %d did not beat per-node %d on the long path",
+			pboo.Bounds[0], perNode.Bounds[0])
+	}
+}
+
+// TestAnalyzePBOOSoundOnPaperExample: PBOO bounds must still dominate
+// the tight trajectory bounds' validated worst cases (compare against
+// the trajectory bounds themselves: PBOO is blind-multiplexing, so it
+// must be at least as large as the true worst case, which the
+// trajectory bounds over-approximate from above too; the checkable
+// relation is PBOO ≥ observed, implied by PBOO ≥ minTraversal and the
+// adversary suite. Here: finiteness and floor).
+func TestAnalyzePBOOSoundOnPaperExample(t *testing.T) {
+	fs := model.PaperExample()
+	res, err := AnalyzePBOO(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("paper example unstable under PBOO")
+	}
+	for i, f := range fs.Flows {
+		if res.Bounds[i] < f.MinTraversal(fs.Net.Lmin) {
+			t.Errorf("%s: PBOO bound %d below floor", f.Name, res.Bounds[i])
+		}
+	}
+}
+
+// TestAnalyzePBOOOverload: saturation yields infinite bounds.
+func TestAnalyzePBOOOverload(t *testing.T) {
+	f1 := model.UniformFlow("a", 4, 0, 0, 3, 1)
+	f2 := model.UniformFlow("b", 4, 0, 0, 3, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	res, err := AnalyzePBOO(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stable || res.Bounds[0] != model.TimeInfinity {
+		t.Errorf("overload not reported: %+v", res)
+	}
+}

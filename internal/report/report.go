@@ -1,0 +1,179 @@
+// Package report renders experiment results as aligned ASCII tables
+// (the repository's equivalent of the paper's tables) and CSV series
+// (its figures).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	aligned []bool // true = right-align (numeric)
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title, header: header, aligned: make([]bool, len(header))}
+	for i := range t.aligned {
+		t.aligned[i] = true
+	}
+	t.aligned[0] = false // first column is usually a label
+	return t
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i < len(t.aligned) && t.aligned[i] {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table
+// (title as a bold line above it), for pasting into docs like
+// EXPERIMENTS.md.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.header, " | ") + " |\n")
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		if i < len(t.aligned) && t.aligned[i] {
+			sep[i] = "---:"
+		} else {
+			sep[i] = "---"
+		}
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV accumulates a data series and renders RFC-4180-ish CSV (values
+// are produced by this repository's own formatters and never need
+// quoting beyond the comma check below).
+type CSV struct {
+	header []string
+	rows   [][]string
+}
+
+// NewCSV starts a series with the given column names.
+func NewCSV(header ...string) *CSV { return &CSV{header: header} }
+
+// AddRow appends one record.
+func (c *CSV) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, v := range cells {
+		s := fmt.Sprintf("%v", v)
+		if strings.ContainsAny(s, ",\"\n") {
+			s = `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		row[i] = s
+	}
+	c.rows = append(c.rows, row)
+}
+
+// Header returns the column names.
+func (c *CSV) Header() []string { return append([]string(nil), c.header...) }
+
+// Rows returns the accumulated records.
+func (c *CSV) Rows() [][]string {
+	out := make([][]string, len(c.rows))
+	for i, r := range c.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// Render writes the CSV.
+func (c *CSV) Render(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(c.header, ","))
+	b.WriteByte('\n')
+	for _, row := range c.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (c *CSV) String() string {
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		return fmt.Sprintf("report: %v", err)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table 2. End-to-end response times", "flow", "trajectory", "holistic")
+	tab.AddRow("tau1", 31, 43)
+	tab.AddRow("tau2", 37, 59)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Table 2") {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "trajectory") {
+		t.Errorf("header %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "tau1") || !strings.Contains(lines[3], "31") {
+		t.Errorf("row %q", lines[3])
+	}
+	// Numeric columns right-aligned: the widths of both data rows match.
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[3], lines[4])
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(1, 2)
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("empty title produced a blank line")
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	c := NewCSV("utilization", "bound")
+	c.AddRow(0.5, 42)
+	c.AddRow("with,comma", `with"quote`)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "utilization,bound" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "0.5,42" {
+		t.Errorf("row %q", lines[1])
+	}
+	if lines[2] != `"with,comma","with""quote"` {
+		t.Errorf("escaped row %q", lines[2])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("Results", "flow", "bound")
+	tab.AddRow("tau1", 31)
+	tab.AddRow("pipe|y", 2)
+	md := tab.Markdown()
+	lines := strings.Split(strings.TrimRight(md, "\n"), "\n")
+	if lines[0] != "**Results**" || lines[1] != "" {
+		t.Errorf("title lines %q %q", lines[0], lines[1])
+	}
+	if lines[2] != "| flow | bound |" {
+		t.Errorf("header %q", lines[2])
+	}
+	if lines[3] != "| --- | ---: |" {
+		t.Errorf("separator %q", lines[3])
+	}
+	if lines[4] != "| tau1 | 31 |" {
+		t.Errorf("row %q", lines[4])
+	}
+	if !strings.Contains(lines[5], `pipe\|y`) {
+		t.Errorf("pipe escaping broken: %q", lines[5])
+	}
+}

@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"trajan/internal/model"
+)
+
+// QueuedPacket is a packet waiting at (or being served by) a node.
+type QueuedPacket struct {
+	P *Packet
+	// HopIndex is the position of the current node on the packet's path.
+	HopIndex int
+	// Arrived is the arrival time at the current node.
+	Arrived model.Time
+	// Class is the packet's service class (from its flow).
+	Class model.Class
+	// Cost is the packet's service demand at the current node (the
+	// scenario's processing-time sample); schedulers that need packet
+	// sizes (e.g. WFQ finish tags) read it here.
+	Cost model.Time
+}
+
+// Scheduler is a node's service discipline. The engine calls Enqueue on
+// each arrival and Dequeue when the server frees; service is always
+// non-preemptive (the paper's Section 6.2 assumption).
+type Scheduler interface {
+	Enqueue(q QueuedPacket)
+	// Dequeue returns the next packet to serve and true, or false when
+	// no packet is ready.
+	Dequeue() (QueuedPacket, bool)
+	// Len is the number of queued packets.
+	Len() int
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// NewScheduler builds the scheduler of each node; nil selects the
+	// paper's plain FIFO discipline everywhere.
+	NewScheduler func(node model.NodeID) Scheduler
+	// RecordServices keeps the per-node service log needed to
+	// reconstruct busy periods (Figure 2); costs memory on long runs.
+	RecordServices bool
+}
+
+// ServiceRecord is one completed service at a node.
+type ServiceRecord struct {
+	Node           model.NodeID
+	Flow, Seq      int
+	Arrived, Start model.Time
+	Done           model.Time
+}
+
+// FlowStats aggregates one flow's observed behaviour.
+type FlowStats struct {
+	// Count is the number of delivered packets.
+	Count int
+	// MaxResponse and MinResponse are the extreme observed end-to-end
+	// response times; their difference is the observed jitter
+	// (Definition 2 measures exactly this difference in the worst case).
+	MaxResponse, MinResponse model.Time
+	// WorstSeq is the sequence number of the packet attaining
+	// MaxResponse.
+	WorstSeq int
+	// MaxSojourn[k] is the largest sojourn observed at the k-th node of
+	// the flow's path.
+	MaxSojourn []model.Time
+}
+
+// Jitter is the observed end-to-end jitter: MaxResponse - MinResponse.
+func (s FlowStats) Jitter() model.Time {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.MaxResponse - s.MinResponse
+}
+
+// BacklogStats records a node's worst observed congestion — what a
+// router's queue memory must hold (RFC 2598 dimensions EF buffers by
+// exactly this).
+type BacklogStats struct {
+	// MaxPackets is the largest number of packets simultaneously at the
+	// node (queued plus in service).
+	MaxPackets int
+	// MaxWork is the largest backlog in work units (processing time
+	// admitted but not yet completed).
+	MaxWork model.Time
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// PerFlow[i] aggregates flow i's delivered packets.
+	PerFlow []FlowStats
+	// Packets holds every packet with its full itinerary.
+	Packets []*Packet
+	// Services is the per-node service log (nil unless
+	// Config.RecordServices).
+	Services []ServiceRecord
+	// NodeBacklog is each node's worst observed congestion.
+	NodeBacklog map[model.NodeID]BacklogStats
+	// Makespan is the completion time of the last delivery.
+	Makespan model.Time
+}
+
+// MaxResponses extracts the per-flow maxima as a slice aligned with the
+// flow set.
+func (r *Result) MaxResponses() []model.Time {
+	out := make([]model.Time, len(r.PerFlow))
+	for i, s := range r.PerFlow {
+		out[i] = s.MaxResponse
+	}
+	return out
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+)
+
+type event struct {
+	at   model.Time
+	kind eventKind
+	node model.NodeID
+	q    QueuedPacket
+	seq  int // global monotone sequence for deterministic ordering
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	if h[a].kind != h[b].kind {
+		// Completions free servers before same-tick arrivals start service.
+		return h[a].kind == evCompletion
+	}
+	return h[a].seq < h[b].seq
+}
+func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type nodeState struct {
+	sched   Scheduler
+	busy    bool
+	serving QueuedPacket
+	// backlog accounting: packets and work currently at the node.
+	pkts int
+	work model.Time
+}
+
+type linkKey struct{ from, to model.NodeID }
+
+// Engine runs scenarios against a flow set.
+type Engine struct {
+	fs  *model.FlowSet
+	cfg Config
+}
+
+// NewEngine builds a simulation engine for the flow set.
+func NewEngine(fs *model.FlowSet, cfg Config) *Engine {
+	if cfg.NewScheduler == nil {
+		cfg.NewScheduler = func(model.NodeID) Scheduler { return NewFIFOScheduler() }
+	}
+	return &Engine{fs: fs, cfg: cfg}
+}
+
+// Run executes one scenario to completion and returns the observations.
+// The scenario must be valid for the engine's flow set.
+func (e *Engine) Run(sc *Scenario) (*Result, error) {
+	if err := sc.Validate(e.fs); err != nil {
+		return nil, err
+	}
+	nodes := make(map[model.NodeID]*nodeState)
+	for _, h := range e.fs.Nodes() {
+		nodes[h] = &nodeState{sched: e.cfg.NewScheduler(h)}
+	}
+	lastLinkArrival := make(map[linkKey]model.Time)
+
+	res := &Result{
+		PerFlow:     make([]FlowStats, e.fs.N()),
+		NodeBacklog: make(map[model.NodeID]BacklogStats, len(nodes)),
+	}
+	for i := range res.PerFlow {
+		res.PerFlow[i].MaxSojourn = make([]model.Time, len(e.fs.Flows[i].Path))
+	}
+
+	var h eventHeap
+	seq := 0
+	push := func(at model.Time, kind eventKind, node model.NodeID, q QueuedPacket) {
+		heap.Push(&h, event{at: at, kind: kind, node: node, q: q, seq: seq})
+		seq++
+	}
+
+	// Seed: release each packet at its ingress node.
+	for i, f := range e.fs.Flows {
+		for k, gen := range sc.Gen[i] {
+			p := &Packet{
+				Flow:      i,
+				Seq:       k,
+				Generated: gen,
+				Released:  gen + sc.jitter(i, k),
+				Hops:      make([]Hop, len(f.Path)),
+				TieBreak:  sc.tiebreak(i),
+			}
+			for s, n := range f.Path {
+				p.Hops[s].Node = n
+			}
+			res.Packets = append(res.Packets, p)
+			q := QueuedPacket{P: p, HopIndex: 0, Arrived: p.Released, Class: f.Class,
+				Cost: sc.proc(e.fs, i, k, 0)}
+			push(p.Released, evArrival, f.Path[0], q)
+		}
+	}
+
+	tryStart := func(ns *nodeState, node model.NodeID, now model.Time) {
+		if ns.busy {
+			return
+		}
+		q, ok := ns.sched.Dequeue()
+		if !ok {
+			return
+		}
+		ns.busy = true
+		ns.serving = q
+		proc := q.Cost
+		q.P.Hops[q.HopIndex].Start = now
+		q.P.Hops[q.HopIndex].Done = now + proc
+		push(now+proc, evCompletion, node, q)
+	}
+
+	// Process events in per-tick batches: all arrivals and completions
+	// at one tick take effect before any service decision at that tick,
+	// so a node chooses among every packet present — in particular the
+	// scheduler's tie-break between simultaneous arrivals is honoured.
+	var touched []model.NodeID
+	touch := func(n model.NodeID) {
+		for _, t := range touched {
+			if t == n {
+				return
+			}
+		}
+		touched = append(touched, n)
+	}
+	for h.Len() > 0 {
+		now := h[0].at
+		touched = touched[:0]
+		for h.Len() > 0 && h[0].at == now {
+			ev := heap.Pop(&h).(event)
+			ns, ok := nodes[ev.node]
+			if !ok {
+				return nil, fmt.Errorf("sim: event for unknown node %d", ev.node)
+			}
+			touch(ev.node)
+			switch ev.kind {
+			case evArrival:
+				ev.q.P.Hops[ev.q.HopIndex].Arrived = ev.q.Arrived
+				ns.sched.Enqueue(ev.q)
+				ns.pkts++
+				ns.work += ev.q.Cost
+				if bl := res.NodeBacklog[ev.node]; ns.pkts > bl.MaxPackets || ns.work > bl.MaxWork {
+					if ns.pkts > bl.MaxPackets {
+						bl.MaxPackets = ns.pkts
+					}
+					if ns.work > bl.MaxWork {
+						bl.MaxWork = ns.work
+					}
+					res.NodeBacklog[ev.node] = bl
+				}
+
+			case evCompletion:
+				q := ev.q
+				ns.busy = false
+				ns.pkts--
+				ns.work -= q.Cost
+				f := e.fs.Flows[q.P.Flow]
+				st := &res.PerFlow[q.P.Flow]
+				sojourn := ev.at - q.Arrived
+				if sojourn > st.MaxSojourn[q.HopIndex] {
+					st.MaxSojourn[q.HopIndex] = sojourn
+				}
+				if e.cfg.RecordServices {
+					res.Services = append(res.Services, ServiceRecord{
+						Node: ev.node, Flow: q.P.Flow, Seq: q.P.Seq,
+						Arrived: q.Arrived, Start: q.P.Hops[q.HopIndex].Start, Done: ev.at,
+					})
+				}
+				if q.HopIndex == len(f.Path)-1 {
+					q.P.Delivered = ev.at
+					resp := q.P.Response()
+					if st.Count == 0 || resp > st.MaxResponse {
+						st.MaxResponse = resp
+						st.WorstSeq = q.P.Seq
+					}
+					if st.Count == 0 || resp < st.MinResponse {
+						st.MinResponse = resp
+					}
+					st.Count++
+					if ev.at > res.Makespan {
+						res.Makespan = ev.at
+					}
+				} else {
+					next := f.Path[q.HopIndex+1]
+					delay := sc.link(e.fs, q.P.Flow, q.P.Seq, q.HopIndex)
+					arr := ev.at + delay
+					// Links are FIFO: a packet cannot arrive before one
+					// that departed earlier on the same link.
+					lk := linkKey{from: ev.node, to: next}
+					if prev := lastLinkArrival[lk]; arr < prev {
+						arr = prev
+					}
+					lastLinkArrival[lk] = arr
+					nq := QueuedPacket{P: q.P, HopIndex: q.HopIndex + 1, Arrived: arr, Class: q.Class,
+						Cost: sc.proc(e.fs, q.P.Flow, q.P.Seq, q.HopIndex+1)}
+					push(arr, evArrival, next, nq)
+				}
+			}
+		}
+		for _, n := range touched {
+			tryStart(nodes[n], n, now)
+		}
+	}
+	return res, nil
+}

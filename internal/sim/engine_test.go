@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trajan/internal/model"
+)
+
+func runScenario(t *testing.T, fs *model.FlowSet, sc *Scenario, cfg Config) *Result {
+	t.Helper()
+	res, err := NewEngine(fs, cfg).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSingleFlowTraversal: one packet, no contention — the itinerary is
+// fully determined.
+func TestSingleFlowTraversal(t *testing.T) {
+	f := model.UniformFlow("f", 100, 0, 0, 4, 1, 2, 3)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	sc := PeriodicScenario(fs, nil, 1)
+	res := runScenario(t, fs, sc, Config{})
+	p := res.Packets[0]
+	wantHops := []Hop{
+		{Node: 1, Arrived: 0, Start: 0, Done: 4},
+		{Node: 2, Arrived: 5, Start: 5, Done: 9},
+		{Node: 3, Arrived: 10, Start: 10, Done: 14},
+	}
+	if !reflect.DeepEqual(p.Hops, wantHops) {
+		t.Errorf("hops = %+v, want %+v", p.Hops, wantHops)
+	}
+	if p.Response() != 14 {
+		t.Errorf("response %d, want 14", p.Response())
+	}
+	if res.Makespan != 14 {
+		t.Errorf("makespan %d", res.Makespan)
+	}
+}
+
+// TestTandemWorstCase reproduces by simulation the exact worst case the
+// trajectory analysis predicts for the two-flow tandem (bound 10): the
+// victim loses the ingress tie and trails the interferer.
+func TestTandemWorstCase(t *testing.T) {
+	f1 := model.UniformFlow("f1", 100, 0, 0, 3, 1, 2)
+	f2 := model.UniformFlow("f2", 100, 0, 0, 3, 1, 2)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	sc := PeriodicScenario(fs, nil, 1)
+	sc.TieBreak = []int{2, 1} // f1 loses simultaneous-arrival ties
+	res := runScenario(t, fs, sc, Config{})
+	if got := res.PerFlow[0].MaxResponse; got != 10 {
+		t.Errorf("victim response %d, want 10", got)
+	}
+	if got := res.PerFlow[1].MaxResponse; got != 7 {
+		t.Errorf("winner response %d, want 7", got)
+	}
+}
+
+// TestHeadOnWorstCase reproduces the reverse-direction worst case
+// (bound 10): the interferer released 4 early ties with the victim at
+// its ingress and wins.
+func TestHeadOnWorstCase(t *testing.T) {
+	f1 := model.UniformFlow("f1", 100, 0, 0, 3, 1, 2)
+	f2 := model.UniformFlow("f2", 100, 0, 0, 3, 2, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	sc := PeriodicScenario(fs, []model.Time{4, 0}, 1)
+	sc.TieBreak = []int{2, 1}
+	res := runScenario(t, fs, sc, Config{})
+	if got := res.PerFlow[0].MaxResponse; got != 10 {
+		t.Errorf("victim response %d, want 10", got)
+	}
+}
+
+// TestFIFOOrderWithinNode: packets are served in arrival order, not
+// enqueue order, whatever the event interleaving.
+func TestFIFOOrderWithinNode(t *testing.T) {
+	f1 := model.UniformFlow("f1", 100, 0, 0, 2, 1)
+	f2 := model.UniformFlow("f2", 100, 0, 0, 2, 1)
+	f3 := model.UniformFlow("f3", 100, 0, 0, 2, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2, f3})
+	// Arrivals at 2, 1, 0 → service order f3, f2, f1.
+	sc := PeriodicScenario(fs, []model.Time{2, 1, 0}, 1)
+	res := runScenario(t, fs, sc, Config{RecordServices: true})
+	order := make([]int, 0, 3)
+	for _, s := range res.Services {
+		order = append(order, s.Flow)
+	}
+	if !reflect.DeepEqual(order, []int{2, 1, 0}) {
+		t.Errorf("service order %v, want [2 1 0]", order)
+	}
+}
+
+// TestTieBreakHonoured: simultaneous arrivals are served by TieBreak
+// even when the preferred packet's arrival event is processed later in
+// the same tick.
+func TestTieBreakHonoured(t *testing.T) {
+	f1 := model.UniformFlow("f1", 100, 0, 0, 2, 1)
+	f2 := model.UniformFlow("f2", 100, 0, 0, 2, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	sc := PeriodicScenario(fs, nil, 1)
+	sc.TieBreak = []int{5, 1} // f2 first despite being seeded second
+	res := runScenario(t, fs, sc, Config{RecordServices: true})
+	if res.Services[0].Flow != 1 {
+		t.Errorf("first served flow %d, want 1", res.Services[0].Flow)
+	}
+	if res.PerFlow[0].MaxResponse != 4 || res.PerFlow[1].MaxResponse != 2 {
+		t.Errorf("responses %d/%d, want 4/2",
+			res.PerFlow[0].MaxResponse, res.PerFlow[1].MaxResponse)
+	}
+}
+
+// TestLinkFIFOPreservesOrder: with variable link delays a later packet
+// cannot overtake an earlier one on the same link.
+func TestLinkFIFOPreservesOrder(t *testing.T) {
+	f := model.UniformFlow("f", 5, 0, 0, 2, 1, 2)
+	fs := model.MustNewFlowSet(model.Network{Lmin: 1, Lmax: 10}, []*model.Flow{f})
+	sc := PeriodicScenario(fs, nil, 2)
+	// First packet crawls (delay 10), second races (delay 1): the
+	// second must still arrive no earlier than the first.
+	sc.Link = [][][]model.Time{{{10}, {1}}}
+	res := runScenario(t, fs, sc, Config{})
+	a0 := res.Packets[0].Hops[1].Arrived
+	a1 := res.Packets[1].Hops[1].Arrived
+	if a1 < a0 {
+		t.Errorf("link overtaking: second arrives %d before first %d", a1, a0)
+	}
+}
+
+// TestReleaseJitterDelaysIngress: jitter delays the packet's visibility
+// to the ingress scheduler, and the response is measured from
+// generation.
+func TestReleaseJitterDelaysIngress(t *testing.T) {
+	f := model.UniformFlow("f", 100, 9, 0, 4, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	sc := PeriodicScenario(fs, nil, 1)
+	sc.Jit = [][]model.Time{{9}}
+	res := runScenario(t, fs, sc, Config{})
+	if got := res.PerFlow[0].MaxResponse; got != 13 {
+		t.Errorf("response %d, want 13 (9 jitter + 4 service)", got)
+	}
+}
+
+// TestJitterStat: observed jitter is max − min response.
+func TestJitterStat(t *testing.T) {
+	f1 := model.UniformFlow("f1", 50, 0, 0, 4, 1)
+	f2 := model.UniformFlow("f2", 50, 0, 0, 4, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	// First packets collide (f1 waits), second f1 packet rides alone.
+	sc := &Scenario{Gen: [][]model.Time{{0, 50}, {0}}}
+	sc.TieBreak = []int{2, 1}
+	res := runScenario(t, fs, sc, Config{})
+	st := res.PerFlow[0]
+	if st.MaxResponse != 8 || st.MinResponse != 4 || st.Jitter() != 4 {
+		t.Errorf("stats %+v", st)
+	}
+	if (FlowStats{}).Jitter() != 0 {
+		t.Error("empty stats jitter")
+	}
+}
+
+// TestMaxSojournPerNode: per-node sojourn maxima are recorded.
+func TestMaxSojournPerNode(t *testing.T) {
+	f1 := model.UniformFlow("f1", 100, 0, 0, 3, 1, 2)
+	f2 := model.UniformFlow("f2", 100, 0, 0, 3, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	sc := PeriodicScenario(fs, nil, 1)
+	sc.TieBreak = []int{2, 1}
+	res := runScenario(t, fs, sc, Config{})
+	// f1 waits 3 at node 1 (sojourn 6), rides free at node 2 (3).
+	if got := res.PerFlow[0].MaxSojourn; got[0] != 6 || got[1] != 3 {
+		t.Errorf("sojourns %v", got)
+	}
+}
+
+// TestScenarioValidation: every contract violation is caught.
+func TestScenarioValidation(t *testing.T) {
+	f := model.UniformFlow("f", 10, 2, 0, 4, 1, 2)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	cases := []struct {
+		name string
+		sc   *Scenario
+		want string
+	}{
+		{"flow count", &Scenario{Gen: [][]model.Time{}}, "flows"},
+		{"period violation", &Scenario{Gen: [][]model.Time{{0, 5}}}, "period"},
+		{"jitter range", &Scenario{Gen: [][]model.Time{{0}}, Jit: [][]model.Time{{3}}}, "jitter"},
+		{"jitter arity", &Scenario{Gen: [][]model.Time{{0, 10}}, Jit: [][]model.Time{{0}}}, "jitters"},
+		{"proc range", &Scenario{Gen: [][]model.Time{{0}}, Proc: [][][]model.Time{{{5, 4}}}}, "proc"},
+		{"proc zero", &Scenario{Gen: [][]model.Time{{0}}, Proc: [][][]model.Time{{{0, 4}}}}, "proc"},
+		{"proc arity", &Scenario{Gen: [][]model.Time{{0}}, Proc: [][][]model.Time{{{4}}}}, "proc"},
+		{"link range", &Scenario{Gen: [][]model.Time{{0}}, Link: [][][]model.Time{{{2}}}}, "link"},
+		{"link arity", &Scenario{Gen: [][]model.Time{{0}}, Link: [][][]model.Time{{{1, 1}}}}, "link"},
+	}
+	for _, c := range cases {
+		err := c.sc.Validate(fs)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRandomScenarioAlwaysValid: the restart distribution only draws
+// contract-respecting scenarios.
+func TestRandomScenarioAlwaysValid(t *testing.T) {
+	fs := model.PaperExample()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		sc := RandomScenario(fs, rng, 5, 72, 10, 2)
+		if err := sc.Validate(fs); err != nil {
+			t.Fatalf("draw %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestEngineDeterminism: identical scenarios produce identical results.
+func TestEngineDeterminism(t *testing.T) {
+	fs := model.PaperExample()
+	sc := RandomScenario(fs, rand.New(rand.NewSource(9)), 6, 50, 8, 1)
+	a := runScenario(t, fs, sc, Config{})
+	b := runScenario(t, fs, sc.Clone(), Config{})
+	if !reflect.DeepEqual(a.PerFlow, b.PerFlow) {
+		t.Error("runs diverge on identical scenarios")
+	}
+}
+
+// TestScenarioCloneIndependent: mutating a clone leaves the original
+// untouched.
+func TestScenarioCloneIndependent(t *testing.T) {
+	fs := model.PaperExample()
+	sc := RandomScenario(fs, rand.New(rand.NewSource(1)), 3, 10, 5, 1)
+	cp := sc.Clone()
+	cp.Gen[0][0] += 100
+	cp.Jit[0][0] = 0
+	cp.Proc[0][0][0] = 1
+	cp.Link[0][0][0] = 1
+	if sc.Gen[0][0] == cp.Gen[0][0] {
+		t.Error("Gen shared")
+	}
+}
+
+// TestConservation: every generated packet is delivered exactly once.
+func TestConservation(t *testing.T) {
+	fs := model.PaperExample()
+	const n = 7
+	sc := PeriodicScenario(fs, []model.Time{0, 3, 5, 7, 11}, n)
+	res := runScenario(t, fs, sc, Config{})
+	for i, st := range res.PerFlow {
+		if st.Count != n {
+			t.Errorf("flow %d delivered %d/%d packets", i, st.Count, n)
+		}
+	}
+	for _, p := range res.Packets {
+		if p.Delivered < p.Released {
+			t.Errorf("packet %s delivered before release", p)
+		}
+		prev := model.Time(-1)
+		for k, h := range p.Hops {
+			if h.Arrived < prev || h.Start < h.Arrived || h.Done != h.Start+fs.Flows[p.Flow].Cost[k] {
+				t.Errorf("packet %s hop %d inconsistent: %+v", p, k, h)
+			}
+			prev = h.Done
+		}
+	}
+}
+
+// TestWorkConservation: a node never idles while packets wait — check
+// via the service log of a congested single node.
+func TestWorkConservation(t *testing.T) {
+	f1 := model.UniformFlow("f1", 20, 0, 0, 4, 1)
+	f2 := model.UniformFlow("f2", 20, 0, 0, 4, 1)
+	f3 := model.UniformFlow("f3", 20, 0, 0, 4, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2, f3})
+	sc := PeriodicScenario(fs, nil, 2)
+	res := runScenario(t, fs, sc, Config{RecordServices: true})
+	// With simultaneous releases the busy period must be gapless 0..12.
+	var end model.Time
+	for _, s := range res.Services[:3] {
+		if s.Start != end {
+			t.Errorf("idle gap before service at %d (prev end %d)", s.Start, end)
+		}
+		end = s.Done
+	}
+}

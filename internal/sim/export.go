@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"trajan/internal/model"
+)
+
+// WritePacketCSV exports every packet's itinerary as CSV — one row per
+// hop — for offline analysis of a run (flow, seq, generated, released,
+// node, arrived, start, done, response). The response column repeats
+// the packet's end-to-end response on every row of the packet.
+func WritePacketCSV(w io.Writer, fs *model.FlowSet, res *Result) error {
+	if _, err := io.WriteString(w,
+		"flow,seq,generated,released,node,arrived,start,done,response\n"); err != nil {
+		return err
+	}
+	for _, p := range res.Packets {
+		for _, h := range p.Hops {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				fs.Flows[p.Flow].Name, p.Seq, p.Generated, p.Released,
+				h.Node, h.Arrived, h.Start, h.Done, p.Response()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteNodeCSV exports per-node observations: max backlog in packets
+// and work units, plus the per-flow worst sojourn at that node.
+func WriteNodeCSV(w io.Writer, fs *model.FlowSet, res *Result) error {
+	if _, err := io.WriteString(w, "node,max_backlog_packets,max_backlog_work\n"); err != nil {
+		return err
+	}
+	for _, h := range fs.Nodes() {
+		bl := res.NodeBacklog[h]
+		if _, err := fmt.Fprintf(w, "%d,%d,%d\n", h, bl.MaxPackets, bl.MaxWork); err != nil {
+			return err
+		}
+	}
+	return nil
+}

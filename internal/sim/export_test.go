@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"trajan/internal/model"
+)
+
+func TestWritePacketCSV(t *testing.T) {
+	f := model.UniformFlow("f", 100, 0, 0, 4, 1, 2)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	res, err := NewEngine(fs, Config{}).Run(PeriodicScenario(fs, nil, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WritePacketCSV(&b, fs, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// header + 2 packets × 2 hops
+	if len(lines) != 5 {
+		t.Fatalf("%d lines:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "flow,seq,generated,released,node,arrived,start,done,response" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[1] != "f,0,0,0,1,0,0,4,9" {
+		t.Errorf("first row %q", lines[1])
+	}
+}
+
+func TestWriteNodeCSV(t *testing.T) {
+	f1 := model.UniformFlow("a", 100, 0, 0, 3, 1)
+	f2 := model.UniformFlow("b", 100, 0, 0, 4, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	res, err := NewEngine(fs, Config{}).Run(PeriodicScenario(fs, nil, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteNodeCSV(&b, fs, res); err != nil {
+		t.Fatal(err)
+	}
+	want := "node,max_backlog_packets,max_backlog_work\n1,2,7\n"
+	if b.String() != want {
+		t.Errorf("got %q want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trajan/internal/model"
+)
+
+// Gantt renders a simulation's per-node service timeline as ASCII art —
+// one row per node, one column per tick, each service shown with its
+// flow's letter (a = flow 0, b = flow 1, …; '.' = idle, '*' = several
+// flows beyond 'z'). It requires Config.RecordServices and is the
+// visual companion of the Figure-2 busy-period trace.
+//
+//	node 1 |aaaa bbb...|
+//	node 2 |....aaaabbb|
+func Gantt(fs *model.FlowSet, res *Result, from, to model.Time) (string, error) {
+	if res.Services == nil {
+		return "", fmt.Errorf("sim: Gantt requires Config.RecordServices")
+	}
+	if to <= from {
+		to = res.Makespan
+	}
+	width := int(to - from)
+	if width <= 0 {
+		return "", fmt.Errorf("sim: empty Gantt window [%d,%d)", from, to)
+	}
+	if width > 4096 {
+		return "", fmt.Errorf("sim: Gantt window %d too wide (max 4096 ticks)", width)
+	}
+
+	rows := make(map[model.NodeID][]byte)
+	var nodes []model.NodeID
+	for _, h := range fs.Nodes() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[h] = row
+		nodes = append(nodes, h)
+	}
+	glyph := func(flow int) byte {
+		if flow < 26 {
+			return byte('a' + flow)
+		}
+		return '*'
+	}
+	for _, s := range res.Services {
+		row, ok := rows[s.Node]
+		if !ok {
+			continue
+		}
+		for t := s.Start; t < s.Done; t++ {
+			if t < from || t >= to {
+				continue
+			}
+			row[t-from] = glyph(s.Flow)
+		}
+	}
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "ticks %d..%d, one column per tick\n", from, to)
+	for _, h := range nodes {
+		fmt.Fprintf(&b, "node %-4d |%s|\n", h, rows[h])
+	}
+	var legend []string
+	for i, f := range fs.Flows {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyph(i), f.Name))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, " "))
+	return b.String(), nil
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestGanttRendersSchedule: two flows on one node produce the expected
+// timeline.
+func TestGanttRendersSchedule(t *testing.T) {
+	f1 := model.UniformFlow("f1", 100, 0, 0, 3, 1)
+	f2 := model.UniformFlow("f2", 100, 0, 0, 2, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	sc := PeriodicScenario(fs, []model.Time{0, 3}, 1)
+	res, err := NewEngine(fs, Config{RecordServices: true}).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Gantt(fs, res, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g, "|aaabb|") {
+		t.Errorf("gantt missing schedule shape:\n%s", g)
+	}
+	if !strings.Contains(g, "a=f1") || !strings.Contains(g, "b=f2") {
+		t.Errorf("gantt missing legend:\n%s", g)
+	}
+}
+
+// TestGanttIdleGaps: idle ticks render as dots.
+func TestGanttIdleGaps(t *testing.T) {
+	f := model.UniformFlow("f", 100, 0, 0, 2, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	sc := &Scenario{Gen: [][]model.Time{{0, 100}}}
+	res, err := NewEngine(fs, Config{RecordServices: true}).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Gantt(fs, res, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g, "|aa......|") {
+		t.Errorf("idle gap not rendered:\n%s", g)
+	}
+}
+
+// TestGanttErrors: the renderer validates its inputs.
+func TestGanttErrors(t *testing.T) {
+	f := model.UniformFlow("f", 100, 0, 0, 2, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
+	sc := PeriodicScenario(fs, nil, 1)
+	noLog, err := NewEngine(fs, Config{}).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Gantt(fs, noLog, 0, 0); err == nil {
+		t.Error("no service log accepted")
+	}
+	withLog, err := NewEngine(fs, Config{RecordServices: true}).Run(sc.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Gantt(fs, withLog, 5, 5); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := Gantt(fs, withLog, 0, 100000); err == nil {
+		t.Error("oversized window accepted")
+	}
+}

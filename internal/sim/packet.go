@@ -1,0 +1,69 @@
+// Package sim is a packet-level discrete-event simulator of the paper's
+// network model: store-and-forward nodes serving one packet at a time
+// non-preemptively, FIFO links with per-hop delays in [Lmin, Lmax], and
+// sporadic flows with release jitter on fixed paths.
+//
+// The paper validates its bounds only on paper; this simulator is the
+// repository's evaluation substrate. Together with package adversary it
+// is used to (a) check empirically that no simulated end-to-end response
+// ever exceeds the analytical bounds (soundness), and (b) measure how
+// tight the bounds are (the gap between the worst simulated response and
+// the bound).
+//
+// The simulation is exact and deterministic: discrete integer time, a
+// stable event order, and scenario-supplied choices for every
+// nondeterministic quantity (generation times, release jitters, link
+// delays, processing times, FIFO tie-breaks).
+package sim
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+)
+
+// Packet is one packet instance of a flow traversing the network.
+type Packet struct {
+	// Flow is the flow's index in the flow set.
+	Flow int
+	// Seq is the packet's sequence number within its flow (0-based).
+	Seq int
+	// Generated is the generation time (response times are measured
+	// from it, per the paper's Section 2.1).
+	Generated model.Time
+	// Released is when the ingress scheduler takes the packet into
+	// account: Generated plus the scenario's release jitter sample.
+	Released model.Time
+	// Hops records the packet's itinerary, parallel to the flow's path.
+	Hops []Hop
+	// Delivered is the completion time at the last node.
+	Delivered model.Time
+	// TieBreak orders packets that arrive at a node at the same tick:
+	// lower values are served first. Definition 1 leaves simultaneous
+	// arrivals unordered, so any tie-break is a legal FIFO schedule;
+	// the adversary exploits this freedom.
+	TieBreak int
+}
+
+// Hop is the record of one node visit.
+type Hop struct {
+	// Node is the visited node.
+	Node model.NodeID
+	// Arrived is the arrival time at the node (release time at the
+	// ingress node).
+	Arrived model.Time
+	// Start is when service began.
+	Start model.Time
+	// Done is when service completed.
+	Done model.Time
+}
+
+// Response is the packet's end-to-end response time: delivery minus
+// generation.
+func (p *Packet) Response() model.Time { return p.Delivered - p.Generated }
+
+// String summarizes the packet for traces and test failures.
+func (p *Packet) String() string {
+	return fmt.Sprintf("flow=%d seq=%d gen=%d rel=%d done=%d resp=%d",
+		p.Flow, p.Seq, p.Generated, p.Released, p.Delivered, p.Response())
+}

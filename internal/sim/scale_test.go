@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"trajan/internal/model"
+)
+
+// bigParkingLot builds a wide flow set: n flows aggregating down a
+// long line, moderate utilization.
+func bigParkingLot(tb testing.TB, nodes int) *model.FlowSet {
+	tb.Helper()
+	flows := make([]*model.Flow, nodes-1)
+	for k := range flows {
+		path := make([]model.NodeID, nodes-k)
+		for i := range path {
+			path[i] = model.NodeID(k + i)
+		}
+		flows[k] = model.UniformFlow(
+			fmt.Sprintf("p%02d", k), model.Time(20*(nodes-1)), 0, 0, 2, path...)
+	}
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), flows)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fs
+}
+
+// TestEngineScales: a 50-node, 49-flow, 30-packets-per-flow run (tens
+// of thousands of events) completes quickly and conserves packets.
+func TestEngineScales(t *testing.T) {
+	fs := bigParkingLot(t, 50)
+	rng := rand.New(rand.NewSource(1))
+	sc := RandomScenario(fs, rng, 30, 500, 100, 0)
+	start := time.Now()
+	res, err := NewEngine(fs, Config{}).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	for i, st := range res.PerFlow {
+		if st.Count != 30 {
+			t.Fatalf("flow %d delivered %d/30", i, st.Count)
+		}
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("large run took %v", elapsed)
+	}
+	t.Logf("49 flows × 30 packets × up to 50 hops in %v", elapsed)
+}
+
+// BenchmarkEngineThroughput measures simulated packet-hops per second
+// on the wide aggregation topology.
+func BenchmarkEngineThroughput(b *testing.B) {
+	fs := bigParkingLot(b, 30)
+	rng := rand.New(rand.NewSource(1))
+	sc := RandomScenario(fs, rng, 20, 300, 50, 0)
+	eng := NewEngine(fs, Config{})
+	var hops int
+	for _, f := range fs.Flows {
+		hops += len(f.Path) * 20
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(hops*b.N)/b.Elapsed().Seconds(), "hops/s")
+}

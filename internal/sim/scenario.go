@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trajan/internal/model"
+)
+
+// Scenario resolves every nondeterministic quantity of one simulation
+// run. A scenario is valid only if it respects the flow set's contract:
+// sporadic generation (separation ≥ Ti), release jitter in [0, Ji],
+// processing times in [1, C^h_i], link delays in [Lmin, Lmax].
+type Scenario struct {
+	// Gen[i] lists the generation times of flow i's packets, strictly
+	// ordered with separation ≥ Ti.
+	Gen [][]model.Time
+	// Jit[i][k] is packet k of flow i's release jitter, in [0, Ji].
+	// A nil inner slice means all zeros.
+	Jit [][]model.Time
+	// Proc[i][k][s] is the processing time of packet k of flow i at the
+	// s-th node of its path, in [1, C]. Nil means maximal everywhere
+	// (the worst-case default).
+	Proc [][][]model.Time
+	// Link[i][k][s] is the link delay of packet k of flow i from the
+	// s-th to the (s+1)-th node, in [Lmin, Lmax]. Nil means Lmax
+	// everywhere.
+	Link [][][]model.Time
+	// TieBreak[i] orders flow i's packets against simultaneous arrivals
+	// (lower first); when nil the flow index is used.
+	TieBreak []int
+}
+
+// Validate checks the scenario against the flow set's contract.
+func (sc *Scenario) Validate(fs *model.FlowSet) error {
+	if len(sc.Gen) != fs.N() {
+		return fmt.Errorf("sim: scenario has %d flows, set has %d", len(sc.Gen), fs.N())
+	}
+	for i, f := range fs.Flows {
+		gens := sc.Gen[i]
+		for k := 1; k < len(gens); k++ {
+			if gens[k]-gens[k-1] < f.Period {
+				return fmt.Errorf("sim: flow %q packets %d,%d violate period %d (gap %d)",
+					f.Name, k-1, k, f.Period, gens[k]-gens[k-1])
+			}
+		}
+		if sc.Jit != nil && sc.Jit[i] != nil {
+			if len(sc.Jit[i]) != len(gens) {
+				return fmt.Errorf("sim: flow %q has %d jitters for %d packets", f.Name, len(sc.Jit[i]), len(gens))
+			}
+			for k, j := range sc.Jit[i] {
+				if j < 0 || j > f.Jitter {
+					return fmt.Errorf("sim: flow %q packet %d jitter %d outside [0,%d]", f.Name, k, j, f.Jitter)
+				}
+			}
+		}
+		if sc.Proc != nil && sc.Proc[i] != nil {
+			for k, per := range sc.Proc[i] {
+				if len(per) != len(f.Path) {
+					return fmt.Errorf("sim: flow %q packet %d has %d proc times for %d nodes",
+						f.Name, k, len(per), len(f.Path))
+				}
+				for s, c := range per {
+					if c < 1 || c > f.Cost[s] {
+						return fmt.Errorf("sim: flow %q packet %d proc %d at hop %d outside [1,%d]",
+							f.Name, k, c, s, f.Cost[s])
+					}
+				}
+			}
+		}
+		if sc.Link != nil && sc.Link[i] != nil {
+			for k, per := range sc.Link[i] {
+				if len(per) != len(f.Path)-1 {
+					return fmt.Errorf("sim: flow %q packet %d has %d link delays for %d links",
+						f.Name, k, len(per), len(f.Path)-1)
+				}
+				for s, d := range per {
+					if d < fs.Net.Lmin || d > fs.Net.Lmax {
+						return fmt.Errorf("sim: flow %q packet %d link delay %d at hop %d outside [%d,%d]",
+							f.Name, k, d, s, fs.Net.Lmin, fs.Net.Lmax)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) jitter(i, k int) model.Time {
+	if sc.Jit == nil || sc.Jit[i] == nil {
+		return 0
+	}
+	return sc.Jit[i][k]
+}
+
+func (sc *Scenario) proc(fs *model.FlowSet, i, k, s int) model.Time {
+	if sc.Proc == nil || sc.Proc[i] == nil {
+		return fs.Flows[i].Cost[s]
+	}
+	return sc.Proc[i][k][s]
+}
+
+func (sc *Scenario) link(fs *model.FlowSet, i, k, s int) model.Time {
+	if sc.Link == nil || sc.Link[i] == nil {
+		return fs.Net.Lmax
+	}
+	return sc.Link[i][k][s]
+}
+
+func (sc *Scenario) tiebreak(i int) int {
+	if sc.TieBreak == nil {
+		return i
+	}
+	return sc.TieBreak[i]
+}
+
+// PeriodicScenario builds the canonical deterministic scenario: flow i
+// generates packets at offset[i], offset[i]+Ti, … for npackets packets,
+// with zero jitter, maximal processing times and Lmax link delays.
+func PeriodicScenario(fs *model.FlowSet, offsets []model.Time, npackets int) *Scenario {
+	sc := &Scenario{Gen: make([][]model.Time, fs.N())}
+	for i, f := range fs.Flows {
+		var off model.Time
+		if offsets != nil {
+			off = offsets[i]
+		}
+		gens := make([]model.Time, npackets)
+		for k := range gens {
+			gens[k] = off + model.Time(k)*f.Period
+		}
+		sc.Gen[i] = gens
+	}
+	return sc
+}
+
+// RandomScenario draws a valid random scenario: random offsets in
+// [0, maxOffset], sporadic gaps in [Ti, Ti+slack], jitters in [0, Ji],
+// processing times in [max(1,C-procSlack), C] and random link delays.
+// It is the adversary's restart distribution.
+func RandomScenario(fs *model.FlowSet, rng *rand.Rand, npackets int, maxOffset, slack, procSlack model.Time) *Scenario {
+	sc := &Scenario{
+		Gen:  make([][]model.Time, fs.N()),
+		Jit:  make([][]model.Time, fs.N()),
+		Proc: make([][][]model.Time, fs.N()),
+		Link: make([][][]model.Time, fs.N()),
+	}
+	rnd := func(lo, hi model.Time) model.Time {
+		if hi <= lo {
+			return lo
+		}
+		return lo + model.Time(rng.Int63n(int64(hi-lo+1)))
+	}
+	for i, f := range fs.Flows {
+		gens := make([]model.Time, npackets)
+		t := rnd(0, maxOffset)
+		for k := range gens {
+			gens[k] = t
+			t += f.Period + rnd(0, slack)
+		}
+		sc.Gen[i] = gens
+		jits := make([]model.Time, npackets)
+		for k := range jits {
+			jits[k] = rnd(0, f.Jitter)
+		}
+		sc.Jit[i] = jits
+		procs := make([][]model.Time, npackets)
+		links := make([][]model.Time, npackets)
+		for k := range procs {
+			pp := make([]model.Time, len(f.Path))
+			for s := range pp {
+				lo := f.Cost[s] - procSlack
+				if lo < 1 {
+					lo = 1
+				}
+				pp[s] = rnd(lo, f.Cost[s])
+			}
+			procs[k] = pp
+			ll := make([]model.Time, len(f.Path)-1)
+			for s := range ll {
+				ll[s] = rnd(fs.Net.Lmin, fs.Net.Lmax)
+			}
+			links[k] = ll
+		}
+		sc.Proc[i] = procs
+		sc.Link[i] = links
+	}
+	return sc
+}
+
+// Clone deep-copies the scenario so searches can mutate it in place.
+func (sc *Scenario) Clone() *Scenario {
+	cp := &Scenario{}
+	cp.Gen = cloneMatrix(sc.Gen)
+	cp.Jit = cloneMatrix(sc.Jit)
+	if sc.Proc != nil {
+		cp.Proc = make([][][]model.Time, len(sc.Proc))
+		for i, m := range sc.Proc {
+			cp.Proc[i] = cloneMatrix(m)
+		}
+	}
+	if sc.Link != nil {
+		cp.Link = make([][][]model.Time, len(sc.Link))
+		for i, m := range sc.Link {
+			cp.Link[i] = cloneMatrix(m)
+		}
+	}
+	if sc.TieBreak != nil {
+		cp.TieBreak = append([]int(nil), sc.TieBreak...)
+	}
+	return cp
+}
+
+func cloneMatrix(m [][]model.Time) [][]model.Time {
+	if m == nil {
+		return nil
+	}
+	out := make([][]model.Time, len(m))
+	for i, row := range m {
+		if row != nil {
+			out[i] = append([]model.Time(nil), row...)
+		}
+	}
+	return out
+}

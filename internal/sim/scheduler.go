@@ -1,0 +1,55 @@
+package sim
+
+import "container/heap"
+
+// FIFOScheduler serves packets in arrival order — the paper's
+// scheduling model (Definition 1: a packet has priority over another on
+// node h iff it arrived earlier). Simultaneous arrivals are ordered by
+// the packets' TieBreak value, then flow, then sequence number; any
+// such order is a legal FIFO schedule, and the adversary searches over
+// TieBreak assignments.
+type FIFOScheduler struct {
+	q fifoHeap
+}
+
+// NewFIFOScheduler returns an empty FIFO queue.
+func NewFIFOScheduler() *FIFOScheduler { return &FIFOScheduler{} }
+
+// Enqueue inserts an arrived packet.
+func (s *FIFOScheduler) Enqueue(q QueuedPacket) { heap.Push(&s.q, q) }
+
+// Dequeue pops the earliest-arrived packet.
+func (s *FIFOScheduler) Dequeue() (QueuedPacket, bool) {
+	if len(s.q) == 0 {
+		return QueuedPacket{}, false
+	}
+	return heap.Pop(&s.q).(QueuedPacket), true
+}
+
+// Len reports the queue length.
+func (s *FIFOScheduler) Len() int { return len(s.q) }
+
+type fifoHeap []QueuedPacket
+
+func (h fifoHeap) Len() int { return len(h) }
+func (h fifoHeap) Less(a, b int) bool {
+	if h[a].Arrived != h[b].Arrived {
+		return h[a].Arrived < h[b].Arrived
+	}
+	if h[a].P.TieBreak != h[b].P.TieBreak {
+		return h[a].P.TieBreak < h[b].P.TieBreak
+	}
+	if h[a].P.Flow != h[b].P.Flow {
+		return h[a].P.Flow < h[b].P.Flow
+	}
+	return h[a].P.Seq < h[b].P.Seq
+}
+func (h fifoHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *fifoHeap) Push(x interface{}) { *h = append(*h, x.(QueuedPacket)) }
+func (h *fifoHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

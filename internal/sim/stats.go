@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"trajan/internal/model"
+)
+
+// ResponseDistribution summarizes a flow's observed end-to-end response
+// times over a long run — the average-case picture the worst-case
+// bounds are compared against (a deterministic guarantee costs the gap
+// between p50 and the bound).
+type ResponseDistribution struct {
+	Count     int
+	Min, Max  model.Time
+	Mean      float64
+	P50, P99  model.Time
+	Responses []model.Time // sorted
+}
+
+// Percentile returns the q-quantile (0 < q ≤ 1) by nearest-rank.
+func (d *ResponseDistribution) Percentile(q float64) model.Time {
+	if d.Count == 0 {
+		return 0
+	}
+	idx := int(q*float64(d.Count)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= d.Count {
+		idx = d.Count - 1
+	}
+	return d.Responses[idx]
+}
+
+// Distribution aggregates the per-flow response distributions of a
+// result.
+func Distribution(res *Result, nflows int) []ResponseDistribution {
+	perFlow := make([][]model.Time, nflows)
+	for _, p := range res.Packets {
+		// Run drains every event, so all packets are delivered.
+		perFlow[p.Flow] = append(perFlow[p.Flow], p.Response())
+	}
+	out := make([]ResponseDistribution, nflows)
+	for i, rs := range perFlow {
+		if len(rs) == 0 {
+			continue
+		}
+		sort.Slice(rs, func(a, b int) bool { return rs[a] < rs[b] })
+		d := ResponseDistribution{Count: len(rs), Min: rs[0], Max: rs[len(rs)-1], Responses: rs}
+		var sum float64
+		for _, r := range rs {
+			sum += float64(r)
+		}
+		d.Mean = sum / float64(len(rs))
+		d.P50 = d.Percentile(0.50)
+		d.P99 = d.Percentile(0.99)
+		out[i] = d
+	}
+	return out
+}
+
+// SteadyState runs a long randomized simulation (npackets per flow,
+// randomized offsets, jitters and inter-arrival slack) and returns the
+// per-flow response distributions — the sampling companion to the
+// adversary's worst-case search.
+func SteadyState(fs *model.FlowSet, seed int64, npackets int) ([]ResponseDistribution, error) {
+	if npackets < 1 {
+		return nil, fmt.Errorf("sim: need ≥1 packet per flow")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var maxT model.Time
+	for _, f := range fs.Flows {
+		if f.Period > maxT {
+			maxT = f.Period
+		}
+	}
+	eng := NewEngine(fs, Config{})
+	sc := RandomScenario(fs, rng, npackets, maxT, maxT/4, 0)
+	res, err := eng.Run(sc)
+	if err != nil {
+		return nil, err
+	}
+	return Distribution(res, fs.N()), nil
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestDistributionBasics: statistics over a hand-built run.
+func TestDistributionBasics(t *testing.T) {
+	f1 := model.UniformFlow("f1", 20, 0, 0, 4, 1)
+	f2 := model.UniformFlow("f2", 20, 0, 0, 4, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	// First packets collide (f1 waits 4 → response 8), later ones ride
+	// free (response 4).
+	sc := &Scenario{Gen: [][]model.Time{{0, 20, 40, 60}, {0}}}
+	sc.TieBreak = []int{2, 1}
+	res, err := NewEngine(fs, Config{}).Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Distribution(res, fs.N())
+	d := ds[0]
+	if d.Count != 4 || d.Min != 4 || d.Max != 8 {
+		t.Errorf("distribution %+v", d)
+	}
+	if d.Mean != (8+4+4+4)/4.0 {
+		t.Errorf("mean %f", d.Mean)
+	}
+	if d.P50 != 4 || d.P99 != 8 {
+		t.Errorf("p50=%d p99=%d", d.P50, d.P99)
+	}
+}
+
+// TestPercentileEdges: quantiles clamp to the sample range.
+func TestPercentileEdges(t *testing.T) {
+	d := ResponseDistribution{Count: 3, Responses: []model.Time{1, 5, 9}}
+	if d.Percentile(0.0001) != 1 || d.Percentile(1) != 9 {
+		t.Errorf("edge percentiles %d/%d", d.Percentile(0.0001), d.Percentile(1))
+	}
+	empty := ResponseDistribution{}
+	if empty.Percentile(0.5) != 0 {
+		t.Error("empty distribution percentile")
+	}
+}
+
+// TestSteadyState: the long-run sampler stays below the worst case and
+// is deterministic per seed.
+func TestSteadyState(t *testing.T) {
+	fs := model.PaperExample()
+	a, err := SteadyState(fs, 7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SteadyState(fs, 7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs.Flows {
+		if a[i].Count != 50 {
+			t.Errorf("flow %d: %d samples", i, a[i].Count)
+		}
+		if a[i].Mean != b[i].Mean || a[i].Max != b[i].Max {
+			t.Errorf("flow %d: nondeterministic steady state", i)
+		}
+		if a[i].Min < fs.Flows[i].MinTraversal(fs.Net.Lmin) {
+			t.Errorf("flow %d: min %d below physical floor", i, a[i].Min)
+		}
+		if a[i].P50 > a[i].P99 || a[i].P99 > a[i].Max {
+			t.Errorf("flow %d: quantiles disordered %+v", i, a[i])
+		}
+	}
+	if _, err := SteadyState(fs, 1, 0); err == nil {
+		t.Error("zero packets accepted")
+	}
+}

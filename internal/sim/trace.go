@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trajan/internal/model"
+)
+
+// BusyPeriod is a maximal interval during which a node's server never
+// idles — the unit of reasoning of the trajectory approach (Figure 2:
+// the analysis walks packet m's chain of busy periods bpq, bpq-1, …
+// backwards through the visited nodes).
+type BusyPeriod struct {
+	Node       model.NodeID
+	Start, End model.Time
+	// Services lists the services of the busy period in start order;
+	// the first one is the paper's packet f(h) for any packet of the
+	// period.
+	Services []ServiceRecord
+}
+
+// First returns the busy period's first served packet — f(h) in the
+// paper's notation.
+func (bp BusyPeriod) First() ServiceRecord { return bp.Services[0] }
+
+// BusyPeriods reconstructs each node's busy periods from a result's
+// service log (requires Config.RecordServices).
+func BusyPeriods(res *Result) map[model.NodeID][]BusyPeriod {
+	byNode := make(map[model.NodeID][]ServiceRecord)
+	for _, s := range res.Services {
+		byNode[s.Node] = append(byNode[s.Node], s)
+	}
+	out := make(map[model.NodeID][]BusyPeriod, len(byNode))
+	for node, recs := range byNode {
+		sort.Slice(recs, func(a, b int) bool { return recs[a].Start < recs[b].Start })
+		var bps []BusyPeriod
+		for _, r := range recs {
+			if n := len(bps); n > 0 && bps[n-1].End >= r.Start {
+				bps[n-1].Services = append(bps[n-1].Services, r)
+				if r.Done > bps[n-1].End {
+					bps[n-1].End = r.Done
+				}
+				continue
+			}
+			bps = append(bps, BusyPeriod{Node: node, Start: r.Start, End: r.Done, Services: []ServiceRecord{r}})
+		}
+		out[node] = bps
+	}
+	return out
+}
+
+// TrajectoryTrace renders the chain of busy periods affecting a given
+// packet, walking backwards from its last node the way the trajectory
+// analysis does (Section 4.1): on each node it reports the busy period
+// containing the packet's service and that period's first packet f(h).
+func TrajectoryTrace(fs *model.FlowSet, res *Result, flow, seq int) (string, error) {
+	if res.Services == nil {
+		return "", fmt.Errorf("sim: trajectory trace requires Config.RecordServices")
+	}
+	var pkt *Packet
+	for _, p := range res.Packets {
+		if p.Flow == flow && p.Seq == seq {
+			pkt = p
+			break
+		}
+	}
+	if pkt == nil {
+		return "", fmt.Errorf("sim: packet flow=%d seq=%d not found", flow, seq)
+	}
+	bps := BusyPeriods(res)
+	var b strings.Builder
+	fmt.Fprintf(&b, "trajectory of %s (%s)\n", fs.Flows[flow].Name, pkt)
+	path := fs.Flows[flow].Path
+	for k := len(path) - 1; k >= 0; k-- {
+		node := path[k]
+		hop := pkt.Hops[k]
+		var within *BusyPeriod
+		for i := range bps[node] {
+			bp := &bps[node][i]
+			if hop.Start >= bp.Start && hop.Done <= bp.End {
+				within = bp
+				break
+			}
+		}
+		if within == nil {
+			return "", fmt.Errorf("sim: no busy period covers service of flow %d at node %d", flow, node)
+		}
+		f := within.First()
+		fmt.Fprintf(&b, "  node %-3d busy period [%d,%d) f(h)=flow %s seq %d; m served [%d,%d) after wait %d\n",
+			node, within.Start, within.End, fs.Flows[f.Flow].Name, f.Seq,
+			hop.Start, hop.Done, hop.Start-hop.Arrived)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestBusyPeriodsReconstruction: services separated by idle time fall
+// into distinct busy periods; back-to-back services merge.
+func TestBusyPeriodsReconstruction(t *testing.T) {
+	f1 := model.UniformFlow("f1", 20, 0, 0, 4, 1)
+	f2 := model.UniformFlow("f2", 20, 0, 0, 4, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	// Packets at 0 and 0 (one busy period 0..8), then 20 and 30
+	// (two more periods, the last isolated).
+	sc := &Scenario{Gen: [][]model.Time{{0, 20}, {0, 30}}}
+	res := runScenario(t, fs, sc, Config{RecordServices: true})
+	bps := BusyPeriods(res)[1]
+	if len(bps) != 3 {
+		t.Fatalf("got %d busy periods, want 3: %+v", len(bps), bps)
+	}
+	if bps[0].Start != 0 || bps[0].End != 8 || len(bps[0].Services) != 2 {
+		t.Errorf("first busy period %+v", bps[0])
+	}
+	if bps[1].Start != 20 || bps[1].End != 24 {
+		t.Errorf("second busy period %+v", bps[1])
+	}
+	if bps[2].Start != 30 || bps[2].End != 34 {
+		t.Errorf("third busy period %+v", bps[2])
+	}
+	// f(h) of the first period is its earliest service.
+	if first := bps[0].First(); first.Start != 0 {
+		t.Errorf("f(h) = %+v", first)
+	}
+}
+
+// TestTrajectoryTrace renders the Figure-2 style busy-period chain for
+// a packet of the paper example.
+func TestTrajectoryTrace(t *testing.T) {
+	fs := model.PaperExample()
+	sc := PeriodicScenario(fs, nil, 2)
+	res := runScenario(t, fs, sc, Config{RecordServices: true})
+	trace, err := TrajectoryTrace(fs, res, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One line per visited node plus the header, walked backwards.
+	lines := strings.Split(strings.TrimSpace(trace), "\n")
+	if len(lines) != 1+6 {
+		t.Fatalf("trace has %d lines:\n%s", len(lines), trace)
+	}
+	if !strings.Contains(lines[0], "tau3") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "node 11") || !strings.Contains(lines[6], "node 2") {
+		t.Errorf("walk order wrong:\n%s", trace)
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "busy period") || !strings.Contains(l, "f(h)=") {
+			t.Errorf("malformed trace line %q", l)
+		}
+	}
+}
+
+// TestTrajectoryTraceErrors: missing service log and unknown packets
+// are reported.
+func TestTrajectoryTraceErrors(t *testing.T) {
+	fs := model.PaperExample()
+	sc := PeriodicScenario(fs, nil, 1)
+	noLog := runScenario(t, fs, sc, Config{})
+	if _, err := TrajectoryTrace(fs, noLog, 0, 0); err == nil {
+		t.Error("trace without service log accepted")
+	}
+	withLog := runScenario(t, fs, sc, Config{RecordServices: true})
+	if _, err := TrajectoryTrace(fs, withLog, 0, 99); err == nil {
+		t.Error("unknown packet accepted")
+	}
+}
+
+// TestFIFOSchedulerOrdering: direct unit test of the queue discipline.
+func TestFIFOSchedulerOrdering(t *testing.T) {
+	s := NewFIFOScheduler()
+	mk := func(flow, tie int, arr model.Time) QueuedPacket {
+		return QueuedPacket{
+			P:       &Packet{Flow: flow, TieBreak: tie},
+			Arrived: arr,
+		}
+	}
+	s.Enqueue(mk(1, 1, 10))
+	s.Enqueue(mk(2, 2, 5))
+	s.Enqueue(mk(3, 0, 10)) // same tick as flow 1, better tie-break
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	order := []int{}
+	for {
+		q, ok := s.Dequeue()
+		if !ok {
+			break
+		}
+		order = append(order, q.P.Flow)
+	}
+	want := []int{2, 3, 1}
+	for k := range want {
+		if order[k] != want[k] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Error("empty dequeue succeeded")
+	}
+}
+
+// TestFIFOSchedulerStableTies: equal arrival and tie-break fall back to
+// flow then sequence order.
+func TestFIFOSchedulerStableTies(t *testing.T) {
+	s := NewFIFOScheduler()
+	s.Enqueue(QueuedPacket{P: &Packet{Flow: 2, Seq: 0}, Arrived: 1})
+	s.Enqueue(QueuedPacket{P: &Packet{Flow: 1, Seq: 1}, Arrived: 1})
+	s.Enqueue(QueuedPacket{P: &Packet{Flow: 1, Seq: 0}, Arrived: 1})
+	a, _ := s.Dequeue()
+	b, _ := s.Dequeue()
+	c, _ := s.Dequeue()
+	if a.P.Flow != 1 || a.P.Seq != 0 || b.P.Flow != 1 || b.P.Seq != 1 || c.P.Flow != 2 {
+		t.Errorf("order (%d,%d) (%d,%d) (%d,%d)", a.P.Flow, a.P.Seq, b.P.Flow, b.P.Seq, c.P.Flow, c.P.Seq)
+	}
+}
+
+// TestPacketString: the trace formatter stays informative.
+func TestPacketString(t *testing.T) {
+	p := &Packet{Flow: 1, Seq: 2, Generated: 10, Released: 12, Delivered: 30}
+	s := p.String()
+	for _, frag := range []string{"flow=1", "seq=2", "resp=20"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("packet string %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package trajectory
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+)
+
+// Result is the outcome of a trajectory analysis of a whole flow set.
+type Result struct {
+	// Bounds[i] is the worst-case end-to-end response-time bound Ri of
+	// flow i (Property 2, or Property 3 when Options.NonPreemption was
+	// supplied).
+	Bounds []model.Time
+	// Jitters[i] is flow i's end-to-end jitter per Definition 2:
+	// Ri - (Σ_h C^h_i + (|Pi|-1)·Lmin).
+	Jitters []model.Time
+	// Details holds the per-flow computation breakdown.
+	Details []FlowDetail
+	// ArrivalBounds[i][k] is the converged Smax^h_i estimate: an upper
+	// bound on the time from a packet's generation to its arrival at
+	// the k-th node of flow i's path (ArrivalBounds[i][0] = Ji). Useful
+	// for per-hop budget allocation and buffer dimensioning.
+	ArrivalBounds [][]model.Time
+	// SmaxSweeps is the number of fixed-point sweeps the Smax estimator
+	// used; SmaxConverged is false when it hit the iteration cap (the
+	// bounds are then reported but flagged).
+	SmaxSweeps    int
+	SmaxConverged bool
+}
+
+// FlowDetail explains one flow's bound.
+type FlowDetail struct {
+	// Flow is the flow's index in the flow set.
+	Flow int
+	// Bound repeats Result.Bounds[Flow].
+	Bound model.Time
+	// Bslow is the busy-period window length of Lemma 3; the critical
+	// release times scanned lie in [-Ji, -Ji+Bslow).
+	Bslow model.Time
+	// CriticalT is the release time attaining the maximum.
+	CriticalT model.Time
+	// SlowNode is the chosen slow_i.
+	SlowNode model.NodeID
+	// MaxSum is Σ_{h≠slow_i} max_{j same-dir} C^h_j.
+	MaxSum model.Time
+	// Delta is the non-preemption penalty δi applied (0 for pure FIFO).
+	Delta model.Time
+	// Interference lists the per-interferer contribution at CriticalT.
+	Interference []InterferenceTerm
+}
+
+// InterferenceTerm is one interfering flow's contribution to the bound.
+type InterferenceTerm struct {
+	// Flow is the interferer's index.
+	Flow int
+	// A is the window offset A_{i,j} of Lemma 2.
+	A model.Time
+	// Packets is the packet count (1+⌊(t*+A)/Tj⌋)⁺ at the critical t*.
+	Packets model.Time
+	// CSlow is C^{slow_{j,i}}_j, the per-packet charge.
+	CSlow model.Time
+	// SameDirection mirrors the path relation.
+	SameDirection bool
+}
+
+// Analyze computes Property-2 (or Property-3) bounds for every flow of
+// the set under the given options. The flow set must already satisfy
+// Assumption 1 (model.NewFlowSet enforces it).
+func Analyze(fs *model.FlowSet, opt Options) (*Result, error) {
+	if opt.NonPreemption != nil {
+		if len(opt.NonPreemption) != fs.N() {
+			return nil, fmt.Errorf("trajectory: %d non-preemption vectors for %d flows",
+				len(opt.NonPreemption), fs.N())
+		}
+		for i, v := range opt.NonPreemption {
+			if v != nil && len(v) != len(fs.Flows[i].Path) {
+				return nil, fmt.Errorf("trajectory: flow %q has %d non-preemption terms for %d nodes",
+					fs.Flows[i].Name, len(v), len(fs.Flows[i].Path))
+			}
+		}
+	}
+	smax, sweeps, converged, err := computeSmax(fs, opt)
+	if err != nil {
+		return nil, err
+	}
+	arrival := make([][]model.Time, fs.N())
+	for i := range smax {
+		arrival[i] = append([]model.Time(nil), smax[i]...)
+	}
+	res := &Result{
+		Bounds:        make([]model.Time, fs.N()),
+		Jitters:       make([]model.Time, fs.N()),
+		Details:       make([]FlowDetail, fs.N()),
+		ArrivalBounds: arrival,
+		SmaxSweeps:    sweeps,
+		SmaxConverged: converged,
+	}
+	for i := range fs.Flows {
+		c, err := newBoundCtx(fs, opt, fullView(fs, i), smax)
+		if err != nil {
+			return nil, err
+		}
+		r, tStar := c.bound()
+		res.Bounds[i] = r
+		res.Jitters[i] = r - fs.Flows[i].MinTraversal(fs.Net.Lmin)
+		d := FlowDetail{
+			Flow:      i,
+			Bound:     r,
+			Bslow:     c.bslow,
+			CriticalT: tStar,
+			SlowNode:  c.slow,
+			MaxSum:    c.maxSum,
+			Delta:     c.delta,
+		}
+		for _, in := range c.inter {
+			d.Interference = append(d.Interference, InterferenceTerm{
+				Flow:          in.j,
+				A:             in.a,
+				Packets:       opt.count(tStar+in.a, fs.Flows[in.j].Period),
+				CSlow:         in.rel.CSlowJI,
+				SameDirection: in.rel.SameDirection,
+			})
+		}
+		res.Details[i] = d
+	}
+	return res, nil
+}
+
+// AnalyzeFlow computes the bound of a single flow (index i) without
+// materializing the full result. The Smax table is still global, since
+// every flow's Smax feeds every other flow's A terms.
+func AnalyzeFlow(fs *model.FlowSet, opt Options, i int) (model.Time, error) {
+	if i < 0 || i >= fs.N() {
+		return 0, fmt.Errorf("trajectory: flow index %d out of range [0,%d)", i, fs.N())
+	}
+	smax, _, _, err := computeSmax(fs, opt)
+	if err != nil {
+		return 0, err
+	}
+	return boundForView(fs, opt, fullView(fs, i), smax)
+}

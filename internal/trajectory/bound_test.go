@@ -1,0 +1,224 @@
+package trajectory
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// ctxFor builds the bound context of one flow of the paper example
+// under the default (prefix-fixpoint) Smax table.
+func ctxFor(t *testing.T, fs *model.FlowSet, i int, opt Options) *boundCtx {
+	t.Helper()
+	smax, _, _, err := computeSmax(fs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := newBoundCtx(fs, opt, fullView(fs, i), smax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBslowPaperExample pins the busy-period window lengths: four
+// intersecting flows of cost 4 for τ1/τ2 (16), five for τ3/τ4/τ5 (20).
+func TestBslowPaperExample(t *testing.T) {
+	fs := model.PaperExample()
+	want := []model.Time{16, 16, 20, 20, 20}
+	for i, w := range want {
+		c := ctxFor(t, fs, i, Options{})
+		if c.bslow != w {
+			t.Errorf("Bslow(%s) = %d, want %d", fs.Flows[i].Name, c.bslow, w)
+		}
+	}
+}
+
+// TestBslowGrowsAcrossPeriods: when the one-shot workload exceeds the
+// shortest period the fixed point takes several rounds.
+func TestBslowGrowsAcrossPeriods(t *testing.T) {
+	f1 := model.UniformFlow("f1", 10, 0, 0, 4, 1)
+	f2 := model.UniformFlow("f2", 10, 0, 0, 4, 1)
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f1, f2})
+	c := ctxFor(t, fs, 0, Options{})
+	// b0 = 8 → ⌈8/10⌉(4+4) = 8: fixed point at 8 (utilization 0.8).
+	if c.bslow != 8 {
+		t.Errorf("Bslow = %d, want 8", c.bslow)
+	}
+	f3 := model.UniformFlow("f1", 12, 0, 0, 4, 1)
+	f4 := model.UniformFlow("f2", 18, 0, 0, 4, 1)
+	f5 := model.UniformFlow("f3", 18, 0, 0, 4, 1)
+	fs2 := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f3, f4, f5})
+	c2 := ctxFor(t, fs2, 0, Options{})
+	// 12 → ⌈12/12⌉4+⌈12/18⌉8 = 12; stable at 12.
+	if c2.bslow != 12 {
+		t.Errorf("Bslow = %d, want 12", c2.bslow)
+	}
+}
+
+// TestOffsetAPaperExample pins hand-computed A_{i,j} values under the
+// converged prefix-fixpoint Smax table (the worked computation in
+// EXPERIMENTS.md): e.g. A_{2,3} = Smax^7_2 − Smin^7_3 − M^10_2 +
+// Smax^10_3 = 18 − 15 − 5 + 36 = 34.
+func TestOffsetAPaperExample(t *testing.T) {
+	fs := model.PaperExample()
+	cases := []struct {
+		flow, inter int
+		want        model.Time
+	}{
+		{0, 2, 8},  // A_{1,3}
+		{0, 3, 8},  // A_{1,4}
+		{0, 4, 8},  // A_{1,5}
+		{1, 2, 34}, // A_{2,3}
+		{1, 3, 34}, // A_{2,4}
+		{1, 4, 20}, // A_{2,5}
+		{2, 3, 0},  // A_{3,4}: same ingress
+		{2, 4, 0},  // A_{3,5}
+	}
+	c := map[int]*boundCtx{}
+	for _, cs := range cases {
+		ctx, ok := c[cs.flow]
+		if !ok {
+			ctx = ctxFor(t, fs, cs.flow, Options{})
+			c[cs.flow] = ctx
+		}
+		var got model.Time
+		found := false
+		for _, in := range ctx.inter {
+			if in.j == cs.inter {
+				got, found = in.a, true
+			}
+		}
+		if !found {
+			t.Errorf("flow %d: interferer %d missing", cs.flow, cs.inter)
+			continue
+		}
+		if got != cs.want {
+			t.Errorf("A_{%d,%d} = %d, want %d", cs.flow+1, cs.inter+1, got, cs.want)
+		}
+	}
+}
+
+// TestMaxSumExcludesReverseFlows: the counted-twice term at node 7 of
+// P2 must ignore τ3/τ4 (reverse direction) but include τ5.
+func TestMaxSumPaperExample(t *testing.T) {
+	fs := model.PaperExample()
+	// For τ1 (4 nodes, slow node excluded): 3 × 4.
+	c := ctxFor(t, fs, 0, Options{})
+	if c.maxSum != 12 {
+		t.Errorf("maxSum(τ1) = %d, want 12", c.maxSum)
+	}
+	// For τ3 (6 nodes): 5 × 4.
+	c3 := ctxFor(t, fs, 2, Options{})
+	if c3.maxSum != 20 {
+		t.Errorf("maxSum(τ3) = %d, want 20", c3.maxSum)
+	}
+}
+
+// TestChooseSlowTieBreak: among equal-cost candidates the chosen slow
+// node excludes the largest same-direction max from the residual sum.
+func TestChooseSlowTieBreak(t *testing.T) {
+	// fi has cost 5 everywhere; a heavy same-direction interferer (9)
+	// crosses only node 2, so slow_i should be node 2.
+	fi := &model.Flow{Name: "i", Period: 100, Path: model.Path{1, 2, 3}, Cost: []model.Time{5, 5, 5}}
+	fj := &model.Flow{Name: "j", Period: 100, Path: model.Path{2, 3}, Cost: []model.Time{9, 2}}
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{fi, fj})
+	c := ctxFor(t, fs, 0, Options{})
+	if c.slow != 2 {
+		t.Errorf("slow node = %d, want 2 (excludes the 9-cost column)", c.slow)
+	}
+	// Residual: nodes 1 and 3 → 5 + 5.
+	if c.maxSum != 10 {
+		t.Errorf("maxSum = %d, want 10", c.maxSum)
+	}
+}
+
+// TestCriticalInstantsWindow: candidates stay inside [-Ji, -Ji+Bslow),
+// start at the window edge, and are strictly increasing.
+func TestCriticalInstantsWindow(t *testing.T) {
+	fs := model.PaperExample()
+	for i := range fs.Flows {
+		c := ctxFor(t, fs, i, Options{})
+		ts := c.criticalInstants()
+		if ts[0] != -fs.Flows[i].Jitter {
+			t.Errorf("flow %d: first candidate %d ≠ -J", i, ts[0])
+		}
+		for k, tv := range ts {
+			if tv < -fs.Flows[i].Jitter || tv >= -fs.Flows[i].Jitter+c.bslow {
+				t.Errorf("flow %d: candidate %d outside window", i, tv)
+			}
+			if k > 0 && tv <= ts[k-1] {
+				t.Errorf("flow %d: candidates not increasing", i)
+			}
+		}
+	}
+}
+
+// TestCriticalInstantsCatchJumps: a jump inside the window must be a
+// candidate, and the scan must beat the t=-J evaluation when the jump
+// pays off. Construct: interferer with A = 34, T = 36, window 16 →
+// jump at t = 2.
+func TestCriticalInstantsCatchJumps(t *testing.T) {
+	fs := model.PaperExample()
+	c := ctxFor(t, fs, 1, Options{}) // τ2 has A_{2,3} = A_{2,4} = 34
+	found := false
+	for _, tv := range c.criticalInstants() {
+		if tv == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("jump at t=2 missing from %v", c.criticalInstants())
+	}
+	r0 := c.latestStart(0) + c.clast - 0
+	r, tStar := c.bound()
+	if tStar != 2 || r <= r0 {
+		t.Errorf("bound attained at t=%d (R=%d), expected the t=2 jump to dominate R(0)=%d",
+			tStar, r, r0)
+	}
+}
+
+// TestLatestStartMonotoneInT: W(t) is non-decreasing in t (more time,
+// more interfering packets) — spot-check over the window.
+func TestLatestStartMonotoneInT(t *testing.T) {
+	fs := model.PaperExample()
+	for i := range fs.Flows {
+		c := ctxFor(t, fs, i, Options{})
+		prev := c.latestStart(-fs.Flows[i].Jitter)
+		for tv := -fs.Flows[i].Jitter + 1; tv < -fs.Flows[i].Jitter+c.bslow; tv++ {
+			cur := c.latestStart(tv)
+			if cur < prev {
+				t.Fatalf("flow %d: W(%d)=%d < W(%d)=%d", i, tv, cur, tv-1, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestPrefixViewRelations: a reverse interferer can become
+// same-direction for a prefix (single shared node), which the per-view
+// relation computation must honour. τ2 vs τ3's prefix [2,3,4,7] shares
+// only node 7.
+func TestPrefixViewRelations(t *testing.T) {
+	fs := model.PaperExample()
+	smax, _, _, err := computeSmax(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := newBoundCtx(fs, Options{}, prefixView(fs, 2, 4), smax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range c.inter {
+		if in.j == 1 { // τ2
+			if !in.rel.SameDirection {
+				t.Error("τ2 vs τ3-prefix shares one node and must count as same-direction")
+			}
+			if in.rel.FirstJI != 7 || in.rel.FirstIJ != 7 {
+				t.Errorf("anchors %d/%d, want 7/7", in.rel.FirstJI, in.rel.FirstIJ)
+			}
+			return
+		}
+	}
+	t.Error("τ2 not an interferer of τ3's 4-node prefix")
+}

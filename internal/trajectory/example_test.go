@@ -1,0 +1,69 @@
+package trajectory_test
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+// ExampleAnalyze computes the paper's Table-2 trajectory bounds.
+func ExampleAnalyze() {
+	fs := model.PaperExample()
+	res, err := trajectory.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for i, f := range fs.Flows {
+		fmt.Printf("%s R=%d J=%d\n", f.Name, res.Bounds[i], res.Jitters[i])
+	}
+	// Output:
+	// tau1 R=31 J=12
+	// tau2 R=37 J=18
+	// tau3 R=47 J=18
+	// tau4 R=47 J=18
+	// tau5 R=40 J=16
+}
+
+// ExampleAnalyze_custom bounds a two-flow tandem built from scratch.
+func ExampleAnalyze_custom() {
+	flows := []*model.Flow{
+		model.UniformFlow("a", 100 /*T*/, 0 /*J*/, 0 /*D*/, 3 /*C*/, 1, 2),
+		model.UniformFlow("b", 100, 0, 0, 3, 1, 2),
+	}
+	fs, err := model.NewFlowSet(model.Network{Lmin: 1, Lmax: 1}, flows)
+	if err != nil {
+		panic(err)
+	}
+	res, err := trajectory.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Bounds)
+	// Output:
+	// [10 10]
+}
+
+// ExampleAnalyzeSplit handles a flow that violates Assumption 1.
+func ExampleAnalyzeSplit() {
+	base := model.UniformFlow("base", 40, 0, 0, 3, 1, 2, 3, 4, 5)
+	weave := model.UniformFlow("weave", 40, 0, 0, 3, 2, 3, 9, 4, 5)
+	orig := []*model.Flow{base, weave}
+	split := model.EnforceAssumption1(orig)
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), split)
+	if err != nil {
+		panic(err)
+	}
+	res, err := trajectory.AnalyzeSplit(fs, trajectory.Options{})
+	if err != nil {
+		panic(err)
+	}
+	bounds, err := res.BoundsFor(orig)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("analysis flows: %d, chained bounds for the originals: %v\n",
+		fs.N(), bounds)
+	// Output:
+	// analysis flows: 3, chained bounds for the originals: [25 25]
+}

@@ -1,0 +1,54 @@
+package trajectory
+
+import (
+	"fmt"
+	"strings"
+
+	"trajan/internal/model"
+)
+
+// Explain renders a human-readable derivation of one flow's bound from
+// an analysis result: the Property-2 terms, the busy-period window,
+// the critical instant, and each interferer's contribution. It is what
+// `cmd/trajan -detail` prints and what a reviewer checks against the
+// paper's formulas.
+func (r *Result) Explain(fs *model.FlowSet, i int) (string, error) {
+	if i < 0 || i >= len(r.Details) {
+		return "", fmt.Errorf("trajectory: no detail for flow %d", i)
+	}
+	d := r.Details[i]
+	f := fs.Flows[i]
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "R(%s) = %d  (deadline %d, end-to-end jitter %d)\n",
+		f.Name, d.Bound, f.Deadline, r.Jitters[i])
+	fmt.Fprintf(&b, "  path %v, T=%d, J=%d\n", f.Path, f.Period, f.Jitter)
+	fmt.Fprintf(&b, "  busy-period window Bslow=%d → scan t ∈ [%d, %d); maximum at t*=%d\n",
+		d.Bslow, -f.Jitter, -f.Jitter+d.Bslow, d.CriticalT)
+	fmt.Fprintf(&b, "  slow node %d (C=%d); counted-twice residue Σ max C = %d\n",
+		d.SlowNode, f.CostAt(d.SlowNode), d.MaxSum)
+
+	var interference model.Time
+	for _, term := range d.Interference {
+		interference += term.Packets * term.CSlow
+	}
+	selfTerm := model.OnePlusFloorPos(d.CriticalT+f.Jitter, f.Period) * f.CostAt(d.SlowNode)
+	links := model.Time(len(f.Path)-1) * fs.Net.Lmax
+	fmt.Fprintf(&b, "  W(t*) = %d interference + %d self + %d residue − %d C_last + %d links",
+		interference, selfTerm, d.MaxSum, f.Cost[len(f.Cost)-1], links)
+	if d.Delta > 0 {
+		fmt.Fprintf(&b, " + %d δ(non-preemption)", d.Delta)
+	}
+	fmt.Fprintf(&b, "\n  R = W + C_last − t* = %d\n", d.Bound)
+
+	for _, term := range d.Interference {
+		g := fs.Flows[term.Flow]
+		dir := "same direction"
+		if !term.SameDirection {
+			dir = "reverse direction"
+		}
+		fmt.Fprintf(&b, "  ← %-10s A=%-5d → %d packet(s) × C^slow=%d  (%s, T=%d)\n",
+			g.Name, term.A, term.Packets, term.CSlow, dir, g.Period)
+	}
+	return b.String(), nil
+}

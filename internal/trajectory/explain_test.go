@@ -1,0 +1,46 @@
+package trajectory
+
+import (
+	"strings"
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestExplainReconstructsBound: the explanation's arithmetic must sum
+// to the reported bound (it re-derives W(t*) from the detail terms).
+func TestExplainReconstructsBound(t *testing.T) {
+	fs := model.PaperExample()
+	res := mustAnalyze(t, fs, Options{})
+	for i, f := range fs.Flows {
+		s, err := res.Explain(fs, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := res.Details[i]
+		var interference model.Time
+		for _, term := range d.Interference {
+			interference += term.Packets * term.CSlow
+		}
+		selfTerm := model.OnePlusFloorPos(d.CriticalT+f.Jitter, f.Period) * f.CostAt(d.SlowNode)
+		w := interference + selfTerm + d.MaxSum - f.Cost[len(f.Cost)-1] +
+			model.Time(len(f.Path)-1)*fs.Net.Lmax + d.Delta
+		if got := w + f.Cost[len(f.Cost)-1] - d.CriticalT; got != d.Bound {
+			t.Errorf("%s: explanation terms sum to %d, bound %d\n%s", f.Name, got, d.Bound, s)
+		}
+		for _, want := range []string{f.Name, "Bslow", "slow node", "W(t*)"} {
+			if !strings.Contains(s, want) {
+				t.Errorf("%s: explanation missing %q:\n%s", f.Name, want, s)
+			}
+		}
+	}
+}
+
+// TestExplainBadIndex errors out.
+func TestExplainBadIndex(t *testing.T) {
+	fs := model.PaperExample()
+	res := mustAnalyze(t, fs, Options{})
+	if _, err := res.Explain(fs, 99); err == nil {
+		t.Error("bad index accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package trajectory implements the paper's primary contribution: the
+// trajectory-approach worst-case end-to-end response-time analysis of
+// sporadic flows scheduled FIFO (Martin & Minet, IPDPS 2006, Lemmas 2–3
+// and Properties 1–3).
+//
+// Unlike the holistic approach, which compounds per-node worst cases
+// that may be jointly impossible, the trajectory approach follows the
+// packet's actual worst-case trajectory: it moves backwards through the
+// visited nodes, identifying on each node the busy period affecting the
+// packet and the first packet f(h) of that busy period, and bounds the
+// cumulative delay, counting the packets "counted twice" between
+// consecutive nodes exactly once (Lemma 1).
+//
+// The headline result is Property 2:
+//
+//	Ri = max_{-Ji ≤ t < -Ji+Bslow_i} { W^lasti_{i,t} + C^lasti_i - t }
+//
+//	W^lasti_{i,t} = Σ_{j≠i} (1+⌊(t+A_{i,j})/Tj⌋)⁺ · C^{slow_{j,i}}_j
+//	             + (1+⌊(t+Ji)/Ti⌋) · C^{slow_i}_i
+//	             + Σ_{h∈Pi, h≠slow_i} max_{j same-dir} C^h_j
+//	             - C^{lasti}_i + (|Pi|-1)·Lmax  [+ δi for the EF class]
+//
+// The A_{i,j} terms depend on Smax^h (worst-case source→node times),
+// which the paper uses but never shows how to compute; this package
+// provides three estimators (see SmaxMode) and documents their
+// soundness arguments. See EXPERIMENTS.md for the calibration against
+// the paper's Table 2.
+package trajectory
+
+import (
+	"runtime"
+
+	"trajan/internal/model"
+)
+
+// SmaxMode selects how the analysis computes Smax^h_i, the maximum time
+// for a packet of flow i to reach node h from its source — a quantity
+// Property 2 consumes but the paper leaves unspecified.
+type SmaxMode int
+
+const (
+	// SmaxPrefixFixpoint bounds Smax^h_i by the trajectory bound of the
+	// flow restricted to its prefix path ending just before h, plus
+	// Lmax, iterated over all flows and nodes to a fixed point. This is
+	// the tightest of the estimators and the package default. The fixed
+	// point is reached from below (seeded with SmaxNoQueue); its bounds
+	// are cross-validated against exhaustive simulation in this
+	// repository's test suite.
+	SmaxPrefixFixpoint SmaxMode = iota
+
+	// SmaxGlobalTail bounds Smax^h_i = Ri − tailmin(i,h), where tailmin
+	// is the minimum residual time from arrival at h to delivery. Seeded
+	// with a per-node busy-period bound (or caller-provided
+	// Options.SeedBounds, e.g. holistic results) and iterated downward:
+	// since the Property-2 operator maps valid bound vectors to valid
+	// bound vectors and is monotone, every iterate after the first is a
+	// sound bound, and the component-wise minimum over iterates is
+	// returned. Use this mode when a certified chain of reasoning from
+	// a sound seed is required.
+	SmaxGlobalTail
+
+	// SmaxNoQueue uses the queueing-free traversal time with Lmax links.
+	// It is NOT sound in general (a packet can be queued upstream); it
+	// exists for sensitivity studies of how much the bound depends on
+	// the Smax term.
+	SmaxNoQueue
+)
+
+// String names the mode.
+func (m SmaxMode) String() string {
+	switch m {
+	case SmaxPrefixFixpoint:
+		return "prefix-fixpoint"
+	case SmaxGlobalTail:
+		return "global-tail"
+	case SmaxNoQueue:
+		return "no-queue"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures an analysis run. The zero value is the package
+// default: prefix-fixpoint Smax, full scan of the critical instants t,
+// closed workload windows, and generous iteration limits.
+type Options struct {
+	// Smax selects the Smax^h estimator.
+	Smax SmaxMode
+
+	// SeedBounds optionally provides sound initial per-flow response
+	// bounds for SmaxGlobalTail (e.g. from the holistic analysis). When
+	// nil, a per-node busy-period seed is computed internally.
+	SeedBounds []model.Time
+
+	// NonPreemption is the non-preemption penalty of Property 3,
+	// decomposed per visited node: NonPreemption[i][k] is the blocking
+	// charged at the k-th node of flow i's path (computed by package
+	// ef, Lemma 4). The per-node decomposition matters because the
+	// Smax^h estimators analyse path prefixes, which incur only the
+	// blocking of their own nodes. Nil means all zeros — the pure FIFO
+	// analysis of Property 2.
+	NonPreemption [][]model.Time
+
+	// MaxIterations caps fixed-point iterations (both the Smax tables
+	// and the Bslow busy-period equation). Zero selects the default 256.
+	MaxIterations int
+
+	// Horizon aborts the analysis when a busy period or bound exceeds
+	// it, which signals an unstable (utilization ≥ 1) configuration.
+	// Zero selects the default 1<<40 ticks.
+	Horizon model.Time
+
+	// DisableTScan restricts the maximization of Property 2 to
+	// t = -Ji only, skipping the other critical instants. Property 2
+	// requires the full scan; this switch exists to quantify (in the
+	// experiment suite) how much the scan contributes.
+	DisableTScan bool
+
+	// StrictWindow counts interfering packets over half-open generation
+	// windows, i.e. (1+⌊(x-1)/T⌋)⁺ instead of (1+⌊x/T⌋)⁺. The paper's
+	// operator is the closed-window one (default false); the strict
+	// variant exists for the Table-2 calibration study.
+	StrictWindow bool
+
+	// Parallelism bounds the worker count for the fixed-point sweeps
+	// (each sweep's per-view bounds are independent given the previous
+	// table, so they fan out safely). 0 selects GOMAXPROCS; 1 forces
+	// serial execution. Results are identical at any setting — the
+	// sweeps are pure functions of the previous iterate.
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) maxIterations() int {
+	if o.MaxIterations <= 0 {
+		return 256
+	}
+	return o.MaxIterations
+}
+
+func (o Options) horizon() model.Time {
+	if o.Horizon <= 0 {
+		return 1 << 40
+	}
+	return o.Horizon
+}
+
+// deltaForView sums the non-preemption blocking over the nodes of a
+// (possibly prefix) path view of flow i.
+func (o Options) deltaForView(i, pathLen int) model.Time {
+	if o.NonPreemption == nil {
+		return 0
+	}
+	var s model.Time
+	for k := 0; k < pathLen && k < len(o.NonPreemption[i]); k++ {
+		s += o.NonPreemption[i][k]
+	}
+	return s
+}
+
+// count returns the number of packets of a sporadic flow with period
+// period whose generation times can fall in a window of length win —
+// the paper's (1 + ⌊win/period⌋)⁺ operator, or its half-open variant
+// when StrictWindow is set.
+func (o Options) count(win, period model.Time) model.Time {
+	if o.StrictWindow {
+		win--
+	}
+	return model.OnePlusFloorPos(win, period)
+}

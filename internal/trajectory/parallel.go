@@ -1,0 +1,65 @@
+package trajectory
+
+import (
+	"sync"
+
+	"trajan/internal/model"
+)
+
+// viewJob is one independent bound computation of a fixed-point sweep.
+type viewJob struct {
+	view pathView
+	// dst receives the resulting bound; each job writes a distinct slot.
+	dst *model.Time
+	err error
+}
+
+// runViews evaluates the jobs against an immutable Smax table, fanning
+// out across Options.workers() goroutines. Each job writes only its
+// own slot, so the result is identical to serial execution; the first
+// error (by job order) is returned.
+func runViews(fs *model.FlowSet, opt Options, smax smaxTable, jobs []viewJob) error {
+	workers := opt.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for k := range jobs {
+			r, err := boundForView(fs, opt, jobs[k].view, smax)
+			if err != nil {
+				return err
+			}
+			*jobs[k].dst = r
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for k := range jobs {
+			next <- k
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				r, err := boundForView(fs, opt, jobs[k].view, smax)
+				if err != nil {
+					jobs[k].err = err
+					continue
+				}
+				*jobs[k].dst = r
+			}
+		}()
+	}
+	wg.Wait()
+	for k := range jobs {
+		if jobs[k].err != nil {
+			return jobs[k].err
+		}
+	}
+	return nil
+}

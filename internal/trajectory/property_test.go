@@ -1,0 +1,186 @@
+package trajectory
+
+import (
+	"math/rand"
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/workload"
+)
+
+// randomSet draws an analysable random line flow set.
+func randomSet(t *testing.T, rng *rand.Rand) *model.FlowSet {
+	t.Helper()
+	for attempt := 0; attempt < 20; attempt++ {
+		fs, err := workload.RandomLine(rng, workload.RandomLineParams{
+			Nodes:          4 + rng.Intn(4),
+			Flows:          3 + rng.Intn(3),
+			MaxUtilization: 0.3 + 0.25*rng.Float64(),
+			CostLo:         1, CostHi: 4,
+			JitterHi:     model.Time(rng.Intn(3)),
+			AllowReverse: attempt%2 == 0,
+		})
+		if err == nil {
+			return fs
+		}
+	}
+	t.Fatal("could not draw a random set")
+	return nil
+}
+
+// rebuild clones the set with one flow transformed.
+func rebuild(t *testing.T, fs *model.FlowSet, i int, mutate func(*model.Flow)) *model.FlowSet {
+	t.Helper()
+	flows := make([]*model.Flow, fs.N())
+	for k, f := range fs.Flows {
+		flows[k] = f.Clone()
+	}
+	mutate(flows[i])
+	out, err := model.NewFlowSet(fs.Net, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPropertyCostMonotone: growing any flow's processing time never
+// shrinks any bound.
+func TestPropertyCostMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		fs := randomSet(t, rng)
+		base, err := Analyze(fs, Options{})
+		if err != nil {
+			continue
+		}
+		victim := rng.Intn(fs.N())
+		pos := rng.Intn(len(fs.Flows[victim].Path))
+		heavier := rebuild(t, fs, victim, func(f *model.Flow) {
+			f.Cost[pos]++
+		})
+		after, err := Analyze(heavier, Options{})
+		if err != nil {
+			continue // may push past stability; that is fine
+		}
+		for i := range fs.Flows {
+			if after.Bounds[i] < base.Bounds[i] {
+				t.Errorf("trial %d: raising cost of flow %d shrank bound of flow %d: %d → %d",
+					trial, victim, i, base.Bounds[i], after.Bounds[i])
+			}
+		}
+	}
+}
+
+// TestPropertyPeriodMonotone: slowing a flow down (larger period) never
+// grows the other flows' bounds.
+func TestPropertyPeriodMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		fs := randomSet(t, rng)
+		base, err := Analyze(fs, Options{})
+		if err != nil {
+			continue
+		}
+		victim := rng.Intn(fs.N())
+		slower := rebuild(t, fs, victim, func(f *model.Flow) {
+			f.Period += 1 + model.Time(rng.Intn(20))
+		})
+		after, err := Analyze(slower, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: slowing a flow broke the analysis: %v", trial, err)
+		}
+		for i := range fs.Flows {
+			if i == victim {
+				continue // its own bound may move either way (Bslow shrinks)
+			}
+			if after.Bounds[i] > base.Bounds[i] {
+				t.Errorf("trial %d: slowing flow %d grew bound of flow %d: %d → %d",
+					trial, victim, i, base.Bounds[i], after.Bounds[i])
+			}
+		}
+	}
+}
+
+// TestPropertyJitterMonotone: adding release jitter to a flow never
+// shrinks any bound.
+func TestPropertyJitterMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 15; trial++ {
+		fs := randomSet(t, rng)
+		base, err := Analyze(fs, Options{})
+		if err != nil {
+			continue
+		}
+		victim := rng.Intn(fs.N())
+		jittered := rebuild(t, fs, victim, func(f *model.Flow) {
+			f.Jitter += 1 + model.Time(rng.Intn(4))
+		})
+		after, err := Analyze(jittered, Options{})
+		if err != nil {
+			continue
+		}
+		for i := range fs.Flows {
+			if after.Bounds[i] < base.Bounds[i] {
+				t.Errorf("trial %d: jittering flow %d shrank bound of flow %d: %d → %d",
+					trial, victim, i, base.Bounds[i], after.Bounds[i])
+			}
+		}
+	}
+}
+
+// TestPropertyLinkDelayMonotone: a slower network (larger Lmax) never
+// shrinks bounds; a faster floor (smaller Lmin) never shrinks them
+// either (wider link jitter).
+func TestPropertyLinkDelayMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 10; trial++ {
+		fs := randomSet(t, rng)
+		base, err := Analyze(fs, Options{})
+		if err != nil {
+			continue
+		}
+		slower, err := model.NewFlowSet(
+			model.Network{Lmin: fs.Net.Lmin, Lmax: fs.Net.Lmax + 2}, cloneFlows(fs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := Analyze(slower, Options{})
+		if err != nil {
+			continue
+		}
+		for i := range fs.Flows {
+			if after.Bounds[i] < base.Bounds[i] {
+				t.Errorf("trial %d: larger Lmax shrank bound of flow %d: %d → %d",
+					trial, i, base.Bounds[i], after.Bounds[i])
+			}
+		}
+	}
+}
+
+func cloneFlows(fs *model.FlowSet) []*model.Flow {
+	out := make([]*model.Flow, fs.N())
+	for i, f := range fs.Flows {
+		out[i] = f.Clone()
+	}
+	return out
+}
+
+// TestPropertyBoundsDominateFloor: every bound covers jitter plus the
+// minimum traversal.
+func TestPropertyBoundsDominateFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 20; trial++ {
+		fs := randomSet(t, rng)
+		res, err := Analyze(fs, Options{})
+		if err != nil {
+			continue
+		}
+		for i, f := range fs.Flows {
+			floor := f.Jitter + f.MinTraversal(fs.Net.Lmin)
+			if res.Bounds[i] < floor {
+				t.Errorf("trial %d flow %d: bound %d below floor %d",
+					trial, i, res.Bounds[i], floor)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package trajectory
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"trajan/internal/model"
+)
+
+// TestAnalyzeScalesWide: 60 flows aggregating down a 30-node line —
+// the analysis (including the prefix fixpoint over ~900 views per
+// sweep) completes in seconds and stays ordered.
+func TestAnalyzeScalesWide(t *testing.T) {
+	const nodes = 30
+	var flows []*model.Flow
+	for k := 0; k < nodes-1; k++ {
+		path := make([]model.NodeID, nodes-k)
+		for i := range path {
+			path[i] = model.NodeID(k + i)
+		}
+		flows = append(flows, model.UniformFlow(
+			fmt.Sprintf("a%02d", k), model.Time(30*nodes), 1, 0, 2, path...))
+		flows = append(flows, model.UniformFlow(
+			fmt.Sprintf("b%02d", k), model.Time(40*nodes), 0, 0, 3, path...))
+	}
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := Analyze(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("%d flows over %d nodes analysed in %v (%d sweeps, util %.2f)",
+		fs.N(), nodes, elapsed, res.SmaxSweeps, fs.MaxUtilization())
+	if elapsed > 30*time.Second {
+		t.Errorf("analysis took %v", elapsed)
+	}
+	// The full-line flows suffer at least as much as the short ones
+	// entering at the last hop.
+	if res.Bounds[0] <= res.Bounds[len(res.Bounds)-2] {
+		t.Errorf("aggregation ordering broken: %d vs %d",
+			res.Bounds[0], res.Bounds[len(res.Bounds)-2])
+	}
+	if !res.SmaxConverged {
+		t.Error("fixpoint did not converge")
+	}
+}

@@ -1,0 +1,152 @@
+package trajectory
+
+import (
+	"fmt"
+	"sort"
+
+	"trajan/internal/model"
+)
+
+// SplitResult is the outcome of AnalyzeSplit: bounds for the fragment
+// set plus chained end-to-end bounds for the original (pre-split)
+// flows.
+type SplitResult struct {
+	// Fragment is the analysis of the (possibly jitter-inflated)
+	// fragment flow set; indices follow the split set.
+	Fragment *Result
+	// ParentBounds maps an original flow index (Flow.Parent) of a SPLIT
+	// flow to its chained end-to-end response-time bound.
+	ParentBounds map[int]model.Time
+	// boundsByName carries unsplit flows' direct bounds, keyed by name.
+	boundsByName map[string]model.Time
+	// Sweeps is the number of jitter-chaining sweeps performed.
+	Sweeps int
+}
+
+// BoundsFor maps the results back onto the original, pre-split flow
+// list: split flows get their chained bounds, unsplit flows their
+// direct ones.
+func (r *SplitResult) BoundsFor(original []*model.Flow) ([]model.Time, error) {
+	out := make([]model.Time, len(original))
+	for i, f := range original {
+		if b, ok := r.ParentBounds[i]; ok {
+			out[i] = b
+			continue
+		}
+		b, ok := r.boundsByName[f.Name]
+		if !ok {
+			return nil, fmt.Errorf("trajectory: no bound for original flow %q", f.Name)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// AnalyzeSplit analyses a flow set produced by model.EnforceAssumption1
+// soundly with respect to the original flows.
+//
+// The paper's Assumption-1 device — "consider a flow crossing path Pi
+// after it left Pi as a new flow" — leaves the new flow's arrival law
+// unspecified. Treating a mid-network fragment as a fresh sporadic
+// source with the parent's release jitter UNDERSTATES its arrival
+// burstiness: the real packets reach the fragment's first node with
+// all the response-time variability accumulated upstream. AnalyzeSplit
+// closes that gap:
+//
+//  1. fragments of each parent are ordered along the parent's path
+//     (Flow.FragmentStart);
+//  2. fragment m+1's release jitter is set to
+//     R_m + Lmax − minTraversal_m − Lmin, the width of its head-node
+//     arrival window implied by fragment m's bound;
+//  3. the whole system is re-analysed until the jitters reach a fixed
+//     point from below (they only grow, so the iteration terminates or
+//     exceeds the horizon);
+//  4. a parent's end-to-end bound chains the last fragment's bound
+//     after the earlier fragments' minimum traversals (fragment
+//     generations are measured from the parent packet's earliest
+//     possible arrival at the fragment head; the late part is the
+//     fragment's jitter).
+//
+// For sets without fragments, AnalyzeSplit degenerates to Analyze.
+func AnalyzeSplit(fs *model.FlowSet, opt Options) (*SplitResult, error) {
+	// Group fragment indices by parent.
+	groups := map[int][]int{}
+	for i, f := range fs.Flows {
+		if p, ok := f.Parent(); ok {
+			groups[p] = append(groups[p], i)
+		}
+	}
+	for _, g := range groups {
+		sort.Slice(g, func(a, b int) bool {
+			return fs.Flows[g[a]].FragmentStart() < fs.Flows[g[b]].FragmentStart()
+		})
+	}
+
+	// Work on a private copy whose fragment jitters we may inflate.
+	work := make([]*model.Flow, fs.N())
+	for i, f := range fs.Flows {
+		work[i] = f.Clone()
+	}
+	horizon := opt.horizon()
+
+	var res *Result
+	sweeps := 0
+	for ; sweeps < opt.maxIterations(); sweeps++ {
+		cur, err := model.NewFlowSet(fs.Net, work)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: rebuilding split set: %w", err)
+		}
+		res, err = Analyze(cur, opt)
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		for _, g := range groups {
+			for m := 0; m+1 < len(g); m++ {
+				prev, next := g[m], g[m+1]
+				want := res.Bounds[prev] + fs.Net.Lmax -
+					work[prev].MinTraversal(fs.Net.Lmin) - fs.Net.Lmin
+				if want > horizon {
+					return nil, fmt.Errorf("trajectory: fragment jitter of %q diverges",
+						work[next].Name)
+				}
+				if want > work[next].Jitter {
+					work[next].Jitter = want
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if sweeps == opt.maxIterations() {
+		return nil, fmt.Errorf("trajectory: fragment jitter chaining did not converge in %d sweeps", sweeps)
+	}
+
+	out := &SplitResult{
+		Fragment:     res,
+		ParentBounds: make(map[int]model.Time),
+		boundsByName: make(map[string]model.Time),
+		Sweeps:       sweeps + 1,
+	}
+	for i, f := range fs.Flows {
+		if _, ok := f.Parent(); !ok {
+			out.boundsByName[f.Name] = res.Bounds[i]
+		}
+	}
+	// Split flows: chain fragments. The parent packet reaches fragment
+	// m's head at the earliest after the minimum traversal of all
+	// earlier fragments (that earliest arrival is fragment m's
+	// generation origin; lateness is folded into its jitter), so the
+	// parent bound is Σ earlier minimum traversals (plus inter-fragment
+	// links at Lmin) plus the last fragment's bound.
+	for parent, g := range groups {
+		var shift model.Time
+		for _, idx := range g[:len(g)-1] {
+			shift += work[idx].MinTraversal(fs.Net.Lmin) + fs.Net.Lmin
+		}
+		out.ParentBounds[parent] = shift + res.Bounds[g[len(g)-1]]
+	}
+	return out, nil
+}

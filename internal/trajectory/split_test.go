@@ -1,0 +1,168 @@
+package trajectory
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/sim"
+)
+
+// splitSystem builds a weaving flow whose analysis requires the
+// Assumption-1 split: "weave" leaves base's path at a detour node and
+// re-enters it.
+func splitSystem(t *testing.T) (orig []*model.Flow, split *model.FlowSet) {
+	t.Helper()
+	base := model.UniformFlow("base", 40, 0, 0, 3, 1, 2, 3, 4, 5)
+	weave := model.UniformFlow("weave", 40, 0, 0, 3, 2, 3, 9, 4, 5)
+	orig = []*model.Flow{base, weave}
+	frags := model.EnforceAssumption1(orig)
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, fs
+}
+
+// TestAnalyzeSplitDegeneratesWithoutFragments: on an unsplit set,
+// AnalyzeSplit equals Analyze.
+func TestAnalyzeSplitDegeneratesWithoutFragments(t *testing.T) {
+	fs := model.PaperExample()
+	plain := mustAnalyze(t, fs, Options{})
+	split, err := AnalyzeSplit(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := split.BoundsFor(fs.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs.Flows {
+		if bounds[i] != plain.Bounds[i] {
+			t.Errorf("flow %d: split %d ≠ plain %d", i, bounds[i], plain.Bounds[i])
+		}
+	}
+	if split.Sweeps != 1 {
+		t.Errorf("no-fragment set took %d sweeps", split.Sweeps)
+	}
+}
+
+// TestAnalyzeSplitInflatesFragmentJitter: the downstream fragment's
+// bound must account for upstream variability — its chained bound is
+// strictly larger than a naive per-fragment analysis would suggest.
+func TestAnalyzeSplitInflatesFragmentJitter(t *testing.T) {
+	orig, fs := splitSystem(t)
+	naive := mustAnalyze(t, fs, Options{})
+	split, err := AnalyzeSplit(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := split.BoundsFor(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chained weave bound > the larger fragment bound of the naive run.
+	var naiveWorst model.Time
+	for i, f := range fs.Flows {
+		if p, ok := f.Parent(); ok && p == 1 && naive.Bounds[i] > naiveWorst {
+			naiveWorst = naive.Bounds[i]
+		}
+	}
+	if bounds[1] <= naiveWorst {
+		t.Errorf("chained bound %d not above naive fragment worst %d", bounds[1], naiveWorst)
+	}
+	// Sanity: the chained bound covers the weave's minimum traversal.
+	if bounds[1] < orig[1].MinTraversal(1) {
+		t.Errorf("chained bound %d below min traversal", bounds[1])
+	}
+}
+
+// TestAnalyzeSplitSoundAgainstOriginalSimulation is the point of the
+// exercise: simulate the ORIGINAL unsplit flows (the simulator does not
+// need Assumption 1) under adversarial-ish scenarios, and require the
+// chained bounds to dominate every observation.
+func TestAnalyzeSplitSoundAgainstOriginalSimulation(t *testing.T) {
+	orig, fs := splitSystem(t)
+	split, err := AnalyzeSplit(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := split.BoundsFor(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, err := model.NewFlowSetLax(model.UnitDelayNetwork(), orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(lax, sim.Config{})
+	for offA := model.Time(0); offA < 10; offA++ {
+		for offB := model.Time(0); offB < 10; offB++ {
+			for loser := 0; loser < 2; loser++ {
+				sc := sim.PeriodicScenario(lax, []model.Time{offA, offB}, 4)
+				tie := []int{1, 2}
+				tie[loser] = 3
+				sc.TieBreak = tie
+				res, err := eng.Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range orig {
+					if got := res.PerFlow[i].MaxResponse; got > bounds[i] {
+						t.Fatalf("offsets (%d,%d) loser %d: flow %s observed %d > chained bound %d",
+							offA, offB, loser, orig[i].Name, got, bounds[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeSplitRingSoundness: the same validation on ring arcs,
+// whose overlaps genuinely violate Assumption 1 two ways.
+func TestAnalyzeSplitRingSoundness(t *testing.T) {
+	mkArc := func(name string, start, length, nodes int) *model.Flow {
+		arc := make([]model.NodeID, length)
+		for i := range arc {
+			arc[i] = model.NodeID((start + i) % nodes)
+		}
+		return model.UniformFlow(name, 50, 0, 0, 2, arc...)
+	}
+	const nodes = 6
+	orig := []*model.Flow{
+		mkArc("arcA", 0, 5, nodes),
+		mkArc("arcB", 4, 5, nodes),
+	}
+	frags := model.EnforceAssumption1(orig)
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := AnalyzeSplit(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := split.BoundsFor(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, err := model.NewFlowSetLax(model.UnitDelayNetwork(), orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(lax, sim.Config{})
+	for offA := model.Time(0); offA < 12; offA++ {
+		for offB := model.Time(0); offB < 12; offB++ {
+			sc := sim.PeriodicScenario(lax, []model.Time{offA, offB}, 4)
+			res, err := eng.Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range orig {
+				if got := res.PerFlow[i].MaxResponse; got > bounds[i] {
+					t.Fatalf("offsets (%d,%d): %s observed %d > chained bound %d",
+						offA, offB, orig[i].Name, got, bounds[i])
+				}
+			}
+		}
+	}
+}

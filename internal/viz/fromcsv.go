@@ -1,0 +1,59 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"trajan/internal/report"
+)
+
+// FromCSV builds a chart from an experiment's CSV series: the first
+// column is the X axis, and each named column becomes one line. Cells
+// reading "inf" map to +Inf (the chart breaks the line there).
+func FromCSV(csv *report.CSV, title, ylabel string, yCols ...string) (Chart, error) {
+	header := csv.Header()
+	if len(header) < 2 {
+		return Chart{}, fmt.Errorf("viz: CSV has %d columns", len(header))
+	}
+	if len(yCols) == 0 {
+		yCols = header[1:]
+	}
+	colIdx := map[string]int{}
+	for i, h := range header {
+		colIdx[h] = i
+	}
+	rows := csv.Rows()
+	xs := make([]float64, len(rows))
+	for r, row := range rows {
+		v, err := parseCell(row[0])
+		if err != nil {
+			return Chart{}, fmt.Errorf("viz: row %d x: %w", r, err)
+		}
+		xs[r] = v
+	}
+	ch := Chart{Title: title, XLabel: header[0], YLabel: ylabel}
+	for _, name := range yCols {
+		idx, ok := colIdx[name]
+		if !ok {
+			return Chart{}, fmt.Errorf("viz: no column %q", name)
+		}
+		s := Series{Name: name, X: append([]float64(nil), xs...)}
+		for r, row := range rows {
+			v, err := parseCell(row[idx])
+			if err != nil {
+				return Chart{}, fmt.Errorf("viz: row %d col %q: %w", r, name, err)
+			}
+			s.Y = append(s.Y, v)
+		}
+		ch.Series = append(ch.Series, s)
+	}
+	return ch, nil
+}
+
+func parseCell(s string) (float64, error) {
+	if s == "inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

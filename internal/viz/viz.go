@@ -1,0 +1,162 @@
+// Package viz renders experiment series as self-contained SVG line
+// charts — the "figures" of the experiment harness, produced with the
+// standard library only. Charts handle infinite values (series simply
+// stop), logarithmic-free integer-friendly scales, axis ticks and a
+// legend.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title, XLabel, YLabel string
+	Width, Height         int
+	Series                []Series
+}
+
+// palette holds distinguishable stroke colors (cycled).
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf",
+}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 36.0
+	marginBottom = 48.0
+	legendRow    = 16.0
+)
+
+// SVG renders the chart. Points with non-finite Y are skipped (the
+// polyline breaks there), so diverging bounds render as truncated
+// lines rather than corrupting the scale.
+func (c Chart) SVG() (string, error) {
+	if c.Width <= 0 {
+		c.Width = 640
+	}
+	if c.Height <= 0 {
+		c.Height = 360
+	}
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("viz: chart %q has no series", c.Title)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for k := range s.X {
+			if !finite(s.X[k]) || !finite(s.Y[k]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, s.X[k]), math.Max(maxX, s.X[k])
+			minY, maxY = math.Min(minY, s.Y[k]), math.Max(maxY, s.Y[k])
+		}
+	}
+	if !finite(minX) || !finite(minY) {
+		return "", fmt.Errorf("viz: chart %q has no finite points", c.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Y axis from zero unless the data is far from it.
+	if minY > 0 && minY < 0.5*maxY {
+		minY = 0
+	}
+
+	plotW := float64(c.Width) - marginLeft - marginRight
+	plotH := float64(c.Height) - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.Width, c.Height, c.Width, c.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", c.Width, c.Height)
+	fmt.Fprintf(&b, `<text x="%v" y="20" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		float64(c.Width)/2, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%v" y1="%v" x2="%v" y2="%v" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%v" y1="%v" x2="%v" y2="%v" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(&b, `<text x="%v" y="%v" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(c.Height)-10, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%v" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %v)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, esc(c.YLabel))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%v" y1="%v" x2="%v" y2="%v" stroke="#ccc"/>`+"\n",
+			px(fx), marginTop, px(fx), marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%v" y="%v" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(fx), marginTop+plotH+14, ticker(fx))
+		fmt.Fprintf(&b, `<line x1="%v" y1="%v" x2="%v" y2="%v" stroke="#eee"/>`+"\n",
+			marginLeft, py(fy), marginLeft+plotW, py(fy))
+		fmt.Fprintf(&b, `<text x="%v" y="%v" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py(fy)+3, ticker(fy))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		flush := func() {
+			if len(pts) >= 2 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+					strings.Join(pts, " "), color)
+			} else if len(pts) == 1 {
+				xy := strings.Split(pts[0], ",")
+				fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", xy[0], xy[1], color)
+			}
+			pts = pts[:0]
+		}
+		for k := range s.X {
+			if !finite(s.X[k]) || !finite(s.Y[k]) {
+				flush()
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[k]), py(s.Y[k])))
+		}
+		flush()
+		// Legend entry.
+		ly := marginTop + 4 + float64(si)*legendRow
+		fmt.Fprintf(&b, `<line x1="%v" y1="%v" x2="%v" y2="%v" stroke="%s" stroke-width="2"/>`+"\n",
+			marginLeft+plotW-110, ly, marginLeft+plotW-92, ly, color)
+		fmt.Fprintf(&b, `<text x="%v" y="%v" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			marginLeft+plotW-88, ly+3, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func finite(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }
+
+func ticker(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,136 @@
+package viz
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+
+	"trajan/internal/report"
+)
+
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestChartSVGBasics(t *testing.T) {
+	ch := Chart{
+		Title: "bounds vs load", XLabel: "utilization", YLabel: "ticks",
+		Series: []Series{
+			{Name: "trajectory", X: []float64{0.1, 0.2, 0.3}, Y: []float64{28, 28, 28}},
+			{Name: "holistic", X: []float64{0.1, 0.2, 0.3}, Y: []float64{46, 46, 55}},
+		},
+	}
+	svg, err := ch.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	for _, want := range []string{"bounds vs load", "utilization", "trajectory", "holistic"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+// TestChartBreaksAtInfinity: an infinite point splits the polyline
+// instead of distorting the scale.
+func TestChartBreaksAtInfinity(t *testing.T) {
+	ch := Chart{
+		Title: "blow-up",
+		Series: []Series{{
+			Name: "cl",
+			X:    []float64{1, 2, 3, 4, 5},
+			Y:    []float64{10, 20, math.Inf(1), 30, 40},
+		}},
+	}
+	svg, err := ch.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2 (split at the infinity)", got)
+	}
+	// The scale must ignore the infinity: no absurd coordinates.
+	if strings.Contains(svg, "Inf") || strings.Contains(svg, "NaN") {
+		t.Error("non-finite coordinates leaked into the SVG")
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	if _, err := (Chart{Title: "x"}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := Chart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.SVG(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	allInf := Chart{Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{math.Inf(1)}}}}
+	if _, err := allInf.SVG(); err == nil {
+		t.Error("all-infinite chart accepted")
+	}
+}
+
+func TestChartEscapesMarkup(t *testing.T) {
+	ch := Chart{
+		Title:  "a < b & c",
+		Series: []Series{{Name: "<s>", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	svg, err := ch.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "a &lt; b &amp; c") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestFromCSV(t *testing.T) {
+	csv := report.NewCSV("utilization", "trajectory", "holistic", "charny")
+	csv.AddRow(0.1, 28, 46, 129)
+	csv.AddRow(0.2, 28, 46, 379)
+	csv.AddRow(0.3, 28, 55, "inf")
+	ch, err := FromCSV(csv, "E6", "ticks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Series) != 3 {
+		t.Fatalf("%d series", len(ch.Series))
+	}
+	if !math.IsInf(ch.Series[2].Y[2], 1) {
+		t.Error("inf cell not parsed")
+	}
+	svg, err := ch.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+
+	if _, err := FromCSV(csv, "x", "y", "nope"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	short := report.NewCSV("only")
+	if _, err := FromCSV(short, "x", "y"); err == nil {
+		t.Error("single-column CSV accepted")
+	}
+	badCell := report.NewCSV("x", "y")
+	badCell.AddRow("zzz", 1)
+	if _, err := FromCSV(badCell, "x", "y"); err == nil {
+		t.Error("unparseable x accepted")
+	}
+}

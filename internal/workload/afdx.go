@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+)
+
+// The trajectory approach's flagship industrial use is the
+// certification of AFDX (ARINC 664) avionics backbones, where each
+// Virtual Link (VL) is exactly a sporadic flow: the Bandwidth
+// Allocation Gap (BAG) is the minimum interarrival time, the maximum
+// frame size fixes the per-switch processing time, and end-system
+// scheduling introduces bounded release jitter. This generator builds
+// AFDX-flavoured flow sets on a dual-switch-column topology.
+
+// AFDXParams sizes an AFDX-like configuration. One tick = 1 µs.
+type AFDXParams struct {
+	// VLs is the number of virtual links.
+	VLs int
+	// Switches is the number of backbone switches in a column; VL k
+	// enters at end-system node 1000+k, crosses a window of switches,
+	// and exits at end-system 2000+k.
+	Switches int
+	// BAGs lists the allowed Bandwidth Allocation Gaps in ticks (AFDX
+	// uses powers of two from 1 to 128 ms); VL k uses BAGs[k % len].
+	BAGs []model.Time
+	// FrameTicks is the per-switch processing time of a maximal frame.
+	FrameTicks model.Time
+	// TechJitter is the end-system technological jitter bound (ARINC
+	// 664 allows up to 500 µs).
+	TechJitter model.Time
+	// Deadline is the per-VL end-to-end latency budget (0 = none).
+	Deadline model.Time
+}
+
+// DefaultAFDXBAGs are the standard BAG ladder in µs-ticks, subsampled
+// to keep hyperperiods testable: 1, 2, 4, 8 ms.
+func DefaultAFDXBAGs() []model.Time {
+	return []model.Time{1000, 2000, 4000, 8000}
+}
+
+// AFDX builds the virtual-link flow set.
+func AFDX(p AFDXParams) (*model.FlowSet, error) {
+	if p.VLs < 1 || p.Switches < 1 {
+		return nil, fmt.Errorf("workload: AFDX needs ≥1 VL and ≥1 switch")
+	}
+	if len(p.BAGs) == 0 {
+		p.BAGs = DefaultAFDXBAGs()
+	}
+	if p.FrameTicks < 1 {
+		return nil, fmt.Errorf("workload: non-positive frame time")
+	}
+	var flows []*model.Flow
+	for k := 0; k < p.VLs; k++ {
+		// Window of switches: spread the VLs across the column.
+		lo := k % p.Switches
+		hi := lo + 2
+		if hi > p.Switches {
+			lo, hi = maxInt(0, p.Switches-2), p.Switches
+		}
+		path := []model.NodeID{model.NodeID(1000 + k)}
+		for s := lo; s < hi; s++ {
+			path = append(path, model.NodeID(s))
+		}
+		path = append(path, model.NodeID(2000+k))
+		bag := p.BAGs[k%len(p.BAGs)]
+		flows = append(flows, model.UniformFlow(
+			fmt.Sprintf("vl%03d", k), bag, p.TechJitter, p.Deadline, p.FrameTicks, path...))
+	}
+	return model.NewFlowSet(model.UnitDelayNetwork(), flows)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

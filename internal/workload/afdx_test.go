@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+func TestAFDXShape(t *testing.T) {
+	fs, err := AFDX(AFDXParams{
+		VLs: 8, Switches: 3,
+		FrameTicks: 10, TechJitter: 50, Deadline: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.N() != 8 {
+		t.Fatalf("%d VLs", fs.N())
+	}
+	bags := DefaultAFDXBAGs()
+	for k, f := range fs.Flows {
+		if f.Period != bags[k%len(bags)] {
+			t.Errorf("vl %d BAG %d", k, f.Period)
+		}
+		if f.Jitter != 50 {
+			t.Errorf("vl %d jitter %d", k, f.Jitter)
+		}
+		// End systems are private; switches shared.
+		if f.Path.First() != model.NodeID(1000+k) || f.Path.Last() != model.NodeID(2000+k) {
+			t.Errorf("vl %d endpoints %v", k, f.Path)
+		}
+	}
+	// VLs interfere on the switch column.
+	if !fs.Relation(0, 1).Intersects {
+		t.Error("adjacent VLs do not share a switch")
+	}
+}
+
+func TestAFDXAnalysable(t *testing.T) {
+	fs, err := AFDX(AFDXParams{
+		VLs: 12, Switches: 4,
+		FrameTicks: 12, TechJitter: 100, Deadline: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trajectory.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fs.Flows {
+		if res.Bounds[i] > f.Deadline {
+			t.Errorf("%s: bound %d misses the certification budget %d", f.Name, res.Bounds[i], f.Deadline)
+		}
+		if res.Bounds[i] < f.Jitter+f.MinTraversal(fs.Net.Lmin) {
+			t.Errorf("%s: bound %d below floor", f.Name, res.Bounds[i])
+		}
+	}
+}
+
+func TestAFDXValidation(t *testing.T) {
+	if _, err := AFDX(AFDXParams{VLs: 0, Switches: 1, FrameTicks: 1}); err == nil {
+		t.Error("0 VLs accepted")
+	}
+	if _, err := AFDX(AFDXParams{VLs: 1, Switches: 0, FrameTicks: 1}); err == nil {
+		t.Error("0 switches accepted")
+	}
+	if _, err := AFDX(AFDXParams{VLs: 1, Switches: 1, FrameTicks: 0}); err == nil {
+		t.Error("0 frame time accepted")
+	}
+}

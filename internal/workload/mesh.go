@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trajan/internal/model"
+)
+
+// MeshParams describes a randomized workload on a rows×cols grid with
+// BFS (shortest-path) source routing.
+type MeshParams struct {
+	Rows, Cols int
+	// Flows is the number of src→dst demands drawn.
+	Flows int
+	// MaxUtilization caps every node's load; demands that would exceed
+	// it are re-drawn with longer periods.
+	MaxUtilization float64
+	// CostLo, CostHi bound per-node processing times.
+	CostLo, CostHi model.Time
+	// JitterHi bounds release jitters.
+	JitterHi model.Time
+}
+
+// MeshResult carries the generated set plus its split provenance: the
+// analyses must run on Split, while the simulator may run Original.
+type MeshResult struct {
+	// Original holds the unsplit flows (valid paths on the grid).
+	Original []*model.Flow
+	// Split is the Assumption-1-conformant analysis set.
+	Split *model.FlowSet
+	// Topology is the generating graph.
+	Topology *model.Topology
+}
+
+// Mesh draws random demands on the grid and routes them BFS. Grid
+// routes can violate Assumption 1 against each other (two shortest
+// paths may share two separated segments), so the result carries both
+// the original flows and the split analysis set.
+func Mesh(rng *rand.Rand, p MeshParams) (*MeshResult, error) {
+	if p.Rows < 2 || p.Cols < 2 {
+		return nil, fmt.Errorf("workload: mesh needs ≥2×2 nodes")
+	}
+	if p.Flows < 1 {
+		return nil, fmt.Errorf("workload: mesh needs ≥1 flow")
+	}
+	if p.MaxUtilization <= 0 || p.MaxUtilization > 0.95 {
+		return nil, fmt.Errorf("workload: utilization target %.2f outside (0,0.95]", p.MaxUtilization)
+	}
+	if p.CostLo < 1 || p.CostHi < p.CostLo {
+		return nil, fmt.Errorf("workload: bad cost range [%d,%d]", p.CostLo, p.CostHi)
+	}
+	topo := model.GridTopology(p.Rows, p.Cols)
+	n := p.Rows * p.Cols
+	load := make(map[model.NodeID]float64)
+
+	rnd := func(lo, hi model.Time) model.Time {
+		if hi <= lo {
+			return lo
+		}
+		return lo + model.Time(rng.Int63n(int64(hi-lo+1)))
+	}
+	var orig []*model.Flow
+	for k := 0; k < p.Flows; k++ {
+		src := model.NodeID(rng.Intn(n))
+		dst := model.NodeID(rng.Intn(n))
+		if src == dst {
+			dst = model.NodeID((int(dst) + 1 + rng.Intn(n-1)) % n)
+		}
+		path, err := topo.Route(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		cost := rnd(p.CostLo, p.CostHi)
+		var worst float64
+		for _, h := range path {
+			if load[h] > worst {
+				worst = load[h]
+			}
+		}
+		headroom := p.MaxUtilization - worst
+		if headroom <= 0.005 {
+			continue
+		}
+		period := model.Time(float64(cost)/headroom) + 1 + rnd(0, cost*4)
+		var jitter model.Time
+		if p.JitterHi > 0 {
+			jitter = rnd(0, p.JitterHi)
+		}
+		f := model.UniformFlow(fmt.Sprintf("m%d", k), period, jitter, 0, cost, path...)
+		orig = append(orig, f)
+		for _, h := range path {
+			load[h] += float64(cost) / float64(period)
+		}
+	}
+	if len(orig) == 0 {
+		return nil, fmt.Errorf("workload: utilization target admitted no mesh flows")
+	}
+	split := model.EnforceAssumption1(orig)
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), split)
+	if err != nil {
+		return nil, err
+	}
+	return &MeshResult{Original: orig, Split: fs, Topology: topo}, nil
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+func TestMeshGeneratesValidRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	res, err := Mesh(rng, MeshParams{
+		Rows: 3, Cols: 4, Flows: 8, MaxUtilization: 0.6,
+		CostLo: 1, CostHi: 3, JitterHi: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Topology.ValidateFlows(res.Original); err != nil {
+		t.Errorf("generated route off topology: %v", err)
+	}
+	if v := model.CheckAssumption1(res.Split.Flows); len(v) != 0 {
+		t.Errorf("split set violates assumption 1: %v", v)
+	}
+	if _, err := trajectory.AnalyzeSplit(res.Split, trajectory.Options{}); err != nil {
+		t.Errorf("mesh split set not analysable: %v", err)
+	}
+}
+
+func TestMeshUtilizationCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		res, err := Mesh(rng, MeshParams{
+			Rows: 3, Cols: 3, Flows: 12, MaxUtilization: 0.5,
+			CostLo: 1, CostHi: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lax, err := model.NewFlowSetLax(model.UnitDelayNetwork(), res.Original)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u := lax.MaxUtilization(); u > 0.5+1e-9 {
+			t.Fatalf("trial %d: utilization %.3f above cap", trial, u)
+		}
+	}
+}
+
+func TestMeshValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []MeshParams{
+		{Rows: 1, Cols: 3, Flows: 2, MaxUtilization: 0.5, CostLo: 1, CostHi: 2},
+		{Rows: 3, Cols: 3, Flows: 0, MaxUtilization: 0.5, CostLo: 1, CostHi: 2},
+		{Rows: 3, Cols: 3, Flows: 2, MaxUtilization: 0, CostLo: 1, CostHi: 2},
+		{Rows: 3, Cols: 3, Flows: 2, MaxUtilization: 0.5, CostLo: 2, CostHi: 1},
+	}
+	for i, p := range bad {
+		if _, err := Mesh(rng, p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+)
+
+// StarParams describes a hub-and-spoke network: every flow goes
+// leaf → hub → leaf, so all interference concentrates on the hub.
+type StarParams struct {
+	// Leaves is the number of leaf nodes (≥ 2).
+	Leaves int
+	// Flows is the number of flows; flow k goes from leaf (k mod Leaves)
+	// to leaf ((k+1+k/Leaves) mod Leaves).
+	Flows int
+	// Period, Cost, Jitter, Deadline apply uniformly.
+	Period, Cost, Jitter, Deadline model.Time
+}
+
+// Star builds the hub topology (hub is node 0, leaves 1..Leaves).
+func Star(p StarParams) (*model.FlowSet, error) {
+	if p.Leaves < 2 || p.Flows < 1 {
+		return nil, fmt.Errorf("workload: star needs ≥2 leaves and ≥1 flow")
+	}
+	var flows []*model.Flow
+	for k := 0; k < p.Flows; k++ {
+		src := 1 + k%p.Leaves
+		dst := 1 + (k+1+k/p.Leaves)%p.Leaves
+		if dst == src {
+			dst = 1 + (dst % p.Leaves)
+		}
+		flows = append(flows, model.UniformFlow(
+			fmt.Sprintf("s%d", k), p.Period, p.Jitter, p.Deadline, p.Cost,
+			model.NodeID(src), 0, model.NodeID(dst)))
+	}
+	return model.NewFlowSet(model.UnitDelayNetwork(), flows)
+}
+
+// RingParams describes a unidirectional ring whose flows take arcs.
+// Arcs of a ring can intersect in two disjoint segments, violating
+// Assumption 1 — the generator applies the paper's splitting procedure,
+// so the returned set may contain virtual fragment flows.
+type RingParams struct {
+	// Nodes is the ring size (≥ 3).
+	Nodes int
+	// Flows is the number of arcs; arc k starts at node (k·step) and
+	// spans ArcLen nodes clockwise.
+	Flows int
+	// ArcLen is each arc's length in nodes (2 ≤ ArcLen ≤ Nodes).
+	ArcLen int
+	// Period, Cost, Jitter, Deadline apply uniformly.
+	Period, Cost, Jitter, Deadline model.Time
+}
+
+// Ring builds the ring topology.
+func Ring(p RingParams) (*model.FlowSet, error) {
+	if p.Nodes < 3 {
+		return nil, fmt.Errorf("workload: ring needs ≥3 nodes")
+	}
+	if p.ArcLen < 2 || p.ArcLen > p.Nodes {
+		return nil, fmt.Errorf("workload: arc length %d outside [2,%d]", p.ArcLen, p.Nodes)
+	}
+	var flows []*model.Flow
+	step := 1
+	if p.Flows > 1 {
+		step = p.Nodes/p.Flows + 1
+	}
+	for k := 0; k < p.Flows; k++ {
+		start := (k * step) % p.Nodes
+		arc := make([]model.NodeID, p.ArcLen)
+		for i := range arc {
+			arc[i] = model.NodeID((start + i) % p.Nodes)
+		}
+		flows = append(flows, model.UniformFlow(
+			fmt.Sprintf("r%d", k), p.Period, p.Jitter, p.Deadline, p.Cost, arc...))
+	}
+	flows = model.EnforceAssumption1(flows)
+	return model.NewFlowSet(model.UnitDelayNetwork(), flows)
+}
+
+// ParkingLotParams describes the classic "parking lot" scenario: a
+// backbone where one flow enters at every node and rides to the common
+// sink — the topology that maximizes downstream aggregation.
+type ParkingLotParams struct {
+	// Nodes is the backbone length (≥ 2); flow k enters at node k.
+	Nodes int
+	// Period, Cost, Jitter, Deadline apply uniformly.
+	Period, Cost, Jitter, Deadline model.Time
+}
+
+// ParkingLot builds the aggregation scenario: Nodes flows, flow k
+// following [k, k+1, …, Nodes-1].
+func ParkingLot(p ParkingLotParams) (*model.FlowSet, error) {
+	if p.Nodes < 2 {
+		return nil, fmt.Errorf("workload: parking lot needs ≥2 nodes")
+	}
+	var flows []*model.Flow
+	for k := 0; k < p.Nodes-1; k++ {
+		path := make([]model.NodeID, p.Nodes-k)
+		for i := range path {
+			path[i] = model.NodeID(k + i)
+		}
+		flows = append(flows, model.UniformFlow(
+			fmt.Sprintf("p%d", k), p.Period, p.Jitter, p.Deadline, p.Cost, path...))
+	}
+	return model.NewFlowSet(model.UnitDelayNetwork(), flows)
+}

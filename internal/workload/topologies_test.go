@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+func TestStar(t *testing.T) {
+	fs, err := Star(StarParams{Leaves: 4, Flows: 6, Period: 50, Cost: 2, Deadline: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.N() != 6 {
+		t.Fatalf("%d flows", fs.N())
+	}
+	for _, f := range fs.Flows {
+		if len(f.Path) != 3 || f.Path[1] != 0 {
+			t.Errorf("flow %s path %v must be leaf→hub→leaf", f.Name, f.Path)
+		}
+		if f.Path[0] == f.Path[2] {
+			t.Errorf("flow %s loops back to its source", f.Name)
+		}
+	}
+	// The hub carries everyone.
+	if got := len(fs.FlowsAt(0)); got != 6 {
+		t.Errorf("hub carries %d flows", got)
+	}
+	if _, err := trajectory.Analyze(fs, trajectory.Options{}); err != nil {
+		t.Errorf("star not analysable: %v", err)
+	}
+	if _, err := Star(StarParams{Leaves: 1, Flows: 1, Period: 10, Cost: 1}); err == nil {
+		t.Error("degenerate star accepted")
+	}
+}
+
+func TestRingSplitsForAssumption1(t *testing.T) {
+	// Long overlapping arcs on a small ring force two-segment overlaps.
+	fs, err := Ring(RingParams{Nodes: 6, Flows: 3, ArcLen: 5, Period: 60, Cost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := model.CheckAssumption1(fs.Flows); len(v) != 0 {
+		t.Fatalf("ring set violates assumption 1: %v", v)
+	}
+	// The generator split at least one arc.
+	frags := 0
+	for _, f := range fs.Flows {
+		if f.IsVirtual() {
+			frags++
+		}
+	}
+	if frags == 0 {
+		t.Error("expected fragment flows from the ring split")
+	}
+	if _, err := trajectory.Analyze(fs, trajectory.Options{}); err != nil {
+		t.Errorf("ring not analysable: %v", err)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := Ring(RingParams{Nodes: 2, Flows: 1, ArcLen: 2, Period: 10, Cost: 1}); err == nil {
+		t.Error("2-node ring accepted")
+	}
+	if _, err := Ring(RingParams{Nodes: 5, Flows: 1, ArcLen: 1, Period: 10, Cost: 1}); err == nil {
+		t.Error("1-node arc accepted")
+	}
+	if _, err := Ring(RingParams{Nodes: 5, Flows: 1, ArcLen: 9, Period: 10, Cost: 1}); err == nil {
+		t.Error("oversized arc accepted")
+	}
+}
+
+func TestParkingLotAggregation(t *testing.T) {
+	fs, err := ParkingLot(ParkingLotParams{Nodes: 5, Period: 40, Cost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.N() != 4 {
+		t.Fatalf("%d flows", fs.N())
+	}
+	// Load grows monotonically toward the sink.
+	prev := 0.0
+	for h := 0; h < 4; h++ {
+		u := fs.TotalUtilizationAt(model.NodeID(h))
+		if u < prev {
+			t.Errorf("utilization shrinks downstream at node %d", h)
+		}
+		prev = u
+	}
+	// Downstream flows suffer at least as much as the last-hop flow.
+	res, err := trajectory.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bounds[0] <= res.Bounds[fs.N()-1] {
+		t.Errorf("full-path flow bound %d not above last-hop flow bound %d",
+			res.Bounds[0], res.Bounds[fs.N()-1])
+	}
+	if _, err := ParkingLot(ParkingLotParams{Nodes: 1, Period: 10, Cost: 1}); err == nil {
+		t.Error("degenerate parking lot accepted")
+	}
+}

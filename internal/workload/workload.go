@@ -1,0 +1,239 @@
+// Package workload generates flow sets for the experiment suite: the
+// paper's example, parametric line networks with cross traffic, and
+// randomized sets with a target utilization — plus the two application
+// profiles the paper's introduction motivates (voice over IP and
+// control-command traffic) mapped onto the EF class.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trajan/internal/model"
+)
+
+// LineCrossParams describes a backbone line network with one main flow
+// end-to-end and cross flows over shorter segments — the topology
+// family generalizing the paper's example.
+type LineCrossParams struct {
+	// Nodes is the backbone length (≥ 2).
+	Nodes int
+	// CrossFlows is the number of cross flows.
+	CrossFlows int
+	// CrossLen is each cross flow's segment length (clamped to Nodes).
+	CrossLen int
+	// Period, Cost, Jitter, Deadline parameterize every flow uniformly.
+	Period, Cost, Jitter, Deadline model.Time
+	// Reverse makes odd cross flows traverse their segment backwards.
+	Reverse bool
+}
+
+// LineCross builds the parametric line/cross flow set on a unit-delay
+// network. Cross flow k starts at node (k·step) mod feasible range, so
+// segments spread across the backbone.
+func LineCross(p LineCrossParams) (*model.FlowSet, error) {
+	if p.Nodes < 2 {
+		return nil, fmt.Errorf("workload: line needs ≥ 2 nodes, got %d", p.Nodes)
+	}
+	if p.CrossLen < 1 {
+		p.CrossLen = 1
+	}
+	if p.CrossLen > p.Nodes {
+		p.CrossLen = p.Nodes
+	}
+	main := make([]model.NodeID, p.Nodes)
+	for i := range main {
+		main[i] = model.NodeID(i)
+	}
+	flows := []*model.Flow{
+		model.UniformFlow("main", p.Period, p.Jitter, p.Deadline, p.Cost, main...),
+	}
+	span := p.Nodes - p.CrossLen + 1
+	for k := 0; k < p.CrossFlows; k++ {
+		start := 0
+		if span > 1 {
+			start = (k * 3) % span
+		}
+		seg := make([]model.NodeID, p.CrossLen)
+		for i := range seg {
+			seg[i] = model.NodeID(start + i)
+		}
+		if p.Reverse && k%2 == 1 {
+			for a, b := 0, len(seg)-1; a < b; a, b = a+1, b-1 {
+				seg[a], seg[b] = seg[b], seg[a]
+			}
+		}
+		flows = append(flows,
+			model.UniformFlow(fmt.Sprintf("cross%d", k), p.Period, p.Jitter, p.Deadline, p.Cost, seg...))
+	}
+	return model.NewFlowSet(model.UnitDelayNetwork(), flows)
+}
+
+// RandomLineParams describes a randomized line-network flow set.
+type RandomLineParams struct {
+	// Nodes is the backbone length.
+	Nodes int
+	// Flows is the number of flows.
+	Flows int
+	// MaxUtilization is the target worst-node utilization (periods are
+	// scaled to approach it from below).
+	MaxUtilization float64
+	// CostLo, CostHi bound the per-node processing times.
+	CostLo, CostHi model.Time
+	// JitterHi bounds release jitters.
+	JitterHi model.Time
+	// AllowReverse permits flows traversing the line backwards.
+	AllowReverse bool
+}
+
+// RandomLine draws a random flow set on a line network: each flow takes
+// a random contiguous segment (forward or, optionally, backward), a
+// random uniform cost, and a period chosen so the target utilization is
+// respected. Segment-shaped paths on a line satisfy Assumption 1 by
+// construction. Deadlines are left zero (pure bound studies).
+func RandomLine(rng *rand.Rand, p RandomLineParams) (*model.FlowSet, error) {
+	if p.Nodes < 2 || p.Flows < 1 {
+		return nil, fmt.Errorf("workload: need ≥2 nodes and ≥1 flow")
+	}
+	if p.MaxUtilization <= 0 || p.MaxUtilization > 0.95 {
+		return nil, fmt.Errorf("workload: utilization target %.2f outside (0,0.95]", p.MaxUtilization)
+	}
+	if p.CostLo < 1 || p.CostHi < p.CostLo {
+		return nil, fmt.Errorf("workload: bad cost range [%d,%d]", p.CostLo, p.CostHi)
+	}
+	flows := make([]*model.Flow, 0, p.Flows)
+	load := make([]float64, p.Nodes) // utilization per node so far
+	for k := 0; k < p.Flows; k++ {
+		length := 2 + rng.Intn(p.Nodes-1)
+		if length > p.Nodes {
+			length = p.Nodes
+		}
+		start := rng.Intn(p.Nodes - length + 1)
+		seg := make([]model.NodeID, length)
+		for i := range seg {
+			seg[i] = model.NodeID(start + i)
+		}
+		if p.AllowReverse && rng.Intn(2) == 1 {
+			for a, b := 0, len(seg)-1; a < b; a, b = a+1, b-1 {
+				seg[a], seg[b] = seg[b], seg[a]
+			}
+		}
+		cost := p.CostLo + model.Time(rng.Int63n(int64(p.CostHi-p.CostLo+1)))
+		// Pick the smallest period keeping every visited node at or
+		// under the target utilization.
+		var worst float64
+		for _, h := range seg {
+			if load[h] > worst {
+				worst = load[h]
+			}
+		}
+		headroom := p.MaxUtilization - worst
+		if headroom <= 0.005 {
+			continue // node saturated; skip this flow
+		}
+		minPeriod := float64(cost) / headroom
+		period := model.Time(minPeriod) + 1 + model.Time(rng.Int63n(int64(cost)*4+1))
+		var jitter model.Time
+		if p.JitterHi > 0 {
+			jitter = model.Time(rng.Int63n(int64(p.JitterHi) + 1))
+		}
+		f := model.UniformFlow(fmt.Sprintf("f%d", k), period, jitter, 0, cost, seg...)
+		flows = append(flows, f)
+		for _, h := range seg {
+			load[h] += float64(cost) / float64(period)
+		}
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("workload: utilization target admitted no flows")
+	}
+	return model.NewFlowSet(model.UnitDelayNetwork(), flows)
+}
+
+// VoIPParams sizes the voice-over-IP scenario of the EF experiments:
+// EF voice flows sharing a backbone with AF/BE background traffic.
+type VoIPParams struct {
+	// Calls is the number of EF voice flows.
+	Calls int
+	// Hops is the backbone length the calls traverse.
+	Hops int
+	// Period is the voice packetization interval in ticks (e.g. a
+	// 20 ms frame at a 1 ms tick = 20).
+	Period model.Time
+	// Cost is the per-node processing time of one voice packet.
+	Cost model.Time
+	// Deadline is the end-to-end mouth-to-ear style budget.
+	Deadline model.Time
+	// BackgroundCost is the (large) processing time of AF/BE packets —
+	// the non-preemption blocking Lemma 4 charges.
+	BackgroundCost model.Time
+	// BackgroundPeriod is the AF/BE interarrival time.
+	BackgroundPeriod model.Time
+}
+
+// VoIP builds the mixed-class DiffServ scenario: Calls EF flows over
+// the backbone 0..Hops-1 (entering at node 0), plus one AF and one BE
+// background flow over the same backbone.
+func VoIP(p VoIPParams) (*model.FlowSet, error) {
+	if p.Calls < 1 || p.Hops < 2 {
+		return nil, fmt.Errorf("workload: VoIP needs ≥1 call and ≥2 hops")
+	}
+	back := make([]model.NodeID, p.Hops)
+	for i := range back {
+		back[i] = model.NodeID(i)
+	}
+	var flows []*model.Flow
+	for c := 0; c < p.Calls; c++ {
+		f := model.UniformFlow(fmt.Sprintf("voice%d", c), p.Period, 0, p.Deadline, p.Cost, back...)
+		flows = append(flows, f)
+	}
+	af := model.UniformFlow("af-bulk", p.BackgroundPeriod, 0, 0, p.BackgroundCost, back...)
+	af.Class = model.ClassAF
+	be := model.UniformFlow("be-bulk", p.BackgroundPeriod, 0, 0, p.BackgroundCost, back...)
+	be.Class = model.ClassBE
+	flows = append(flows, af, be)
+	return model.NewFlowSet(model.UnitDelayNetwork(), flows)
+}
+
+// ControlCommandParams sizes the control-command scenario: short
+// periodic command flows from controllers to actuators crossing a
+// shared switch line, with tight deadlines.
+type ControlCommandParams struct {
+	// Loops is the number of control loops (each one flow).
+	Loops int
+	// SharedNodes is the length of the shared switch line.
+	SharedNodes int
+	// Period is the control period.
+	Period model.Time
+	// Cost is the per-node processing time of a command packet.
+	Cost model.Time
+	// Deadline is each loop's end-to-end budget.
+	Deadline model.Time
+}
+
+// ControlCommand builds the control-loop scenario: loop k enters at a
+// private controller node, crosses a window of the shared line, and
+// exits at a private actuator node — so loops interfere pairwise on
+// overlapping windows.
+func ControlCommand(p ControlCommandParams) (*model.FlowSet, error) {
+	if p.Loops < 1 || p.SharedNodes < 2 {
+		return nil, fmt.Errorf("workload: need ≥1 loop and ≥2 shared nodes")
+	}
+	var flows []*model.Flow
+	for k := 0; k < p.Loops; k++ {
+		ctrl := model.NodeID(1000 + k)
+		act := model.NodeID(2000 + k)
+		lo := k % p.SharedNodes
+		hi := lo + 2
+		if hi > p.SharedNodes {
+			lo, hi = p.SharedNodes-2, p.SharedNodes
+		}
+		path := []model.NodeID{ctrl}
+		for h := lo; h < hi; h++ {
+			path = append(path, model.NodeID(h))
+		}
+		path = append(path, act)
+		flows = append(flows, model.UniformFlow(
+			fmt.Sprintf("loop%d", k), p.Period, 0, p.Deadline, p.Cost, path...))
+	}
+	return model.NewFlowSet(model.UnitDelayNetwork(), flows)
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+func TestLineCrossBasic(t *testing.T) {
+	fs, err := LineCross(LineCrossParams{
+		Nodes: 6, CrossFlows: 3, CrossLen: 3,
+		Period: 40, Cost: 3, Deadline: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.N() != 4 {
+		t.Fatalf("got %d flows", fs.N())
+	}
+	if len(fs.Flows[0].Path) != 6 {
+		t.Errorf("main path %v", fs.Flows[0].Path)
+	}
+	for _, f := range fs.Flows[1:] {
+		if len(f.Path) != 3 {
+			t.Errorf("cross path %v", f.Path)
+		}
+	}
+	// The generated set must be analysable out of the box.
+	if _, err := trajectory.Analyze(fs, trajectory.Options{}); err != nil {
+		t.Errorf("generated set not analysable: %v", err)
+	}
+}
+
+func TestLineCrossReverse(t *testing.T) {
+	fs, err := LineCross(LineCrossParams{
+		Nodes: 6, CrossFlows: 4, CrossLen: 3,
+		Period: 40, Cost: 3, Reverse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := 0
+	for _, f := range fs.Flows[1:] {
+		if f.Path[0] > f.Path[len(f.Path)-1] {
+			reversed++
+		}
+	}
+	if reversed != 2 {
+		t.Errorf("%d reversed cross flows, want 2", reversed)
+	}
+}
+
+func TestLineCrossValidation(t *testing.T) {
+	if _, err := LineCross(LineCrossParams{Nodes: 1, Period: 10, Cost: 1}); err == nil {
+		t.Error("1-node line accepted")
+	}
+	// Degenerate cross length is clamped, not rejected.
+	fs, err := LineCross(LineCrossParams{Nodes: 3, CrossFlows: 1, CrossLen: 99, Period: 10, Cost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Flows[1].Path) != 3 {
+		t.Errorf("clamped cross length %d", len(fs.Flows[1].Path))
+	}
+}
+
+func TestRandomLineRespectsUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		fs, err := RandomLine(rng, RandomLineParams{
+			Nodes: 8, Flows: 12, MaxUtilization: 0.6,
+			CostLo: 1, CostHi: 5, JitterHi: 3, AllowReverse: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u := fs.MaxUtilization(); u > 0.6+1e-9 {
+			t.Fatalf("trial %d: utilization %.3f exceeds target", trial, u)
+		}
+		if v := model.CheckAssumption1(fs.Flows); len(v) != 0 {
+			t.Fatalf("trial %d: assumption 1 violated: %v", trial, v)
+		}
+	}
+}
+
+func TestRandomLineDeterministic(t *testing.T) {
+	a, err := RandomLine(rand.New(rand.NewSource(5)), RandomLineParams{
+		Nodes: 6, Flows: 6, MaxUtilization: 0.5, CostLo: 1, CostHi: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomLine(rand.New(rand.NewSource(5)), RandomLineParams{
+		Nodes: 6, Flows: 6, MaxUtilization: 0.5, CostLo: 1, CostHi: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() {
+		t.Fatal("same seed, different sets")
+	}
+	for i := range a.Flows {
+		if a.Flows[i].Period != b.Flows[i].Period || len(a.Flows[i].Path) != len(b.Flows[i].Path) {
+			t.Fatal("same seed, different flows")
+		}
+	}
+}
+
+func TestRandomLineValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []RandomLineParams{
+		{Nodes: 1, Flows: 1, MaxUtilization: 0.5, CostLo: 1, CostHi: 2},
+		{Nodes: 4, Flows: 0, MaxUtilization: 0.5, CostLo: 1, CostHi: 2},
+		{Nodes: 4, Flows: 2, MaxUtilization: 0, CostLo: 1, CostHi: 2},
+		{Nodes: 4, Flows: 2, MaxUtilization: 0.99, CostLo: 1, CostHi: 2},
+		{Nodes: 4, Flows: 2, MaxUtilization: 0.5, CostLo: 0, CostHi: 2},
+		{Nodes: 4, Flows: 2, MaxUtilization: 0.5, CostLo: 3, CostHi: 2},
+	}
+	for i, p := range bad {
+		if _, err := RandomLine(rng, p); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestVoIP(t *testing.T) {
+	fs, err := VoIP(VoIPParams{
+		Calls: 4, Hops: 5, Period: 20, Cost: 1, Deadline: 50,
+		BackgroundCost: 12, BackgroundPeriod: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.N() != 6 {
+		t.Fatalf("got %d flows", fs.N())
+	}
+	ef, af, be := 0, 0, 0
+	for _, f := range fs.Flows {
+		switch f.Class {
+		case model.ClassEF:
+			ef++
+		case model.ClassAF:
+			af++
+		case model.ClassBE:
+			be++
+		}
+	}
+	if ef != 4 || af != 1 || be != 1 {
+		t.Errorf("class mix EF=%d AF=%d BE=%d", ef, af, be)
+	}
+	if _, err := VoIP(VoIPParams{Calls: 0, Hops: 5}); err == nil {
+		t.Error("0 calls accepted")
+	}
+}
+
+func TestControlCommand(t *testing.T) {
+	fs, err := ControlCommand(ControlCommandParams{
+		Loops: 5, SharedNodes: 4, Period: 30, Cost: 2, Deadline: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.N() != 5 {
+		t.Fatalf("got %d flows", fs.N())
+	}
+	for i, f := range fs.Flows {
+		if len(f.Path) != 4 {
+			t.Errorf("loop %d path %v", i, f.Path)
+		}
+		// Private endpoints: first/last nodes unique to the loop.
+		if f.Path.First() != model.NodeID(1000+i) || f.Path.Last() != model.NodeID(2000+i) {
+			t.Errorf("loop %d endpoints %v", i, f.Path)
+		}
+	}
+	if _, err := ControlCommand(ControlCommandParams{Loops: 0, SharedNodes: 4}); err == nil {
+		t.Error("0 loops accepted")
+	}
+	// Loops interfere pairwise on overlapping windows.
+	if !fs.Relation(0, 1).Intersects {
+		t.Error("adjacent loops do not interfere")
+	}
+}
