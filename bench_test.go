@@ -197,10 +197,10 @@ func BenchmarkAFDX(b *testing.B) {
 
 // BenchmarkAnalyzeScaling times the trajectory analysis as the flow
 // count grows — the ablation DESIGN.md calls out for the Smax fixpoint
-// cost.
+// cost. Baselines per machine live in BENCH_trajectory.json.
 func BenchmarkAnalyzeScaling(b *testing.B) {
-	for _, n := range []int{4, 8, 16, 32} {
-		fs := tandemSet(b, n)
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		fs := tandemSet(b, n, 5)
 		b.Run(benchName("flows", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -212,10 +212,56 @@ func BenchmarkAnalyzeScaling(b *testing.B) {
 	}
 }
 
-func tandemSet(tb testing.TB, n int) *model.FlowSet {
+// BenchmarkAnalyzePathScaling holds the flow count and stretches the
+// shared path — the per-view cost grows with both the prefix count and
+// the per-prefix interference, so this is the hop-dominated profile.
+func BenchmarkAnalyzePathScaling(b *testing.B) {
+	for _, hops := range []int{5, 10, 20} {
+		fs := tandemSet(b, 16, hops)
+		b.Run(benchName("hops", hops), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trajectory.Analyze(fs, trajectory.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzerReuse times the amortized admission-control profile:
+// one Analyzer per flow set, then repeated per-flow queries against the
+// converged Smax table (the steady state of AnalyzeSensitivity and the
+// capacity experiments).
+func BenchmarkAnalyzerReuse(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		fs := tandemSet(b, n, 5)
+		b.Run(benchName("flows", n), func(b *testing.B) {
+			a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.Bounds(); err != nil { // pay the fixed point up front
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.AnalyzeFlow(i % n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func tandemSet(tb testing.TB, n, hops int) *model.FlowSet {
 	tb.Helper()
 	flows := make([]*model.Flow, n)
-	path := []model.NodeID{1, 2, 3, 4, 5}
+	path := make([]model.NodeID, hops)
+	for i := range path {
+		path[i] = model.NodeID(i + 1)
+	}
 	for k := range flows {
 		flows[k] = model.UniformFlow(
 			benchName("f", k), model.Time(10*n), 0, 0, 2, path...)

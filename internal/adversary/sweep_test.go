@@ -33,7 +33,11 @@ func TestRandomSoundnessSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		traj, err := trajectory.Analyze(fs, trajectory.Options{})
+		ta, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: trajectory: %v", trial, err)
+		}
+		trajBounds, err := ta.Bounds()
 		if err != nil {
 			t.Fatalf("trial %d: trajectory: %v", trial, err)
 		}
@@ -41,7 +45,11 @@ func TestRandomSoundnessSweep(t *testing.T) {
 		// jitter feedback may legitimately diverge on sets the
 		// prefix-fixpoint analysis still bounds; skip those comparisons
 		// then.
-		tail, tailErr := trajectory.Analyze(fs, trajectory.Options{Smax: trajectory.SmaxGlobalTail})
+		tailA, tailErr := trajectory.NewAnalyzer(fs, trajectory.Options{Smax: trajectory.SmaxGlobalTail})
+		var tailBounds []model.Time
+		if tailErr == nil {
+			tailBounds, tailErr = tailA.Bounds()
+		}
 		hol, holErr := holistic.Analyze(fs, holistic.Options{})
 		finds, err := Search(fs, Options{Seed: int64(trial), Restarts: 10, Packets: 5, ClimbSteps: 30})
 		if err != nil {
@@ -49,13 +57,13 @@ func TestRandomSoundnessSweep(t *testing.T) {
 		}
 		for i, f := range finds {
 			name := fs.Flows[i].Name
-			if f.MaxResponse > traj.Bounds[i] {
+			if f.MaxResponse > trajBounds[i] {
 				t.Errorf("trial %d %s: observed %d > prefix-fixpoint bound %d (strategy %s, flow %+v)",
-					trial, name, f.MaxResponse, traj.Bounds[i], f.Strategy, fs.Flows[i])
+					trial, name, f.MaxResponse, trajBounds[i], f.Strategy, fs.Flows[i])
 			}
-			if tailErr == nil && f.MaxResponse > tail.Bounds[i] {
+			if tailErr == nil && f.MaxResponse > tailBounds[i] {
 				t.Errorf("trial %d %s: observed %d > global-tail bound %d",
-					trial, name, f.MaxResponse, tail.Bounds[i])
+					trial, name, f.MaxResponse, tailBounds[i])
 			}
 			if holErr == nil && f.MaxResponse > hol.Bounds[i] {
 				t.Errorf("trial %d %s: observed %d > holistic bound %d",
@@ -80,7 +88,11 @@ func TestTrajectoryTighterThanHolisticSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		traj, err := trajectory.Analyze(fs, trajectory.Options{})
+		ta, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trajBounds, err := ta.Bounds()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,11 +106,11 @@ func TestTrajectoryTighterThanHolisticSweep(t *testing.T) {
 		}
 		for i := range fs.Flows {
 			flowsChecked++
-			if traj.Bounds[i] > hol.Bounds[i] {
+			if trajBounds[i] > hol.Bounds[i] {
 				t.Errorf("trial %d flow %d: trajectory %d > holistic %d",
-					trial, i, traj.Bounds[i], hol.Bounds[i])
+					trial, i, trajBounds[i], hol.Bounds[i])
 			}
-			if traj.Bounds[i] < hol.Bounds[i] {
+			if trajBounds[i] < hol.Bounds[i] {
 				strictlyBetter++
 			}
 		}

@@ -328,11 +328,13 @@ func AdmissionCapacity() (*report.Table, error) {
 	t := report.NewTable("E9. Admission capacity (identical calls, 4 hops, D=40)",
 		"method", "calls admitted")
 	trajCap, err := capacity(func(fs *model.FlowSet) ([]model.Time, error) {
-		r, err := trajectory.Analyze(fs, trajectory.Options{})
+		// Bounds-only query through the reusable engine: admission
+		// control needs no Details and no Result materialization.
+		a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
 		if err != nil {
 			return nil, err
 		}
-		return r.Bounds, nil
+		return a.Bounds()
 	})
 	if err != nil {
 		return nil, err
@@ -585,11 +587,11 @@ func BreakdownUtilization() (*report.Table, error) {
 	t := report.NewTable("E14. Breakdown utilization (line/cross, D=60)",
 		"method", "breakdown utilization")
 	traj, err := breakdown(func(fs *model.FlowSet) ([]model.Time, error) {
-		r, err := trajectory.Analyze(fs, trajectory.Options{})
+		a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
 		if err != nil {
 			return nil, err
 		}
-		return r.Bounds, nil
+		return a.Bounds()
 	})
 	if err != nil {
 		return nil, err

@@ -51,13 +51,20 @@ func AnalyzeSensitivity(fs *model.FlowSet, opt trajectory.Options) ([]Sensitivit
 }
 
 // feasible re-analyses a candidate set; divergence counts as false.
+// The per-flow query through a shared Analyzer pays the Smax fixed
+// point once and stops at the first deadline violation instead of
+// bounding the remaining flows.
 func feasible(fs *model.FlowSet, opt trajectory.Options) (bool, error) {
-	res, err := trajectory.Analyze(fs, opt)
+	a, err := trajectory.NewAnalyzer(fs, opt)
 	if err != nil {
-		return false, nil // overload: infeasible, not a caller error
+		return false, nil // malformed options: treat as infeasible, as before
 	}
 	for i, f := range fs.Flows {
-		if f.Deadline > 0 && res.Bounds[i] > f.Deadline {
+		r, err := a.AnalyzeFlow(i)
+		if err != nil {
+			return false, nil // overload: infeasible, not a caller error
+		}
+		if f.Deadline > 0 && r > f.Deadline {
 			return false, nil
 		}
 	}

@@ -12,6 +12,42 @@ type FlowSet struct {
 
 	// rel[i][j] is the relation of interferer j against flow i's path.
 	rel [][]PathRelation
+	// nodeIdx[i][h] is the position of node h on flow i's path; absent
+	// nodes have no entry. It backs the O(1) PathIndex/CostOf lookups
+	// the analysis hot paths rely on.
+	nodeIdx []map[NodeID]int
+	// sminPre[i][k] is Smin^h_i for h = Flows[i].Path[k]: the prefix sum
+	// of upstream processing plus Lmin per link.
+	sminPre [][]Time
+}
+
+// initDerived builds the per-flow node indexes, Smin prefix sums and the
+// pairwise relation table. Shared by both constructors.
+func (fs *FlowSet) initDerived() {
+	fs.nodeIdx = make([]map[NodeID]int, len(fs.Flows))
+	fs.sminPre = make([][]Time, len(fs.Flows))
+	for i, f := range fs.Flows {
+		idx := make(map[NodeID]int, len(f.Path))
+		pre := make([]Time, len(f.Path))
+		var acc Time
+		for k, h := range f.Path {
+			idx[h] = k
+			pre[k] = acc
+			acc += f.Cost[k] + fs.Net.Lmin
+		}
+		fs.nodeIdx[i] = idx
+		fs.sminPre[i] = pre
+	}
+	fs.rel = make([][]PathRelation, len(fs.Flows))
+	for i, fi := range fs.Flows {
+		fs.rel[i] = make([]PathRelation, len(fs.Flows))
+		for j, fj := range fs.Flows {
+			if i == j {
+				continue
+			}
+			fs.rel[i][j] = Relate(fi, fj)
+		}
+	}
 }
 
 // NewFlowSet validates the network and flows, verifies Assumption 1
@@ -39,16 +75,7 @@ func NewFlowSet(net Network, flows []*Flow) (*FlowSet, error) {
 		return nil, fmt.Errorf("flowset: assumption 1 violated (%d pairs), e.g. %s; apply EnforceAssumption1", len(v), v[0])
 	}
 	fs := &FlowSet{Net: net, Flows: flows}
-	fs.rel = make([][]PathRelation, len(flows))
-	for i, fi := range flows {
-		fs.rel[i] = make([]PathRelation, len(flows))
-		for j, fj := range flows {
-			if i == j {
-				continue
-			}
-			fs.rel[i][j] = Relate(fi, fj)
-		}
-	}
+	fs.initDerived()
 	return fs, nil
 }
 
@@ -70,16 +97,7 @@ func NewFlowSetLax(net Network, flows []*Flow) (*FlowSet, error) {
 		}
 	}
 	fs := &FlowSet{Net: net, Flows: flows}
-	fs.rel = make([][]PathRelation, len(flows))
-	for i, fi := range flows {
-		fs.rel[i] = make([]PathRelation, len(flows))
-		for j, fj := range flows {
-			if i == j {
-				continue
-			}
-			fs.rel[i][j] = Relate(fi, fj)
-		}
-	}
+	fs.initDerived()
 	return fs, nil
 }
 
@@ -100,6 +118,73 @@ func (fs *FlowSet) N() int { return len(fs.Flows) }
 // flow i's path.
 func (fs *FlowSet) Relation(i, j int) PathRelation {
 	return fs.rel[i][j]
+}
+
+// PathIndex returns the position of node h on flow i's path, or -1 if
+// the flow does not visit h. O(1), unlike Path.Index.
+func (fs *FlowSet) PathIndex(i int, h NodeID) int {
+	if k, ok := fs.nodeIdx[i][h]; ok {
+		return k
+	}
+	return -1
+}
+
+// CostOf returns C^h_i, zero when flow i does not visit h. O(1),
+// unlike Flow.CostAt.
+func (fs *FlowSet) CostOf(i int, h NodeID) Time {
+	if k, ok := fs.nodeIdx[i][h]; ok {
+		return fs.Flows[i].Cost[k]
+	}
+	return 0
+}
+
+// PrefixRelation computes the relation of flow j against the prefix of
+// flow i's path of length plen (the first plen nodes), equivalent to
+// RelateToPath(Flows[i].Path[:plen], Flows[j]) except that the Shared
+// node list is left nil: callers on the analysis hot path need only the
+// anchors and C^{slow_{j,i}}_j, and skipping Shared keeps the lookup
+// allocation-free. For plen == len(Path) the anchors equal Relation's.
+func (fs *FlowSet) PrefixRelation(i, plen, j int) PathRelation {
+	var r PathRelation
+	idxI := fs.nodeIdx[i]
+	fj := fs.Flows[j]
+	// first/last_{j,i} and slow_{j,i}: scan Pj in j's traversal order
+	// for nodes inside the prefix.
+	for k, h := range fj.Path {
+		ki, ok := idxI[h]
+		if !ok || ki >= plen {
+			continue
+		}
+		if !r.Intersects {
+			r.Intersects = true
+			r.FirstJI = h
+			r.SlowJI, r.CSlowJI = h, fj.Cost[k]
+		} else if fj.Cost[k] > r.CSlowJI {
+			r.SlowJI, r.CSlowJI = h, fj.Cost[k]
+		}
+		r.LastJI = h
+	}
+	if !r.Intersects {
+		return r
+	}
+	// first/last_{i,j}: scan the prefix in i's traversal order for nodes
+	// of Pj.
+	idxJ := fs.nodeIdx[j]
+	pi := fs.Flows[i].Path[:plen]
+	for _, h := range pi {
+		if _, ok := idxJ[h]; ok {
+			r.FirstIJ = h
+			break
+		}
+	}
+	for k := plen - 1; k >= 0; k-- {
+		if _, ok := idxJ[pi[k]]; ok {
+			r.LastIJ = pi[k]
+			break
+		}
+	}
+	r.SameDirection = r.FirstJI == r.FirstIJ
+	return r
 }
 
 // Interferers returns the indices of flows whose paths intersect flow
@@ -138,8 +223,8 @@ func (fs *FlowSet) Nodes() []NodeID {
 // FlowsAt returns the indices of flows visiting node h.
 func (fs *FlowSet) FlowsAt(h NodeID) []int {
 	var out []int
-	for i, f := range fs.Flows {
-		if f.Path.Contains(h) {
+	for i := range fs.Flows {
+		if _, ok := fs.nodeIdx[i][h]; ok {
 			out = append(out, i)
 		}
 	}
@@ -151,16 +236,11 @@ func (fs *FlowSet) FlowsAt(h NodeID) []int {
 // nodes before h plus Lmin per link, with no queueing. Smin at the
 // source node is 0.
 func (fs *FlowSet) Smin(i int, h NodeID) Time {
-	f := fs.Flows[i]
-	k := f.Path.Index(h)
-	if k < 0 {
-		panic(fmt.Sprintf("model.Smin: node %d not on path of flow %q", h, f.Name))
+	k, ok := fs.nodeIdx[i][h]
+	if !ok {
+		panic(fmt.Sprintf("model.Smin: node %d not on path of flow %q", h, fs.Flows[i].Name))
 	}
-	var s Time
-	for m := 0; m < k; m++ {
-		s += f.Cost[m] + fs.Net.Lmin
-	}
-	return s
+	return fs.sminPre[i][k]
 }
 
 // MinArrival is Smin plus the flow-i packet's processing at h: the
@@ -183,15 +263,15 @@ func (fs *FlowSet) MinArrival(i int, h NodeID) Time {
 // The flow i itself always qualifies (first_{i,i} = first_{i,i}).
 func (fs *FlowSet) M(i int, h NodeID) Time {
 	f := fs.Flows[i]
-	k := f.Path.Index(h)
-	if k < 0 {
+	k, ok := fs.nodeIdx[i][h]
+	if !ok {
 		panic(fmt.Sprintf("model.M: node %d not on path of flow %q", h, f.Name))
 	}
 	var s Time
 	for m := 0; m < k; m++ {
 		hp := f.Path[m]
 		minC := f.Cost[m] // flow i itself
-		for j, fj := range fs.Flows {
+		for j := range fs.Flows {
 			if j == i {
 				continue
 			}
@@ -199,7 +279,7 @@ func (fs *FlowSet) M(i int, h NodeID) Time {
 			if !r.Intersects || !r.SameDirection {
 				continue
 			}
-			if c := fj.CostAt(hp); c > 0 && c < minC {
+			if c := fs.CostOf(j, hp); c > 0 && c < minC {
 				minC = c
 			}
 		}
@@ -212,8 +292,8 @@ func (fs *FlowSet) M(i int, h NodeID) Time {
 // (same direction as flow i, including i itself) of C^h_j — the
 // "counted-twice packet" term of Lemma 2 at node h.
 func (fs *FlowSet) MaxSameDirCost(i int, h NodeID) Time {
-	maxC := fs.Flows[i].CostAt(h)
-	for j, fj := range fs.Flows {
+	maxC := fs.CostOf(i, h)
+	for j := range fs.Flows {
 		if j == i {
 			continue
 		}
@@ -221,7 +301,7 @@ func (fs *FlowSet) MaxSameDirCost(i int, h NodeID) Time {
 		if !r.Intersects || !r.SameDirection {
 			continue
 		}
-		if c := fj.CostAt(h); c > maxC {
+		if c := fs.CostOf(j, h); c > maxC {
 			maxC = c
 		}
 	}

@@ -66,77 +66,28 @@ type InterferenceTerm struct {
 
 // Analyze computes Property-2 (or Property-3) bounds for every flow of
 // the set under the given options. The flow set must already satisfy
-// Assumption 1 (model.NewFlowSet enforces it).
+// Assumption 1 (model.NewFlowSet enforces it). One-shot wrapper over
+// Analyzer; callers that re-query the same flow set (admission control,
+// sensitivity sweeps) should hold a NewAnalyzer instead.
 func Analyze(fs *model.FlowSet, opt Options) (*Result, error) {
-	if opt.NonPreemption != nil {
-		if len(opt.NonPreemption) != fs.N() {
-			return nil, fmt.Errorf("trajectory: %d non-preemption vectors for %d flows",
-				len(opt.NonPreemption), fs.N())
-		}
-		for i, v := range opt.NonPreemption {
-			if v != nil && len(v) != len(fs.Flows[i].Path) {
-				return nil, fmt.Errorf("trajectory: flow %q has %d non-preemption terms for %d nodes",
-					fs.Flows[i].Name, len(v), len(fs.Flows[i].Path))
-			}
-		}
-	}
-	smax, sweeps, converged, err := computeSmax(fs, opt)
+	a, err := NewAnalyzer(fs, opt)
 	if err != nil {
 		return nil, err
 	}
-	arrival := make([][]model.Time, fs.N())
-	for i := range smax {
-		arrival[i] = append([]model.Time(nil), smax[i]...)
-	}
-	res := &Result{
-		Bounds:        make([]model.Time, fs.N()),
-		Jitters:       make([]model.Time, fs.N()),
-		Details:       make([]FlowDetail, fs.N()),
-		ArrivalBounds: arrival,
-		SmaxSweeps:    sweeps,
-		SmaxConverged: converged,
-	}
-	for i := range fs.Flows {
-		c, err := newBoundCtx(fs, opt, fullView(fs, i), smax)
-		if err != nil {
-			return nil, err
-		}
-		r, tStar := c.bound()
-		res.Bounds[i] = r
-		res.Jitters[i] = r - fs.Flows[i].MinTraversal(fs.Net.Lmin)
-		d := FlowDetail{
-			Flow:      i,
-			Bound:     r,
-			Bslow:     c.bslow,
-			CriticalT: tStar,
-			SlowNode:  c.slow,
-			MaxSum:    c.maxSum,
-			Delta:     c.delta,
-		}
-		for _, in := range c.inter {
-			d.Interference = append(d.Interference, InterferenceTerm{
-				Flow:          in.j,
-				A:             in.a,
-				Packets:       opt.count(tStar+in.a, fs.Flows[in.j].Period),
-				CSlow:         in.rel.CSlowJI,
-				SameDirection: in.rel.SameDirection,
-			})
-		}
-		res.Details[i] = d
-	}
-	return res, nil
+	return a.Analyze()
 }
 
 // AnalyzeFlow computes the bound of a single flow (index i) without
 // materializing the full result. The Smax table is still global, since
-// every flow's Smax feeds every other flow's A terms.
+// every flow's Smax feeds every other flow's A terms; use a shared
+// Analyzer to amortize it across calls.
 func AnalyzeFlow(fs *model.FlowSet, opt Options, i int) (model.Time, error) {
 	if i < 0 || i >= fs.N() {
 		return 0, fmt.Errorf("trajectory: flow index %d out of range [0,%d)", i, fs.N())
 	}
-	smax, _, _, err := computeSmax(fs, opt)
+	a, err := NewAnalyzer(fs, opt)
 	if err != nil {
 		return 0, err
 	}
-	return boundForView(fs, opt, fullView(fs, i), smax)
+	return a.AnalyzeFlow(i)
 }

@@ -1,0 +1,784 @@
+package trajectory
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"trajan/internal/model"
+)
+
+// Analyzer is the incremental analysis engine: it precomputes, once per
+// (flow set, options) pair, everything the Property-2 evaluation needs
+// that depends only on topology — per-view interference relations with
+// their C^{slow_{j,i}}_j charges, the M-term constants folded into each
+// A_{i,j} offset, the slow-node choice with its counted-twice residue,
+// and the Bslow busy-period fixed point. Each fixed-point sweep then
+// recomputes only the Smax-dependent A offsets and the t-scan, and
+// dirty propagation skips views whose Smax inputs did not change in the
+// previous sweep (their cached bound is provably still exact: a view's
+// bound is a pure function of the entries it reads).
+//
+// The engine returns bit-identical Results to the straight-line
+// reference implementation in reference.go; engine_test.go enforces
+// this differentially over fuzzed flow sets and all Options settings.
+//
+// An Analyzer may be reused: Analyze, AnalyzeFlow and Bounds share the
+// converged Smax table and the view caches, so repeated queries against
+// the same flow set (admission control, what-if probing) pay the
+// topology and fixed-point cost once. An Analyzer is not safe for
+// concurrent use; it parallelizes internally per Options.Parallelism.
+type Analyzer struct {
+	fs  *model.FlowSet
+	opt Options
+
+	// full[i] is the cached context of flow i's full-path view;
+	// prefix[i][k] of the view over Path[:k] (1 ≤ k < len(Path)).
+	// Both are built lazily, in the evaluation order of the reference
+	// path, so divergence errors surface for the same flow.
+	full   []*viewCache
+	prefix [][]*viewCache
+
+	// entryBase[i] is the global id base of flow i's Smax entries:
+	// entry (i,k) has id entryBase[i]+k. Ids index the dirty-propagation
+	// reverse maps.
+	entryBase []int
+	nEntries  int
+
+	smax      smaxTable
+	sweeps    int
+	converged bool
+	smaxDone  bool
+	smaxErr   error
+
+	scratch   evalScratch   // serial evaluation scratch
+	wscratch  []evalScratch // per-worker scratches for parallel sweeps
+	sdScratch []model.Time  // chooseSlow same-direction maxima scratch
+}
+
+// NewAnalyzer validates the options against the flow set and prepares
+// an empty engine. All heavy precomputation happens lazily on the first
+// Analyze/AnalyzeFlow/Bounds call, in the same order the reference
+// implementation would perform it.
+func NewAnalyzer(fs *model.FlowSet, opt Options) (*Analyzer, error) {
+	if opt.NonPreemption != nil {
+		if len(opt.NonPreemption) != fs.N() {
+			return nil, fmt.Errorf("trajectory: %d non-preemption vectors for %d flows",
+				len(opt.NonPreemption), fs.N())
+		}
+		for i, v := range opt.NonPreemption {
+			if v != nil && len(v) != len(fs.Flows[i].Path) {
+				return nil, fmt.Errorf("trajectory: flow %q has %d non-preemption terms for %d nodes",
+					fs.Flows[i].Name, len(v), len(fs.Flows[i].Path))
+			}
+		}
+	}
+	a := &Analyzer{
+		fs:        fs,
+		opt:       opt,
+		full:      make([]*viewCache, fs.N()),
+		prefix:    make([][]*viewCache, fs.N()),
+		entryBase: make([]int, fs.N()),
+	}
+	n := 0
+	for i, f := range fs.Flows {
+		a.entryBase[i] = n
+		n += len(f.Path)
+	}
+	a.nEntries = n
+	return a, nil
+}
+
+// Analyze computes the full Result (bounds, jitters, details, arrival
+// bounds) for every flow. Repeated calls reuse the converged Smax table
+// and the cached views; each call returns a fresh Result the caller may
+// mutate.
+func (a *Analyzer) Analyze() (*Result, error) {
+	if err := a.ensureSmax(); err != nil {
+		return nil, err
+	}
+	fs := a.fs
+	arrival := make([][]model.Time, fs.N())
+	for i := range a.smax {
+		arrival[i] = append([]model.Time(nil), a.smax[i]...)
+	}
+	res := &Result{
+		Bounds:        make([]model.Time, fs.N()),
+		Jitters:       make([]model.Time, fs.N()),
+		Details:       make([]FlowDetail, fs.N()),
+		ArrivalBounds: arrival,
+		SmaxSweeps:    a.sweeps,
+		SmaxConverged: a.converged,
+	}
+	for i := range fs.Flows {
+		vc, err := a.fullCache(i)
+		if err != nil {
+			return nil, err
+		}
+		r, tStar := vc.eval(a.opt, a.smax, &a.scratch)
+		res.Bounds[i] = r
+		res.Jitters[i] = r - fs.Flows[i].MinTraversal(fs.Net.Lmin)
+		d := FlowDetail{
+			Flow:      i,
+			Bound:     r,
+			Bslow:     vc.bslow,
+			CriticalT: tStar,
+			SlowNode:  vc.slow,
+			MaxSum:    vc.maxSum,
+			Delta:     vc.delta,
+		}
+		if len(vc.inter) > 0 {
+			d.Interference = make([]InterferenceTerm, 0, len(vc.inter))
+		}
+		for x := range vc.inter {
+			in := &vc.inter[x]
+			aOff := a.smax[i][in.iIdx] + a.smax[in.j][in.jIdx] + in.aConst
+			d.Interference = append(d.Interference, InterferenceTerm{
+				Flow:          in.j,
+				A:             aOff,
+				Packets:       a.opt.count(tStar+aOff, fs.Flows[in.j].Period),
+				CSlow:         in.csj,
+				SameDirection: in.sameDir,
+			})
+		}
+		res.Details[i] = d
+	}
+	return res, nil
+}
+
+// AnalyzeFlow returns flow i's bound. The first call pays the Smax
+// fixed point; later calls (any flow) evaluate one cached view against
+// the converged table — the amortized entry point for admission
+// control.
+func (a *Analyzer) AnalyzeFlow(i int) (model.Time, error) {
+	if i < 0 || i >= a.fs.N() {
+		return 0, fmt.Errorf("trajectory: flow index %d out of range [0,%d)", i, a.fs.N())
+	}
+	if err := a.ensureSmax(); err != nil {
+		return 0, err
+	}
+	vc, err := a.fullCache(i)
+	if err != nil {
+		return 0, err
+	}
+	r, _ := vc.eval(a.opt, a.smax, &a.scratch)
+	return r, nil
+}
+
+// Bounds returns every flow's bound without materializing Details —
+// the cheap path for feasibility checks.
+func (a *Analyzer) Bounds() ([]model.Time, error) {
+	if err := a.ensureSmax(); err != nil {
+		return nil, err
+	}
+	out := make([]model.Time, a.fs.N())
+	for i := range a.fs.Flows {
+		vc, err := a.fullCache(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i], _ = vc.eval(a.opt, a.smax, &a.scratch)
+	}
+	return out, nil
+}
+
+// ensureSmax runs the configured Smax estimator once and caches the
+// converged table (or the error) for all later queries.
+func (a *Analyzer) ensureSmax() error {
+	if a.smaxDone {
+		return a.smaxErr
+	}
+	a.smaxDone = true
+	switch a.opt.Smax {
+	case SmaxNoQueue:
+		t := newSmaxTable(a.fs)
+		t.fillNoQueue(a.fs)
+		a.smax, a.sweeps, a.converged = t, 0, true
+	case SmaxPrefixFixpoint:
+		a.smax, a.sweeps, a.converged, a.smaxErr = a.enginePrefixFixpoint()
+	case SmaxGlobalTail:
+		a.smax, a.sweeps, a.converged, a.smaxErr = a.engineGlobalTail()
+	default:
+		a.smaxErr = fmt.Errorf("trajectory: unknown Smax mode %d", a.opt.Smax)
+	}
+	return a.smaxErr
+}
+
+// fullCache returns (building on first use) the cached context of flow
+// i's full-path view.
+func (a *Analyzer) fullCache(i int) (*viewCache, error) {
+	if a.full[i] == nil {
+		vc, err := a.buildView(i, len(a.fs.Flows[i].Path))
+		if err != nil {
+			return nil, err
+		}
+		a.full[i] = vc
+	}
+	return a.full[i], nil
+}
+
+// prefixCache returns (building on first use) the cached context of the
+// view over flow i's path prefix of length k.
+func (a *Analyzer) prefixCache(i, k int) (*viewCache, error) {
+	if a.prefix[i] == nil {
+		a.prefix[i] = make([]*viewCache, len(a.fs.Flows[i].Path))
+	}
+	if a.prefix[i][k] == nil {
+		vc, err := a.buildView(i, k)
+		if err != nil {
+			return nil, err
+		}
+		a.prefix[i][k] = vc
+	}
+	return a.prefix[i][k], nil
+}
+
+// cachedInterferer is one intersecting flow's topology-only relation to
+// a cached view. The Smax-dependent A offset reconstitutes per sweep as
+//
+//	A = smax[flow][iIdx] + smax[j][jIdx] + aConst
+//
+// with aConst = Jj − Smin^{first_{j,i}}_j − M^{first_{i,j}}_i (the
+// constant part of Lemma 2's formula).
+type cachedInterferer struct {
+	j       int
+	iIdx    int        // index of first_{j,i} on the analysed flow's path
+	jIdx    int        // index of first_{i,j} on flow j's path
+	csj     model.Time // C^{slow_{j,i}}_j
+	period  model.Time // Tj
+	aConst  model.Time
+	sameDir bool
+}
+
+// viewCache is the precomputed, Smax-independent context of one path
+// view: everything newBoundCtx derives except the A offsets.
+type viewCache struct {
+	flow  int
+	plen  int
+	inter []cachedInterferer
+	// readIDs are the global Smax entry ids this view's A offsets read,
+	// deduplicated — the dirty-propagation dependency set.
+	readIDs []int
+
+	bslow  model.Time
+	slow   model.NodeID
+	cslow  model.Time
+	maxSum model.Time
+	fixed  model.Time
+	clast  model.Time
+	period model.Time
+	jitter model.Time
+	delta  model.Time
+}
+
+// buildView precomputes the cached context for flow i's view of length
+// plen, mirroring newBoundCtx term by term (including its in-order M
+// accumulation, which for interferer j ranges over the same-direction
+// interferers collected before j).
+func (a *Analyzer) buildView(i, plen int) (*viewCache, error) {
+	fs := a.fs
+	f := fs.Flows[i]
+	path := f.Path[:plen]
+	cost := f.Cost[:plen]
+	vc := &viewCache{
+		flow:   i,
+		plen:   plen,
+		period: f.Period,
+		jitter: f.Jitter,
+		clast:  cost[plen-1],
+		delta:  a.opt.deltaForView(i, plen),
+	}
+	for j := range fs.Flows {
+		if j == i {
+			continue
+		}
+		rel := fs.PrefixRelation(i, plen, j)
+		if !rel.Intersects {
+			continue
+		}
+		fj := fs.Flows[j]
+		iIdx := fs.PathIndex(i, rel.FirstJI)
+		jIdx := fs.PathIndex(j, rel.FirstIJ)
+		m := vc.mTermAt(fs, path, cost, fs.PathIndex(i, rel.FirstIJ))
+		vc.inter = append(vc.inter, cachedInterferer{
+			j:       j,
+			iIdx:    iIdx,
+			jIdx:    jIdx,
+			csj:     rel.CSlowJI,
+			period:  fj.Period,
+			aConst:  fj.Jitter - fs.Smin(j, rel.FirstJI) - m,
+			sameDir: rel.SameDirection,
+		})
+		a.addRead(vc, i, iIdx)
+		a.addRead(vc, j, jIdx)
+	}
+	if err := vc.computeBslow(fs, a.opt); err != nil {
+		return nil, err
+	}
+	a.chooseSlow(vc, path, cost)
+	vc.fixed = vc.maxSum - vc.clast +
+		model.Time(plen-1)*fs.Net.Lmax + vc.delta
+	return vc, nil
+}
+
+// addRead records an Smax entry in the view's dependency set, deduped.
+func (a *Analyzer) addRead(vc *viewCache, flow, k int) {
+	id := a.entryBase[flow] + k
+	for _, e := range vc.readIDs {
+		if e == id {
+			return
+		}
+	}
+	vc.readIDs = append(vc.readIDs, id)
+}
+
+// mTermAt accumulates M up to (exclusive) position k of the view path:
+// for every earlier node, the smallest processing cost among the view's
+// own flow and the same-direction interferers collected so far, plus
+// Lmin per link.
+func (vc *viewCache) mTermAt(fs *model.FlowSet, path model.Path, cost []model.Time, k int) model.Time {
+	var s model.Time
+	for m := 0; m < k; m++ {
+		minC := cost[m]
+		for x := range vc.inter {
+			in := &vc.inter[x]
+			if !in.sameDir {
+				continue
+			}
+			if cc := fs.CostOf(in.j, path[m]); cc > 0 && cc < minC {
+				minC = cc
+			}
+		}
+		s += minC + fs.Net.Lmin
+	}
+	return s
+}
+
+// computeBslow solves the busy-period equation exactly as
+// boundCtx.computeBslow, from the cached per-interferer charges.
+func (vc *viewCache) computeBslow(fs *model.FlowSet, opt Options) error {
+	selfSlow := vc.maxCost(fs)
+	b := selfSlow
+	for x := range vc.inter {
+		b += vc.inter[x].csj
+	}
+	horizon := opt.horizon()
+	for iter := 0; iter < opt.maxIterations(); iter++ {
+		nb := model.CeilDiv(b, vc.period) * selfSlow
+		for x := range vc.inter {
+			nb += model.CeilDiv(b, vc.inter[x].period) * vc.inter[x].csj
+		}
+		if nb == b {
+			vc.bslow = b
+			return nil
+		}
+		if nb > horizon {
+			return fmt.Errorf("trajectory: busy period of flow %q diverges past horizon %d (slowest-node utilization ≥ 1)",
+				fs.Flows[vc.flow].Name, horizon)
+		}
+		b = nb
+	}
+	return fmt.Errorf("trajectory: busy period of flow %q did not converge in %d iterations",
+		fs.Flows[vc.flow].Name, opt.maxIterations())
+}
+
+// maxCost returns the view's maximal per-node cost (C^{slow_i}_i).
+func (vc *viewCache) maxCost(fs *model.FlowSet) model.Time {
+	cost := fs.Flows[vc.flow].Cost[:vc.plen]
+	bc := cost[0]
+	for k := 1; k < vc.plen; k++ {
+		if cost[k] > bc {
+			bc = cost[k]
+		}
+	}
+	return bc
+}
+
+// chooseSlow mirrors boundCtx.chooseSlow over the cached interferers.
+func (a *Analyzer) chooseSlow(vc *viewCache, path model.Path, cost []model.Time) {
+	fs := a.fs
+	vc.cslow = vc.maxCost(fs)
+
+	if cap(a.sdScratch) < len(path) {
+		a.sdScratch = make([]model.Time, len(path))
+	}
+	sameDirMax := a.sdScratch[:len(path)]
+	var total model.Time
+	for k, h := range path {
+		mx := cost[k]
+		for x := range vc.inter {
+			in := &vc.inter[x]
+			if !in.sameDir {
+				continue
+			}
+			if cc := fs.CostOf(in.j, h); cc > mx {
+				mx = cc
+			}
+		}
+		sameDirMax[k] = mx
+		total += mx
+	}
+
+	bestK := -1
+	for k := range path {
+		if cost[k] != vc.cslow {
+			continue
+		}
+		if bestK < 0 || sameDirMax[k] > sameDirMax[bestK] {
+			bestK = k
+		}
+	}
+	vc.slow = path[bestK]
+	vc.maxSum = total - sameDirMax[bestK]
+}
+
+// evalScratch holds the per-evaluation buffers: the reconstituted A
+// offsets and the k-way-merge stream state of the t-scan. Reused across
+// evaluations so the steady-state scan allocates nothing.
+type evalScratch struct {
+	as      []model.Time // A offset per interferer
+	heads   []model.Time // next jump instant per stream
+	periods []model.Time
+	costs   []model.Time
+	ucount  []model.Time // unclamped packet count the next jump reaches
+}
+
+func growTimes(s []model.Time, n int) []model.Time {
+	if cap(s) < n {
+		return make([]model.Time, n)
+	}
+	return s[:n]
+}
+
+// eval computes the view's bound and critical instant against the given
+// Smax table: Property 2's maximization over the critical instants,
+// evaluated incrementally. Instead of materializing and sorting the
+// jump points of every floor term (the reference criticalInstants), the
+// scan k-way-merges one ascending jump stream per term and maintains W
+// incrementally — each jump raises exactly one term's packet count by
+// one (when its unclamped count is positive), so W updates in O(1) per
+// jump and the whole scan is allocation-free. The visited instants, the
+// W values, and the first-maximizer tie-break are identical to the
+// reference, so the result is bit-identical.
+func (vc *viewCache) eval(opt Options, smax smaxTable, sc *evalScratch) (model.Time, model.Time) {
+	ni := len(vc.inter)
+	as := growTimes(sc.as, ni)
+	sc.as = as
+	for x := range vc.inter {
+		in := &vc.inter[x]
+		as[x] = smax[vc.flow][in.iIdx] + smax[in.j][in.jIdx] + in.aConst
+	}
+
+	lo := -vc.jitter
+	w := vc.fixed + opt.count(lo+vc.jitter, vc.period)*vc.cslow
+	for x := range vc.inter {
+		w += opt.count(lo+as[x], vc.inter[x].period) * vc.inter[x].csj
+	}
+	bestR, bestT := w+vc.clast-lo, lo
+	if opt.DisableTScan {
+		return bestR, bestT
+	}
+
+	hi := lo + vc.bslow
+	var shift model.Time
+	if opt.StrictWindow {
+		shift = 1
+	}
+	ns := ni + 1
+	heads := growTimes(sc.heads, ns)
+	periods := growTimes(sc.periods, ns)
+	costs := growTimes(sc.costs, ns)
+	ucount := growTimes(sc.ucount, ns)
+	sc.heads, sc.periods, sc.costs, sc.ucount = heads, periods, costs, ucount
+
+	// Stream s jumps at t = k·period − offset + shift, where the term's
+	// unclamped count 1+⌊(t+offset−shift)/period⌋ becomes 1+k; its
+	// clamped contribution rises only once the unclamped count is ≥ 1.
+	initStream := func(s int, offset, period, cost model.Time) {
+		k := model.CeilDiv(lo+offset-shift, period)
+		t := k*period - offset + shift
+		if t <= lo { // the t = lo jump is already folded into W(lo)
+			t += period
+			k++
+		}
+		heads[s], periods[s], costs[s], ucount[s] = t, period, cost, 1+k
+	}
+	initStream(0, vc.jitter, vc.period, vc.cslow)
+	for x := range vc.inter {
+		initStream(x+1, as[x], vc.inter[x].period, vc.inter[x].csj)
+	}
+
+	for {
+		t := hi
+		for s := 0; s < ns; s++ {
+			if heads[s] < t {
+				t = heads[s]
+			}
+		}
+		if t >= hi {
+			return bestR, bestT
+		}
+		for s := 0; s < ns; s++ {
+			if heads[s] == t {
+				if ucount[s] >= 1 {
+					w += costs[s]
+				}
+				ucount[s]++
+				heads[s] += periods[s]
+			}
+		}
+		if r := w + vc.clast - t; r > bestR {
+			bestR, bestT = r, t
+		}
+	}
+}
+
+// engineJob pairs a cached view with its result slot for a sweep.
+type engineJob struct {
+	vc  *viewCache
+	dst *model.Time
+}
+
+// runJobs evaluates the jobs against an immutable Smax table, fanning
+// out across Options.workers() goroutines with per-worker scratches.
+// Cached evaluations cannot fail (divergence is caught at build time),
+// so there is no error path.
+func (a *Analyzer) runJobs(jobs []engineJob, smax smaxTable) {
+	workers := a.opt.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for k := range jobs {
+			r, _ := jobs[k].vc.eval(a.opt, smax, &a.scratch)
+			*jobs[k].dst = r
+		}
+		return
+	}
+	if len(a.wscratch) < workers {
+		a.wscratch = make([]evalScratch, workers)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := &a.wscratch[w]
+			for {
+				k := next.Add(1) - 1
+				if k >= int64(len(jobs)) {
+					return
+				}
+				r, _ := jobs[k].vc.eval(a.opt, smax, sc)
+				*jobs[k].dst = r
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// buildReverse maps every Smax entry id to the positions (in views) of
+// the cached views that read it, packed into one backing array.
+func (a *Analyzer) buildReverse(views []*viewCache) [][]int {
+	counts := make([]int, a.nEntries)
+	total := 0
+	for _, vc := range views {
+		for _, e := range vc.readIDs {
+			counts[e]++
+			total++
+		}
+	}
+	backing := make([]int, total)
+	rev := make([][]int, a.nEntries)
+	off := 0
+	for e, c := range counts {
+		rev[e] = backing[off : off : off+c]
+		off += c
+	}
+	for m, vc := range views {
+		for _, e := range vc.readIDs {
+			rev[e] = append(rev[e], m)
+		}
+	}
+	return rev
+}
+
+// enginePrefixFixpoint is the incremental counterpart of
+// prefixFixpoint: the slot list, its view caches and the reverse
+// dependency index are built once; each sweep re-evaluates only the
+// slots whose Smax inputs changed in the previous sweep and updates the
+// table in place. The fixed point is identical to the reference's —
+// a clean slot's bound is a pure function of its unchanged inputs, so
+// skipping it cannot alter any iterate.
+func (a *Analyzer) enginePrefixFixpoint() (smaxTable, int, bool, error) {
+	fs, opt := a.fs, a.opt
+	t := newSmaxTable(fs)
+	t.fillNoQueue(fs)
+	horizon := opt.horizon()
+
+	total := 0
+	for _, f := range fs.Flows {
+		total += len(f.Path) - 1
+	}
+	type slotRef struct {
+		i, k int
+		vc   *viewCache
+	}
+	slots := make([]slotRef, 0, total)
+	views := make([]*viewCache, 0, total)
+	for i, f := range fs.Flows {
+		for k := 1; k < len(f.Path); k++ {
+			vc, err := a.prefixCache(i, k)
+			if err != nil {
+				return nil, 1, false, err
+			}
+			slots = append(slots, slotRef{i, k, vc})
+			views = append(views, vc)
+		}
+	}
+	rev := a.buildReverse(views)
+
+	results := make([]model.Time, len(slots))
+	jobs := make([]engineJob, 0, len(slots))
+	dirty := make([]bool, len(slots))
+	for m := range dirty {
+		dirty[m] = true
+	}
+	entryChanged := make([]bool, a.nEntries)
+	changed := make([]int, 0, a.nEntries)
+
+	for sweep := 1; sweep <= opt.maxIterations(); sweep++ {
+		jobs = jobs[:0]
+		for m := range slots {
+			if dirty[m] {
+				jobs = append(jobs, engineJob{slots[m].vc, &results[m]})
+			}
+		}
+		a.runJobs(jobs, t)
+		changed = changed[:0]
+		for m := range slots {
+			if !dirty[m] {
+				continue
+			}
+			sl := &slots[m]
+			// The prefix bound is measured from generation time, so it
+			// already covers the release jitter window; arrival at the
+			// next node adds one link.
+			v := results[m] + fs.Net.Lmax
+			if v > horizon {
+				return nil, sweep, false, fmt.Errorf(
+					"trajectory: Smax prefix fixpoint diverges past horizon for flow %q node %d",
+					fs.Flows[sl.i].Name, fs.Flows[sl.i].Path[sl.k])
+			}
+			if v > t[sl.i][sl.k] {
+				t[sl.i][sl.k] = v
+				e := a.entryBase[sl.i] + sl.k
+				if !entryChanged[e] {
+					entryChanged[e] = true
+					changed = append(changed, e)
+				}
+			}
+		}
+		if len(changed) == 0 {
+			return t, sweep, true, nil
+		}
+		for m := range dirty {
+			dirty[m] = false
+		}
+		for _, e := range changed {
+			entryChanged[e] = false
+			for _, m := range rev[e] {
+				dirty[m] = true
+			}
+		}
+	}
+	return t, opt.maxIterations(), false, nil
+}
+
+// engineGlobalTail is the incremental counterpart of globalTail: full
+// views are cached once, and a view is re-evaluated only when
+// fillFromBounds changed one of the Smax entries it reads (clean views
+// keep the previous sweep's bound, which is exact for unchanged
+// inputs).
+func (a *Analyzer) engineGlobalTail() (smaxTable, int, bool, error) {
+	fs, opt := a.fs, a.opt
+	bounds := append([]model.Time(nil), opt.SeedBounds...)
+	if bounds == nil {
+		var err error
+		bounds, err = BusyPeriodSeed(fs, opt)
+		if err != nil {
+			return nil, 0, false, err
+		}
+	} else if len(bounds) != fs.N() {
+		return nil, 0, false, fmt.Errorf("trajectory: %d seed bounds for %d flows", len(bounds), fs.N())
+	}
+
+	views := make([]*viewCache, fs.N())
+	for i := range fs.Flows {
+		vc, err := a.fullCache(i)
+		if err != nil {
+			return nil, 1, false, err
+		}
+		views[i] = vc
+	}
+	rev := a.buildReverse(views)
+
+	best := append([]model.Time(nil), bounds...)
+	t := newSmaxTable(fs)
+	prev := newSmaxTable(fs)
+	next := make([]model.Time, fs.N())
+	jobs := make([]engineJob, 0, fs.N())
+	dirty := make([]bool, fs.N())
+	for m := range dirty {
+		dirty[m] = true
+	}
+
+	for sweep := 1; sweep <= opt.maxIterations(); sweep++ {
+		t.fillFromBounds(fs, bounds)
+		if sweep > 1 {
+			for m := range dirty {
+				dirty[m] = false
+			}
+			for i := range t {
+				base := a.entryBase[i]
+				for k := range t[i] {
+					if t[i][k] != prev[i][k] {
+						for _, m := range rev[base+k] {
+							dirty[m] = true
+						}
+					}
+				}
+			}
+		}
+		for i := range t {
+			copy(prev[i], t[i])
+		}
+		jobs = jobs[:0]
+		for m := range views {
+			if dirty[m] {
+				jobs = append(jobs, engineJob{views[m], &next[m]})
+			}
+		}
+		a.runJobs(jobs, t)
+		for i, r := range next {
+			if r < best[i] {
+				best[i] = r
+			}
+		}
+		same := true
+		for i := range next {
+			if next[i] != bounds[i] {
+				same = false
+				break
+			}
+		}
+		copy(bounds, next)
+		if same {
+			t.fillFromBounds(fs, best)
+			return t, sweep, true, nil
+		}
+	}
+	t.fillFromBounds(fs, best)
+	return t, opt.maxIterations(), false, nil
+}

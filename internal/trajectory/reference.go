@@ -1,0 +1,94 @@
+package trajectory
+
+import (
+	"fmt"
+
+	"trajan/internal/model"
+)
+
+// This file keeps the original straight-line implementation of the
+// analysis as an executable specification. referenceAnalyze rebuilds
+// every per-view context (path relations, M terms, Bslow, slow-node
+// choice) from scratch on every evaluation, exactly as the code read
+// before the incremental Analyzer engine existed. The engine is
+// required to return bit-identical Results at every Options setting;
+// the differential tests in engine_test.go enforce that over fuzzed
+// flow sets. Keep the two in lockstep: a change to the analysis
+// semantics must land in both paths, or the differential test fails.
+
+// referenceAnalyze computes Property-2/3 bounds the pre-engine way:
+// computeSmax re-runs boundForView for every (flow, prefix) slot on
+// every sweep, and every boundForView call pays the full newBoundCtx
+// topology cost.
+func referenceAnalyze(fs *model.FlowSet, opt Options) (*Result, error) {
+	if opt.NonPreemption != nil {
+		if len(opt.NonPreemption) != fs.N() {
+			return nil, fmt.Errorf("trajectory: %d non-preemption vectors for %d flows",
+				len(opt.NonPreemption), fs.N())
+		}
+		for i, v := range opt.NonPreemption {
+			if v != nil && len(v) != len(fs.Flows[i].Path) {
+				return nil, fmt.Errorf("trajectory: flow %q has %d non-preemption terms for %d nodes",
+					fs.Flows[i].Name, len(v), len(fs.Flows[i].Path))
+			}
+		}
+	}
+	smax, sweeps, converged, err := computeSmax(fs, opt)
+	if err != nil {
+		return nil, err
+	}
+	arrival := make([][]model.Time, fs.N())
+	for i := range smax {
+		arrival[i] = append([]model.Time(nil), smax[i]...)
+	}
+	res := &Result{
+		Bounds:        make([]model.Time, fs.N()),
+		Jitters:       make([]model.Time, fs.N()),
+		Details:       make([]FlowDetail, fs.N()),
+		ArrivalBounds: arrival,
+		SmaxSweeps:    sweeps,
+		SmaxConverged: converged,
+	}
+	for i := range fs.Flows {
+		c, err := newBoundCtx(fs, opt, fullView(fs, i), smax)
+		if err != nil {
+			return nil, err
+		}
+		r, tStar := c.bound()
+		res.Bounds[i] = r
+		res.Jitters[i] = r - fs.Flows[i].MinTraversal(fs.Net.Lmin)
+		d := FlowDetail{
+			Flow:      i,
+			Bound:     r,
+			Bslow:     c.bslow,
+			CriticalT: tStar,
+			SlowNode:  c.slow,
+			MaxSum:    c.maxSum,
+			Delta:     c.delta,
+		}
+		for _, in := range c.inter {
+			d.Interference = append(d.Interference, InterferenceTerm{
+				Flow:          in.j,
+				A:             in.a,
+				Packets:       opt.count(tStar+in.a, fs.Flows[in.j].Period),
+				CSlow:         in.rel.CSlowJI,
+				SameDirection: in.rel.SameDirection,
+			})
+		}
+		res.Details[i] = d
+	}
+	return res, nil
+}
+
+// referenceAnalyzeFlow is the pre-engine single-flow entry point: it
+// rebuilds the global Smax table on every call.
+func referenceAnalyzeFlow(fs *model.FlowSet, opt Options, i int) (model.Time, error) {
+	if i < 0 || i >= fs.N() {
+		return 0, fmt.Errorf("trajectory: flow index %d out of range [0,%d)", i, fs.N())
+	}
+	smax, _, _, err := computeSmax(fs, opt)
+	if err != nil {
+		return 0, err
+	}
+	return boundForView(fs, opt, fullView(fs, i), smax)
+}

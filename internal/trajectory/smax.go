@@ -47,7 +47,13 @@ func (t smaxTable) clone() smaxTable {
 }
 
 func (t smaxTable) equal(u smaxTable) bool {
+	if len(t) != len(u) {
+		return false
+	}
 	for i := range t {
+		if len(t[i]) != len(u[i]) {
+			return false
+		}
 		for k := range t[i] {
 			if t[i][k] != u[i][k] {
 				return false
@@ -130,15 +136,19 @@ func prefixFixpoint(fs *model.FlowSet, opt Options) (smaxTable, int, bool, error
 	// prefix view against the immutable previous table (in parallel
 	// when Options.Parallelism allows).
 	type slot struct{ i, k int }
-	var slots []slot
+	total := 0
+	for _, f := range fs.Flows {
+		total += len(f.Path) - 1
+	}
+	slots := make([]slot, 0, total)
 	for i, f := range fs.Flows {
 		for k := 1; k < len(f.Path); k++ {
 			slots = append(slots, slot{i, k})
 		}
 	}
 	results := make([]model.Time, len(slots))
+	jobs := make([]viewJob, len(slots))
 	for sweep := 1; sweep <= opt.maxIterations(); sweep++ {
-		jobs := make([]viewJob, len(slots))
 		for m, sl := range slots {
 			jobs[m] = viewJob{view: prefixView(fs, sl.i, sl.k), dst: &results[m]}
 		}
