@@ -7,11 +7,27 @@
 //
 //	trajan -config flows.json [-method all|trajectory|holistic|netcalc]
 //	       [-smax prefix|tail|noqueue] [-ef] [-detail] [-sensitivity]
+//	       [-timeout 30s]
 //
 // With no -config the paper's Section-5 example is analysed.
+//
+// The process exit code is the analysis verdict, so the tool can gate
+// admission scripts directly:
+//
+//	0  every analysed flow meets its deadline
+//	1  the analysis succeeded but some flow misses its deadline
+//	2  the configuration is invalid (bad JSON, malformed flow set, bad flags)
+//	3  no verdict: the analysis diverged (utilization ≥ 1), overflowed the
+//	   time domain, or was cut off by -timeout
+//	4  internal error (a bug in the analyser, not in the input)
+//
+// With -method all the exit verdict is the trajectory method's; the
+// baselines are informational.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,13 +43,39 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "trajan:", err)
-		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// exitCode maps the run outcome to the documented process exit code.
+func exitCode(feasible bool, err error) int {
+	switch {
+	case err == nil:
+		if feasible {
+			return 0
+		}
+		return 1
+	case errors.Is(err, model.ErrInvalidConfig):
+		return 2
+	case errors.Is(err, model.ErrUnstable),
+		errors.Is(err, model.ErrOverflow),
+		errors.Is(err, model.ErrCanceled):
+		return 3
+	default:
+		// ErrInternal and anything unclassified: assume a bug, not input.
+		return 4
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (int, error) {
+	feasible, err := runAnalysis(args, out)
+	return exitCode(feasible, err), err
+}
+
+func runAnalysis(args []string, out io.Writer) (bool, error) {
 	fl := flag.NewFlagSet("trajan", flag.ContinueOnError)
 	var (
 		configPath  = fl.String("config", "", "flow-set JSON (default: the paper's example)")
@@ -43,14 +85,21 @@ func run(args []string, out io.Writer) error {
 		detail      = fl.Bool("detail", false, "print the per-flow interference breakdown")
 		explainFlow = fl.String("explain", "", "print the full bound derivation for this flow name")
 		sensitivity = fl.Bool("sensitivity", false, "probe each flow's period and cost headroom (requires deadlines)")
+		timeout     = fl.Duration("timeout", 0, "abort the analysis after this duration (exit 3); 0 disables the budget")
 	)
 	if err := fl.Parse(args); err != nil {
-		return err
+		return false, model.Classify(model.ErrInvalidConfig, err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	fs, originals, err := loadFlowSet(*configPath)
 	if err != nil {
-		return err
+		return false, model.Classify(model.ErrInvalidConfig, err)
 	}
 	wasSplit := fs.N() != len(originals)
 	opt := trajectory.Options{}
@@ -62,11 +111,11 @@ func run(args []string, out io.Writer) error {
 	case "noqueue":
 		opt.Smax = trajectory.SmaxNoQueue
 	default:
-		return fmt.Errorf("unknown -smax %q", *smaxMode)
+		return false, model.Errorf(model.ErrInvalidConfig, "unknown -smax %q", *smaxMode)
 	}
 
 	if *useEF {
-		return runEF(fs, opt, out)
+		return runEF(ctx, fs, opt, out)
 	}
 
 	tab := report.NewTable(
@@ -74,10 +123,16 @@ func run(args []string, out io.Writer) error {
 			fs.N(), fs.MaxUtilization()),
 		"flow", "deadline", "method", "bound", "jitter", "feasible")
 
-	addVerdicts := func(name string, bounds, jitters []model.Time) error {
+	// The exit verdict follows the trajectory method when it runs;
+	// a baseline's verdicts count only when it was requested alone.
+	allFeasible := true
+	addVerdicts := func(name string, bounds, jitters []model.Time, counts bool) error {
 		rep, err := feasibility.Check(fs, bounds, jitters, name)
 		if err != nil {
 			return err
+		}
+		if counts && !rep.AllFeasible {
+			allFeasible = false
 		}
 		for _, v := range rep.Verdicts {
 			jit := "-"
@@ -102,53 +157,56 @@ func run(args []string, out io.Writer) error {
 			// guarantees for them).
 			split, err := trajectory.AnalyzeSplit(fs, opt)
 			if err != nil {
-				return fmt.Errorf("trajectory (split) analysis: %w", err)
+				return false, fmt.Errorf("trajectory (split) analysis: %w", err)
 			}
 			bounds, err := split.BoundsFor(originals)
 			if err != nil {
-				return err
+				return false, err
 			}
 			for i, f := range originals {
 				feasible := f.Deadline == 0 || bounds[i] <= f.Deadline
+				if !feasible {
+					allFeasible = false
+				}
 				tab.AddRow(f.Name, f.Deadline, "trajectory*", bounds[i], "-", feasible)
 			}
 			defer fmt.Fprintln(out,
 				"\n* some flows were split to satisfy Assumption 1; trajectory rows are jitter-chained bounds for the configured flows")
 		} else {
-			trajRes, err = trajectory.Analyze(fs, opt)
+			trajRes, err = trajectory.AnalyzeContext(ctx, fs, opt)
 			if err != nil {
-				return fmt.Errorf("trajectory analysis: %w", err)
+				return false, fmt.Errorf("trajectory analysis: %w", err)
 			}
-			if err := addVerdicts("trajectory", trajRes.Bounds, trajRes.Jitters); err != nil {
-				return err
+			if err := addVerdicts("trajectory", trajRes.Bounds, trajRes.Jitters, true); err != nil {
+				return false, err
 			}
 		}
 	}
 	if *method == "all" || *method == "holistic" {
 		hol, err := holistic.Analyze(fs, holistic.Options{})
 		if err != nil {
-			return fmt.Errorf("holistic analysis: %w", err)
+			return false, fmt.Errorf("holistic analysis: %w", err)
 		}
-		if err := addVerdicts("holistic", hol.Bounds, hol.Jitters); err != nil {
-			return err
+		if err := addVerdicts("holistic", hol.Bounds, hol.Jitters, *method == "holistic"); err != nil {
+			return false, err
 		}
 	}
 	if *method == "all" || *method == "netcalc" {
 		nc, err := netcalc.Analyze(fs, netcalc.Options{})
 		if err != nil {
-			return fmt.Errorf("network-calculus analysis: %w", err)
+			return false, fmt.Errorf("network-calculus analysis: %w", err)
 		}
-		if err := addVerdicts("netcalc", nc.Bounds, nil); err != nil {
-			return err
+		if err := addVerdicts("netcalc", nc.Bounds, nil, *method == "netcalc"); err != nil {
+			return false, err
 		}
 	}
 	if err := tab.Render(out); err != nil {
-		return err
+		return false, err
 	}
 
 	if *explainFlow != "" {
 		if trajRes == nil {
-			return fmt.Errorf("-explain needs the trajectory method on an unsplit set")
+			return false, model.Errorf(model.ErrInvalidConfig, "-explain needs the trajectory method on an unsplit set")
 		}
 		idx := -1
 		for i, f := range fs.Flows {
@@ -157,11 +215,11 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		if idx < 0 {
-			return fmt.Errorf("unknown flow %q", *explainFlow)
+			return false, model.Errorf(model.ErrInvalidConfig, "unknown flow %q", *explainFlow)
 		}
 		text, err := trajRes.Explain(fs, idx)
 		if err != nil {
-			return err
+			return false, err
 		}
 		fmt.Fprintln(out)
 		fmt.Fprint(out, text)
@@ -187,7 +245,7 @@ func run(args []string, out io.Writer) error {
 	if *sensitivity {
 		sens, err := feasibility.AnalyzeSensitivity(fs, opt)
 		if err != nil {
-			return fmt.Errorf("sensitivity analysis: %w", err)
+			return false, fmt.Errorf("sensitivity analysis: %w", err)
 		}
 		st := report.NewTable("Sensitivity (trajectory bounds)",
 			"flow", "period", "min period", "cost headroom %")
@@ -197,26 +255,30 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 		if err := st.Render(out); err != nil {
-			return err
+			return false, err
 		}
 	}
-	return nil
+	return allFeasible, nil
 }
 
-func runEF(fs *model.FlowSet, opt trajectory.Options, out io.Writer) error {
-	res, err := ef.Analyze(fs, opt)
+func runEF(ctx context.Context, fs *model.FlowSet, opt trajectory.Options, out io.Writer) (bool, error) {
+	res, err := ef.AnalyzeContext(ctx, fs, opt)
 	if err != nil {
-		return fmt.Errorf("EF analysis: %w", err)
+		return false, fmt.Errorf("EF analysis: %w", err)
 	}
 	tab := report.NewTable("EF-class bounds (Property 3)",
 		"flow", "deadline", "delta", "trajectory", "holistic", "feasible")
+	allFeasible := true
 	for k, idx := range res.EFIndex {
 		f := fs.Flows[idx]
 		feasible := f.Deadline == 0 || res.Trajectory.Bounds[k] <= f.Deadline
+		if !feasible {
+			allFeasible = false
+		}
 		tab.AddRow(f.Name, f.Deadline, res.Deltas[k],
 			res.Trajectory.Bounds[k], res.Holistic.Bounds[k], feasible)
 	}
-	return tab.Render(out)
+	return allFeasible, tab.Render(out)
 }
 
 func loadFlowSet(path string) (*model.FlowSet, []*model.Flow, error) {

@@ -10,8 +10,12 @@ import (
 func runCLI(t *testing.T, args ...string) string {
 	t.Helper()
 	var b strings.Builder
-	if err := run(args, &b); err != nil {
+	code, err := run(args, &b)
+	if err != nil {
 		t.Fatalf("run(%v): %v", args, err)
+	}
+	if code != 0 && code != 1 {
+		t.Fatalf("run(%v): exit code %d without error", args, code)
 	}
 	return b.String()
 }
@@ -78,23 +82,35 @@ func TestSmaxModes(t *testing.T) {
 		runCLI(t, "-method", "trajectory", "-smax", m)
 	}
 	var b strings.Builder
-	if err := run([]string{"-smax", "bogus"}, &b); err == nil {
+	code, err := run([]string{"-smax", "bogus"}, &b)
+	if err == nil {
 		t.Error("bogus smax mode accepted")
+	}
+	if code != 2 {
+		t.Errorf("bogus smax mode: exit code %d, want 2", code)
 	}
 }
 
 // TestBadConfigErrors: unreadable and invalid configs are reported.
 func TestBadConfigErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-config", "/nonexistent.json"}, &b); err == nil {
+	code, err := run([]string{"-config", "/nonexistent.json"}, &b)
+	if err == nil {
 		t.Error("missing config accepted")
+	}
+	if code != 2 {
+		t.Errorf("missing config: exit code %d, want 2", code)
 	}
 	path := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-config", path}, &b); err == nil {
+	code, err = run([]string{"-config", path}, &b)
+	if err == nil {
 		t.Error("broken config accepted")
+	}
+	if code != 2 {
+		t.Errorf("broken config: exit code %d, want 2", code)
 	}
 }
 
@@ -128,7 +144,108 @@ func TestExplainFlag(t *testing.T) {
 		}
 	}
 	var b strings.Builder
-	if err := run([]string{"-method", "trajectory", "-explain", "nope"}, &b); err == nil {
+	code, err := run([]string{"-method", "trajectory", "-explain", "nope"}, &b)
+	if err == nil {
 		t.Error("unknown flow accepted")
 	}
+	if code != 2 {
+		t.Errorf("unknown flow: exit code %d, want 2", code)
+	}
+}
+
+// TestExitCodes pins the documented exit-code contract: 0 feasible,
+// 1 infeasible, 2 invalid config, 3 no-verdict (unstable/overflow/
+// timeout), 4 internal.
+func TestExitCodes(t *testing.T) {
+	writeCfg := func(t *testing.T, cfg string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "flows.json")
+		if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	t.Run("feasible", func(t *testing.T) {
+		var b strings.Builder
+		code, err := run([]string{"-method", "trajectory"}, &b)
+		if err != nil || code != 0 {
+			t.Errorf("paper example: code %d err %v, want 0 <nil>", code, err)
+		}
+	})
+
+	t.Run("infeasible", func(t *testing.T) {
+		path := writeCfg(t, `{"network":{"lmin":1,"lmax":1},"flows":[
+		  {"name":"tight","period":40,"deadline":3,"path":[1,2,3],"cost":2},
+		  {"name":"rival","period":40,"deadline":100,"path":[1,2,3],"cost":2}
+		]}`)
+		var b strings.Builder
+		code, err := run([]string{"-config", path, "-method", "trajectory"}, &b)
+		if err != nil || code != 1 {
+			t.Errorf("deadline miss: code %d err %v, want 1 <nil>", code, err)
+		}
+	})
+
+	t.Run("infeasible verdict follows trajectory under -method all", func(t *testing.T) {
+		// Holistic pessimism alone must not flip the exit verdict.
+		path := writeCfg(t, `{"network":{"lmin":1,"lmax":1},"flows":[
+		  {"name":"tight","period":40,"deadline":3,"path":[1,2,3],"cost":2},
+		  {"name":"rival","period":40,"deadline":100,"path":[1,2,3],"cost":2}
+		]}`)
+		var b strings.Builder
+		code, err := run([]string{"-config", path}, &b)
+		if err != nil || code != 1 {
+			t.Errorf("deadline miss (all methods): code %d err %v, want 1 <nil>", code, err)
+		}
+	})
+
+	t.Run("unstable", func(t *testing.T) {
+		// Utilization 2 at the shared node: the busy period diverges.
+		path := writeCfg(t, `{"network":{"lmin":1,"lmax":1},"flows":[
+		  {"name":"hog","period":10,"deadline":100,"path":[1,2,3],"cost":10},
+		  {"name":"hog2","period":10,"deadline":100,"path":[1,2,3],"cost":10}
+		]}`)
+		var b strings.Builder
+		code, err := run([]string{"-config", path, "-method", "trajectory"}, &b)
+		if err == nil {
+			t.Fatal("overloaded set accepted")
+		}
+		if code != 3 {
+			t.Errorf("overloaded set: exit code %d, want 3 (%v)", code, err)
+		}
+	})
+
+	t.Run("pathological testdata", func(t *testing.T) {
+		for _, tc := range []struct {
+			file string
+			want int
+		}{
+			// At the default horizon the huge-parameter set is cut off
+			// by the divergence guard; the overloaded set diverges; the
+			// out-of-domain set never reaches the analysis.
+			{"../../testdata/pathological_overflow.json", 3},
+			{"../../testdata/pathological_overload.json", 3},
+			{"../../testdata/pathological_rejected.json", 2},
+		} {
+			var b strings.Builder
+			code, err := run([]string{"-config", tc.file, "-method", "trajectory"}, &b)
+			if err == nil {
+				t.Errorf("%s: no error", tc.file)
+			}
+			if code != tc.want {
+				t.Errorf("%s: exit code %d, want %d (%v)", tc.file, code, tc.want, err)
+			}
+		}
+	})
+
+	t.Run("timeout", func(t *testing.T) {
+		var b strings.Builder
+		code, err := run([]string{"-method", "trajectory", "-timeout", "1ns"}, &b)
+		if err == nil {
+			t.Fatal("expired budget produced a verdict")
+		}
+		if code != 3 {
+			t.Errorf("expired budget: exit code %d, want 3 (%v)", code, err)
+		}
+	})
 }

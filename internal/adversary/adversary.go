@@ -19,6 +19,7 @@
 package adversary
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -94,6 +95,14 @@ type Finding struct {
 // each restart seeds its own RNG from (Seed, index), so the outcome is
 // independent of the worker count.
 func Search(fs *model.FlowSet, opt Options) ([]Finding, error) {
+	return SearchContext(context.Background(), fs, opt)
+}
+
+// SearchContext is Search with cancellation: a canceled context (or
+// deadline) stops the search before the next restart or hill-climb
+// target and surfaces as model.ErrCanceled. Findings collected so far
+// are discarded — a partial search is not a certified worst case.
+func SearchContext(ctx context.Context, fs *model.FlowSet, opt Options) ([]Finding, error) {
 	eng := sim.NewEngine(fs, sim.Config{NewScheduler: opt.Scheduler})
 
 	best := make([]Finding, fs.N())
@@ -148,6 +157,10 @@ func Search(fs *model.FlowSet, opt Options) ([]Finding, error) {
 		go func() {
 			defer wg.Done()
 			for r := range work {
+				if err := ctx.Err(); err != nil {
+					errs[r] = model.Errorf(model.ErrCanceled, "adversary: search canceled: %v", err)
+					continue
+				}
 				local := make([]Finding, fs.N())
 				for i := range local {
 					local[i] = Finding{Flow: i, MaxResponse: -1}
@@ -159,6 +172,10 @@ func Search(fs *model.FlowSet, opt Options) ([]Finding, error) {
 					continue
 				}
 				for target := 0; target < fs.N(); target++ {
+					if err := ctx.Err(); err != nil {
+						errs[r] = model.Errorf(model.ErrCanceled, "adversary: search canceled: %v", err)
+						break
+					}
 					climbed, err := climb(fs, eng, rng, sc, target, opt)
 					if err != nil {
 						errs[r] = err
@@ -227,8 +244,10 @@ func structuralScenarios(fs *model.FlowSet, opt Options) []namedScenario {
 			}
 			// Time j so its first packet reaches first_{j,target} when
 			// the target's does (earliest-traversal estimate).
-			dT := fs.Smin(target, rel.FirstJI)
-			dJ := fs.Smin(j, rel.FirstJI)
+			// first_{j,target} lies on both paths by construction, so
+			// PathIndex cannot return -1 here.
+			dT := fs.SminAt(target, fs.PathIndex(target, rel.FirstJI))
+			dJ := fs.SminAt(j, fs.PathIndex(j, rel.FirstJI))
 			offsets[j] = dT - dJ
 		}
 		addAligned := func(name string, offs []model.Time) {
@@ -265,7 +284,7 @@ func structuralScenarios(fs *model.FlowSet, opt Options) []namedScenario {
 					idx = len(rel.Shared) - 1
 				}
 				h := rel.Shared[idx]
-				deep[j] = fs.Smin(target, h) - fs.Smin(j, h)
+				deep[j] = fs.SminAt(target, fs.PathIndex(target, h)) - fs.SminAt(j, fs.PathIndex(j, h))
 			}
 			addAligned(fmt.Sprintf("merge-deep%d:%s", depth, fs.Flows[target].Name), deep)
 		}

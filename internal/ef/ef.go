@@ -11,6 +11,7 @@
 package ef
 
 import (
+	"context"
 	"fmt"
 
 	"trajan/internal/holistic"
@@ -98,8 +99,9 @@ func NonPreemptionPerNode(fs *model.FlowSet, i int) []model.Time {
 				v = c - 1
 			case onSharedTail(e.r, h) && e.r.SameDirection:
 				// Same-direction flow travelling with τi: residual
-				// blocking after pipelining.
-				v = c - fi.CostAt(fi.Path.Pre(h)) + fs.Net.Lmax - fs.Net.Lmin
+				// blocking after pipelining. k ≥ 1, so Cost[k-1] is
+				// C^{pre_i(h)}_i.
+				v = c - fi.Cost[k-1] + fs.Net.Lmax - fs.Net.Lmin
 			default:
 				continue
 			}
@@ -163,6 +165,13 @@ func (r *Result) BoundOf(i int) (model.Time, bool) {
 // non-preemption penalty δi. The holistic baseline is computed with the
 // same penalty so the comparison isolates the approaches.
 func Analyze(fs *model.FlowSet, opt trajectory.Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), fs, opt)
+}
+
+// AnalyzeContext is Analyze with cancellation: a canceled context aborts
+// the trajectory fixed point within one sweep and surfaces as
+// model.ErrCanceled.
+func AnalyzeContext(ctx context.Context, fs *model.FlowSet, opt trajectory.Options) (*Result, error) {
 	var efIdx []int
 	var efFlows []*model.Flow
 	for i, f := range fs.Flows {
@@ -172,7 +181,7 @@ func Analyze(fs *model.FlowSet, opt trajectory.Options) (*Result, error) {
 		}
 	}
 	if len(efIdx) == 0 {
-		return nil, fmt.Errorf("ef: flow set has no EF flows")
+		return nil, model.Errorf(model.ErrInvalidConfig, "ef: flow set has no EF flows")
 	}
 	perNode := make([][]model.Time, len(efIdx))
 	deltas := make([]model.Time, len(efIdx))
@@ -184,10 +193,10 @@ func Analyze(fs *model.FlowSet, opt trajectory.Options) (*Result, error) {
 	}
 	sub, err := model.NewFlowSet(fs.Net, efFlows)
 	if err != nil {
-		return nil, fmt.Errorf("ef: building EF subset: %w", err)
+		return nil, model.Classify(model.ErrInvalidConfig, fmt.Errorf("ef: building EF subset: %w", err))
 	}
 	opt.NonPreemption = perNode
-	traj, err := trajectory.Analyze(sub, opt)
+	traj, err := trajectory.AnalyzeContext(ctx, sub, opt)
 	if err != nil {
 		return nil, err
 	}

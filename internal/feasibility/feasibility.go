@@ -6,6 +6,7 @@
 package feasibility
 
 import (
+	"errors"
 	"fmt"
 
 	"trajan/internal/ef"
@@ -43,7 +44,7 @@ type Report struct {
 // be nil.
 func Check(fs *model.FlowSet, bounds, jitters []model.Time, method string) (*Report, error) {
 	if len(bounds) != fs.N() {
-		return nil, fmt.Errorf("feasibility: %d bounds for %d flows", len(bounds), fs.N())
+		return nil, model.Errorf(model.ErrInvalidConfig, "feasibility: %d bounds for %d flows", len(bounds), fs.N())
 	}
 	rep := &Report{Method: method, AllFeasible: true}
 	for i, f := range fs.Flows {
@@ -57,7 +58,11 @@ func Check(fs *model.FlowSet, bounds, jitters []model.Time, method string) (*Rep
 			v.Jitter = jitters[i]
 		}
 		if f.Deadline > 0 {
-			v.Slack = f.Deadline - bounds[i]
+			// An Unbounded verdict (TimeInfinity) always misses any
+			// finite deadline; SubSat keeps the slack a well-defined
+			// saturated negative instead of a wrapped number.
+			var sat bool
+			v.Slack = model.SubSat(f.Deadline, bounds[i], &sat)
 			v.Feasible = bounds[i] <= f.Deadline
 		} else {
 			v.Feasible = true
@@ -112,12 +117,17 @@ func (c *Controller) TryAdmit(f *model.Flow) (bool, *Report, error) {
 	trial = model.EnforceAssumption1(trial)
 	fs, err := model.NewFlowSet(c.net, trial)
 	if err != nil {
-		return false, nil, fmt.Errorf("feasibility: candidate %q: %w", f.Name, err)
+		return false, nil, model.Classify(model.ErrInvalidConfig, fmt.Errorf("feasibility: candidate %q: %w", f.Name, err))
 	}
 	res, err := ef.Analyze(fs, c.opt)
 	if err != nil {
-		// Analysis divergence (overload) is a refusal, not a failure.
-		return false, &Report{Method: "trajectory-ef", AllFeasible: false}, nil
+		// Analysis divergence or overflow (overload) is a refusal, not a
+		// failure; anything else — bad config, cancellation, an internal
+		// panic — propagates to the caller.
+		if errors.Is(err, model.ErrUnstable) || errors.Is(err, model.ErrOverflow) {
+			return false, &Report{Method: "trajectory-ef", AllFeasible: false}, nil
+		}
+		return false, nil, err
 	}
 	rep := &Report{Method: "trajectory-ef", AllFeasible: true}
 	for k, idx := range res.EFIndex {
@@ -130,7 +140,8 @@ func (c *Controller) TryAdmit(f *model.Flow) (bool, *Report, error) {
 			Jitter:   res.Trajectory.Jitters[k],
 		}
 		if fl.Deadline > 0 {
-			v.Slack = fl.Deadline - v.Bound
+			var sat bool
+			v.Slack = model.SubSat(fl.Deadline, v.Bound, &sat)
 			v.Feasible = v.Bound <= fl.Deadline
 		} else {
 			v.Feasible = true

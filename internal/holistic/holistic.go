@@ -13,8 +13,6 @@
 package holistic
 
 import (
-	"fmt"
-
 	"trajan/internal/model"
 )
 
@@ -54,6 +52,9 @@ func (o Options) horizon() model.Time {
 	if o.Horizon <= 0 {
 		return 1 << 20
 	}
+	if o.Horizon > model.TimeInfinity {
+		return model.TimeInfinity
+	}
 	return o.Horizon
 }
 
@@ -88,7 +89,7 @@ type Result struct {
 // swept until a fixed point is reached from below.
 func Analyze(fs *model.FlowSet, opt Options) (*Result, error) {
 	if opt.NonPreemption != nil && len(opt.NonPreemption) != fs.N() {
-		return nil, fmt.Errorf("holistic: %d non-preemption terms for %d flows",
+		return nil, model.Errorf(model.ErrInvalidConfig, "holistic: %d non-preemption terms for %d flows",
 			len(opt.NonPreemption), fs.N())
 	}
 	n := fs.N()
@@ -118,8 +119,12 @@ func Analyze(fs *model.FlowSet, opt Options) (*Result, error) {
 				r := nodeSojourn(fs, h, i, at, jit, bp, opt)
 				k := fs.Flows[i].Path.Index(h)
 				if r > resp[i][k] {
+					if model.IsUnbounded(r) {
+						return nil, model.Errorf(model.ErrOverflow, "holistic: response of flow %q at node %d overflows the time domain",
+							fs.Flows[i].Name, h)
+					}
 					if r > horizon {
-						return nil, fmt.Errorf("holistic: response of flow %q at node %d exceeds horizon",
+						return nil, model.Errorf(model.ErrUnstable, "holistic: response of flow %q at node %d exceeds horizon",
 							fs.Flows[i].Name, h)
 					}
 					resp[i][k] = r
@@ -130,14 +135,19 @@ func Analyze(fs *model.FlowSet, opt Options) (*Result, error) {
 		// Propagate: arrival window at node k+1 widens to
 		// (max upstream response) − (min upstream traversal).
 		for i, f := range fs.Flows {
+			var psat bool
 			maxArr, minArr := f.Jitter, model.Time(0)
 			for k := range f.Path {
-				if w := maxArr - minArr; w > jit[i][k] {
+				if w := model.SubSat(maxArr, minArr, &psat); w > jit[i][k] {
 					jit[i][k] = w
 					changed = true
 				}
-				maxArr += resp[i][k] + fs.Net.Lmax
-				minArr += f.Cost[k] + fs.Net.Lmin
+				maxArr = model.AddSat(maxArr, model.AddSat(resp[i][k], fs.Net.Lmax, &psat), &psat)
+				minArr = model.AddSat(minArr, model.AddSat(f.Cost[k], fs.Net.Lmin, &psat), &psat)
+			}
+			if psat {
+				return nil, model.Errorf(model.ErrOverflow, "holistic: jitter propagation overflows the time domain for flow %q",
+					f.Name)
 			}
 		}
 		if !changed {
@@ -145,7 +155,7 @@ func Analyze(fs *model.FlowSet, opt Options) (*Result, error) {
 		}
 	}
 	if sweeps == opt.maxIterations() {
-		return nil, fmt.Errorf("holistic: no fixed point within %d sweeps", sweeps)
+		return nil, model.Errorf(model.ErrUnstable, "holistic: no fixed point within %d sweeps", sweeps)
 	}
 
 	res := &Result{
@@ -156,42 +166,53 @@ func Analyze(fs *model.FlowSet, opt Options) (*Result, error) {
 		Sweeps:        sweeps + 1,
 	}
 	for i, f := range fs.Flows {
-		r := f.Jitter + model.Time(len(f.Path)-1)*fs.Net.Lmax
+		// A saturated end-to-end sum degrades to an explicit Unbounded
+		// verdict (TimeInfinity), never a wrapped finite number.
+		var bsat bool
+		r := model.AddSat(f.Jitter, model.MulSat(model.Time(len(f.Path)-1), fs.Net.Lmax, &bsat), &bsat)
 		for k := range f.Path {
-			r += resp[i][k]
+			r = model.AddSat(r, resp[i][k], &bsat)
 		}
 		if opt.NonPreemption != nil {
-			r += opt.NonPreemption[i]
+			r = model.AddSat(r, opt.NonPreemption[i], &bsat)
+		}
+		if bsat {
+			r = model.TimeInfinity
 		}
 		res.Bounds[i] = r
-		res.Jitters[i] = r - f.MinTraversal(fs.Net.Lmin)
+		res.Jitters[i] = model.SubSat(r, f.MinTraversal(fs.Net.Lmin), &bsat)
 	}
 	return res, nil
 }
 
 // nodeBusyPeriod solves bp = Σ_j (1+⌊(bp+jit_j)/Tj⌋)⁺·C^h_j from below.
 func nodeBusyPeriod(fs *model.FlowSet, h model.NodeID, at []int, jit [][]model.Time, opt Options) (model.Time, error) {
+	var sat bool
 	var b model.Time
 	for _, j := range at {
-		b += fs.Flows[j].CostAt(h)
+		b = model.AddSat(b, fs.Flows[j].CostAt(h), &sat)
 	}
 	for iter := 0; iter < opt.maxIterations(); iter++ {
 		var nb model.Time
 		for _, j := range at {
 			fj := fs.Flows[j]
 			jh := jit[j][fj.Path.Index(h)]
-			nb += model.OnePlusFloorPos(b+jh, fj.Period) * fj.CostAt(h)
+			nb = model.AddSat(nb,
+				model.MulSat(model.OnePlusFloorPosSat(model.AddSat(b, jh, &sat), fj.Period, &sat), fj.CostAt(h), &sat), &sat)
+		}
+		if sat || model.IsUnbounded(nb) {
+			return 0, model.Errorf(model.ErrOverflow, "holistic: node %d busy period overflows the time domain", h)
 		}
 		if nb == b {
 			return b, nil
 		}
 		if nb > opt.horizon() {
-			return 0, fmt.Errorf("holistic: node %d busy period diverges (utilization %.3f)",
+			return 0, model.Errorf(model.ErrUnstable, "holistic: node %d busy period diverges (utilization %.3f)",
 				h, fs.TotalUtilizationAt(h))
 		}
 		b = nb
 	}
-	return 0, fmt.Errorf("holistic: node %d busy period did not converge", h)
+	return 0, model.Errorf(model.ErrUnstable, "holistic: node %d busy period did not converge", h)
 }
 
 // nodeSojourn maximizes sojourn_i(x) over the candidate arrival offsets
@@ -203,16 +224,24 @@ func nodeBusyPeriod(fs *model.FlowSet, h model.NodeID, at []int, jit [][]model.T
 // The cap keeps each sweep's cost proportional to the real candidate
 // range rather than to a diverging busy period.
 func nodeSojourn(fs *model.FlowSet, h model.NodeID, i int, at []int, jit [][]model.Time, bp model.Time, opt Options) model.Time {
+	// A saturated work sum makes the sojourn Unbounded; the caller maps
+	// that to ErrOverflow. The scan itself stays exact: x < bp and bp was
+	// certified finite by nodeBusyPeriod under the same jitters.
+	var sat bool
 	work := func(x model.Time) model.Time {
 		var w model.Time
 		for _, j := range at {
 			fj := fs.Flows[j]
 			jh := jit[j][fj.Path.Index(h)]
-			w += model.OnePlusFloorPos(x+jh, fj.Period) * fj.CostAt(h)
+			w = model.AddSat(w,
+				model.MulSat(model.OnePlusFloorPosSat(model.AddSat(x, jh, &sat), fj.Period, &sat), fj.CostAt(h), &sat), &sat)
 		}
 		return w
 	}
 	best := work(0)
+	if sat {
+		return model.TimeInfinity
+	}
 	if opt.CriticalInstantOnly {
 		return best
 	}
@@ -240,8 +269,11 @@ func nodeSojourn(fs *model.FlowSet, h model.NodeID, i int, at []int, jit [][]mod
 			if x <= 0 {
 				continue
 			}
-			if s := work(x) - x; s > best {
+			if s := model.SubSat(work(x), x, &sat); s > best {
 				best = s
+			}
+			if sat {
+				return model.TimeInfinity
 			}
 		}
 	}

@@ -33,24 +33,26 @@ func (p Path) Index(h NodeID) int {
 	return -1
 }
 
-// Pre returns the node visited just before h (the paper's pre_i(h)).
-// It panics if h is the first node or not on the path.
-func (p Path) Pre(h NodeID) NodeID {
+// Pre returns the node visited just before h (the paper's pre_i(h)),
+// or an ErrInvalidConfig error when h is the first node or not on the
+// path — node arguments typically come straight from user input.
+func (p Path) Pre(h NodeID) (NodeID, error) {
 	i := p.Index(h)
 	if i <= 0 {
-		panic(fmt.Sprintf("model.Path.Pre: node %d has no predecessor on %v", h, p))
+		return 0, Errorf(ErrInvalidConfig, "model.Path.Pre: node %d has no predecessor on %v", h, p)
 	}
-	return p[i-1]
+	return p[i-1], nil
 }
 
-// Suc returns the node visited just after h (the paper's suc_i(h)).
-// It panics if h is the last node or not on the path.
-func (p Path) Suc(h NodeID) NodeID {
+// Suc returns the node visited just after h (the paper's suc_i(h)),
+// or an ErrInvalidConfig error when h is the last node or not on the
+// path.
+func (p Path) Suc(h NodeID) (NodeID, error) {
 	i := p.Index(h)
 	if i < 0 || i == len(p)-1 {
-		panic(fmt.Sprintf("model.Path.Suc: node %d has no successor on %v", h, p))
+		return 0, Errorf(ErrInvalidConfig, "model.Path.Suc: node %d has no successor on %v", h, p)
 	}
-	return p[i+1]
+	return p[i+1], nil
 }
 
 // Clone returns an independent copy of the path.
@@ -179,20 +181,23 @@ func (f *Flow) SlowCandidates() []NodeID {
 }
 
 // TotalCost returns Σ_{h∈Pi} C^h_i, the end-to-end processing demand of
-// one packet.
+// one packet. The sum saturates at TimeInfinity for extreme inputs so
+// it can never wrap into a small finite value.
 func (f *Flow) TotalCost() Time {
 	var s Time
+	var sat bool
 	for _, c := range f.Cost {
-		s += c
+		s = AddSat(s, c, &sat)
 	}
 	return s
 }
 
 // MinTraversal returns the minimum end-to-end response time of a packet:
 // all processing plus Lmin per link, with no queueing (Definition 2's
-// subtrahend).
+// subtrahend). Saturates at TimeInfinity like TotalCost.
 func (f *Flow) MinTraversal(lmin Time) Time {
-	return f.TotalCost() + Time(len(f.Path)-1)*lmin
+	var sat bool
+	return AddSat(f.TotalCost(), MulSat(Time(len(f.Path)-1), lmin, &sat), &sat)
 }
 
 // IsVirtual reports whether the flow is a fragment produced by the
@@ -208,26 +213,46 @@ func (f *Flow) Parent() (int, bool) { return f.parent, f.parent >= 0 }
 // parent path in traversal order.
 func (f *Flow) FragmentStart() int { return f.fragStart }
 
-// Validate checks the structural invariants of a single flow.
+// Validate checks the structural invariants of a single flow. All
+// violations are classified ErrInvalidConfig.
 func (f *Flow) Validate() error {
 	if err := f.Path.validate(); err != nil {
-		return fmt.Errorf("flow %q: %w", f.Name, err)
+		return Errorf(ErrInvalidConfig, "flow %q: %w", f.Name, err)
 	}
 	if len(f.Cost) != len(f.Path) {
-		return fmt.Errorf("flow %q: %d costs for %d path nodes", f.Name, len(f.Cost), len(f.Path))
+		return Errorf(ErrInvalidConfig, "flow %q: %d costs for %d path nodes", f.Name, len(f.Cost), len(f.Path))
 	}
 	if f.Period <= 0 {
-		return fmt.Errorf("flow %q: non-positive period %d", f.Name, f.Period)
+		return Errorf(ErrInvalidConfig, "flow %q: non-positive period %d", f.Name, f.Period)
 	}
 	if f.Jitter < 0 {
-		return fmt.Errorf("flow %q: negative jitter %d", f.Name, f.Jitter)
+		return Errorf(ErrInvalidConfig, "flow %q: negative jitter %d", f.Name, f.Jitter)
 	}
 	if f.Deadline < 0 {
-		return fmt.Errorf("flow %q: negative deadline %d", f.Name, f.Deadline)
+		return Errorf(ErrInvalidConfig, "flow %q: negative deadline %d", f.Name, f.Deadline)
 	}
 	for k, c := range f.Cost {
 		if c <= 0 {
-			return fmt.Errorf("flow %q: non-positive cost %d at node %d", f.Name, c, f.Path[k])
+			return Errorf(ErrInvalidConfig, "flow %q: non-positive cost %d at node %d", f.Name, c, f.Path[k])
+		}
+	}
+	// The analysis domain is (−TimeInfinity, TimeInfinity); parameters on
+	// or past the rail would alias the "unbounded" sentinel. Rejecting
+	// them here is what lets the hot paths run exact int64 arithmetic
+	// once the saturating guard has cleared a scan (see internal/model/sat.go).
+	for _, p := range []struct {
+		what string
+		v    Time
+	}{
+		{"period", f.Period}, {"jitter", f.Jitter}, {"deadline", f.Deadline},
+	} {
+		if IsUnbounded(p.v) {
+			return Errorf(ErrInvalidConfig, "flow %q: %s %d exceeds the representable time domain", f.Name, p.what, p.v)
+		}
+	}
+	for k, c := range f.Cost {
+		if IsUnbounded(c) {
+			return Errorf(ErrInvalidConfig, "flow %q: cost %d at node %d exceeds the representable time domain", f.Name, c, f.Path[k])
 		}
 	}
 	return nil

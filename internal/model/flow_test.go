@@ -1,6 +1,7 @@
 package model
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -16,39 +17,35 @@ func TestPathBasics(t *testing.T) {
 	if p.Index(4) != 2 || p.Index(99) != -1 {
 		t.Error("Index broken")
 	}
-	if p.Pre(3) != 1 || p.Pre(5) != 4 {
-		t.Error("Pre broken")
+	if pre3, err := p.Pre(3); err != nil || pre3 != 1 {
+		t.Errorf("Pre(3) = %d, %v", pre3, err)
 	}
-	if p.Suc(1) != 3 || p.Suc(4) != 5 {
-		t.Error("Suc broken")
+	if pre5, err := p.Pre(5); err != nil || pre5 != 4 {
+		t.Errorf("Pre(5) = %d, %v", pre5, err)
+	}
+	if suc1, err := p.Suc(1); err != nil || suc1 != 3 {
+		t.Errorf("Suc(1) = %d, %v", suc1, err)
+	}
+	if suc4, err := p.Suc(4); err != nil || suc4 != 5 {
+		t.Errorf("Suc(4) = %d, %v", suc4, err)
 	}
 }
 
-func TestPathPrePanics(t *testing.T) {
+func TestPathPreErrors(t *testing.T) {
 	p := Path{1, 3}
 	for _, h := range []NodeID{1, 99} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Pre(%d) did not panic", h)
-				}
-			}()
-			p.Pre(h)
-		}()
+		if _, err := p.Pre(h); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("Pre(%d) error = %v, want ErrInvalidConfig", h, err)
+		}
 	}
 }
 
-func TestPathSucPanics(t *testing.T) {
+func TestPathSucErrors(t *testing.T) {
 	p := Path{1, 3}
 	for _, h := range []NodeID{3, 99} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Suc(%d) did not panic", h)
-				}
-			}()
-			p.Suc(h)
-		}()
+		if _, err := p.Suc(h); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("Suc(%d) error = %v, want ErrInvalidConfig", h, err)
+		}
 	}
 }
 

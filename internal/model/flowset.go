@@ -1,9 +1,5 @@
 package model
 
-import (
-	"fmt"
-)
-
 // FlowSet bundles a network with a validated set of flows and
 // precomputes the pairwise path relations that every analysis consumes.
 type FlowSet struct {
@@ -30,10 +26,16 @@ func (fs *FlowSet) initDerived() {
 		idx := make(map[NodeID]int, len(f.Path))
 		pre := make([]Time, len(f.Path))
 		var acc Time
+		var sat bool
 		for k, h := range f.Path {
 			idx[h] = k
 			pre[k] = acc
-			acc += f.Cost[k] + fs.Net.Lmin
+			// Saturating: a prefix sum that leaves the finite domain
+			// clamps to TimeInfinity, and every consumer threading it
+			// through the saturating ops inherits the sticky flag (the
+			// bound then degrades to an Unbounded verdict, never to a
+			// wrapped number).
+			acc = AddSat(acc, AddSat(f.Cost[k], fs.Net.Lmin, &sat), &sat)
 		}
 		fs.nodeIdx[i] = idx
 		fs.sminPre[i] = pre
@@ -59,7 +61,7 @@ func NewFlowSet(net Network, flows []*Flow) (*FlowSet, error) {
 		return nil, err
 	}
 	if len(flows) == 0 {
-		return nil, fmt.Errorf("flowset: no flows")
+		return nil, Errorf(ErrInvalidConfig, "flowset: no flows")
 	}
 	names := make(map[string]struct{}, len(flows))
 	for _, f := range flows {
@@ -67,12 +69,12 @@ func NewFlowSet(net Network, flows []*Flow) (*FlowSet, error) {
 			return nil, err
 		}
 		if _, dup := names[f.Name]; dup {
-			return nil, fmt.Errorf("flowset: duplicate flow name %q", f.Name)
+			return nil, Errorf(ErrInvalidConfig, "flowset: duplicate flow name %q", f.Name)
 		}
 		names[f.Name] = struct{}{}
 	}
 	if v := CheckAssumption1(flows); len(v) > 0 {
-		return nil, fmt.Errorf("flowset: assumption 1 violated (%d pairs), e.g. %s; apply EnforceAssumption1", len(v), v[0])
+		return nil, Errorf(ErrInvalidConfig, "flowset: assumption 1 violated (%d pairs), e.g. %s; apply EnforceAssumption1", len(v), v[0])
 	}
 	fs := &FlowSet{Net: net, Flows: flows}
 	fs.initDerived()
@@ -89,7 +91,7 @@ func NewFlowSetLax(net Network, flows []*Flow) (*FlowSet, error) {
 		return nil, err
 	}
 	if len(flows) == 0 {
-		return nil, fmt.Errorf("flowset: no flows")
+		return nil, Errorf(ErrInvalidConfig, "flowset: no flows")
 	}
 	for _, f := range flows {
 		if err := f.Validate(); err != nil {
@@ -234,19 +236,36 @@ func (fs *FlowSet) FlowsAt(h NodeID) []int {
 // Smin returns Smin^h_i: the minimum time for a packet of flow i to go
 // from its source to (its arrival at) node h — all processing on the
 // nodes before h plus Lmin per link, with no queueing. Smin at the
-// source node is 0.
-func (fs *FlowSet) Smin(i int, h NodeID) Time {
+// source node is 0. A node not on flow i's path is an ErrInvalidConfig
+// error — node arguments typically come straight from user input.
+// Hot-path callers that already hold a validated path index should use
+// SminAt instead.
+func (fs *FlowSet) Smin(i int, h NodeID) (Time, error) {
 	k, ok := fs.nodeIdx[i][h]
 	if !ok {
-		panic(fmt.Sprintf("model.Smin: node %d not on path of flow %q", h, fs.Flows[i].Name))
+		return 0, Errorf(ErrInvalidConfig, "model.Smin: node %d not on path of flow %q", h, fs.Flows[i].Name)
 	}
+	return fs.sminPre[i][k], nil
+}
+
+// SminAt returns Smin at the k-th node of flow i's path. The index must
+// be a valid path position (as produced by PathIndex or a path
+// iteration); out-of-range indexes panic via the slice bounds check —
+// a documented internal invariant, not a user-input condition.
+func (fs *FlowSet) SminAt(i, k int) Time {
 	return fs.sminPre[i][k]
 }
 
 // MinArrival is Smin plus the flow-i packet's processing at h: the
-// earliest completion at node h relative to release.
-func (fs *FlowSet) MinArrival(i int, h NodeID) Time {
-	return fs.Smin(i, h) + fs.Flows[i].CostAt(h)
+// earliest completion at node h relative to release. Like Smin it
+// reports ErrInvalidConfig for nodes off the flow's path.
+func (fs *FlowSet) MinArrival(i int, h NodeID) (Time, error) {
+	k, ok := fs.nodeIdx[i][h]
+	if !ok {
+		return 0, Errorf(ErrInvalidConfig, "model.MinArrival: node %d not on path of flow %q", h, fs.Flows[i].Name)
+	}
+	var sat bool
+	return AddSat(fs.sminPre[i][k], fs.Flows[i].Cost[k], &sat), nil
 }
 
 // M computes M^h_i from the paper's notation list:
@@ -261,13 +280,15 @@ func (fs *FlowSet) MinArrival(i int, h NodeID) Time {
 // an *earliest arrival* lower bound built from packets that actually
 // traverse h', the minimum here ranges over flows that visit h'.
 // The flow i itself always qualifies (first_{i,i} = first_{i,i}).
-func (fs *FlowSet) M(i int, h NodeID) Time {
+// A node not on flow i's path is an ErrInvalidConfig error.
+func (fs *FlowSet) M(i int, h NodeID) (Time, error) {
 	f := fs.Flows[i]
 	k, ok := fs.nodeIdx[i][h]
 	if !ok {
-		panic(fmt.Sprintf("model.M: node %d not on path of flow %q", h, f.Name))
+		return 0, Errorf(ErrInvalidConfig, "model.M: node %d not on path of flow %q", h, f.Name)
 	}
 	var s Time
+	var sat bool
 	for m := 0; m < k; m++ {
 		hp := f.Path[m]
 		minC := f.Cost[m] // flow i itself
@@ -283,9 +304,9 @@ func (fs *FlowSet) M(i int, h NodeID) Time {
 				minC = c
 			}
 		}
-		s += minC + fs.Net.Lmin
+		s = AddSat(s, AddSat(minC, fs.Net.Lmin, &sat), &sat)
 	}
-	return s
+	return s, nil
 }
 
 // MaxSameDirCost returns max over flows j with first_{j,i} = first_{i,j}

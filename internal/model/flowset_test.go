@@ -1,6 +1,7 @@
 package model
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -87,20 +88,28 @@ func TestSmin(t *testing.T) {
 		{1, 7, 10}, // τ2 at node 7 (via 9, 10)
 	}
 	for _, c := range cases {
-		if got := fs.Smin(c.flow, c.node); got != c.want {
-			t.Errorf("Smin(%d,%d) = %d, want %d", c.flow, c.node, got, c.want)
+		got, err := fs.Smin(c.flow, c.node)
+		if err != nil || got != c.want {
+			t.Errorf("Smin(%d,%d) = %d, %v, want %d", c.flow, c.node, got, err, c.want)
+		}
+		k := fs.PathIndex(c.flow, c.node)
+		if at := fs.SminAt(c.flow, k); at != c.want {
+			t.Errorf("SminAt(%d,%d) = %d, want %d", c.flow, k, at, c.want)
 		}
 	}
 }
 
-func TestSminPanicsOffPath(t *testing.T) {
+func TestSminErrorsOffPath(t *testing.T) {
 	fs := PaperExample()
-	defer func() {
-		if recover() == nil {
-			t.Error("Smin off-path did not panic")
-		}
-	}()
-	fs.Smin(0, 9)
+	if _, err := fs.Smin(0, 9); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("Smin off-path error = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := fs.M(0, 9); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("M off-path error = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := fs.MinArrival(0, 9); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("MinArrival off-path error = %v, want ErrInvalidConfig", err)
+	}
 }
 
 // TestM pins M^h_i on the example: every predecessor node contributes
@@ -119,8 +128,9 @@ func TestM(t *testing.T) {
 		{1, 10, 5},  // node 9
 	}
 	for _, c := range cases {
-		if got := fs.M(c.flow, c.node); got != c.want {
-			t.Errorf("M(%d,%d) = %d, want %d", c.flow, c.node, got, c.want)
+		got, err := fs.M(c.flow, c.node)
+		if err != nil || got != c.want {
+			t.Errorf("M(%d,%d) = %d, %v, want %d", c.flow, c.node, got, err, c.want)
 		}
 	}
 }
@@ -134,8 +144,8 @@ func TestMUsesOnlyVisitingFlows(t *testing.T) {
 	fs := MustNewFlowSet(UnitDelayNetwork(), []*Flow{fi, fj})
 	// M^3_i: node 1 contributes min over visitors of node 1 = 6 (only i),
 	// node 2 contributes min(6, 2) = 2; plus Lmin each.
-	if got := fs.M(0, 3); got != (6+1)+(2+1) {
-		t.Errorf("M = %d, want 10", got)
+	if got, err := fs.M(0, 3); err != nil || got != (6+1)+(2+1) {
+		t.Errorf("M = %d, %v, want 10", got, err)
 	}
 }
 
@@ -174,8 +184,8 @@ func TestUtilization(t *testing.T) {
 
 func TestMinArrival(t *testing.T) {
 	fs := PaperExample()
-	if got := fs.MinArrival(0, 3); got != 5+4 {
-		t.Errorf("MinArrival = %d", got)
+	if got, err := fs.MinArrival(0, 3); err != nil || got != 5+4 {
+		t.Errorf("MinArrival = %d, %v", got, err)
 	}
 }
 

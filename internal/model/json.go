@@ -2,7 +2,6 @@ package model
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 )
 
@@ -54,7 +53,7 @@ func ParseFlowSetWithOriginals(r io.Reader) (*FlowSet, []*Flow, error) {
 	dec.DisallowUnknownFields()
 	var cfg FlowSetConfig
 	if err := dec.Decode(&cfg); err != nil {
-		return nil, nil, fmt.Errorf("model: decoding flow set: %w", err)
+		return nil, nil, Errorf(ErrInvalidConfig, "model: decoding flow set: %w", err)
 	}
 	return cfg.BuildWithOriginals()
 }
@@ -73,7 +72,7 @@ func (cfg *FlowSetConfig) BuildWithOriginals() (*FlowSet, []*Flow, error) {
 	for i, fc := range cfg.Flows {
 		f, err := fc.build()
 		if err != nil {
-			return nil, nil, fmt.Errorf("model: flow %d: %w", i, err)
+			return nil, nil, Errorf(ErrInvalidConfig, "model: flow %d: %w", i, err)
 		}
 		flows = append(flows, f)
 	}
@@ -95,7 +94,7 @@ func (fc *FlowConfig) build() (*Flow, error) {
 	case "BE", "be":
 		class = ClassBE
 	default:
-		return nil, fmt.Errorf("unknown class %q", fc.Class)
+		return nil, Errorf(ErrInvalidConfig, "unknown class %q", fc.Class)
 	}
 	costs, err := parseCosts(fc.Cost, len(fc.Path))
 	if err != nil {
@@ -116,7 +115,7 @@ func (fc *FlowConfig) build() (*Flow, error) {
 
 func parseCosts(raw json.RawMessage, n int) ([]Time, error) {
 	if len(raw) == 0 {
-		return nil, fmt.Errorf("missing cost")
+		return nil, Errorf(ErrInvalidConfig, "missing cost")
 	}
 	var scalar Time
 	if err := json.Unmarshal(raw, &scalar); err == nil {
@@ -128,10 +127,10 @@ func parseCosts(raw json.RawMessage, n int) ([]Time, error) {
 	}
 	var list []Time
 	if err := json.Unmarshal(raw, &list); err != nil {
-		return nil, fmt.Errorf("cost must be a number or an array: %w", err)
+		return nil, Errorf(ErrInvalidConfig, "cost must be a number or an array: %w", err)
 	}
 	if len(list) != n {
-		return nil, fmt.Errorf("%d costs for %d path nodes", len(list), n)
+		return nil, Errorf(ErrInvalidConfig, "%d costs for %d path nodes", len(list), n)
 	}
 	return append([]Time(nil), list...), nil
 }

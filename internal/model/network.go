@@ -1,7 +1,5 @@
 package model
 
-import "fmt"
-
 // Network captures the paper's network model: links are FIFO and the
 // delay of a packet between two adjacent nodes lies in [Lmin, Lmax].
 // There are no failures and no packet losses.
@@ -12,13 +10,16 @@ type Network struct {
 	Lmax Time
 }
 
-// Validate checks 0 ≤ Lmin ≤ Lmax.
+// Validate checks 0 ≤ Lmin ≤ Lmax. Violations are ErrInvalidConfig.
 func (n Network) Validate() error {
 	if n.Lmin < 0 {
-		return fmt.Errorf("network: negative Lmin %d", n.Lmin)
+		return Errorf(ErrInvalidConfig, "network: negative Lmin %d", n.Lmin)
 	}
 	if n.Lmax < n.Lmin {
-		return fmt.Errorf("network: Lmax %d < Lmin %d", n.Lmax, n.Lmin)
+		return Errorf(ErrInvalidConfig, "network: Lmax %d < Lmin %d", n.Lmax, n.Lmin)
+	}
+	if IsUnbounded(n.Lmax) {
+		return Errorf(ErrInvalidConfig, "network: Lmax %d exceeds the representable time domain", n.Lmax)
 	}
 	return nil
 }

@@ -39,6 +39,11 @@ func MinTime(a, b Time) Time {
 
 // FloorDiv returns ⌊a/b⌋ for b > 0, rounding toward negative infinity
 // (Go's integer division truncates toward zero, which differs for a < 0).
+//
+// The panic on b ≤ 0 is a documented internal invariant: every divisor
+// on the analysis paths is a flow period, which Flow.Validate requires
+// to be positive. Callers dividing by unvetted values must use
+// FloorDivChecked instead.
 func FloorDiv(a, b Time) Time {
 	if b <= 0 {
 		panic(fmt.Sprintf("model.FloorDiv: non-positive divisor %d", b))

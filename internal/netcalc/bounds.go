@@ -1,7 +1,6 @@
 package netcalc
 
 import (
-	"fmt"
 	"math"
 
 	"trajan/internal/model"
@@ -163,7 +162,7 @@ func CharnyLeBoudec(fs *model.FlowSet) (*Result, error) {
 		}
 	}
 	if maxHops == 0 {
-		return nil, fmt.Errorf("netcalc: empty flow set")
+		return nil, model.Errorf(model.ErrInvalidConfig, "netcalc: empty flow set")
 	}
 	// Per node: ν_h and burst/packet terms; take the worst node.
 	var nu, burst, pkt float64

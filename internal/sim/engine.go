@@ -2,7 +2,7 @@ package sim
 
 import (
 	"container/heap"
-	"fmt"
+	"context"
 
 	"trajan/internal/model"
 )
@@ -42,6 +42,11 @@ type Config struct {
 	// RecordServices keeps the per-node service log needed to
 	// reconstruct busy periods (Figure 2); costs memory on long runs.
 	RecordServices bool
+	// MaxEvents caps the number of simulation events processed in one
+	// run (0 = unlimited). Exceeding the budget aborts the run with
+	// model.ErrCanceled — a defence against pathological scenarios whose
+	// event cascade would otherwise run unboundedly long.
+	MaxEvents int
 }
 
 // ServiceRecord is one completed service at a node.
@@ -179,6 +184,14 @@ func NewEngine(fs *model.FlowSet, cfg Config) *Engine {
 // Run executes one scenario to completion and returns the observations.
 // The scenario must be valid for the engine's flow set.
 func (e *Engine) Run(sc *Scenario) (*Result, error) {
+	return e.RunContext(context.Background(), sc)
+}
+
+// RunContext is Run with cancellation: the context is polled every few
+// hundred events, so a canceled context (or deadline) aborts a runaway
+// simulation promptly with model.ErrCanceled. Config.MaxEvents bounds
+// the run even without a context deadline.
+func (e *Engine) RunContext(ctx context.Context, sc *Scenario) (*Result, error) {
 	if err := sc.Validate(e.fs); err != nil {
 		return nil, err
 	}
@@ -253,14 +266,24 @@ func (e *Engine) Run(sc *Scenario) (*Result, error) {
 		}
 		touched = append(touched, n)
 	}
+	events := 0
 	for h.Len() > 0 {
 		now := h[0].at
 		touched = touched[:0]
 		for h.Len() > 0 && h[0].at == now {
+			events++
+			if events&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, model.Errorf(model.ErrCanceled, "sim: run canceled after %d events: %v", events, err)
+				}
+			}
+			if e.cfg.MaxEvents > 0 && events > e.cfg.MaxEvents {
+				return nil, model.Errorf(model.ErrCanceled, "sim: event budget of %d exhausted", e.cfg.MaxEvents)
+			}
 			ev := heap.Pop(&h).(event)
 			ns, ok := nodes[ev.node]
 			if !ok {
-				return nil, fmt.Errorf("sim: event for unknown node %d", ev.node)
+				return nil, model.Errorf(model.ErrInternal, "sim: event for unknown node %d", ev.node)
 			}
 			touch(ev.node)
 			switch ev.kind {

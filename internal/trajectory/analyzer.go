@@ -1,7 +1,7 @@
 package trajectory
 
 import (
-	"fmt"
+	"context"
 
 	"trajan/internal/model"
 )
@@ -27,6 +27,15 @@ type Result struct {
 	// bounds are then reported but flagged).
 	SmaxSweeps    int
 	SmaxConverged bool
+}
+
+// Unbounded reports whether flow i's bound saturated the time domain:
+// the analysis could not certify any finite response-time bound (it
+// reports model.TimeInfinity, never a clamped finite number). Such a
+// flow has no meaningful Details breakdown and is infeasible under any
+// finite deadline.
+func (r *Result) Unbounded(i int) bool {
+	return model.IsUnbounded(r.Bounds[i])
 }
 
 // FlowDetail explains one flow's bound.
@@ -77,13 +86,24 @@ func Analyze(fs *model.FlowSet, opt Options) (*Result, error) {
 	return a.Analyze()
 }
 
+// AnalyzeContext is Analyze with cancellation: a canceled context (or
+// deadline) aborts the analysis within one fixed-point sweep and
+// surfaces as model.ErrCanceled.
+func AnalyzeContext(ctx context.Context, fs *model.FlowSet, opt Options) (*Result, error) {
+	a, err := NewAnalyzer(fs, opt)
+	if err != nil {
+		return nil, err
+	}
+	return a.AnalyzeContext(ctx)
+}
+
 // AnalyzeFlow computes the bound of a single flow (index i) without
 // materializing the full result. The Smax table is still global, since
 // every flow's Smax feeds every other flow's A terms; use a shared
 // Analyzer to amortize it across calls.
 func AnalyzeFlow(fs *model.FlowSet, opt Options, i int) (model.Time, error) {
 	if i < 0 || i >= fs.N() {
-		return 0, fmt.Errorf("trajectory: flow index %d out of range [0,%d)", i, fs.N())
+		return 0, model.Errorf(model.ErrInvalidConfig, "trajectory: flow index %d out of range [0,%d)", i, fs.N())
 	}
 	a, err := NewAnalyzer(fs, opt)
 	if err != nil {

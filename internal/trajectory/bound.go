@@ -51,6 +51,11 @@ type boundCtx struct {
 	period model.Time
 	jitter model.Time
 	delta  model.Time
+	// sat is the sticky saturation flag threaded through every derived
+	// quantity above; bound() turns it (via the rTopSat guard) into the
+	// explicit Unbounded verdict. The flag expressions mirror the
+	// engine's viewCache exactly — see harden.go for why.
+	sat bool
 }
 
 // newBoundCtx prepares the per-view context: relations, A terms, the
@@ -62,8 +67,8 @@ func newBoundCtx(fs *model.FlowSet, opt Options, view pathView, smax smaxTable) 
 		period: f.Period,
 		jitter: f.Jitter,
 		clast:  view.cost[len(view.cost)-1],
-		delta:  opt.deltaForView(view.flow, len(view.path)),
 	}
+	c.delta = opt.deltaForView(view.flow, len(view.path), &c.sat)
 
 	for j, fj := range fs.Flows {
 		if j == view.flow {
@@ -84,8 +89,11 @@ func newBoundCtx(fs *model.FlowSet, opt Options, view pathView, smax smaxTable) 
 		return nil, err
 	}
 	c.chooseSlow()
-	c.fixed = c.maxSum - c.clast +
-		model.Time(len(c.view.path)-1)*fs.Net.Lmax + c.delta
+	c.fixed = model.AddSat(
+		model.AddSat(
+			model.SubSat(c.maxSum, c.clast, &c.sat),
+			model.MulSat(model.Time(len(c.view.path)-1), fs.Net.Lmax, &c.sat), &c.sat),
+		c.delta, &c.sat)
 	return c, nil
 }
 
@@ -96,6 +104,10 @@ func newBoundCtx(fs *model.FlowSet, opt Options, view pathView, smax smaxTable) 
 //
 // It is the length, beyond t, of the generation window over which
 // packets of τj can reach the analysed packet's busy-period chain.
+// The saturating expression tree (aConst first, then the Smax terms) is
+// the engine's exactly: engine.buildView folds aConst at build time and
+// reconstitutes A per sweep, so the two paths must set the sticky flag
+// from identical operand sequences to stay bit-identical.
 func (c *boundCtx) offsetA(rel model.PathRelation, j int) (model.Time, error) {
 	fj := c.fs.Flows[j]
 	smaxIAtFJI, err := c.smax.at(c.fs, c.view.flow, rel.FirstJI)
@@ -106,9 +118,11 @@ func (c *boundCtx) offsetA(rel model.PathRelation, j int) (model.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	sminJ := c.fs.Smin(j, rel.FirstJI)
+	// first_{j,i} lies on Pj by construction of the path relation.
+	sminJ := c.fs.SminAt(j, c.fs.PathIndex(j, rel.FirstJI))
 	m := c.mTerm(rel.FirstIJ)
-	return smaxIAtFJI - sminJ - m + smaxJAtFIJ + fj.Jitter, nil
+	aConst := model.SubSat(model.SubSat(fj.Jitter, sminJ, &c.sat), m, &c.sat)
+	return model.AddSat(model.AddSat(smaxIAtFJI, smaxJAtFIJ, &c.sat), aConst, &c.sat), nil
 }
 
 // mTerm computes M^h_i relative to the analysed (possibly prefix) path:
@@ -117,6 +131,8 @@ func (c *boundCtx) offsetA(rel model.PathRelation, j int) (model.Time, error) {
 func (c *boundCtx) mTerm(h model.NodeID) model.Time {
 	k := c.view.path.Index(h)
 	if k < 0 {
+		// Internal invariant: h is first_{i,j} of an intersecting
+		// relation, which lies on the analysed path by construction.
 		panic(fmt.Sprintf("trajectory: M node %d not on analysed path", h))
 	}
 	var s model.Time
@@ -131,42 +147,28 @@ func (c *boundCtx) mTerm(h model.NodeID) model.Time {
 				minC = cc
 			}
 		}
-		s += minC + c.fs.Net.Lmin
+		s = model.AddSat(s, model.AddSat(minC, c.fs.Net.Lmin, &c.sat), &c.sat)
 	}
 	return s
 }
 
-// computeBslow solves the paper's busy-period equation
-//
-//	Bslow_i = Σ_{j} ⌈Bslow_i/Tj⌉ · C^{slow_{j,i}}_j
-//
-// (the flow itself included) by fixed-point iteration from the one-
-// packet-per-flow floor. Divergence past the horizon means the slowest
-// node is overloaded.
+// computeBslow solves the busy-period equation through the shared
+// bslowFixpoint (harden.go), so divergence and overflow verdicts match
+// the engine's exactly.
 func (c *boundCtx) computeBslow() error {
 	_, selfSlow := slowOfView(c.view)
-	b := selfSlow
-	for _, in := range c.inter {
-		b += in.rel.CSlowJI
+	periods := make([]model.Time, len(c.inter))
+	charges := make([]model.Time, len(c.inter))
+	for x, in := range c.inter {
+		periods[x] = c.fs.Flows[in.j].Period
+		charges[x] = in.rel.CSlowJI
 	}
-	horizon := c.opt.horizon()
-	for iter := 0; iter < c.opt.maxIterations(); iter++ {
-		nb := model.CeilDiv(b, c.period) * selfSlow
-		for _, in := range c.inter {
-			nb += model.CeilDiv(b, c.fs.Flows[in.j].Period) * in.rel.CSlowJI
-		}
-		if nb == b {
-			c.bslow = b
-			return nil
-		}
-		if nb > horizon {
-			return fmt.Errorf("trajectory: busy period of flow %q diverges past horizon %d (slowest-node utilization ≥ 1)",
-				c.fs.Flows[c.view.flow].Name, horizon)
-		}
-		b = nb
+	b, err := bslowFixpoint(c.fs.Flows[c.view.flow].Name, c.opt, c.period, selfSlow, periods, charges)
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("trajectory: busy period of flow %q did not converge in %d iterations",
-		c.fs.Flows[c.view.flow].Name, c.opt.maxIterations())
+	c.bslow = b
+	return nil
 }
 
 // slowOfView returns a maximal-cost node of the view and its cost.
@@ -202,7 +204,7 @@ func (c *boundCtx) chooseSlow() {
 			}
 		}
 		sameDirMax[k] = mx
-		total += mx
+		total = model.AddSat(total, mx, &c.sat)
 	}
 
 	bestK := -1
@@ -215,7 +217,7 @@ func (c *boundCtx) chooseSlow() {
 		}
 	}
 	c.slow = c.view.path[bestK]
-	c.maxSum = total - sameDirMax[bestK]
+	c.maxSum = model.SubSat(total, sameDirMax[bestK], &c.sat)
 }
 
 // latestStart evaluates W^{last}_{i,t} for the analysed view at release
@@ -275,8 +277,27 @@ func (c *boundCtx) criticalInstants() []model.Time {
 }
 
 // bound computes the view's worst-case end-to-end response-time bound
-// (Property 2 / 3) and the release time attaining it.
+// (Property 2 / 3) and the release time attaining it. It first runs the
+// saturating rTopSat guard over the scan's upper envelope: if any input
+// or the envelope itself saturated, the bound is the explicit Unbounded
+// verdict (TimeInfinity, critical t 0); otherwise every quantity the
+// scan touches is inside the exact int64 range and the original
+// unchecked arithmetic below is provably wrap-free.
 func (c *boundCtx) bound() (model.Time, model.Time) {
+	lo := -c.jitter
+	hi := lo + c.bslow
+	as := make([]model.Time, len(c.inter))
+	iperiods := make([]model.Time, len(c.inter))
+	icharges := make([]model.Time, len(c.inter))
+	for x, in := range c.inter {
+		as[x] = in.a
+		iperiods[x] = c.fs.Flows[in.j].Period
+		icharges[x] = in.rel.CSlowJI
+	}
+	if _, saturated := rTopSat(c.opt, c.sat, c.fixed, c.jitter, c.period, c.cslow, c.clast,
+		lo, hi, as, iperiods, icharges); saturated {
+		return model.TimeInfinity, 0
+	}
 	var bestR, bestT model.Time
 	first := true
 	for _, t := range c.criticalInstants() {

@@ -1,7 +1,8 @@
 package trajectory
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -63,12 +64,12 @@ type Analyzer struct {
 func NewAnalyzer(fs *model.FlowSet, opt Options) (*Analyzer, error) {
 	if opt.NonPreemption != nil {
 		if len(opt.NonPreemption) != fs.N() {
-			return nil, fmt.Errorf("trajectory: %d non-preemption vectors for %d flows",
+			return nil, model.Errorf(model.ErrInvalidConfig, "trajectory: %d non-preemption vectors for %d flows",
 				len(opt.NonPreemption), fs.N())
 		}
 		for i, v := range opt.NonPreemption {
 			if v != nil && len(v) != len(fs.Flows[i].Path) {
-				return nil, fmt.Errorf("trajectory: flow %q has %d non-preemption terms for %d nodes",
+				return nil, model.Errorf(model.ErrInvalidConfig, "trajectory: flow %q has %d non-preemption terms for %d nodes",
 					fs.Flows[i].Name, len(v), len(fs.Flows[i].Path))
 			}
 		}
@@ -94,7 +95,21 @@ func NewAnalyzer(fs *model.FlowSet, opt Options) (*Analyzer, error) {
 // and the cached views; each call returns a fresh Result the caller may
 // mutate.
 func (a *Analyzer) Analyze() (*Result, error) {
-	if err := a.ensureSmax(); err != nil {
+	return a.AnalyzeContext(context.Background())
+}
+
+// AnalyzeContext is Analyze with cancellation: the context is checked
+// at the top of every fixed-point sweep and by every sweep worker
+// before it claims a job, so cancellation surfaces as ErrCanceled
+// within one sweep. A contained panic anywhere in the analysis comes
+// back as ErrInternal, never as a crash of the caller.
+func (a *Analyzer) AnalyzeContext(ctx context.Context) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, model.Errorf(model.ErrInternal, "trajectory: internal panic in Analyze: %v", p)
+		}
+	}()
+	if err := a.ensureSmax(ctx); err != nil {
 		return nil, err
 	}
 	fs := a.fs
@@ -102,7 +117,7 @@ func (a *Analyzer) Analyze() (*Result, error) {
 	for i := range a.smax {
 		arrival[i] = append([]model.Time(nil), a.smax[i]...)
 	}
-	res := &Result{
+	res = &Result{
 		Bounds:        make([]model.Time, fs.N()),
 		Jitters:       make([]model.Time, fs.N()),
 		Details:       make([]FlowDetail, fs.N()),
@@ -111,13 +126,20 @@ func (a *Analyzer) Analyze() (*Result, error) {
 		SmaxConverged: a.converged,
 	}
 	for i := range fs.Flows {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		vc, err := a.fullCache(i)
 		if err != nil {
 			return nil, err
 		}
-		r, tStar := vc.eval(a.opt, a.smax, &a.scratch)
+		r, tStar, err := a.safeEval(vc, a.smax, &a.scratch)
+		if err != nil {
+			return nil, err
+		}
 		res.Bounds[i] = r
-		res.Jitters[i] = r - fs.Flows[i].MinTraversal(fs.Net.Lmin)
+		var jsat bool
+		res.Jitters[i] = model.SubSat(r, fs.Flows[i].MinTraversal(fs.Net.Lmin), &jsat)
 		d := FlowDetail{
 			Flow:      i,
 			Bound:     r,
@@ -127,19 +149,24 @@ func (a *Analyzer) Analyze() (*Result, error) {
 			MaxSum:    vc.maxSum,
 			Delta:     vc.delta,
 		}
-		if len(vc.inter) > 0 {
-			d.Interference = make([]InterferenceTerm, 0, len(vc.inter))
-		}
-		for x := range vc.inter {
-			in := &vc.inter[x]
-			aOff := a.smax[i][in.iIdx] + a.smax[in.j][in.jIdx] + in.aConst
-			d.Interference = append(d.Interference, InterferenceTerm{
-				Flow:          in.j,
-				A:             aOff,
-				Packets:       a.opt.count(tStar+aOff, fs.Flows[in.j].Period),
-				CSlow:         in.csj,
-				SameDirection: in.sameDir,
-			})
+		// An unbounded verdict has no meaningful critical instant or
+		// per-interferer breakdown: the A offsets may themselves be
+		// saturated, so the Interference terms are skipped.
+		if r < model.TimeInfinity {
+			if len(vc.inter) > 0 {
+				d.Interference = make([]InterferenceTerm, 0, len(vc.inter))
+			}
+			for x := range vc.inter {
+				in := &vc.inter[x]
+				aOff := a.smax[i][in.iIdx] + a.smax[in.j][in.jIdx] + in.aConst
+				d.Interference = append(d.Interference, InterferenceTerm{
+					Flow:          in.j,
+					A:             aOff,
+					Packets:       a.opt.count(tStar+aOff, fs.Flows[in.j].Period),
+					CSlow:         in.csj,
+					SameDirection: in.sameDir,
+				})
+			}
 		}
 		res.Details[i] = d
 	}
@@ -151,57 +178,110 @@ func (a *Analyzer) Analyze() (*Result, error) {
 // the converged table — the amortized entry point for admission
 // control.
 func (a *Analyzer) AnalyzeFlow(i int) (model.Time, error) {
+	return a.AnalyzeFlowContext(context.Background(), i)
+}
+
+// AnalyzeFlowContext is AnalyzeFlow with cancellation and panic
+// containment (see AnalyzeContext).
+func (a *Analyzer) AnalyzeFlowContext(ctx context.Context, i int) (r model.Time, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = 0, model.Errorf(model.ErrInternal, "trajectory: internal panic in AnalyzeFlow: %v", p)
+		}
+	}()
 	if i < 0 || i >= a.fs.N() {
-		return 0, fmt.Errorf("trajectory: flow index %d out of range [0,%d)", i, a.fs.N())
+		return 0, model.Errorf(model.ErrInvalidConfig, "trajectory: flow index %d out of range [0,%d)", i, a.fs.N())
 	}
-	if err := a.ensureSmax(); err != nil {
+	if err := a.ensureSmax(ctx); err != nil {
 		return 0, err
 	}
 	vc, err := a.fullCache(i)
 	if err != nil {
 		return 0, err
 	}
-	r, _ := vc.eval(a.opt, a.smax, &a.scratch)
-	return r, nil
+	r, _, err = a.safeEval(vc, a.smax, &a.scratch)
+	return r, err
 }
 
 // Bounds returns every flow's bound without materializing Details —
 // the cheap path for feasibility checks.
 func (a *Analyzer) Bounds() ([]model.Time, error) {
-	if err := a.ensureSmax(); err != nil {
+	return a.BoundsContext(context.Background())
+}
+
+// BoundsContext is Bounds with cancellation and panic containment (see
+// AnalyzeContext).
+func (a *Analyzer) BoundsContext(ctx context.Context) (out []model.Time, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, model.Errorf(model.ErrInternal, "trajectory: internal panic in Bounds: %v", p)
+		}
+	}()
+	if err := a.ensureSmax(ctx); err != nil {
 		return nil, err
 	}
-	out := make([]model.Time, a.fs.N())
+	out = make([]model.Time, a.fs.N())
 	for i := range a.fs.Flows {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		vc, err := a.fullCache(i)
 		if err != nil {
 			return nil, err
 		}
-		out[i], _ = vc.eval(a.opt, a.smax, &a.scratch)
+		out[i], _, err = a.safeEval(vc, a.smax, &a.scratch)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
 
 // ensureSmax runs the configured Smax estimator once and caches the
-// converged table (or the error) for all later queries.
-func (a *Analyzer) ensureSmax() error {
+// converged table (or the error) for all later queries — EXCEPT a
+// cancellation: ErrCanceled reflects the caller's context, not the
+// flow set, so it is returned without being latched and a later call
+// with a live context recomputes from scratch.
+func (a *Analyzer) ensureSmax(ctx context.Context) error {
 	if a.smaxDone {
 		return a.smaxErr
 	}
-	a.smaxDone = true
+	var err error
 	switch a.opt.Smax {
 	case SmaxNoQueue:
 		t := newSmaxTable(a.fs)
 		t.fillNoQueue(a.fs)
 		a.smax, a.sweeps, a.converged = t, 0, true
 	case SmaxPrefixFixpoint:
-		a.smax, a.sweeps, a.converged, a.smaxErr = a.enginePrefixFixpoint()
+		a.smax, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx)
 	case SmaxGlobalTail:
-		a.smax, a.sweeps, a.converged, a.smaxErr = a.engineGlobalTail()
+		a.smax, a.sweeps, a.converged, err = a.engineGlobalTail(ctx)
 	default:
-		a.smaxErr = fmt.Errorf("trajectory: unknown Smax mode %d", a.opt.Smax)
+		err = model.Errorf(model.ErrInvalidConfig, "trajectory: unknown Smax mode %d", a.opt.Smax)
 	}
-	return a.smaxErr
+	if errors.Is(err, model.ErrCanceled) {
+		a.smax = nil
+		return err
+	}
+	a.smaxDone = true
+	a.smaxErr = err
+	return err
+}
+
+// safeEval evaluates a cached view with panic containment: a panic in
+// the scan (a broken internal invariant) comes back as ErrInternal
+// identifying the view, instead of unwinding into the caller.
+func (a *Analyzer) safeEval(vc *viewCache, smax smaxTable, sc *evalScratch) (r, tStar model.Time, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, tStar, err = 0, 0, internalPanicError(vc.flow, vc.plen, p)
+		}
+	}()
+	if testPanicHook != nil {
+		testPanicHook(vc.flow, vc.plen)
+	}
+	r, tStar = vc.eval(a.opt, smax, sc)
+	return r, tStar, nil
 }
 
 // fullCache returns (building on first use) the cached context of flow
@@ -269,6 +349,14 @@ type viewCache struct {
 	period model.Time
 	jitter model.Time
 	delta  model.Time
+	// iperiods/icharges are the interferer periods and charges packed
+	// for the rTopSat saturation guard.
+	iperiods []model.Time
+	icharges []model.Time
+	// sat is the sticky saturation flag of the build-time constants; the
+	// flag expressions mirror boundCtx's exactly (see harden.go). eval
+	// seeds its per-sweep flag from it.
+	sat bool
 }
 
 // buildView precomputes the cached context for flow i's view of length
@@ -286,8 +374,8 @@ func (a *Analyzer) buildView(i, plen int) (*viewCache, error) {
 		period: f.Period,
 		jitter: f.Jitter,
 		clast:  cost[plen-1],
-		delta:  a.opt.deltaForView(i, plen),
 	}
+	vc.delta = a.opt.deltaForView(i, plen, &vc.sat)
 	for j := range fs.Flows {
 		if j == i {
 			continue
@@ -300,15 +388,19 @@ func (a *Analyzer) buildView(i, plen int) (*viewCache, error) {
 		iIdx := fs.PathIndex(i, rel.FirstJI)
 		jIdx := fs.PathIndex(j, rel.FirstIJ)
 		m := vc.mTermAt(fs, path, cost, fs.PathIndex(i, rel.FirstIJ))
+		// first_{j,i} lies on Pj by construction of the path relation.
+		sminJ := fs.SminAt(j, fs.PathIndex(j, rel.FirstJI))
 		vc.inter = append(vc.inter, cachedInterferer{
 			j:       j,
 			iIdx:    iIdx,
 			jIdx:    jIdx,
 			csj:     rel.CSlowJI,
 			period:  fj.Period,
-			aConst:  fj.Jitter - fs.Smin(j, rel.FirstJI) - m,
+			aConst:  model.SubSat(model.SubSat(fj.Jitter, sminJ, &vc.sat), m, &vc.sat),
 			sameDir: rel.SameDirection,
 		})
+		vc.iperiods = append(vc.iperiods, fj.Period)
+		vc.icharges = append(vc.icharges, rel.CSlowJI)
 		a.addRead(vc, i, iIdx)
 		a.addRead(vc, j, jIdx)
 	}
@@ -316,8 +408,11 @@ func (a *Analyzer) buildView(i, plen int) (*viewCache, error) {
 		return nil, err
 	}
 	a.chooseSlow(vc, path, cost)
-	vc.fixed = vc.maxSum - vc.clast +
-		model.Time(plen-1)*fs.Net.Lmax + vc.delta
+	vc.fixed = model.AddSat(
+		model.AddSat(
+			model.SubSat(vc.maxSum, vc.clast, &vc.sat),
+			model.MulSat(model.Time(plen-1), fs.Net.Lmax, &vc.sat), &vc.sat),
+		vc.delta, &vc.sat)
 	return vc, nil
 }
 
@@ -349,37 +444,21 @@ func (vc *viewCache) mTermAt(fs *model.FlowSet, path model.Path, cost []model.Ti
 				minC = cc
 			}
 		}
-		s += minC + fs.Net.Lmin
+		s = model.AddSat(s, model.AddSat(minC, fs.Net.Lmin, &vc.sat), &vc.sat)
 	}
 	return s
 }
 
-// computeBslow solves the busy-period equation exactly as
-// boundCtx.computeBslow, from the cached per-interferer charges.
+// computeBslow solves the busy-period equation through the shared
+// bslowFixpoint (harden.go), so divergence and overflow verdicts match
+// the reference path's exactly.
 func (vc *viewCache) computeBslow(fs *model.FlowSet, opt Options) error {
-	selfSlow := vc.maxCost(fs)
-	b := selfSlow
-	for x := range vc.inter {
-		b += vc.inter[x].csj
+	b, err := bslowFixpoint(fs.Flows[vc.flow].Name, opt, vc.period, vc.maxCost(fs), vc.iperiods, vc.icharges)
+	if err != nil {
+		return err
 	}
-	horizon := opt.horizon()
-	for iter := 0; iter < opt.maxIterations(); iter++ {
-		nb := model.CeilDiv(b, vc.period) * selfSlow
-		for x := range vc.inter {
-			nb += model.CeilDiv(b, vc.inter[x].period) * vc.inter[x].csj
-		}
-		if nb == b {
-			vc.bslow = b
-			return nil
-		}
-		if nb > horizon {
-			return fmt.Errorf("trajectory: busy period of flow %q diverges past horizon %d (slowest-node utilization ≥ 1)",
-				fs.Flows[vc.flow].Name, horizon)
-		}
-		b = nb
-	}
-	return fmt.Errorf("trajectory: busy period of flow %q did not converge in %d iterations",
-		fs.Flows[vc.flow].Name, opt.maxIterations())
+	vc.bslow = b
+	return nil
 }
 
 // maxCost returns the view's maximal per-node cost (C^{slow_i}_i).
@@ -416,7 +495,7 @@ func (a *Analyzer) chooseSlow(vc *viewCache, path model.Path, cost []model.Time)
 			}
 		}
 		sameDirMax[k] = mx
-		total += mx
+		total = model.AddSat(total, mx, &vc.sat)
 	}
 
 	bestK := -1
@@ -429,7 +508,7 @@ func (a *Analyzer) chooseSlow(vc *viewCache, path model.Path, cost []model.Time)
 		}
 	}
 	vc.slow = path[bestK]
-	vc.maxSum = total - sameDirMax[bestK]
+	vc.maxSum = model.SubSat(total, sameDirMax[bestK], &vc.sat)
 }
 
 // evalScratch holds the per-evaluation buffers: the reconstituted A
@@ -464,12 +543,21 @@ func (vc *viewCache) eval(opt Options, smax smaxTable, sc *evalScratch) (model.T
 	ni := len(vc.inter)
 	as := growTimes(sc.as, ni)
 	sc.as = as
+	// The A reconstitution mirrors boundCtx.offsetA's expression tree,
+	// seeding the sticky flag from the build-time constants; the rTopSat
+	// guard below turns any saturation into the Unbounded verdict before
+	// the exact (unchecked) scan runs.
+	sat := vc.sat
 	for x := range vc.inter {
 		in := &vc.inter[x]
-		as[x] = smax[vc.flow][in.iIdx] + smax[in.j][in.jIdx] + in.aConst
+		as[x] = model.AddSat(model.AddSat(smax[vc.flow][in.iIdx], smax[in.j][in.jIdx], &sat), in.aConst, &sat)
 	}
 
 	lo := -vc.jitter
+	if _, saturated := rTopSat(opt, sat, vc.fixed, vc.jitter, vc.period, vc.cslow, vc.clast,
+		lo, lo+vc.bslow, as, vc.iperiods, vc.icharges); saturated {
+		return model.TimeInfinity, 0
+	}
 	w := vc.fixed + opt.count(lo+vc.jitter, vc.period)*vc.cslow
 	for x := range vc.inter {
 		w += opt.count(lo+as[x], vc.inter[x].period) * vc.inter[x].csj
@@ -541,23 +629,33 @@ type engineJob struct {
 
 // runJobs evaluates the jobs against an immutable Smax table, fanning
 // out across Options.workers() goroutines with per-worker scratches.
-// Cached evaluations cannot fail (divergence is caught at build time),
-// so there is no error path.
-func (a *Analyzer) runJobs(jobs []engineJob, smax smaxTable) {
+// Every worker checks the context before claiming a job (so a
+// cancellation drains the pool within one sweep) and evaluates through
+// safeEval, which contains panics as ErrInternal. All goroutines are
+// always joined before returning — a failure leaks nothing. The first
+// error (by job order) is returned.
+func (a *Analyzer) runJobs(ctx context.Context, jobs []engineJob, smax smaxTable) error {
 	workers := a.opt.workers()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
 		for k := range jobs {
-			r, _ := jobs[k].vc.eval(a.opt, smax, &a.scratch)
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			r, _, err := a.safeEval(jobs[k].vc, smax, &a.scratch)
+			if err != nil {
+				return err
+			}
 			*jobs[k].dst = r
 		}
-		return
+		return nil
 	}
 	if len(a.wscratch) < workers {
 		a.wscratch = make([]evalScratch, workers)
 	}
+	errs := make([]error, len(jobs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -566,16 +664,32 @@ func (a *Analyzer) runJobs(jobs []engineJob, smax smaxTable) {
 			defer wg.Done()
 			sc := &a.wscratch[w]
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				k := next.Add(1) - 1
 				if k >= int64(len(jobs)) {
 					return
 				}
-				r, _ := jobs[k].vc.eval(a.opt, smax, sc)
+				r, _, err := a.safeEval(jobs[k].vc, smax, sc)
+				if err != nil {
+					errs[k] = err
+					continue
+				}
 				*jobs[k].dst = r
 			}
 		}(w)
 	}
 	wg.Wait()
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	for k := range errs {
+		if errs[k] != nil {
+			return errs[k]
+		}
+	}
+	return nil
 }
 
 // buildReverse maps every Smax entry id to the positions (in views) of
@@ -611,7 +725,7 @@ func (a *Analyzer) buildReverse(views []*viewCache) [][]int {
 // table in place. The fixed point is identical to the reference's —
 // a clean slot's bound is a pure function of its unchanged inputs, so
 // skipping it cannot alter any iterate.
-func (a *Analyzer) enginePrefixFixpoint() (smaxTable, int, bool, error) {
+func (a *Analyzer) enginePrefixFixpoint(ctx context.Context) (smaxTable, int, bool, error) {
 	fs, opt := a.fs, a.opt
 	t := newSmaxTable(fs)
 	t.fillNoQueue(fs)
@@ -649,13 +763,18 @@ func (a *Analyzer) enginePrefixFixpoint() (smaxTable, int, bool, error) {
 	changed := make([]int, 0, a.nEntries)
 
 	for sweep := 1; sweep <= opt.maxIterations(); sweep++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, sweep, false, err
+		}
 		jobs = jobs[:0]
 		for m := range slots {
 			if dirty[m] {
 				jobs = append(jobs, engineJob{slots[m].vc, &results[m]})
 			}
 		}
-		a.runJobs(jobs, t)
+		if err := a.runJobs(ctx, jobs, t); err != nil {
+			return nil, sweep, false, err
+		}
 		changed = changed[:0]
 		for m := range slots {
 			if !dirty[m] {
@@ -664,10 +783,16 @@ func (a *Analyzer) enginePrefixFixpoint() (smaxTable, int, bool, error) {
 			sl := &slots[m]
 			// The prefix bound is measured from generation time, so it
 			// already covers the release jitter window; arrival at the
-			// next node adds one link.
+			// next node adds one link. results[m] ≤ TimeInfinity and
+			// Lmax < 2^60, so the raw sum is exact.
 			v := results[m] + fs.Net.Lmax
+			if model.IsUnbounded(v) {
+				return nil, sweep, false, model.Errorf(model.ErrOverflow,
+					"trajectory: Smax prefix fixpoint overflows the time domain for flow %q node %d",
+					fs.Flows[sl.i].Name, fs.Flows[sl.i].Path[sl.k])
+			}
 			if v > horizon {
-				return nil, sweep, false, fmt.Errorf(
+				return nil, sweep, false, model.Errorf(model.ErrUnstable,
 					"trajectory: Smax prefix fixpoint diverges past horizon for flow %q node %d",
 					fs.Flows[sl.i].Name, fs.Flows[sl.i].Path[sl.k])
 			}
@@ -701,17 +826,18 @@ func (a *Analyzer) enginePrefixFixpoint() (smaxTable, int, bool, error) {
 // fillFromBounds changed one of the Smax entries it reads (clean views
 // keep the previous sweep's bound, which is exact for unchanged
 // inputs).
-func (a *Analyzer) engineGlobalTail() (smaxTable, int, bool, error) {
+func (a *Analyzer) engineGlobalTail(ctx context.Context) (smaxTable, int, bool, error) {
 	fs, opt := a.fs, a.opt
 	bounds := append([]model.Time(nil), opt.SeedBounds...)
 	if bounds == nil {
 		var err error
-		bounds, err = BusyPeriodSeed(fs, opt)
+		bounds, err = busyPeriodSeed(ctx, fs, opt)
 		if err != nil {
 			return nil, 0, false, err
 		}
 	} else if len(bounds) != fs.N() {
-		return nil, 0, false, fmt.Errorf("trajectory: %d seed bounds for %d flows", len(bounds), fs.N())
+		return nil, 0, false, model.Errorf(model.ErrInvalidConfig,
+			"trajectory: %d seed bounds for %d flows", len(bounds), fs.N())
 	}
 
 	views := make([]*viewCache, fs.N())
@@ -735,6 +861,9 @@ func (a *Analyzer) engineGlobalTail() (smaxTable, int, bool, error) {
 	}
 
 	for sweep := 1; sweep <= opt.maxIterations(); sweep++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, sweep, false, err
+		}
 		t.fillFromBounds(fs, bounds)
 		if sweep > 1 {
 			for m := range dirty {
@@ -760,7 +889,9 @@ func (a *Analyzer) engineGlobalTail() (smaxTable, int, bool, error) {
 				jobs = append(jobs, engineJob{views[m], &next[m]})
 			}
 		}
-		a.runJobs(jobs, t)
+		if err := a.runJobs(ctx, jobs, t); err != nil {
+			return nil, sweep, false, err
+		}
 		for i, r := range next {
 			if r < best[i] {
 				best[i] = r

@@ -14,11 +14,21 @@ import (
 // paper's formulas.
 func (r *Result) Explain(fs *model.FlowSet, i int) (string, error) {
 	if i < 0 || i >= len(r.Details) {
-		return "", fmt.Errorf("trajectory: no detail for flow %d", i)
+		return "", model.Errorf(model.ErrInvalidConfig, "trajectory: no detail for flow %d", i)
 	}
 	d := r.Details[i]
 	f := fs.Flows[i]
 	var b strings.Builder
+
+	// An Unbounded verdict has no meaningful term breakdown (the A
+	// offsets and the self term may themselves be saturated); say so
+	// instead of deriving arithmetic from rail values.
+	if r.Unbounded(i) {
+		fmt.Fprintf(&b, "R(%s) = UNBOUNDED  (deadline %d)\n", f.Name, f.Deadline)
+		fmt.Fprintf(&b, "  path %v, T=%d, J=%d\n", f.Path, f.Period, f.Jitter)
+		b.WriteString("  the bound saturated the time domain: no finite response-time bound is certified\n")
+		return b.String(), nil
+	}
 
 	fmt.Fprintf(&b, "R(%s) = %d  (deadline %d, end-to-end jitter %d)\n",
 		f.Name, d.Bound, f.Deadline, r.Jitters[i])

@@ -148,18 +148,24 @@ func (o Options) horizon() model.Time {
 	if o.Horizon <= 0 {
 		return 1 << 40
 	}
+	// Clamp to the saturation rail: a horizon at TimeInfinity means "never
+	// abort on divergence", letting saturated quantities degrade to
+	// explicit Unbounded verdicts (or ErrOverflow) instead of ErrUnstable.
+	if o.Horizon > model.TimeInfinity {
+		return model.TimeInfinity
+	}
 	return o.Horizon
 }
 
 // deltaForView sums the non-preemption blocking over the nodes of a
-// (possibly prefix) path view of flow i.
-func (o Options) deltaForView(i, pathLen int) model.Time {
+// (possibly prefix) path view of flow i, saturating at TimeInfinity.
+func (o Options) deltaForView(i, pathLen int, sat *bool) model.Time {
 	if o.NonPreemption == nil {
 		return 0
 	}
 	var s model.Time
 	for k := 0; k < pathLen && k < len(o.NonPreemption[i]); k++ {
-		s += o.NonPreemption[i][k]
+		s = model.AddSat(s, o.NonPreemption[i][k], sat)
 	}
 	return s
 }
@@ -173,4 +179,13 @@ func (o Options) count(win, period model.Time) model.Time {
 		win--
 	}
 	return model.OnePlusFloorPos(win, period)
+}
+
+// countSat is the saturating variant of count, used by the scan guard
+// (and only there — a guard-cleared scan runs the exact operator).
+func (o Options) countSat(win, period model.Time, sat *bool) model.Time {
+	if o.StrictWindow {
+		win = model.SubSat(win, 1, sat)
+	}
+	return model.OnePlusFloorPosSat(win, period, sat)
 }

@@ -14,10 +14,27 @@ type viewJob struct {
 	err error
 }
 
+// safeBoundForView is boundForView with panic containment: a panic in
+// a worker (a broken internal invariant) becomes ErrInternal instead of
+// crashing the whole process — essential because a panicking goroutine
+// cannot be recovered by the caller.
+func safeBoundForView(fs *model.FlowSet, opt Options, view pathView, smax smaxTable) (r model.Time, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = 0, internalPanicError(view.flow, len(view.path), p)
+		}
+	}()
+	if testPanicHook != nil {
+		testPanicHook(view.flow, len(view.path))
+	}
+	return boundForView(fs, opt, view, smax)
+}
+
 // runViews evaluates the jobs against an immutable Smax table, fanning
 // out across Options.workers() goroutines. Each job writes only its
 // own slot, so the result is identical to serial execution; the first
-// error (by job order) is returned.
+// error (by job order) is returned. All goroutines are joined before
+// returning, whether or not a job failed.
 func runViews(fs *model.FlowSet, opt Options, smax smaxTable, jobs []viewJob) error {
 	workers := opt.workers()
 	if workers > len(jobs) {
@@ -25,7 +42,7 @@ func runViews(fs *model.FlowSet, opt Options, smax smaxTable, jobs []viewJob) er
 	}
 	if workers <= 1 {
 		for k := range jobs {
-			r, err := boundForView(fs, opt, jobs[k].view, smax)
+			r, err := safeBoundForView(fs, opt, jobs[k].view, smax)
 			if err != nil {
 				return err
 			}
@@ -46,7 +63,7 @@ func runViews(fs *model.FlowSet, opt Options, smax smaxTable, jobs []viewJob) er
 		go func() {
 			defer wg.Done()
 			for k := range next {
-				r, err := boundForView(fs, opt, jobs[k].view, smax)
+				r, err := safeBoundForView(fs, opt, jobs[k].view, smax)
 				if err != nil {
 					jobs[k].err = err
 					continue

@@ -1,8 +1,6 @@
 package trajectory
 
 import (
-	"fmt"
-
 	"trajan/internal/model"
 )
 
@@ -23,12 +21,12 @@ import (
 func referenceAnalyze(fs *model.FlowSet, opt Options) (*Result, error) {
 	if opt.NonPreemption != nil {
 		if len(opt.NonPreemption) != fs.N() {
-			return nil, fmt.Errorf("trajectory: %d non-preemption vectors for %d flows",
+			return nil, model.Errorf(model.ErrInvalidConfig, "trajectory: %d non-preemption vectors for %d flows",
 				len(opt.NonPreemption), fs.N())
 		}
 		for i, v := range opt.NonPreemption {
 			if v != nil && len(v) != len(fs.Flows[i].Path) {
-				return nil, fmt.Errorf("trajectory: flow %q has %d non-preemption terms for %d nodes",
+				return nil, model.Errorf(model.ErrInvalidConfig, "trajectory: flow %q has %d non-preemption terms for %d nodes",
 					fs.Flows[i].Name, len(v), len(fs.Flows[i].Path))
 			}
 		}
@@ -56,7 +54,8 @@ func referenceAnalyze(fs *model.FlowSet, opt Options) (*Result, error) {
 		}
 		r, tStar := c.bound()
 		res.Bounds[i] = r
-		res.Jitters[i] = r - fs.Flows[i].MinTraversal(fs.Net.Lmin)
+		var jsat bool
+		res.Jitters[i] = model.SubSat(r, fs.Flows[i].MinTraversal(fs.Net.Lmin), &jsat)
 		d := FlowDetail{
 			Flow:      i,
 			Bound:     r,
@@ -66,14 +65,18 @@ func referenceAnalyze(fs *model.FlowSet, opt Options) (*Result, error) {
 			MaxSum:    c.maxSum,
 			Delta:     c.delta,
 		}
-		for _, in := range c.inter {
-			d.Interference = append(d.Interference, InterferenceTerm{
-				Flow:          in.j,
-				A:             in.a,
-				Packets:       opt.count(tStar+in.a, fs.Flows[in.j].Period),
-				CSlow:         in.rel.CSlowJI,
-				SameDirection: in.rel.SameDirection,
-			})
+		// Unbounded verdicts carry no per-interferer breakdown (the A
+		// offsets may be saturated) — mirrored by the engine.
+		if r < model.TimeInfinity {
+			for _, in := range c.inter {
+				d.Interference = append(d.Interference, InterferenceTerm{
+					Flow:          in.j,
+					A:             in.a,
+					Packets:       opt.count(tStar+in.a, fs.Flows[in.j].Period),
+					CSlow:         in.rel.CSlowJI,
+					SameDirection: in.rel.SameDirection,
+				})
+			}
 		}
 		res.Details[i] = d
 	}
@@ -84,7 +87,7 @@ func referenceAnalyze(fs *model.FlowSet, opt Options) (*Result, error) {
 // rebuilds the global Smax table on every call.
 func referenceAnalyzeFlow(fs *model.FlowSet, opt Options, i int) (model.Time, error) {
 	if i < 0 || i >= fs.N() {
-		return 0, fmt.Errorf("trajectory: flow index %d out of range [0,%d)", i, fs.N())
+		return 0, model.Errorf(model.ErrInvalidConfig, "trajectory: flow index %d out of range [0,%d)", i, fs.N())
 	}
 	smax, _, _, err := computeSmax(fs, opt)
 	if err != nil {

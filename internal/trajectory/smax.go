@@ -1,7 +1,7 @@
 package trajectory
 
 import (
-	"fmt"
+	"context"
 
 	"trajan/internal/model"
 )
@@ -28,11 +28,13 @@ func newSmaxTable(fs *model.FlowSet) smaxTable {
 	return t
 }
 
-// at returns Smax^h_i for node h of flow i's path.
+// at returns Smax^h_i for node h of flow i's path. The analysis only
+// asks for relation anchor nodes, which lie on the path by
+// construction, so a miss is a broken invariant (ErrInternal).
 func (t smaxTable) at(fs *model.FlowSet, i int, h model.NodeID) (model.Time, error) {
 	k := fs.Flows[i].Path.Index(h)
 	if k < 0 {
-		return 0, fmt.Errorf("trajectory: Smax requested for node %d not on path of flow %q",
+		return 0, model.Errorf(model.ErrInternal, "trajectory: Smax requested for node %d not on path of flow %q",
 			h, fs.Flows[i].Name)
 	}
 	return t[i][k], nil
@@ -68,9 +70,13 @@ func (t smaxTable) equal(u smaxTable) bool {
 func (t smaxTable) fillNoQueue(fs *model.FlowSet) {
 	for i, f := range fs.Flows {
 		acc := f.Jitter
+		var sat bool
 		for k := range f.Path {
 			t[i][k] = acc
-			acc += f.Cost[k] + fs.Net.Lmax
+			// A railed entry stays on the rail; every consumer reads it
+			// through saturating ops, so it degrades to an Unbounded
+			// verdict rather than wrapping.
+			acc = model.AddSat(acc, model.AddSat(f.Cost[k], fs.Net.Lmax, &sat), &sat)
 		}
 	}
 }
@@ -85,16 +91,17 @@ func (t smaxTable) fillNoQueue(fs *model.FlowSet) {
 func (t smaxTable) fillFromBounds(fs *model.FlowSet, bounds []model.Time) {
 	for i, f := range fs.Flows {
 		var tail model.Time
+		var sat bool
 		// tailmin accumulated from the back.
 		tails := make([]model.Time, len(f.Path))
 		for k := len(f.Path) - 1; k >= 0; k-- {
-			tail += f.Cost[k]
+			tail = model.AddSat(tail, f.Cost[k], &sat)
 			tails[k] = tail
-			tail += fs.Net.Lmin
+			tail = model.AddSat(tail, fs.Net.Lmin, &sat)
 		}
 		for k := range f.Path {
-			v := bounds[i] - tails[k]
-			if smin := fs.Smin(i, f.Path[k]); v < smin {
+			v := model.SubSat(bounds[i], tails[k], &sat)
+			if smin := fs.SminAt(i, k); v < smin {
 				v = smin
 			}
 			t[i][k] = v
@@ -119,7 +126,7 @@ func computeSmax(fs *model.FlowSet, opt Options) (smaxTable, int, bool, error) {
 		return globalTail(fs, opt)
 
 	default:
-		return nil, 0, false, fmt.Errorf("trajectory: unknown Smax mode %d", opt.Smax)
+		return nil, 0, false, model.Errorf(model.ErrInvalidConfig, "trajectory: unknown Smax mode %d", opt.Smax)
 	}
 }
 
@@ -159,10 +166,16 @@ func prefixFixpoint(fs *model.FlowSet, opt Options) (smaxTable, int, bool, error
 		for m, sl := range slots {
 			// The prefix bound is measured from generation time, so it
 			// already covers the release jitter window; arrival at the
-			// next node adds one link.
+			// next node adds one link. results[m] ≤ TimeInfinity and
+			// Lmax < 2^60, so the raw sum is exact.
 			v := results[m] + fs.Net.Lmax
+			if model.IsUnbounded(v) {
+				return nil, sweep, false, model.Errorf(model.ErrOverflow,
+					"trajectory: Smax prefix fixpoint overflows the time domain for flow %q node %d",
+					fs.Flows[sl.i].Name, fs.Flows[sl.i].Path[sl.k])
+			}
 			if v > horizon {
-				return nil, sweep, false, fmt.Errorf(
+				return nil, sweep, false, model.Errorf(model.ErrUnstable,
 					"trajectory: Smax prefix fixpoint diverges past horizon for flow %q node %d",
 					fs.Flows[sl.i].Name, fs.Flows[sl.i].Path[sl.k])
 			}
@@ -193,7 +206,8 @@ func globalTail(fs *model.FlowSet, opt Options) (smaxTable, int, bool, error) {
 			return nil, 0, false, err
 		}
 	} else if len(bounds) != fs.N() {
-		return nil, 0, false, fmt.Errorf("trajectory: %d seed bounds for %d flows", len(bounds), fs.N())
+		return nil, 0, false, model.Errorf(model.ErrInvalidConfig,
+			"trajectory: %d seed bounds for %d flows", len(bounds), fs.N())
 	}
 
 	best := append([]model.Time(nil), bounds...)
@@ -248,6 +262,14 @@ func globalTail(fs *model.FlowSet, opt Options) (smaxTable, int, bool, error) {
 // monotonically, so the iteration either converges or exceeds the
 // horizon (overload).
 func BusyPeriodSeed(fs *model.FlowSet, opt Options) ([]model.Time, error) {
+	return busyPeriodSeed(context.Background(), fs, opt)
+}
+
+// busyPeriodSeed is BusyPeriodSeed with cancellation (checked once per
+// global sweep) and saturating arithmetic: a busy period that leaves
+// the finite time domain is ErrOverflow, divergence past the horizon is
+// ErrUnstable.
+func busyPeriodSeed(ctx context.Context, fs *model.FlowSet, opt Options) ([]model.Time, error) {
 	horizon := opt.horizon()
 	n := fs.N()
 
@@ -260,26 +282,37 @@ func BusyPeriodSeed(fs *model.FlowSet, opt Options) ([]model.Time, error) {
 		}
 	}
 
+	var sat bool
 	nodeBP := make(map[model.NodeID]model.Time)
 	for iter := 0; iter < opt.maxIterations(); iter++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		// Busy period per node under current jitters.
 		for _, h := range fs.Nodes() {
 			var b model.Time
 			for _, j := range fs.FlowsAt(h) {
-				b += fs.Flows[j].CostAt(h)
+				b = model.AddSat(b, fs.Flows[j].CostAt(h), &sat)
 			}
 			for sub := 0; sub < opt.maxIterations(); sub++ {
 				var nb model.Time
 				for _, j := range fs.FlowsAt(h) {
 					fj := fs.Flows[j]
 					jh := jit[j][fj.Path.Index(h)]
-					nb += model.OnePlusFloorPos(b+jh, fj.Period) * fj.CostAt(h)
+					nb = model.AddSat(nb,
+						model.MulSat(model.OnePlusFloorPosSat(model.AddSat(b, jh, &sat), fj.Period, &sat),
+							fj.CostAt(h), &sat), &sat)
+				}
+				if sat {
+					return nil, model.Errorf(model.ErrOverflow,
+						"trajectory: node %d busy period overflows the time domain", h)
 				}
 				if nb == b {
 					break
 				}
 				if nb > horizon {
-					return nil, fmt.Errorf("trajectory: node %d busy period diverges (utilization %.3f)",
+					return nil, model.Errorf(model.ErrUnstable,
+						"trajectory: node %d busy period diverges (utilization %.3f)",
 						h, fs.TotalUtilizationAt(h))
 				}
 				b = nb
@@ -293,25 +326,34 @@ func BusyPeriodSeed(fs *model.FlowSet, opt Options) ([]model.Time, error) {
 		for i, f := range fs.Flows {
 			maxArr, minArr := f.Jitter, model.Time(0)
 			for k := range f.Path {
-				if w := maxArr - minArr; w > jit[i][k] {
+				if w := model.SubSat(maxArr, minArr, &sat); w > jit[i][k] {
 					jit[i][k] = w
 					changed = true
 				}
-				maxArr += nodeBP[f.Path[k]] + fs.Net.Lmax
-				minArr += f.Cost[k] + fs.Net.Lmin
+				maxArr = model.AddSat(maxArr, model.AddSat(nodeBP[f.Path[k]], fs.Net.Lmax, &sat), &sat)
+				minArr = model.AddSat(minArr, model.AddSat(f.Cost[k], fs.Net.Lmin, &sat), &sat)
 			}
+		}
+		if sat {
+			return nil, model.Errorf(model.ErrOverflow,
+				"trajectory: busy-period seed overflows the time domain")
 		}
 		if !changed {
 			out := make([]model.Time, n)
 			for i, f := range fs.Flows {
-				r := f.Jitter + model.Time(len(f.Path)-1)*fs.Net.Lmax
+				r := model.AddSat(f.Jitter, model.MulSat(model.Time(len(f.Path)-1), fs.Net.Lmax, &sat), &sat)
 				for _, h := range f.Path {
-					r += nodeBP[h]
+					r = model.AddSat(r, nodeBP[h], &sat)
 				}
 				out[i] = r
+			}
+			if sat {
+				return nil, model.Errorf(model.ErrOverflow,
+					"trajectory: busy-period seed overflows the time domain")
 			}
 			return out, nil
 		}
 	}
-	return nil, fmt.Errorf("trajectory: busy-period seed did not converge in %d sweeps", opt.maxIterations())
+	return nil, model.Errorf(model.ErrUnstable,
+		"trajectory: busy-period seed did not converge in %d sweeps", opt.maxIterations())
 }

@@ -103,8 +103,12 @@ func TestFillFromBounds(t *testing.T) {
 	}
 	// Clamping: with a tiny bound, Smax falls back to Smin.
 	tab.fillFromBounds(fs, []model.Time{1, 1, 1, 1, 1})
-	if got, _ := tab.at(fs, 0, 3); got != fs.Smin(0, 3) {
-		t.Errorf("clamped Smax = %d, want Smin %d", got, fs.Smin(0, 3))
+	smin, err := fs.Smin(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tab.at(fs, 0, 3); got != smin {
+		t.Errorf("clamped Smax = %d, want Smin %d", got, smin)
 	}
 }
 

@@ -98,8 +98,15 @@ func TestOffsetSymmetryFacts(t *testing.T) {
 				continue
 			}
 			rji := fs.Relation(j, i)
-			cij := fs.Smin(j, rij.FirstJI) + fs.M(i, rij.FirstIJ)
-			cji := fs.Smin(i, rji.FirstJI) + fs.M(j, rji.FirstIJ)
+			mustTime := func(v model.Time, err error) model.Time {
+				t.Helper()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+			cij := mustTime(fs.Smin(j, rij.FirstJI)) + mustTime(fs.M(i, rij.FirstIJ))
+			cji := mustTime(fs.Smin(i, rji.FirstJI)) + mustTime(fs.M(j, rji.FirstIJ))
 			if cij != cji {
 				t.Errorf("pair (%d,%d): constant %d ≠ %d — symmetry fact fails",
 					i, j, cij, cji)

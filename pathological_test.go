@@ -1,0 +1,103 @@
+// Degradation-path integration tests: the pathological flow sets in
+// testdata/ must produce TYPED verdicts — an explicit Unbounded bound,
+// ErrUnstable, or ErrInvalidConfig — never a wrapped finite number, a
+// panic, or an untyped error. These are the end-to-end checks of the
+// failure semantics documented in DESIGN.md §7.
+package trajan_test
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"trajan/internal/feasibility"
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+func loadTestdata(t *testing.T, name string) *model.FlowSet {
+	t.Helper()
+	f, err := os.Open("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fs, err := model.ParseFlowSet(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestPathologicalOverflowIsUnboundedVerdict: a stable (utilization 0.5)
+// flow whose in-domain parameters are so large that the Property-2 sum
+// exceeds the time domain. With divergence aborts disabled the analysis
+// must complete and report an explicit Unbounded verdict, which
+// feasibility then turns into a deadline miss.
+func TestPathologicalOverflowIsUnboundedVerdict(t *testing.T) {
+	fs := loadTestdata(t, "pathological_overflow.json")
+	res, err := trajectory.Analyze(fs, trajectory.Options{Horizon: model.TimeInfinity})
+	if err != nil {
+		t.Fatalf("saturation must degrade to a verdict, got error: %v", err)
+	}
+	if !res.Unbounded(0) || res.Bounds[0] != model.TimeInfinity {
+		t.Fatalf("bound = %d, want the explicit Unbounded verdict %d",
+			res.Bounds[0], model.TimeInfinity)
+	}
+	if !model.IsUnbounded(res.Jitters[0]) {
+		t.Errorf("jitter = %d, want unbounded alongside the bound", res.Jitters[0])
+	}
+	if len(res.Details[0].Interference) != 0 {
+		t.Errorf("Unbounded verdict carries an interference breakdown: %+v",
+			res.Details[0].Interference)
+	}
+	rep, err := feasibility.Check(fs, res.Bounds, res.Jitters, "trajectory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllFeasible || rep.Verdicts[0].Feasible {
+		t.Error("an Unbounded flow with a finite deadline was reported feasible")
+	}
+	if rep.Verdicts[0].Slack >= 0 {
+		t.Errorf("slack = %d, want saturated negative", rep.Verdicts[0].Slack)
+	}
+}
+
+// TestPathologicalOverflowAtDefaultHorizon: the same set under the
+// default horizon is aborted by the divergence guard instead — a typed
+// ErrUnstable, because the Smax prefix fixpoint exceeds the horizon
+// long before the bound saturates.
+func TestPathologicalOverflowAtDefaultHorizon(t *testing.T) {
+	fs := loadTestdata(t, "pathological_overflow.json")
+	_, err := trajectory.Analyze(fs, trajectory.Options{})
+	if !errors.Is(err, model.ErrUnstable) {
+		t.Fatalf("err = %v, want ErrUnstable", err)
+	}
+}
+
+// TestPathologicalOverloadIsUnstable: utilization 2 at every shared
+// node — the busy-period fixpoint diverges and must surface as
+// ErrUnstable.
+func TestPathologicalOverloadIsUnstable(t *testing.T) {
+	fs := loadTestdata(t, "pathological_overload.json")
+	_, err := trajectory.Analyze(fs, trajectory.Options{})
+	if !errors.Is(err, model.ErrUnstable) {
+		t.Fatalf("err = %v, want ErrUnstable", err)
+	}
+}
+
+// TestPathologicalRejectedAtLoad: parameters at the int64 edge are
+// outside the representable time domain and must be rejected as
+// ErrInvalidConfig by validation, before any analysis arithmetic can
+// wrap.
+func TestPathologicalRejectedAtLoad(t *testing.T) {
+	f, err := os.Open("testdata/pathological_rejected.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, err = model.ParseFlowSet(f)
+	if !errors.Is(err, model.ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig", err)
+	}
+}
