@@ -285,3 +285,137 @@ func benchName(prefix string, n int) string {
 	}
 	return prefix + string(buf)
 }
+
+// staggeredSet builds n flows where flow k spans nodes k+1..k+hops:
+// interference is local (a flow meets only its 2·(hops-1) path
+// neighbors), the regime where delta re-analysis pays — an admission
+// dirties one closure, not the whole set.
+func staggeredSet(tb testing.TB, n, hops int) *model.FlowSet {
+	tb.Helper()
+	flows := make([]*model.Flow, n)
+	for k := range flows {
+		path := make([]model.NodeID, hops)
+		for i := range path {
+			path[i] = model.NodeID(k + i + 1)
+		}
+		flows[k] = model.UniformFlow(
+			benchName("f", k), model.Time(10*hops), 0, 0, 2, path...)
+	}
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), flows)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fs
+}
+
+// probeFlow is the admission candidate the churn benchmarks test: a
+// flow across the middle of the staggered fabric.
+func probeFlow(n, hops int) *model.Flow {
+	path := make([]model.NodeID, hops)
+	for i := range path {
+		path[i] = model.NodeID(n/2 + i + 1)
+	}
+	return model.UniformFlow("probe", model.Time(10*hops), 0, 0, 2, path...)
+}
+
+// BenchmarkAdmissionChurn times the warm admission loop: one persistent
+// Analyzer, each iteration admitting a candidate (AddFlow → delta
+// re-analysis seeded from the converged table), querying bounds, and
+// evicting it again (snapshot restore). Compare against
+// BenchmarkAdmissionCold for the same decision made from scratch.
+func BenchmarkAdmissionChurn(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		fs := staggeredSet(b, n, 5)
+		b.Run(benchName("flows", n), func(b *testing.B) {
+			a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.Bounds(); err != nil { // converge the base once
+				b.Fatal(err)
+			}
+			probe := probeFlow(n, 5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx, err := a.AddFlow(probe)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := a.Bounds(); err != nil {
+					b.Fatal(err)
+				}
+				if err := a.RemoveFlow(idx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdmissionCold is the same admission decision without the
+// warm engine: rebuild the flow set and a fresh Analyzer per candidate.
+// This is what every admission cost before the delta layer existed.
+func BenchmarkAdmissionCold(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		base := staggeredSet(b, n, 5)
+		b.Run(benchName("flows", n), func(b *testing.B) {
+			probe := probeFlow(n, 5)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				flows := make([]*model.Flow, 0, n+1)
+				for _, f := range base.Flows {
+					flows = append(flows, f.Clone())
+				}
+				flows = append(flows, probe.Clone())
+				fs, err := model.NewFlowSet(base.Net, flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := a.Bounds(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWhatIfBatch times a parallel 8-candidate what-if batch
+// against one converged base (the "which of these calls fit" query).
+func BenchmarkWhatIfBatch(b *testing.B) {
+	const n, hops = 64, 5
+	fs := staggeredSet(b, n, hops)
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			a, err := trajectory.NewAnalyzer(fs, trajectory.Options{Parallelism: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.Bounds(); err != nil {
+				b.Fatal(err)
+			}
+			cands := make([]trajectory.Candidate, 8)
+			for k := range cands {
+				path := make([]model.NodeID, hops)
+				for i := range path {
+					path[i] = model.NodeID(k*(n/8) + i + 1)
+				}
+				cands[k] = trajectory.Candidate{Add: model.UniformFlow(
+					benchName("cand", k), model.Time(10*hops), 0, 0, 2, path...)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, o := range a.WhatIf(cands) {
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+				}
+			}
+		})
+	}
+}

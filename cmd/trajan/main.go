@@ -7,9 +7,15 @@
 //
 //	trajan -config flows.json [-method all|trajectory|holistic|netcalc]
 //	       [-smax prefix|tail|noqueue] [-ef] [-detail] [-sensitivity]
-//	       [-timeout 30s]
+//	       [-timeout 30s] [-workers N] [-cpuprofile f] [-memprofile f]
+//	trajan -admit trace.json
 //
 // With no -config the paper's Section-5 example is analysed.
+//
+// -admit replays a churn trace (an event log of flow adds, removes and
+// updates) through the warm admission engine: each add is tested by a
+// delta re-analysis of the running flow set and reverted when refused,
+// so the replay cost tracks the change size, not the set size.
 //
 // The process exit code is the analysis verdict, so the tool can gate
 // admission scripts directly:
@@ -26,12 +32,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"trajan/internal/ef"
 	"trajan/internal/feasibility"
@@ -86,6 +96,10 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 		explainFlow = fl.String("explain", "", "print the full bound derivation for this flow name")
 		sensitivity = fl.Bool("sensitivity", false, "probe each flow's period and cost headroom (requires deadlines)")
 		timeout     = fl.Duration("timeout", 0, "abort the analysis after this duration (exit 3); 0 disables the budget")
+		admitPath   = fl.String("admit", "", "churn-trace JSON: replay add/remove/update events through the warm admission engine")
+		workers     = fl.Int("workers", 0, "fixpoint/evaluation parallelism (0 = GOMAXPROCS, 1 = serial)")
+		cpuProfile  = fl.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = fl.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fl.Parse(args); err != nil {
 		return false, model.Classify(model.ErrInvalidConfig, err)
@@ -96,13 +110,38 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-
-	fs, originals, err := loadFlowSet(*configPath)
-	if err != nil {
-		return false, model.Classify(model.ErrInvalidConfig, err)
+	if *workers < 0 {
+		return false, model.Errorf(model.ErrInvalidConfig, "-workers must be >= 0")
 	}
-	wasSplit := fs.N() != len(originals)
-	opt := trajectory.Options{}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return false, model.Classify(model.ErrInvalidConfig, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return false, model.Classify(model.ErrInvalidConfig, err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trajan: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "trajan: memprofile:", err)
+			}
+		}()
+	}
+
+	opt := trajectory.Options{Parallelism: *workers}
 	switch *smaxMode {
 	case "prefix":
 		opt.Smax = trajectory.SmaxPrefixFixpoint
@@ -113,6 +152,16 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 	default:
 		return false, model.Errorf(model.ErrInvalidConfig, "unknown -smax %q", *smaxMode)
 	}
+
+	if *admitPath != "" {
+		return runAdmit(ctx, *admitPath, opt, out)
+	}
+
+	fs, originals, err := loadFlowSet(*configPath)
+	if err != nil {
+		return false, model.Classify(model.ErrInvalidConfig, err)
+	}
+	wasSplit := fs.N() != len(originals)
 
 	if *useEF {
 		return runEF(ctx, fs, opt, out)
@@ -259,6 +308,199 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 		}
 	}
 	return allFeasible, nil
+}
+
+// churnTrace is the -admit input: a network and an ordered event log
+// of flow arrivals, departures and contract renegotiations.
+type churnTrace struct {
+	Network model.NetworkConfig `json:"network"`
+	Events  []churnEvent        `json:"events"`
+}
+
+// churnEvent is one trace entry. Op is "add" (Flow required), "remove"
+// (Name required) or "update" (Flow required; matched by its name).
+type churnEvent struct {
+	Op   string            `json:"op"`
+	Name string            `json:"name,omitempty"`
+	Flow *model.FlowConfig `json:"flow,omitempty"`
+}
+
+// runAdmit replays a churn trace through one warm analyzer: every add
+// is an admission test (delta re-analysis, revert on refusal), removes
+// and updates mutate the engine in place. The exit verdict reports
+// whether the final admitted set meets all deadlines.
+func runAdmit(ctx context.Context, path string, opt trajectory.Options, out io.Writer) (bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, model.Classify(model.ErrInvalidConfig, err)
+	}
+	var trace churnTrace
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&trace); err != nil {
+		return false, model.Errorf(model.ErrInvalidConfig, "admit: decoding trace: %w", err)
+	}
+	net := model.Network{Lmin: trace.Network.Lmin, Lmax: trace.Network.Lmax}
+
+	tab := report.NewTable("Admission trace replay (trajectory, warm re-analysis)",
+		"#", "op", "flow", "decision", "flows", "min slack")
+
+	var a *trajectory.Analyzer
+	allFeasible := true
+
+	// verdict re-analyses the current set; it reports feasibility and
+	// the tightest deadline slack (TimeInfinity when no flow has one).
+	verdict := func() (bool, model.Time, error) {
+		if a == nil {
+			return true, model.TimeInfinity, nil
+		}
+		bounds, err := a.BoundsContext(ctx)
+		if err != nil {
+			return false, 0, err
+		}
+		ok, minSlack := true, model.TimeInfinity
+		for i, f := range a.FlowSet().Flows {
+			if f.Deadline <= 0 {
+				continue
+			}
+			var sat bool
+			if s := model.SubSat(f.Deadline, bounds[i], &sat); s < minSlack {
+				minSlack = s
+			}
+			if bounds[i] > f.Deadline {
+				ok = false
+			}
+		}
+		return ok, minSlack, nil
+	}
+	// refusal decides whether an analysis error means "candidate
+	// refused" (divergence/overflow) or a real failure.
+	refusal := func(err error) bool {
+		return errors.Is(err, model.ErrUnstable) || errors.Is(err, model.ErrOverflow)
+	}
+	findFlow := func(name string) int {
+		if a == nil {
+			return -1
+		}
+		for i, f := range a.FlowSet().Flows {
+			if f.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	slackStr := func(s model.Time) string {
+		if s >= model.TimeInfinity {
+			return "-"
+		}
+		return fmt.Sprintf("%d", s)
+	}
+
+	for k, ev := range trace.Events {
+		switch ev.Op {
+		case "add":
+			if ev.Flow == nil {
+				return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: add needs a flow", k)
+			}
+			f, err := ev.Flow.Build()
+			if err != nil {
+				return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: %w", k, err)
+			}
+			var idx int
+			if a == nil {
+				fs, err := model.NewFlowSet(net, []*model.Flow{f})
+				if err != nil {
+					return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: %w", k, err)
+				}
+				a, err = trajectory.NewAnalyzer(fs, opt)
+				if err != nil {
+					return false, err
+				}
+				idx = 0
+			} else {
+				idx, err = a.AddFlow(f)
+				if err != nil {
+					return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: %w", k, err)
+				}
+			}
+			ok, minSlack, err := verdict()
+			if err != nil && !refusal(err) {
+				return false, err
+			}
+			if err != nil || !ok {
+				// Refused: divergence or a deadline miss. Revert.
+				if a.FlowSet().N() == 1 {
+					a = nil
+				} else if rerr := a.RemoveFlow(idx); rerr != nil {
+					return false, rerr
+				}
+				reason := "rejected (deadline miss)"
+				if err != nil {
+					reason = "rejected (unstable)"
+				}
+				tab.AddRow(k, "add", f.Name, reason, flowCount(a), slackStr(minSlack))
+				continue
+			}
+			allFeasible = ok
+			tab.AddRow(k, "add", f.Name, "admitted", flowCount(a), slackStr(minSlack))
+		case "remove":
+			i := findFlow(ev.Name)
+			if i < 0 {
+				return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: unknown flow %q", k, ev.Name)
+			}
+			if a.FlowSet().N() == 1 {
+				a = nil
+			} else if err := a.RemoveFlow(i); err != nil {
+				return false, err
+			}
+			ok, minSlack, err := verdict()
+			if err != nil && !refusal(err) {
+				return false, err
+			}
+			allFeasible = err == nil && ok
+			tab.AddRow(k, "remove", ev.Name, "removed", flowCount(a), slackStr(minSlack))
+		case "update":
+			if ev.Flow == nil {
+				return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: update needs a flow", k)
+			}
+			f, err := ev.Flow.Build()
+			if err != nil {
+				return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: %w", k, err)
+			}
+			i := findFlow(f.Name)
+			if i < 0 {
+				return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: unknown flow %q", k, f.Name)
+			}
+			if err := a.UpdateFlow(i, f); err != nil {
+				return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: %w", k, err)
+			}
+			ok, minSlack, err := verdict()
+			if err != nil && !refusal(err) {
+				return false, err
+			}
+			allFeasible = err == nil && ok
+			decision := "updated"
+			if err != nil {
+				decision = "updated (unstable)"
+			} else if !ok {
+				decision = "updated (deadline miss)"
+			}
+			tab.AddRow(k, "update", f.Name, decision, flowCount(a), slackStr(minSlack))
+		default:
+			return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: unknown op %q", k, ev.Op)
+		}
+	}
+	if err := tab.Render(out); err != nil {
+		return false, err
+	}
+	return allFeasible, nil
+}
+
+func flowCount(a *trajectory.Analyzer) int {
+	if a == nil {
+		return 0
+	}
+	return a.FlowSet().N()
 }
 
 func runEF(ctx context.Context, fs *model.FlowSet, opt trajectory.Options, out io.Writer) (bool, error) {

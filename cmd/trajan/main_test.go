@@ -249,3 +249,75 @@ func TestExitCodes(t *testing.T) {
 		}
 	})
 }
+
+// TestAdmitMode replays the churn trace fixture: admissions, a
+// deterministic rejection (the burst flow cannot meet deadline 8 even
+// alone), an update and a removal, with exit code 0 (final set
+// feasible).
+func TestAdmitMode(t *testing.T) {
+	out := runCLI(t, "-admit", filepath.Join("testdata", "churn.json"))
+	for _, want := range []string{
+		"admitted", "rejected", "updated", "removed",
+		"voice1", "greedy", "burst",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("admit output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAdmitModeErrors: malformed traces are configuration errors
+// (exit 2), not crashes.
+func TestAdmitModeErrors(t *testing.T) {
+	write := func(body string) string {
+		path := filepath.Join(t.TempDir(), "trace.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := map[string]string{
+		"missing file": filepath.Join(t.TempDir(), "nope.json"),
+		"bad json":     write(`{"events": [`),
+		"unknown op":   write(`{"network":{"lmin":1,"lmax":1},"events":[{"op":"evict","name":"x"}]}`),
+		"unknown flow": write(`{"network":{"lmin":1,"lmax":1},"events":[{"op":"remove","name":"x"}]}`),
+		"add sans flow": write(`{"network":{"lmin":1,"lmax":1},"events":[{"op":"add"}]}`),
+	}
+	for name, path := range cases {
+		var b strings.Builder
+		code, err := run([]string{"-admit", path}, &b)
+		if err == nil || code != 2 {
+			t.Errorf("%s: code %d, err %v; want code 2 with error", name, code, err)
+		}
+	}
+}
+
+// TestWorkersFlag: explicit parallelism must not change any verdict.
+func TestWorkersFlag(t *testing.T) {
+	serial := runCLI(t, "-workers", "1", "-method", "trajectory")
+	par := runCLI(t, "-workers", "4", "-method", "trajectory")
+	if serial != par {
+		t.Errorf("-workers changed the output:\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+	var b strings.Builder
+	if code, err := run([]string{"-workers", "-2"}, &b); err == nil || code != 2 {
+		t.Errorf("negative -workers: code %d, err %v", code, err)
+	}
+}
+
+// TestProfileFlags: the pprof files are created and non-empty.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	runCLI(t, "-cpuprofile", cpu, "-memprofile", mem, "-method", "trajectory")
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

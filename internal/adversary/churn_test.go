@@ -1,0 +1,71 @@
+package adversary
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/trajectory"
+)
+
+// TestChurnedAnalyzerSoundness certifies the warm-start delta engine
+// end to end: a mutating analyzer (add, update, remove) must after
+// every step still produce bounds that dominate everything the
+// adversarial simulator can provoke on the current flow set. A single
+// stale row surviving a mutation — a dirty closure drawn too small, a
+// view remapped against the wrong entry base — would show up here as a
+// simulated response above the "proved" bound.
+func TestChurnedAnalyzerSoundness(t *testing.T) {
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		model.UniformFlow("a", 40, 2, 0, 3, 0, 1, 2, 3),
+		model.UniformFlow("b", 50, 0, 0, 2, 1, 2, 3, 4),
+		model.UniformFlow("c", 60, 1, 0, 2, 4, 3, 2),
+	})
+	a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type step struct {
+		name   string
+		mutate func() error
+	}
+	steps := []step{
+		{"initial", func() error { return nil }},
+		{"add-d", func() error {
+			_, err := a.AddFlow(model.UniformFlow("d", 45, 0, 0, 2, 2, 3, 4))
+			return err
+		}},
+		{"add-e", func() error {
+			_, err := a.AddFlow(model.UniformFlow("e", 55, 3, 0, 3, 3, 2, 1, 0))
+			return err
+		}},
+		{"update-b", func() error {
+			return a.UpdateFlow(1, model.UniformFlow("b", 35, 1, 0, 3, 1, 2, 3))
+		}},
+		{"remove-a", func() error { return a.RemoveFlow(0) }},
+		{"add-f", func() error {
+			_, err := a.AddFlow(model.UniformFlow("f", 65, 0, 0, 2, 0, 1, 2))
+			return err
+		}},
+	}
+	for si, s := range steps {
+		if err := s.mutate(); err != nil {
+			t.Fatalf("step %s: mutation: %v", s.name, err)
+		}
+		bounds, err := a.Bounds()
+		if err != nil {
+			t.Fatalf("step %s: analysis: %v", s.name, err)
+		}
+		cur := a.FlowSet()
+		finds, err := Search(cur, Options{Seed: int64(si + 1), Restarts: 8, Packets: 5, ClimbSteps: 24})
+		if err != nil {
+			t.Fatalf("step %s: adversary: %v", s.name, err)
+		}
+		for i, f := range finds {
+			if f.MaxResponse > bounds[i] {
+				t.Errorf("step %s: flow %s: observed response %d exceeds warm bound %d (strategy %s)",
+					s.name, cur.Flows[i].Name, f.MaxResponse, bounds[i], f.Strategy)
+			}
+		}
+	}
+}

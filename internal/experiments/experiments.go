@@ -294,14 +294,17 @@ func AdmissionCapacity() (*report.Table, error) {
 		cost     = 2
 		deadline = 40
 	)
+	path := make([]model.NodeID, hops)
+	for i := range path {
+		path[i] = model.NodeID(i)
+	}
+	mkCall := func(k int) *model.Flow {
+		return model.UniformFlow(fmt.Sprintf("call%d", k), period, 0, deadline, cost, path...)
+	}
 	mkSet := func(n int) (*model.FlowSet, error) {
 		flows := make([]*model.Flow, n)
-		path := make([]model.NodeID, hops)
-		for i := range path {
-			path[i] = model.NodeID(i)
-		}
 		for k := range flows {
-			flows[k] = model.UniformFlow(fmt.Sprintf("call%d", k), period, 0, deadline, cost, path...)
+			flows[k] = mkCall(k)
 		}
 		return model.NewFlowSet(model.UnitDelayNetwork(), flows)
 	}
@@ -327,15 +330,39 @@ func AdmissionCapacity() (*report.Table, error) {
 	}
 	t := report.NewTable("E9. Admission capacity (identical calls, 4 hops, D=40)",
 		"method", "calls admitted")
-	trajCap, err := capacity(func(fs *model.FlowSet) ([]model.Time, error) {
-		// Bounds-only query through the reusable engine: admission
-		// control needs no Details and no Result materialization.
+	// The trajectory arm models the controller as deployed: one warm
+	// analyzer, one AddFlow per arriving call. Each admission test is a
+	// delta re-analysis seeded from the previous converged table rather
+	// than a cold rebuild of the whole set.
+	trajCap, err := func() (int, error) {
+		fs, err := mkSet(1)
+		if err != nil {
+			return 0, err
+		}
 		a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		return a.Bounds()
-	})
+		for n := 1; n <= 64; n++ {
+			bounds, err := a.Bounds()
+			if err != nil {
+				return n - 1, nil // divergence = refusal
+			}
+			rep, err := feasibility.Check(a.FlowSet(), bounds, nil, "cap")
+			if err != nil {
+				return 0, err
+			}
+			if !rep.AllFeasible {
+				return n - 1, nil
+			}
+			if n < 64 {
+				if _, err := a.AddFlow(mkCall(n)); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return 64, nil
+	}()
 	if err != nil {
 		return nil, err
 	}
@@ -586,13 +613,45 @@ func BreakdownUtilization() (*report.Table, error) {
 
 	t := report.NewTable("E14. Breakdown utilization (line/cross, D=60)",
 		"method", "breakdown utilization")
-	traj, err := breakdown(func(fs *model.FlowSet) ([]model.Time, error) {
-		a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
-		if err != nil {
-			return nil, err
+	// The trajectory arm reuses one analyzer across the load sweep: the
+	// topology is fixed, only periods shrink, so each step is a batch of
+	// UpdateFlow calls against the previous converged state (views and
+	// entry tables are shared — path lengths never change).
+	traj, err := func() (float64, error) {
+		lastOK := 0.0
+		var a *trajectory.Analyzer
+		for period := model.Time(200); period >= 10; period -= 2 {
+			fs, err := mk(period)
+			if err != nil {
+				return 0, err
+			}
+			if a == nil {
+				a, err = trajectory.NewAnalyzer(fs, trajectory.Options{})
+				if err != nil {
+					return 0, err
+				}
+			} else {
+				for i := range fs.Flows {
+					if err := a.UpdateFlow(i, fs.Flows[i]); err != nil {
+						return 0, err
+					}
+				}
+			}
+			bounds, err := a.Bounds()
+			if err != nil {
+				return lastOK, nil // divergence: past breakdown
+			}
+			rep, err := feasibility.Check(fs, bounds, nil, "bd")
+			if err != nil {
+				return 0, err
+			}
+			if !rep.AllFeasible {
+				return lastOK, nil
+			}
+			lastOK = fs.MaxUtilization()
 		}
-		return a.Bounds()
-	})
+		return lastOK, nil
+	}()
 	if err != nil {
 		return nil, err
 	}

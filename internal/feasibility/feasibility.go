@@ -84,6 +84,13 @@ type Controller struct {
 	net      model.Network
 	opt      trajectory.Options
 	admitted []*model.Flow
+	// warm is the delta re-analysis engine over the admitted set, kept
+	// converged between admission tests so each candidate costs one
+	// AddFlow (dirty-closure re-sweep) instead of a cold rebuild. It is
+	// only usable when every admitted flow is EF (the non-preemption
+	// penalty δi is then identically zero) and is dropped whenever that
+	// cannot be guaranteed.
+	warm *trajectory.Analyzer
 }
 
 // NewController starts a controller over an empty network. Background
@@ -99,6 +106,7 @@ func (c *Controller) Preload(flows ...*model.Flow) {
 	for _, f := range flows {
 		c.admitted = append(c.admitted, f.Clone())
 	}
+	c.warm = nil // background flows changed outside the warm engine
 }
 
 // Admitted returns the currently admitted flows.
@@ -109,6 +117,9 @@ func (c *Controller) Admitted() []*model.Flow { return c.admitted }
 // on refusal the state is unchanged and the hypothetical report
 // explains which flow would have missed its deadline.
 func (c *Controller) TryAdmit(f *model.Flow) (bool, *Report, error) {
+	if ok, rep, err, handled := c.tryAdmitWarm(f); handled {
+		return ok, rep, err
+	}
 	trial := make([]*model.Flow, 0, len(c.admitted)+1)
 	for _, g := range c.admitted {
 		trial = append(trial, g.Clone())
@@ -155,5 +166,95 @@ func (c *Controller) TryAdmit(f *model.Flow) (bool, *Report, error) {
 		return false, rep, nil
 	}
 	c.admitted = append(c.admitted, f.Clone())
+	c.warm = nil // the cold path mutated the set behind the warm engine
 	return true, rep, nil
+}
+
+// tryAdmitWarm is the incremental admission fast path. It applies when
+// the whole set (admitted plus candidate) is pure EF, Assumption 1
+// already holds (no flow splitting needed) and no per-flow option
+// vectors are set: the EF analysis then reduces to the plain trajectory
+// analysis of the set (δi ≡ 0 for an all-EF set), so the candidate is
+// tested with one warm AddFlow on the persistent analyzer and reverted
+// with RemoveFlow on refusal — the converged Smax table carries over
+// between decisions. handled=false defers to the cold path. The warm
+// path skips the holistic comparison baseline the cold path computes;
+// the Report never contained it, and admission is decided by the
+// trajectory bounds alone.
+func (c *Controller) tryAdmitWarm(f *model.Flow) (ok bool, rep *Report, err error, handled bool) {
+	if c.opt.NonPreemption != nil || f.Class != model.ClassEF || len(c.admitted) == 0 {
+		return
+	}
+	for _, g := range c.admitted {
+		if g.Class != model.ClassEF {
+			return
+		}
+	}
+	trial := make([]*model.Flow, 0, len(c.admitted)+1)
+	trial = append(trial, c.admitted...)
+	trial = append(trial, f)
+	if len(model.CheckAssumption1(trial)) != 0 {
+		return // EnforceAssumption1 would split flows: cold path
+	}
+	if c.warm == nil || c.warm.FlowSet().N() != len(c.admitted) {
+		base := make([]*model.Flow, len(c.admitted))
+		for k, g := range c.admitted {
+			base[k] = g.Clone()
+		}
+		fs, ferr := model.NewFlowSet(c.net, base)
+		if ferr != nil {
+			return // let the cold path produce its usual error
+		}
+		a, aerr := trajectory.NewAnalyzer(fs, c.opt)
+		if aerr != nil {
+			return
+		}
+		c.warm = a
+	}
+	idx, aerr := c.warm.AddFlow(f.Clone())
+	if aerr != nil {
+		// Same validation NewFlowSet runs, same wrapping as the cold path.
+		return false, nil, model.Classify(model.ErrInvalidConfig,
+			fmt.Errorf("feasibility: candidate %q: %w", f.Name, aerr)), true
+	}
+	revert := func() {
+		if rerr := c.warm.RemoveFlow(idx); rerr != nil {
+			c.warm = nil // unusable state: rebuild cold next time
+		}
+	}
+	res, aerr := c.warm.Analyze()
+	if aerr != nil {
+		revert()
+		if errors.Is(aerr, model.ErrUnstable) || errors.Is(aerr, model.ErrOverflow) {
+			return false, &Report{Method: "trajectory-ef", AllFeasible: false}, nil, true
+		}
+		return false, nil, aerr, true
+	}
+	rep = &Report{Method: "trajectory-ef", AllFeasible: true}
+	for i, fl := range c.warm.FlowSet().Flows {
+		v := Verdict{
+			Flow:     i,
+			Name:     fl.Name,
+			Bound:    res.Bounds[i],
+			Deadline: fl.Deadline,
+			Jitter:   res.Jitters[i],
+		}
+		if fl.Deadline > 0 {
+			var sat bool
+			v.Slack = model.SubSat(fl.Deadline, v.Bound, &sat)
+			v.Feasible = v.Bound <= fl.Deadline
+		} else {
+			v.Feasible = true
+		}
+		if !v.Feasible {
+			rep.AllFeasible = false
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	if !rep.AllFeasible {
+		revert()
+		return false, rep, nil, true
+	}
+	c.admitted = append(c.admitted, f.Clone())
+	return true, rep, nil, true
 }

@@ -1,8 +1,12 @@
 package feasibility
 
 import (
+	"errors"
+	"reflect"
+	"strings"
 	"testing"
 
+	"trajan/internal/ef"
 	"trajan/internal/holistic"
 	"trajan/internal/model"
 	"trajan/internal/trajectory"
@@ -176,5 +180,94 @@ func TestControllerSplitsForAssumption1(t *testing.T) {
 	}
 	if !ok {
 		t.Error("weaving deadline-free candidate refused")
+	}
+}
+
+// coldAdmitOracle replicates the cold TryAdmit decision (the
+// EnforceAssumption1 + ef.Analyze pipeline) for a hypothetical
+// admitted-set + candidate, without touching any controller state.
+func coldAdmitOracle(t *testing.T, net model.Network, opt trajectory.Options,
+	admitted []*model.Flow, f *model.Flow) (bool, *Report) {
+	t.Helper()
+	trial := make([]*model.Flow, 0, len(admitted)+1)
+	for _, g := range admitted {
+		trial = append(trial, g.Clone())
+	}
+	trial = append(trial, f.Clone())
+	trial = model.EnforceAssumption1(trial)
+	fs, err := model.NewFlowSet(net, trial)
+	if err != nil {
+		t.Fatalf("oracle flow set: %v", err)
+	}
+	res, err := ef.Analyze(fs, opt)
+	if err != nil {
+		if errors.Is(err, model.ErrUnstable) || errors.Is(err, model.ErrOverflow) {
+			return false, &Report{Method: "trajectory-ef", AllFeasible: false}
+		}
+		t.Fatalf("oracle analysis: %v", err)
+	}
+	rep := &Report{Method: "trajectory-ef", AllFeasible: true}
+	for k, idx := range res.EFIndex {
+		fl := fs.Flows[idx]
+		v := Verdict{Flow: idx, Name: fl.Name, Bound: res.Trajectory.Bounds[k],
+			Deadline: fl.Deadline, Jitter: res.Trajectory.Jitters[k]}
+		if fl.Deadline > 0 {
+			var sat bool
+			v.Slack = model.SubSat(fl.Deadline, v.Bound, &sat)
+			v.Feasible = v.Bound <= fl.Deadline
+		} else {
+			v.Feasible = true
+		}
+		if !v.Feasible {
+			rep.AllFeasible = false
+		}
+		rep.Verdicts = append(rep.Verdicts, v)
+	}
+	return rep.AllFeasible, rep
+}
+
+// TestControllerWarmMatchesColdOracle: a long all-EF admission sequence
+// through the warm fast path produces, decision by decision, the exact
+// verdicts of the cold ef.Analyze pipeline.
+func TestControllerWarmMatchesColdOracle(t *testing.T) {
+	net := model.UnitDelayNetwork()
+	opt := trajectory.Options{}
+	c := NewController(net, opt)
+	mk := func(k int, dl model.Time, path ...model.NodeID) *model.Flow {
+		return model.UniformFlow("f"+string(rune('a'+k)), 40+model.Time(k%3)*10, model.Time(k%2), dl, 2, path...)
+	}
+	cands := []*model.Flow{
+		mk(0, 25, 1, 2, 3),
+		mk(1, 25, 2, 3, 4),
+		mk(2, 25, 3, 2, 1), // reverse direction
+		mk(3, 18, 1, 2, 3, 4),
+		mk(4, 14, 4, 3, 2),
+		mk(5, 12, 2, 3),
+		mk(6, 12, 1, 2, 3),
+		mk(7, 10, 3, 4),
+		mk(8, 60, 1, 2, 3, 4),
+	}
+	for k, f := range cands {
+		wantOK, wantRep := coldAdmitOracle(t, net, opt, c.Admitted(), f)
+		gotOK, gotRep, err := c.TryAdmit(f)
+		if err != nil {
+			t.Fatalf("cand %d: %v", k, err)
+		}
+		if gotOK != wantOK {
+			t.Fatalf("cand %d: warm admit=%v, cold oracle=%v", k, gotOK, wantOK)
+		}
+		if !reflect.DeepEqual(gotRep, wantRep) {
+			t.Fatalf("cand %d: report mismatch\nwarm: %+v\ncold: %+v", k, gotRep, wantRep)
+		}
+	}
+	if len(c.Admitted()) == 0 || len(c.Admitted()) == len(cands) {
+		t.Fatalf("admitted %d of %d: want a mix of accepts and refusals", len(c.Admitted()), len(cands))
+	}
+	// Duplicate-name candidate: identical wrapped validation error.
+	dup := c.Admitted()[0].Clone()
+	if _, _, err := c.TryAdmit(dup); err == nil ||
+		!strings.Contains(err.Error(), "duplicate flow name") ||
+		!errors.Is(err, model.ErrInvalidConfig) {
+		t.Fatalf("duplicate candidate: %v", err)
 	}
 }

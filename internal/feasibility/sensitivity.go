@@ -33,15 +33,25 @@ func AnalyzeSensitivity(fs *model.FlowSet, opt trajectory.Options) ([]Sensitivit
 	} else if !ok {
 		return nil, fmt.Errorf("feasibility: sensitivity analysis needs a feasible starting set")
 	}
+	// One warm analyzer serves every probe: each candidate is an
+	// UpdateFlow against the previous converged state (a delta
+	// re-analysis touching only the probed flow's interference
+	// closure), reverted before the next probe. Per-flow NonPreemption
+	// vectors pin option rows to flow indices, so mutation is refused
+	// there and the cold per-candidate rebuild is kept.
+	var probe *trajectory.Analyzer
+	if opt.NonPreemption == nil {
+		probe, _ = trajectory.NewAnalyzer(fs, opt)
+	}
 	out := make([]Sensitivity, fs.N())
 	for i := range fs.Flows {
 		s := Sensitivity{Flow: i}
 		var err error
-		s.MinPeriod, err = minPeriod(fs, opt, i)
+		s.MinPeriod, err = minPeriod(fs, opt, probe, i)
 		if err != nil {
 			return nil, err
 		}
-		s.MaxCostScalePercent, err = maxCostScale(fs, opt, i)
+		s.MaxCostScalePercent, err = maxCostScale(fs, opt, probe, i)
 		if err != nil {
 			return nil, err
 		}
@@ -71,6 +81,41 @@ func feasible(fs *model.FlowSet, opt trajectory.Options) (bool, error) {
 	return true, nil
 }
 
+// probeFeasible answers "is the set with flow i replaced by f still
+// feasible?". With a warm analyzer it applies the replacement via
+// UpdateFlow, queries bounds flow by flow, and reverts to the original
+// flow; without one it falls back to a cold rebuild. The probed flows
+// only vary Period and Cost, so the mutation cannot be rejected for
+// structural reasons; if it is anyway, the cold path decides.
+func probeFeasible(fs *model.FlowSet, opt trajectory.Options, probe *trajectory.Analyzer, i int, f *model.Flow) (bool, error) {
+	if probe != nil {
+		if err := probe.UpdateFlow(i, f); err == nil {
+			ok := true
+			for j, g := range probe.FlowSet().Flows {
+				r, err := probe.AnalyzeFlow(j)
+				if err != nil {
+					ok = false // overload: infeasible, not a caller error
+					break
+				}
+				if g.Deadline > 0 && r > g.Deadline {
+					ok = false
+					break
+				}
+			}
+			if err := probe.UpdateFlow(i, fs.Flows[i].Clone()); err == nil {
+				return ok, nil
+			}
+			// Revert failed (cannot happen for the probes we build):
+			// the warm state is unusable, answer cold.
+		}
+	}
+	cand, err := withFlow(fs, i, f)
+	if err != nil {
+		return false, err
+	}
+	return feasible(cand, opt)
+}
+
 // withFlow rebuilds the flow set with flow i replaced.
 func withFlow(fs *model.FlowSet, i int, f *model.Flow) (*model.FlowSet, error) {
 	flows := make([]*model.Flow, fs.N())
@@ -85,16 +130,12 @@ func withFlow(fs *model.FlowSet, i int, f *model.Flow) (*model.FlowSet, error) {
 }
 
 // minPeriod binary-searches the smallest feasible Ti.
-func minPeriod(fs *model.FlowSet, opt trajectory.Options, i int) (model.Time, error) {
+func minPeriod(fs *model.FlowSet, opt trajectory.Options, probe *trajectory.Analyzer, i int) (model.Time, error) {
 	lo, hi := model.Time(1), fs.Flows[i].Period
 	check := func(t model.Time) (bool, error) {
 		f := fs.Flows[i].Clone()
 		f.Period = t
-		cand, err := withFlow(fs, i, f)
-		if err != nil {
-			return false, err
-		}
-		return feasible(cand, opt)
+		return probeFeasible(fs, opt, probe, i, f)
 	}
 	// The starting period is feasible; shrink from there. Feasibility
 	// is monotone in Ti for all implemented analyses (interference
@@ -116,7 +157,7 @@ func minPeriod(fs *model.FlowSet, opt trajectory.Options, i int) (model.Time, er
 
 // maxCostScale binary-searches the largest feasible uniform cost
 // scaling, in percent of the current costs.
-func maxCostScale(fs *model.FlowSet, opt trajectory.Options, i int) (int, error) {
+func maxCostScale(fs *model.FlowSet, opt trajectory.Options, probe *trajectory.Analyzer, i int) (int, error) {
 	check := func(percent int) (bool, error) {
 		f := fs.Flows[i].Clone()
 		for k := range f.Cost {
@@ -125,11 +166,7 @@ func maxCostScale(fs *model.FlowSet, opt trajectory.Options, i int) (int, error)
 				f.Cost[k] = 1
 			}
 		}
-		cand, err := withFlow(fs, i, f)
-		if err != nil {
-			return false, err
-		}
-		return feasible(cand, opt)
+		return probeFeasible(fs, opt, probe, i, f)
 	}
 	lo, hi := 100, 100
 	// Exponential probe upward, then binary search.

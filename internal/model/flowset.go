@@ -1,5 +1,7 @@
 package model
 
+import "sync"
+
 // FlowSet bundles a network with a validated set of flows and
 // precomputes the pairwise path relations that every analysis consumes.
 type FlowSet struct {
@@ -7,7 +9,12 @@ type FlowSet struct {
 	Flows []*Flow
 
 	// rel[i][j] is the relation of interferer j against flow i's path.
-	rel [][]PathRelation
+	// Built lazily (ensureRel): the incremental analysis engine never
+	// reads it — it derives prefix relations from nodeIdx — so the
+	// copy-on-write mutation constructors (delta.go) can skip the O(n²)
+	// table entirely and only reference-path consumers pay for it.
+	rel     [][]PathRelation
+	relOnce sync.Once
 	// nodeIdx[i][h] is the position of node h on flow i's path; absent
 	// nodes have no entry. It backs the O(1) PathIndex/CostOf lookups
 	// the analysis hot paths rely on.
@@ -17,39 +24,51 @@ type FlowSet struct {
 	sminPre [][]Time
 }
 
-// initDerived builds the per-flow node indexes, Smin prefix sums and the
-// pairwise relation table. Shared by both constructors.
+// derivedRow computes one flow's node index and Smin prefix row.
+func (fs *FlowSet) derivedRow(f *Flow) (map[NodeID]int, []Time) {
+	idx := make(map[NodeID]int, len(f.Path))
+	pre := make([]Time, len(f.Path))
+	var acc Time
+	var sat bool
+	for k, h := range f.Path {
+		idx[h] = k
+		pre[k] = acc
+		// Saturating: a prefix sum that leaves the finite domain
+		// clamps to TimeInfinity, and every consumer threading it
+		// through the saturating ops inherits the sticky flag (the
+		// bound then degrades to an Unbounded verdict, never to a
+		// wrapped number).
+		acc = AddSat(acc, AddSat(f.Cost[k], fs.Net.Lmin, &sat), &sat)
+	}
+	return idx, pre
+}
+
+// initDerived builds the per-flow node indexes and Smin prefix sums.
+// Shared by both constructors; the pairwise relation table is deferred
+// to ensureRel.
 func (fs *FlowSet) initDerived() {
 	fs.nodeIdx = make([]map[NodeID]int, len(fs.Flows))
 	fs.sminPre = make([][]Time, len(fs.Flows))
 	for i, f := range fs.Flows {
-		idx := make(map[NodeID]int, len(f.Path))
-		pre := make([]Time, len(f.Path))
-		var acc Time
-		var sat bool
-		for k, h := range f.Path {
-			idx[h] = k
-			pre[k] = acc
-			// Saturating: a prefix sum that leaves the finite domain
-			// clamps to TimeInfinity, and every consumer threading it
-			// through the saturating ops inherits the sticky flag (the
-			// bound then degrades to an Unbounded verdict, never to a
-			// wrapped number).
-			acc = AddSat(acc, AddSat(f.Cost[k], fs.Net.Lmin, &sat), &sat)
-		}
-		fs.nodeIdx[i] = idx
-		fs.sminPre[i] = pre
+		fs.nodeIdx[i], fs.sminPre[i] = fs.derivedRow(f)
 	}
-	fs.rel = make([][]PathRelation, len(fs.Flows))
-	for i, fi := range fs.Flows {
-		fs.rel[i] = make([]PathRelation, len(fs.Flows))
-		for j, fj := range fs.Flows {
-			if i == j {
-				continue
+}
+
+// ensureRel builds the pairwise relation table on first use. Safe for
+// concurrent readers: analyses fan path views out across goroutines.
+func (fs *FlowSet) ensureRel() {
+	fs.relOnce.Do(func() {
+		fs.rel = make([][]PathRelation, len(fs.Flows))
+		for i, fi := range fs.Flows {
+			fs.rel[i] = make([]PathRelation, len(fs.Flows))
+			for j, fj := range fs.Flows {
+				if i == j {
+					continue
+				}
+				fs.rel[i][j] = Relate(fi, fj)
 			}
-			fs.rel[i][j] = Relate(fi, fj)
 		}
-	}
+	})
 }
 
 // NewFlowSet validates the network and flows, verifies Assumption 1
@@ -119,6 +138,7 @@ func (fs *FlowSet) N() int { return len(fs.Flows) }
 // Relation returns the precomputed relation of interferer j against
 // flow i's path.
 func (fs *FlowSet) Relation(i, j int) PathRelation {
+	fs.ensureRel()
 	return fs.rel[i][j]
 }
 
@@ -192,6 +212,7 @@ func (fs *FlowSet) PrefixRelation(i, plen, j int) PathRelation {
 // Interferers returns the indices of flows whose paths intersect flow
 // i's path (excluding i itself).
 func (fs *FlowSet) Interferers(i int) []int {
+	fs.ensureRel()
 	var out []int
 	for j := range fs.Flows {
 		if j != i && fs.rel[i][j].Intersects {
@@ -287,6 +308,7 @@ func (fs *FlowSet) M(i int, h NodeID) (Time, error) {
 	if !ok {
 		return 0, Errorf(ErrInvalidConfig, "model.M: node %d not on path of flow %q", h, f.Name)
 	}
+	fs.ensureRel()
 	var s Time
 	var sat bool
 	for m := 0; m < k; m++ {
@@ -313,6 +335,7 @@ func (fs *FlowSet) M(i int, h NodeID) (Time, error) {
 // (same direction as flow i, including i itself) of C^h_j — the
 // "counted-twice packet" term of Lemma 2 at node h.
 func (fs *FlowSet) MaxSameDirCost(i int, h NodeID) Time {
+	fs.ensureRel()
 	maxC := fs.CostOf(i, h)
 	for j := range fs.Flows {
 		if j == i {

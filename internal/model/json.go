@@ -84,6 +84,11 @@ func (cfg *FlowSetConfig) BuildWithOriginals() (*FlowSet, []*Flow, error) {
 	return fs, flows, nil
 }
 
+// Build converts one flow configuration into a validated Flow —
+// the unit incremental callers (admission traces, delta mutations)
+// need, where whole-set Build is too coarse.
+func (fc *FlowConfig) Build() (*Flow, error) { return fc.build() }
+
 func (fc *FlowConfig) build() (*Flow, error) {
 	var class Class
 	switch fc.Class {

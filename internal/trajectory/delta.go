@@ -1,0 +1,491 @@
+package trajectory
+
+import (
+	"trajan/internal/model"
+)
+
+// Delta re-analysis: AddFlow / RemoveFlow / UpdateFlow mutate the
+// Analyzer's cached interference graph in place of a cold rebuild. A
+// mutation
+//
+//  1. derives the new flow set copy-on-write (model delta constructors),
+//  2. keeps every cached view whose interferer set the change cannot
+//     touch (flows whose paths do not intersect the changed flow) and
+//     drops only the reachable ones, and
+//  3. leaves a warm-start seed for the Smax prefix fixed point: the
+//     previously converged rows for untouched flows, the no-queue floor
+//     for the flows whose equations changed.
+//
+// Soundness of the warm start (see DESIGN.md §6): the sweep is a
+// max-update chaotic iteration of a monotone operator F, so from any
+// seed s with noqueue ≤ s ≤ lfp(F) it converges to exactly lfp(F).
+// Adding a flow only grows F pointwise, so the old fixed point is a
+// valid under-seed; removing or updating a flow can shrink F, so every
+// row in the interference closure of the changed flow restarts from the
+// no-queue floor while rows outside the closure — whose equations form
+// an unchanged, self-contained subsystem — keep their converged values.
+// A flow-granular dirty set over-approximates the slots whose equations
+// changed; a spurious mark only costs one no-op re-evaluation.
+//
+// Differential tests (delta_test.go) pin the results of every mutated
+// analyzer, including error strings and Unbounded verdicts, to a cold
+// NewAnalyzer over the same flow set.
+
+// maxUndoDepth bounds the AddFlow snapshot chain; deeper chains drop
+// their oldest entry (the corresponding RemoveFlow then takes the
+// general path, which is still correct, just not O(1)).
+const maxUndoDepth = 32
+
+// undoSnap captures the Analyzer's complete pre-AddFlow state. AddFlow
+// never mutates the structures a snapshot aliases — it builds fresh
+// outer arrays and a fresh seed table — so restoring is O(1) and
+// bit-exact.
+type undoSnap struct {
+	prev      *undoSnap
+	fs        *model.FlowSet
+	full      []*viewCache
+	prefix    [][]*viewCache
+	entryBase []int
+	nEntries  int
+
+	smax      smaxTable
+	sweeps    int
+	converged bool
+	smaxDone  bool
+	smaxErr   error
+
+	pendingSeed  smaxTable
+	pendingDirty []bool
+}
+
+// mutable rejects mutations on configurations whose options index into
+// the flow list: per-flow NonPreemption vectors cannot be remapped on
+// the caller's behalf.
+func (a *Analyzer) mutable() error {
+	if a.opt.NonPreemption != nil {
+		return model.Errorf(model.ErrInvalidConfig,
+			"trajectory: cannot mutate an analyzer configured with per-flow NonPreemption vectors")
+	}
+	return nil
+}
+
+// warmEligible reports whether the next fixed point may start from the
+// previous state: either a converged table exists, or an earlier
+// mutation already left a valid under-seed behind.
+func (a *Analyzer) warmEligible() bool {
+	if a.opt.Smax != SmaxPrefixFixpoint {
+		return false
+	}
+	if a.pendingSeed != nil {
+		return true
+	}
+	return a.smaxDone && a.smaxErr == nil && a.converged
+}
+
+// seedSource returns the table warm seeds copy their untouched rows
+// from, and whether its rows are uniformly dirty (a cancellation mid
+// warm run widens the dirty set to everything).
+func (a *Analyzer) seedSource() (src smaxTable, srcDirty []bool, allDirty bool) {
+	if a.pendingSeed != nil {
+		return a.pendingSeed, a.pendingDirty, a.pendingDirty == nil
+	}
+	return a.smax, nil, false
+}
+
+// intersectors returns, per flow index of fs, whether that flow's path
+// intersects flow i's (i itself excluded).
+func intersectors(fs *model.FlowSet, i int) []bool {
+	nbr := make([]bool, fs.N())
+	plen := len(fs.Flows[i].Path)
+	for j := range nbr {
+		if j != i && fs.PrefixRelation(i, plen, j).Intersects {
+			nbr[j] = true
+		}
+	}
+	return nbr
+}
+
+// closureFrom expands a seed set of flows to its transitive closure
+// under path intersection in fs — the subsystem of Smax equations that
+// a change inside the seed can reach. Flows outside the closure neither
+// read nor feed any closure entry, so their converged rows survive a
+// removal or update intact.
+func closureFrom(fs *model.FlowSet, seed []bool) []bool {
+	in := make([]bool, fs.N())
+	queue := make([]int, 0, fs.N())
+	for j, s := range seed {
+		if s {
+			in[j] = true
+			queue = append(queue, j)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		plen := len(fs.Flows[x].Path)
+		for y := range in {
+			if !in[y] && y != x && fs.PrefixRelation(x, plen, y).Intersects {
+				in[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return in
+}
+
+// addEntryRead appends entry (flow, k) to a readIDs list, deduplicated,
+// against an explicit entry base (remapping runs while the Analyzer
+// still holds the pre-mutation bases).
+func addEntryRead(ids []int, entryBase []int, flow, k int) []int {
+	id := entryBase[flow] + k
+	for _, e := range ids {
+		if e == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+// remapView rewrites a kept view for a mutated flow list: flow indexes
+// above `removed` shift down by one (removed < 0 means no shift, only
+// the entry ids changed) and the read set is rebuilt against the new
+// entry bases. Only views that do NOT interfere with the changed flow
+// are ever remapped, so the cached constants (A offsets, M terms, slow
+// node, Bslow) remain exact. On a copy-on-write fork the view is cloned
+// first — the original stays aliased by the base Analyzer.
+func (a *Analyzer) remapView(vc *viewCache, removed int, entryBase []int) *viewCache {
+	if vc == nil {
+		return nil
+	}
+	if a.cow {
+		clone := *vc
+		clone.inter = append([]cachedInterferer(nil), vc.inter...)
+		clone.readIDs = append([]int(nil), vc.readIDs...)
+		vc = &clone
+	}
+	if removed >= 0 {
+		if vc.flow > removed {
+			vc.flow--
+		}
+		for x := range vc.inter {
+			if vc.inter[x].j > removed {
+				vc.inter[x].j--
+			}
+		}
+	}
+	ids := vc.readIDs[:0]
+	for x := range vc.inter {
+		in := &vc.inter[x]
+		ids = addEntryRead(ids, entryBase, vc.flow, in.iIdx)
+		ids = addEntryRead(ids, entryBase, in.j, in.jIdx)
+	}
+	vc.readIDs = ids
+	return vc
+}
+
+// remapPrefixRow remaps every built view of one flow's prefix row.
+func (a *Analyzer) remapPrefixRow(row []*viewCache, removed int, entryBase []int) []*viewCache {
+	if row == nil {
+		return nil
+	}
+	if a.cow {
+		row = append([]*viewCache(nil), row...)
+	}
+	for k := range row {
+		row[k] = a.remapView(row[k], removed, entryBase)
+	}
+	return row
+}
+
+// resetSmaxState drops the cached fixed point and its error latches: a
+// mutation gives the analyzer a new flow set, and a previously latched
+// divergence verdict no longer describes it.
+func (a *Analyzer) resetSmaxState() {
+	a.smax = nil
+	a.sweeps = 0
+	a.converged = false
+	a.smaxDone = false
+	a.smaxErr = nil
+}
+
+// pushUndo records the current state on the snapshot chain.
+func (a *Analyzer) pushUndo() {
+	if a.undoDepth >= maxUndoDepth {
+		s := a.undo
+		for s.prev != nil && s.prev.prev != nil {
+			s = s.prev
+		}
+		s.prev = nil
+		a.undoDepth--
+	}
+	a.undo = &undoSnap{
+		prev:      a.undo,
+		fs:        a.fs,
+		full:      a.full,
+		prefix:    a.prefix,
+		entryBase: a.entryBase,
+		nEntries:  a.nEntries,
+
+		smax:      a.smax,
+		sweeps:    a.sweeps,
+		converged: a.converged,
+		smaxDone:  a.smaxDone,
+		smaxErr:   a.smaxErr,
+
+		pendingSeed:  a.pendingSeed,
+		pendingDirty: a.pendingDirty,
+	}
+	a.undoDepth++
+}
+
+// restore pops one snapshot.
+func (a *Analyzer) restore(s *undoSnap) {
+	a.fs, a.full, a.prefix = s.fs, s.full, s.prefix
+	a.entryBase, a.nEntries = s.entryBase, s.nEntries
+	a.smax, a.sweeps, a.converged = s.smax, s.sweeps, s.converged
+	a.smaxDone, a.smaxErr = s.smaxDone, s.smaxErr
+	a.pendingSeed, a.pendingDirty = s.pendingSeed, s.pendingDirty
+	a.undo = s.prev
+	a.undoDepth--
+}
+
+// AddFlow admits a copy of f into the analyzer's flow set and returns
+// its index (always N()-1). Views of flows that do not intersect f are
+// kept; the Smax fixed point warm-starts from the previous converged
+// table, which remains a valid under-seed because an added flow only
+// grows the interference operator. On a validation error (invalid flow,
+// duplicate name, Assumption-1 violation — the exact errors NewFlowSet
+// would report) the analyzer is unchanged and remains usable.
+func (a *Analyzer) AddFlow(f *model.Flow) (idx int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			idx, err = 0, model.Errorf(model.ErrInternal, "trajectory: internal panic in AddFlow: %v", p)
+		}
+	}()
+	if err := a.mutable(); err != nil {
+		return 0, err
+	}
+	nfs, err := a.fs.WithFlowAdded(f)
+	if err != nil {
+		return 0, err
+	}
+	nOld := a.fs.N()
+	warm := a.warmEligible()
+	src, srcDirty, srcAllDirty := a.seedSource()
+
+	// Existing flows whose views gain the new interferer.
+	nbr := intersectors(nfs, nOld)
+
+	full := make([]*viewCache, nOld+1)
+	prefix := make([][]*viewCache, nOld+1)
+	for j := 0; j < nOld; j++ {
+		if nbr[j] {
+			continue // rebuilt lazily with the new interferer
+		}
+		// Entry ids of existing flows are unchanged (the new flow's
+		// entries append at the end), so untouched views carry over
+		// as-is — including their read sets.
+		full[j] = a.full[j]
+		prefix[j] = a.prefix[j]
+	}
+	entryBase := make([]int, nOld+1)
+	copy(entryBase, a.entryBase)
+	entryBase[nOld] = a.nEntries
+
+	var seed smaxTable
+	var dirty []bool
+	if warm {
+		seed = make(smaxTable, nOld+1)
+		dirty = make([]bool, nOld+1)
+		for j := 0; j < nOld; j++ {
+			seed[j] = append([]model.Time(nil), src[j]...)
+			dirty[j] = nbr[j] || srcAllDirty || (srcDirty != nil && srcDirty[j])
+		}
+		seed[nOld] = make([]model.Time, len(nfs.Flows[nOld].Path))
+		seed.fillNoQueueRow(nfs, nOld)
+		dirty[nOld] = true
+	}
+
+	a.pushUndo()
+	a.fs = nfs
+	a.full, a.prefix = full, prefix
+	a.entryBase = entryBase
+	a.nEntries += len(nfs.Flows[nOld].Path)
+	a.resetSmaxState()
+	a.pendingSeed, a.pendingDirty = seed, dirty
+	return nOld, nil
+}
+
+// RemoveFlow evicts the flow at index i; flows above it shift down by
+// one. Removing the most recently added flow (the admission-probe
+// reject path) restores the exact pre-AddFlow state in O(1) from the
+// snapshot chain. The general path remaps the kept views in place and
+// restarts the interference closure of the removed flow from the
+// no-queue floor; rows outside the closure keep their converged values.
+func (a *Analyzer) RemoveFlow(i int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = model.Errorf(model.ErrInternal, "trajectory: internal panic in RemoveFlow: %v", p)
+		}
+	}()
+	if err := a.mutable(); err != nil {
+		return err
+	}
+	if i < 0 || i >= a.fs.N() {
+		return model.Errorf(model.ErrInvalidConfig, "trajectory: flow index %d out of range [0,%d)", i, a.fs.N())
+	}
+	if i == a.fs.N()-1 && a.undo != nil && a.undo.fs.N() == i {
+		a.restore(a.undo)
+		return nil
+	}
+	nfs, err := a.fs.WithFlowRemoved(i)
+	if err != nil {
+		return err
+	}
+	nOld := a.fs.N()
+	warm := a.warmEligible()
+	src, srcDirty, srcAllDirty := a.seedSource()
+	nbr := intersectors(a.fs, i) // old indexes
+
+	// The general path invalidates the snapshot chain: snapshots alias
+	// view objects that are about to be remapped in place.
+	a.undo, a.undoDepth = nil, 0
+
+	entryBase := make([]int, nOld-1)
+	n := 0
+	for nj, f := range nfs.Flows {
+		entryBase[nj] = n
+		n += len(f.Path)
+	}
+
+	closureSeed := make([]bool, nOld-1)
+	for nj := range closureSeed {
+		oj := nj
+		if nj >= i {
+			oj = nj + 1
+		}
+		closureSeed[nj] = nbr[oj]
+	}
+	closure := closureFrom(nfs, closureSeed)
+
+	full := make([]*viewCache, nOld-1)
+	prefix := make([][]*viewCache, nOld-1)
+	var seed smaxTable
+	var dirty []bool
+	if warm {
+		seed = make(smaxTable, nOld-1)
+		dirty = make([]bool, nOld-1)
+	}
+	for nj := 0; nj < nOld-1; nj++ {
+		oj := nj
+		if nj >= i {
+			oj = nj + 1
+		}
+		if !nbr[oj] {
+			full[nj] = a.remapView(a.full[oj], i, entryBase)
+			prefix[nj] = a.remapPrefixRow(a.prefix[oj], i, entryBase)
+		}
+		if warm {
+			if closure[nj] {
+				seed[nj] = make([]model.Time, len(nfs.Flows[nj].Path))
+				seed.fillNoQueueRow(nfs, nj)
+				dirty[nj] = true
+			} else {
+				seed[nj] = append([]model.Time(nil), src[oj]...)
+				dirty[nj] = srcAllDirty || (srcDirty != nil && srcDirty[oj])
+			}
+		}
+	}
+
+	a.fs = nfs
+	a.full, a.prefix = full, prefix
+	a.entryBase, a.nEntries = entryBase, n
+	a.resetSmaxState()
+	a.pendingSeed, a.pendingDirty = seed, dirty
+	return nil
+}
+
+// UpdateFlow replaces the flow at index i with a copy of f (same
+// index, new parameters). Views of flows intersecting neither the old
+// nor the new flow survive; the interference closure of both restarts
+// from the no-queue floor. Validation errors leave the analyzer
+// unchanged.
+func (a *Analyzer) UpdateFlow(i int, f *model.Flow) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = model.Errorf(model.ErrInternal, "trajectory: internal panic in UpdateFlow: %v", p)
+		}
+	}()
+	if err := a.mutable(); err != nil {
+		return err
+	}
+	if i < 0 || i >= a.fs.N() {
+		return model.Errorf(model.ErrInvalidConfig, "trajectory: flow index %d out of range [0,%d)", i, a.fs.N())
+	}
+	nfs, err := a.fs.WithFlowUpdated(i, f)
+	if err != nil {
+		return err
+	}
+	n := a.fs.N()
+	warm := a.warmEligible()
+	src, srcDirty, srcAllDirty := a.seedSource()
+
+	oldNbr := intersectors(a.fs, i)
+	newNbr := intersectors(nfs, i)
+	affected := make([]bool, n)
+	for j := range affected {
+		affected[j] = j == i || oldNbr[j] || newNbr[j]
+	}
+	closure := closureFrom(nfs, affected)
+
+	a.undo, a.undoDepth = nil, 0
+
+	sameLen := len(nfs.Flows[i].Path) == len(a.fs.Flows[i].Path)
+	entryBase := a.entryBase
+	nEntries := a.nEntries
+	if !sameLen {
+		entryBase = make([]int, n)
+		nEntries = 0
+		for j, fl := range nfs.Flows {
+			entryBase[j] = nEntries
+			nEntries += len(fl.Path)
+		}
+	}
+
+	full := make([]*viewCache, n)
+	prefix := make([][]*viewCache, n)
+	var seed smaxTable
+	var dirty []bool
+	if warm {
+		seed = make(smaxTable, n)
+		dirty = make([]bool, n)
+	}
+	for j := 0; j < n; j++ {
+		if !affected[j] {
+			if sameLen {
+				full[j] = a.full[j]
+				prefix[j] = a.prefix[j]
+			} else {
+				full[j] = a.remapView(a.full[j], -1, entryBase)
+				prefix[j] = a.remapPrefixRow(a.prefix[j], -1, entryBase)
+			}
+		}
+		if warm {
+			if closure[j] {
+				seed[j] = make([]model.Time, len(nfs.Flows[j].Path))
+				seed.fillNoQueueRow(nfs, j)
+				dirty[j] = true
+			} else {
+				seed[j] = append([]model.Time(nil), src[j]...)
+				dirty[j] = srcAllDirty || (srcDirty != nil && srcDirty[j])
+			}
+		}
+	}
+
+	a.fs = nfs
+	a.full, a.prefix = full, prefix
+	a.entryBase, a.nEntries = entryBase, nEntries
+	a.resetSmaxState()
+	a.pendingSeed, a.pendingDirty = seed, dirty
+	return nil
+}

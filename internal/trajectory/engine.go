@@ -52,10 +52,31 @@ type Analyzer struct {
 	smaxDone  bool
 	smaxErr   error
 
-	scratch   evalScratch   // serial evaluation scratch
-	wscratch  []evalScratch // per-worker scratches for parallel sweeps
-	sdScratch []model.Time  // chooseSlow same-direction maxima scratch
+	// pendingSeed/pendingDirty carry warm-start state left behind by
+	// AddFlow/RemoveFlow/UpdateFlow (delta.go): a valid under-seed of the
+	// mutated set's Smax fixed point plus the per-flow dirty marks. The
+	// next ensureSmax consumes them instead of the no-queue seed.
+	pendingSeed  smaxTable
+	pendingDirty []bool
+
+	// undo is the chain of pre-AddFlow snapshots enabling the O(1)
+	// RemoveFlow fast path of an admission probe (add, analyze, reject).
+	// Any other mutation clears the chain.
+	undo      *undoSnap
+	undoDepth int
+
+	// cow marks a WhatIf fork: shared view caches must be cloned before
+	// any in-place patch (the base Analyzer and sibling forks alias them).
+	cow bool
+
+	scratch   evalScratch  // serial evaluation scratch
+	sdScratch []model.Time // chooseSlow same-direction maxima scratch
 }
+
+// FlowSet returns the analyzer's current flow set. After mutations the
+// set differs from the one NewAnalyzer was given; admission controllers
+// use this accessor to read the committed state back.
+func (a *Analyzer) FlowSet() *model.FlowSet { return a.fs }
 
 // NewAnalyzer validates the options against the flow set and prepares
 // an empty engine. All heavy precomputation happens lazily on the first
@@ -242,6 +263,15 @@ func (a *Analyzer) BoundsContext(ctx context.Context) (out []model.Time, err err
 // cancellation: ErrCanceled reflects the caller's context, not the
 // flow set, so it is returned without being latched and a later call
 // with a live context recomputes from scratch.
+//
+// When a mutation left warm-start state behind (pendingSeed), the
+// prefix fixed point is first attempted from that seed with only the
+// mutated flows dirty. A warm run that converges is the exact fixed
+// point (the seed sandwiches between the no-queue floor and the fixed
+// point, and the max-update iteration has a unique least prefixpoint
+// above any valid seed). A warm run that errors or hits the iteration
+// cap falls back to a full cold run so that error strings and
+// non-converged tables stay bit-identical to a fresh NewAnalyzer.
 func (a *Analyzer) ensureSmax(ctx context.Context) error {
 	if a.smaxDone {
 		return a.smaxErr
@@ -253,7 +283,27 @@ func (a *Analyzer) ensureSmax(ctx context.Context) error {
 		t.fillNoQueue(a.fs)
 		a.smax, a.sweeps, a.converged = t, 0, true
 	case SmaxPrefixFixpoint:
-		a.smax, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx)
+		if a.pendingSeed != nil {
+			a.smax, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx, a.pendingSeed, a.pendingDirty)
+			if errors.Is(err, model.ErrCanceled) {
+				// The partially advanced seed is still a valid
+				// under-seed (values only grow toward the fixed
+				// point), but the dirty bookkeeping of the aborted run
+				// is lost — widen to all-dirty for the retry.
+				a.pendingDirty = nil
+				a.smax = nil
+				return err
+			}
+			if err == nil && a.converged {
+				a.pendingSeed, a.pendingDirty = nil, nil
+				break
+			}
+			// Warm failure (divergence/overflow discovered in a
+			// different sweep order, or iteration cap): rerun cold for
+			// bit-identical errors and tables.
+			a.pendingSeed, a.pendingDirty = nil, nil
+		}
+		a.smax, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx, nil, nil)
 	case SmaxGlobalTail:
 		a.smax, a.sweeps, a.converged, err = a.engineGlobalTail(ctx)
 	default:
@@ -627,13 +677,19 @@ type engineJob struct {
 	dst *model.Time
 }
 
+// scratchPool recycles evaluation scratches across parallel sweeps and
+// across Analyzers: admission churn creates short bursts of parallel
+// evaluation on every mutation, and pooling keeps the steady state
+// allocation-free instead of growing a per-worker slice per Analyzer.
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
 // runJobs evaluates the jobs against an immutable Smax table, fanning
-// out across Options.workers() goroutines with per-worker scratches.
-// Every worker checks the context before claiming a job (so a
-// cancellation drains the pool within one sweep) and evaluates through
-// safeEval, which contains panics as ErrInternal. All goroutines are
-// always joined before returning — a failure leaks nothing. The first
-// error (by job order) is returned.
+// out across Options.workers() goroutines with pooled per-worker
+// scratches. Every worker checks the context before claiming a job (so
+// a cancellation drains the pool within one sweep) and evaluates
+// through safeEval, which contains panics as ErrInternal. All
+// goroutines are always joined before returning — a failure leaks
+// nothing. The first error (by job order) is returned.
 func (a *Analyzer) runJobs(ctx context.Context, jobs []engineJob, smax smaxTable) error {
 	workers := a.opt.workers()
 	if workers > len(jobs) {
@@ -652,17 +708,15 @@ func (a *Analyzer) runJobs(ctx context.Context, jobs []engineJob, smax smaxTable
 		}
 		return nil
 	}
-	if len(a.wscratch) < workers {
-		a.wscratch = make([]evalScratch, workers)
-	}
 	errs := make([]error, len(jobs))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			sc := &a.wscratch[w]
+			sc := scratchPool.Get().(*evalScratch)
+			defer scratchPool.Put(sc)
 			for {
 				if ctx.Err() != nil {
 					return
@@ -678,7 +732,7 @@ func (a *Analyzer) runJobs(ctx context.Context, jobs []engineJob, smax smaxTable
 				}
 				*jobs[k].dst = r
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 	if err := ctxErr(ctx); err != nil {
@@ -725,10 +779,21 @@ func (a *Analyzer) buildReverse(views []*viewCache) [][]int {
 // table in place. The fixed point is identical to the reference's —
 // a clean slot's bound is a pure function of its unchanged inputs, so
 // skipping it cannot alter any iterate.
-func (a *Analyzer) enginePrefixFixpoint(ctx context.Context) (smaxTable, int, bool, error) {
+//
+// A nil seed selects the cold no-queue floor with every slot dirty. A
+// non-nil seed warm-starts the iteration from a table that must lie
+// between the no-queue floor and the fixed point, with dirtyFlows
+// marking the flows whose slots need re-evaluation (nil = all): a slot
+// of a clean flow must already satisfy its equation at the seed, so it
+// is touched only when dirty propagation reaches it. The seed table is
+// taken over and mutated in place.
+func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dirtyFlows []bool) (smaxTable, int, bool, error) {
 	fs, opt := a.fs, a.opt
-	t := newSmaxTable(fs)
-	t.fillNoQueue(fs)
+	t := seed
+	if t == nil {
+		t = newSmaxTable(fs)
+		t.fillNoQueue(fs)
+	}
 	horizon := opt.horizon()
 
 	total := 0
@@ -757,7 +822,7 @@ func (a *Analyzer) enginePrefixFixpoint(ctx context.Context) (smaxTable, int, bo
 	jobs := make([]engineJob, 0, len(slots))
 	dirty := make([]bool, len(slots))
 	for m := range dirty {
-		dirty[m] = true
+		dirty[m] = dirtyFlows == nil || dirtyFlows[slots[m].i]
 	}
 	entryChanged := make([]bool, a.nEntries)
 	changed := make([]int, 0, a.nEntries)

@@ -68,16 +68,24 @@ func (t smaxTable) equal(u smaxTable) bool {
 // fillNoQueue sets the queueing-free estimate: the release jitter plus
 // all upstream processing plus Lmax per link.
 func (t smaxTable) fillNoQueue(fs *model.FlowSet) {
-	for i, f := range fs.Flows {
-		acc := f.Jitter
-		var sat bool
-		for k := range f.Path {
-			t[i][k] = acc
-			// A railed entry stays on the rail; every consumer reads it
-			// through saturating ops, so it degrades to an Unbounded
-			// verdict rather than wrapping.
-			acc = model.AddSat(acc, model.AddSat(f.Cost[k], fs.Net.Lmax, &sat), &sat)
-		}
+	for i := range fs.Flows {
+		t.fillNoQueueRow(fs, i)
+	}
+}
+
+// fillNoQueueRow seeds one flow's row with the queueing-free estimate —
+// the per-flow unit the delta layer uses when only some rows restart
+// from the floor.
+func (t smaxTable) fillNoQueueRow(fs *model.FlowSet, i int) {
+	f := fs.Flows[i]
+	acc := f.Jitter
+	var sat bool
+	for k := range f.Path {
+		t[i][k] = acc
+		// A railed entry stays on the rail; every consumer reads it
+		// through saturating ops, so it degrades to an Unbounded
+		// verdict rather than wrapping.
+		acc = model.AddSat(acc, model.AddSat(f.Cost[k], fs.Net.Lmax, &sat), &sat)
 	}
 }
 
