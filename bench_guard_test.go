@@ -1,0 +1,123 @@
+// Benchmark regression guard for the observability layer: with tracing
+// disabled (a nil obs.Tracer) the analysis hot paths must not regress
+// against the recorded trajectory in BENCH_trajectory.json. The guard
+// compares allocs/op — deterministic across machines — rather than
+// ns/op, which depends on the host the baseline was recorded on.
+package trajan_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"trajan/internal/trajectory"
+)
+
+// benchBaseline mirrors the runs array of BENCH_trajectory.json.
+type benchBaseline struct {
+	Runs []struct {
+		Label      string `json:"label"`
+		Benchmarks map[string]struct {
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp int64   `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	} `json:"runs"`
+}
+
+// baselineAllocs returns the most recently recorded allocs/op for a
+// benchmark name, scanning runs newest-last.
+func baselineAllocs(t *testing.T, name string) int64 {
+	t.Helper()
+	raw, err := os.ReadFile("BENCH_trajectory.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	found := int64(-1)
+	for _, run := range base.Runs {
+		if b, ok := run.Benchmarks[name]; ok {
+			found = b.AllocsPerOp
+		}
+	}
+	if found < 0 {
+		t.Fatalf("baseline has no entry for %s", name)
+	}
+	return found
+}
+
+// TestBenchGuardAdmissionChurn re-runs the warm admission loop of
+// BenchmarkAdmissionChurn/flows64 with tracing disabled and fails if
+// allocs/op drift more than 5% above the recorded baseline — the
+// zero-overhead-when-disabled contract of the obs layer.
+func TestBenchGuardAdmissionChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		fs := staggeredSet(b, 64, 5)
+		a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Bounds(); err != nil {
+			b.Fatal(err)
+		}
+		probe := probeFlow(64, 5)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx, err := a.AddFlow(probe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.Bounds(); err != nil {
+				b.Fatal(err)
+			}
+			if err := a.RemoveFlow(idx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	base := baselineAllocs(t, "BenchmarkAdmissionChurn/flows64")
+	limit := base + base/20
+	if got := res.AllocsPerOp(); got > limit {
+		t.Errorf("AdmissionChurn/flows64: %d allocs/op, baseline %d (+5%% = %d)", got, base, limit)
+	} else {
+		t.Logf("AdmissionChurn/flows64: %d allocs/op (baseline %d)", got, base)
+	}
+}
+
+// TestBenchGuardAnalyzerReuse pins the amortized per-flow query against
+// a converged table at its recorded baseline: allocation-free. Any
+// allocation on this path — a tracer event built despite the nil check,
+// say — fails the guard outright.
+func TestBenchGuardAnalyzerReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	const n = 32
+	res := testing.Benchmark(func(b *testing.B) {
+		fs := tandemSet(b, n, 5)
+		a, err := trajectory.NewAnalyzer(fs, trajectory.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Bounds(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.AnalyzeFlow(i % n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	base := baselineAllocs(t, "BenchmarkAnalyzerReuse/flows32")
+	if got := res.AllocsPerOp(); got > base {
+		t.Errorf("AnalyzerReuse/flows32: %d allocs/op, baseline %d", got, base)
+	}
+}

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	trajan -config flows.json [-method all|trajectory|holistic|netcalc]
-//	       [-smax prefix|tail|noqueue] [-ef] [-detail] [-sensitivity]
-//	       [-timeout 30s] [-workers N] [-cpuprofile f] [-memprofile f]
-//	trajan -admit trace.json
+//	       [-smax prefix|tail|noqueue] [-ef] [-detail] [-explain flow]
+//	       [-sensitivity] [-timeout 30s] [-workers N]
+//	       [-trace events.json] [-metrics-addr :9090] [-metrics-dump]
+//	       [-cpuprofile f] [-memprofile f]
+//	trajan -admit churn.json [same observability and tuning flags]
+//	trajan -trace-report events.json
 //
 // With no -config the paper's Section-5 example is analysed.
 //
@@ -16,6 +19,16 @@
 // updates) through the warm admission engine: each add is tested by a
 // delta re-analysis of the running flow set and reverted when refused,
 // so the replay cost tracks the change size, not the set size.
+//
+// Observability (see docs/OBSERVABILITY.md): -trace streams a
+// replayable JSON event log of the analysis — fixed-point sweeps,
+// warm-start outcomes, mutations, admission decisions, and each flow's
+// exact bound decomposition. -trace-report renders such a log as a
+// "why is Ri what it is" breakdown, re-verifying that every
+// decomposition sums to the reported bound. -metrics-addr serves the
+// aggregated metrics registry over HTTP (/metrics in Prometheus text
+// format, /vars as JSON) for the duration of the run; -metrics-dump
+// prints the registry after the run.
 //
 // The process exit code is the analysis verdict, so the tool can gate
 // admission scripts directly:
@@ -39,6 +52,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -48,6 +63,7 @@ import (
 	"trajan/internal/holistic"
 	"trajan/internal/model"
 	"trajan/internal/netcalc"
+	"trajan/internal/obs"
 	"trajan/internal/report"
 	"trajan/internal/trajectory"
 )
@@ -98,11 +114,18 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 		timeout     = fl.Duration("timeout", 0, "abort the analysis after this duration (exit 3); 0 disables the budget")
 		admitPath   = fl.String("admit", "", "churn-trace JSON: replay add/remove/update events through the warm admission engine")
 		workers     = fl.Int("workers", 0, "fixpoint/evaluation parallelism (0 = GOMAXPROCS, 1 = serial)")
+		tracePath   = fl.String("trace", "", "write a structured JSON event log of the analysis to this file (see docs/OBSERVABILITY.md)")
+		traceReport = fl.String("trace-report", "", "render a previously written -trace log as a bound-decomposition report and exit")
+		metricsAddr = fl.String("metrics-addr", "", "serve /metrics (Prometheus text) and /vars (JSON) on this address for the duration of the run")
+		metricsDump = fl.Bool("metrics-dump", false, "print the metrics registry in Prometheus text format after the run")
 		cpuProfile  = fl.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = fl.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fl.Parse(args); err != nil {
 		return false, model.Classify(model.ErrInvalidConfig, err)
+	}
+	if *traceReport != "" {
+		return runTraceReport(*traceReport, out)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -152,6 +175,46 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 	default:
 		return false, model.Errorf(model.ErrInvalidConfig, "unknown -smax %q", *smaxMode)
 	}
+
+	var tracers []obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return false, model.Classify(model.ErrInvalidConfig, err)
+		}
+		defer f.Close()
+		jt := obs.NewJSONTracer(f)
+		tracers = append(tracers, jt)
+		defer func() {
+			if err := jt.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trajan: trace:", err)
+			}
+		}()
+	}
+	if *metricsAddr != "" || *metricsDump {
+		metrics := obs.NewMetrics()
+		metrics.GaugeFunc("trajan_scratch_pool_news", trajectory.ScratchPoolNews)
+		tracers = append(tracers, metrics)
+		if *metricsAddr != "" {
+			ln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				return false, model.Classify(model.ErrInvalidConfig, err)
+			}
+			srv := &http.Server{Handler: metrics.Handler()}
+			go func() { _ = srv.Serve(ln) }()
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "trajan: serving metrics on http://%s/metrics\n", ln.Addr())
+		}
+		if *metricsDump {
+			defer func() {
+				fmt.Fprintln(out)
+				if err := metrics.WritePrometheus(out); err != nil {
+					fmt.Fprintln(os.Stderr, "trajan: metrics:", err)
+				}
+			}()
+		}
+	}
+	opt.Tracer = obs.Tee(tracers...)
 
 	if *admitPath != "" {
 		return runAdmit(ctx, *admitPath, opt, out)
@@ -395,6 +458,11 @@ func runAdmit(ctx context.Context, path string, opt trajectory.Options, out io.W
 		}
 		return fmt.Sprintf("%d", s)
 	}
+	emitDecision := func(flow, outcome string) {
+		if tr := opt.Tracer; tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvAdmission, Flow: flow, Op: "churn", Outcome: outcome})
+		}
+	}
 
 	for k, ev := range trace.Events {
 		switch ev.Op {
@@ -438,10 +506,12 @@ func runAdmit(ctx context.Context, path string, opt trajectory.Options, out io.W
 				if err != nil {
 					reason = "rejected (unstable)"
 				}
+				emitDecision(f.Name, reason)
 				tab.AddRow(k, "add", f.Name, reason, flowCount(a), slackStr(minSlack))
 				continue
 			}
 			allFeasible = ok
+			emitDecision(f.Name, "admitted")
 			tab.AddRow(k, "add", f.Name, "admitted", flowCount(a), slackStr(minSlack))
 		case "remove":
 			i := findFlow(ev.Name)
@@ -501,6 +571,26 @@ func flowCount(a *trajectory.Analyzer) int {
 		return 0
 	}
 	return a.FlowSet().N()
+}
+
+// runTraceReport renders a -trace log as the bound-decomposition report.
+// A log whose decompositions fail to re-sum to their reported bounds is
+// corrupt input: the report is still written (mismatches flagged inline)
+// and the process exits with the invalid-configuration code.
+func runTraceReport(path string, out io.Writer) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, model.Classify(model.ErrInvalidConfig, err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		return false, model.Classify(model.ErrInvalidConfig, err)
+	}
+	if err := report.RenderTrace(out, events); err != nil {
+		return false, model.Classify(model.ErrInvalidConfig, err)
+	}
+	return true, nil
 }
 
 func runEF(ctx context.Context, fs *model.FlowSet, opt trajectory.Options, out io.Writer) (bool, error) {

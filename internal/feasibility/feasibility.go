@@ -11,6 +11,7 @@ import (
 
 	"trajan/internal/ef"
 	"trajan/internal/model"
+	"trajan/internal/obs"
 	"trajan/internal/trajectory"
 )
 
@@ -112,6 +113,16 @@ func (c *Controller) Preload(flows ...*model.Flow) {
 // Admitted returns the currently admitted flows.
 func (c *Controller) Admitted() []*model.Flow { return c.admitted }
 
+// emitDecision records one admission verdict on the configured tracer:
+// Op names the path taken (warm delta re-analysis vs cold rebuild),
+// Outcome starts with "admitted" or "rejected" (the metrics aggregation
+// keys on the first word).
+func (c *Controller) emitDecision(op, flow, outcome string) {
+	if tr := c.opt.Tracer; tr != nil {
+		tr.Emit(obs.Event{Type: obs.EvAdmission, Op: op, Flow: flow, Outcome: outcome})
+	}
+}
+
 // TryAdmit tests the candidate flow against the current set. On
 // success the flow is committed and the post-admission report returned;
 // on refusal the state is unchanged and the hypothetical report
@@ -136,6 +147,7 @@ func (c *Controller) TryAdmit(f *model.Flow) (bool, *Report, error) {
 		// failure; anything else — bad config, cancellation, an internal
 		// panic — propagates to the caller.
 		if errors.Is(err, model.ErrUnstable) || errors.Is(err, model.ErrOverflow) {
+			c.emitDecision("cold", f.Name, "rejected (unstable)")
 			return false, &Report{Method: "trajectory-ef", AllFeasible: false}, nil
 		}
 		return false, nil, err
@@ -163,10 +175,12 @@ func (c *Controller) TryAdmit(f *model.Flow) (bool, *Report, error) {
 		rep.Verdicts = append(rep.Verdicts, v)
 	}
 	if !rep.AllFeasible {
+		c.emitDecision("cold", f.Name, "rejected")
 		return false, rep, nil
 	}
 	c.admitted = append(c.admitted, f.Clone())
 	c.warm = nil // the cold path mutated the set behind the warm engine
+	c.emitDecision("cold", f.Name, "admitted")
 	return true, rep, nil
 }
 
@@ -226,6 +240,7 @@ func (c *Controller) tryAdmitWarm(f *model.Flow) (ok bool, rep *Report, err erro
 	if aerr != nil {
 		revert()
 		if errors.Is(aerr, model.ErrUnstable) || errors.Is(aerr, model.ErrOverflow) {
+			c.emitDecision("warm", f.Name, "rejected (unstable)")
 			return false, &Report{Method: "trajectory-ef", AllFeasible: false}, nil, true
 		}
 		return false, nil, aerr, true
@@ -253,8 +268,10 @@ func (c *Controller) tryAdmitWarm(f *model.Flow) (ok bool, rep *Report, err erro
 	}
 	if !rep.AllFeasible {
 		revert()
+		c.emitDecision("warm", f.Name, "rejected")
 		return false, rep, nil, true
 	}
 	c.admitted = append(c.admitted, f.Clone())
+	c.emitDecision("warm", f.Name, "admitted")
 	return true, rep, nil, true
 }

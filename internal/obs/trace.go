@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONTracer streams events to a writer as JSON Lines — one compact
+// JSON object per event, in emission (Seq) order. The log is
+// "replayable": ReadEvents round-trips it into []Event, which
+// internal/report renders and tests verify against the reported
+// bounds. Emissions are serialized by a mutex, so one tracer may be
+// shared by parallel WhatIf workers; Seq is assigned under the lock
+// and is therefore gapless and strictly increasing in file order.
+type JSONTracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	seq int64
+	err error
+}
+
+// NewJSONTracer wraps w. The caller retains ownership of w (closing a
+// backing file after the analysis is the caller's job); every event is
+// written eagerly, so there is nothing to flush.
+func NewJSONTracer(w io.Writer) *JSONTracer {
+	return &JSONTracer{w: w, enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event. Write errors are latched (the engine cannot
+// usefully handle them mid-sweep) and reported by Err.
+func (t *JSONTracer) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	e.Seq = t.seq
+	t.err = t.enc.Encode(e)
+}
+
+// Err returns the first write error, if any. Callers check it once
+// after the analysis, next to closing the backing file.
+func (t *JSONTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// ReadEvents parses a JSON-Lines event log (the JSONTracer format; any
+// stream of concatenated JSON objects works). Unknown fields are
+// rejected so schema drift between writer and reader surfaces as an
+// error instead of silently dropped data.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var events []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("obs: decoding trace event %d: %w", len(events), err)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// Collector buffers events in memory, for tests and in-process
+// renderers. Seq is assigned at emission like JSONTracer's.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	e.Seq = int64(len(c.events)) + 1
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events in emission order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Reset drops all buffered events.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.events = nil
+	c.mu.Unlock()
+}

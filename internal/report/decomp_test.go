@@ -1,0 +1,137 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/obs"
+	"trajan/internal/trajectory"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// paperTrace runs the serial paper-example analysis under a collector
+// and returns the replayable event stream. Serial execution keeps the
+// stream deterministic, so the rendering can be pinned byte for byte.
+func paperTrace(t *testing.T) []obs.Event {
+	t.Helper()
+	var c obs.Collector
+	fs := model.PaperExample()
+	a, err := trajectory.NewAnalyzer(fs, trajectory.Options{Parallelism: 1, Tracer: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	// One warm mutation cycle so the narrative sections render too.
+	if idx, err := a.AddFlow(model.UniformFlow("probe", 72, 0, 0, 2, 1, 3)); err != nil {
+		t.Fatal(err)
+	} else {
+		if _, err := a.Analyze(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.RemoveFlow(idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c.Events()
+}
+
+// TestRenderTraceGolden pins the full report for the paper example.
+// Regenerate with -update after intentional format changes and review
+// the diff by hand.
+func TestRenderTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTrace(&buf, paperTrace(t)); err != nil {
+		t.Fatalf("RenderTrace: %v", err)
+	}
+	golden := filepath.Join("testdata", "paper_trace.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRenderTraceVerifiesSums: the renderer re-checks every
+// decomposition; the paper example's five bounds all verify, and the
+// Table-2 values appear in the report.
+func TestRenderTraceVerifiesSums(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTrace(&buf, paperTrace(t)); err != nil {
+		t.Fatalf("RenderTrace: %v", err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "decomposition verified"); n < 5 {
+		t.Errorf("%d verified decompositions, want at least 5", n)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("spurious mismatch flagged:\n%s", out)
+	}
+	for _, want := range []string{`flow "tau1": R = 31`, `flow "tau2": R = 37`, `flow "tau5": R = 40`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestRenderTraceFlagsMismatch: a tampered decomposition is flagged
+// inline and turns the whole rendering into an error.
+func TestRenderTraceFlagsMismatch(t *testing.T) {
+	events := paperTrace(t)
+	tampered := false
+	for i := range events {
+		if events[i].Type == obs.EvFlowBound && events[i].Decomp != nil && !events[i].Decomp.Unbounded {
+			d := *events[i].Decomp
+			d.Links += 5
+			events[i].Decomp = &d
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no decomposition to tamper with")
+	}
+	var buf bytes.Buffer
+	err := RenderTrace(&buf, events)
+	if err == nil || !strings.Contains(err.Error(), "do not sum") {
+		t.Errorf("tampered trace rendered without error: %v", err)
+	}
+	if !strings.Contains(buf.String(), "MISMATCH") {
+		t.Errorf("mismatch not flagged inline:\n%s", buf.String())
+	}
+}
+
+// TestRenderTraceUnboundedAndBare: unbounded verdicts and events with
+// no decomposition render without panicking or failing verification.
+func TestRenderTraceUnboundedAndBare(t *testing.T) {
+	events := []obs.Event{
+		{Seq: 1, Type: obs.EvFlowBound, Flow: "sat", Value: model.TimeInfinity,
+			Decomp: &obs.BoundDecomp{R: model.TimeInfinity, Unbounded: true}},
+		{Seq: 2, Type: obs.EvSaturation, Flow: "sat", Op: "bound"},
+		{Seq: 3, Type: obs.EvFlowBound, Flow: "bare", Value: 17},
+	}
+	var buf bytes.Buffer
+	if err := RenderTrace(&buf, events); err != nil {
+		t.Fatalf("RenderTrace: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"unbounded", `flow "bare": R = 17`, "no decomposition"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package trajectory
 
 import (
 	"trajan/internal/model"
+	"trajan/internal/obs"
 )
 
 // Delta re-analysis: AddFlow / RemoveFlow / UpdateFlow mutate the
@@ -313,6 +314,9 @@ func (a *Analyzer) AddFlow(f *model.Flow) (idx int, err error) {
 	a.nEntries += len(nfs.Flows[nOld].Path)
 	a.resetSmaxState()
 	a.pendingSeed, a.pendingDirty = seed, dirty
+	if tr := a.opt.Tracer; tr != nil {
+		emitDelta(tr, "add", nfs.Flows[nOld].Name, warm, dirty)
+	}
 	return nOld, nil
 }
 
@@ -335,13 +339,18 @@ func (a *Analyzer) RemoveFlow(i int) (err error) {
 		return model.Errorf(model.ErrInvalidConfig, "trajectory: flow index %d out of range [0,%d)", i, a.fs.N())
 	}
 	if i == a.fs.N()-1 && a.undo != nil && a.undo.fs.N() == i {
+		name := a.fs.Flows[i].Name
 		a.restore(a.undo)
+		if tr := a.opt.Tracer; tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvDelta, Op: "remove", Flow: name, Outcome: "undo"})
+		}
 		return nil
 	}
 	nfs, err := a.fs.WithFlowRemoved(i)
 	if err != nil {
 		return err
 	}
+	name := a.fs.Flows[i].Name
 	nOld := a.fs.N()
 	warm := a.warmEligible()
 	src, srcDirty, srcAllDirty := a.seedSource()
@@ -402,6 +411,9 @@ func (a *Analyzer) RemoveFlow(i int) (err error) {
 	a.entryBase, a.nEntries = entryBase, n
 	a.resetSmaxState()
 	a.pendingSeed, a.pendingDirty = seed, dirty
+	if tr := a.opt.Tracer; tr != nil {
+		emitDelta(tr, "remove", name, warm, dirty)
+	}
 	return nil
 }
 
@@ -487,5 +499,8 @@ func (a *Analyzer) UpdateFlow(i int, f *model.Flow) (err error) {
 	a.entryBase, a.nEntries = entryBase, nEntries
 	a.resetSmaxState()
 	a.pendingSeed, a.pendingDirty = seed, dirty
+	if tr := a.opt.Tracer; tr != nil {
+		emitDelta(tr, "update", nfs.Flows[i].Name, warm, dirty)
+	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"trajan/internal/model"
+	"trajan/internal/obs"
 )
 
 // Analyzer is the incremental analysis engine: it precomputes, once per
@@ -130,6 +131,10 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (res *Result, err error) 
 			res, err = nil, model.Errorf(model.ErrInternal, "trajectory: internal panic in Analyze: %v", p)
 		}
 	}()
+	tr := a.opt.Tracer
+	if tr != nil {
+		tr.Emit(obs.Event{Type: obs.EvAnalysisStart, Flows: a.fs.N(), Mode: a.opt.Smax.String()})
+	}
 	if err := a.ensureSmax(ctx); err != nil {
 		return nil, err
 	}
@@ -190,6 +195,9 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (res *Result, err error) 
 			}
 		}
 		res.Details[i] = d
+		if tr != nil {
+			a.emitFlowBound(tr, i, &d)
+		}
 	}
 	return res, nil
 }
@@ -276,36 +284,71 @@ func (a *Analyzer) ensureSmax(ctx context.Context) error {
 	if a.smaxDone {
 		return a.smaxErr
 	}
+	tr := a.opt.Tracer
+	mode := a.opt.Smax.String()
 	var err error
 	switch a.opt.Smax {
 	case SmaxNoQueue:
 		t := newSmaxTable(a.fs)
 		t.fillNoQueue(a.fs)
 		a.smax, a.sweeps, a.converged = t, 0, true
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvSmaxDone, Mode: mode, Op: "cold", Outcome: "converged"})
+		}
 	case SmaxPrefixFixpoint:
 		if a.pendingSeed != nil {
+			if tr != nil {
+				tr.Emit(obs.Event{Type: obs.EvSmaxSeed, Op: "warm",
+					Dirty: countDirty(a.pendingDirty, a.fs.N())})
+			}
 			a.smax, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx, a.pendingSeed, a.pendingDirty)
 			if errors.Is(err, model.ErrCanceled) {
 				// The partially advanced seed is still a valid
 				// under-seed (values only grow toward the fixed
 				// point), but the dirty bookkeeping of the aborted run
 				// is lost — widen to all-dirty for the retry.
+				if tr != nil {
+					tr.Emit(obs.Event{Type: obs.EvSmaxDone, Mode: mode, Op: "warm",
+						Sweep: a.sweeps, Outcome: "canceled"})
+				}
 				a.pendingDirty = nil
 				a.smax = nil
 				return err
 			}
 			if err == nil && a.converged {
+				if tr != nil {
+					tr.Emit(obs.Event{Type: obs.EvSmaxDone, Mode: mode, Op: "warm",
+						Sweep: a.sweeps, Outcome: "converged"})
+				}
 				a.pendingSeed, a.pendingDirty = nil, nil
 				break
 			}
 			// Warm failure (divergence/overflow discovered in a
 			// different sweep order, or iteration cap): rerun cold for
 			// bit-identical errors and tables.
+			if tr != nil {
+				tr.Emit(obs.Event{Type: obs.EvSmaxDone, Mode: mode, Op: "warm",
+					Sweep: a.sweeps, Outcome: "fallback"})
+			}
 			a.pendingSeed, a.pendingDirty = nil, nil
 		}
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvSmaxSeed, Op: "cold", Dirty: a.fs.N()})
+		}
 		a.smax, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx, nil, nil)
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvSmaxDone, Mode: mode, Op: "cold",
+				Sweep: a.sweeps, Outcome: smaxOutcome(err, a.converged)})
+		}
 	case SmaxGlobalTail:
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvSmaxSeed, Op: "cold", Dirty: a.fs.N()})
+		}
 		a.smax, a.sweeps, a.converged, err = a.engineGlobalTail(ctx)
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvSmaxDone, Mode: mode, Op: "cold",
+				Sweep: a.sweeps, Outcome: smaxOutcome(err, a.converged)})
+		}
 	default:
 		err = model.Errorf(model.ErrInvalidConfig, "trajectory: unknown Smax mode %d", a.opt.Smax)
 	}
@@ -681,7 +724,21 @@ type engineJob struct {
 // across Analyzers: admission churn creates short bursts of parallel
 // evaluation on every mutation, and pooling keeps the steady state
 // allocation-free instead of growing a per-worker slice per Analyzer.
-var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+// scratchPoolNews counts pool misses (fresh allocations) — the churn
+// gauge exported by cmd/trajan's metrics endpoint; a steadily climbing
+// value under constant load means the GC is draining the pool faster
+// than the sweep cadence refills it.
+var (
+	scratchPoolNews atomic.Int64
+	scratchPool     = sync.Pool{New: func() any {
+		scratchPoolNews.Add(1)
+		return new(evalScratch)
+	}}
+)
+
+// ScratchPoolNews reports the cumulative number of evaluation scratches
+// allocated because the pool was empty (process-wide, monotone).
+func ScratchPoolNews() int64 { return scratchPoolNews.Load() }
 
 // runJobs evaluates the jobs against an immutable Smax table, fanning
 // out across Options.workers() goroutines with pooled per-worker
@@ -789,6 +846,7 @@ func (a *Analyzer) buildReverse(views []*viewCache) [][]int {
 // taken over and mutated in place.
 func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dirtyFlows []bool) (smaxTable, int, bool, error) {
 	fs, opt := a.fs, a.opt
+	tr := opt.Tracer
 	t := seed
 	if t == nil {
 		t = newSmaxTable(fs)
@@ -870,6 +928,10 @@ func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dir
 				}
 			}
 		}
+		if tr != nil {
+			tr.Emit(obs.Event{Type: obs.EvSmaxSweep, Sweep: sweep,
+				Evaluated: len(jobs), Changed: len(changed)})
+		}
 		if len(changed) == 0 {
 			return t, sweep, true, nil
 		}
@@ -893,6 +955,7 @@ func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dir
 // inputs).
 func (a *Analyzer) engineGlobalTail(ctx context.Context) (smaxTable, int, bool, error) {
 	fs, opt := a.fs, a.opt
+	tr := opt.Tracer
 	bounds := append([]model.Time(nil), opt.SeedBounds...)
 	if bounds == nil {
 		var err error
@@ -963,10 +1026,24 @@ func (a *Analyzer) engineGlobalTail(ctx context.Context) (smaxTable, int, bool, 
 			}
 		}
 		same := true
-		for i := range next {
-			if next[i] != bounds[i] {
-				same = false
-				break
+		if tr != nil {
+			// The sweep event wants the exact changed count, so the
+			// early-break comparison runs to completion when tracing.
+			nc := 0
+			for i := range next {
+				if next[i] != bounds[i] {
+					nc++
+				}
+			}
+			same = nc == 0
+			tr.Emit(obs.Event{Type: obs.EvSmaxSweep, Sweep: sweep,
+				Evaluated: len(jobs), Changed: nc})
+		} else {
+			for i := range next {
+				if next[i] != bounds[i] {
+					same = false
+					break
+				}
 			}
 		}
 		copy(bounds, next)

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"trajan/internal/model"
+	"trajan/internal/obs"
 )
 
 // This file holds the overflow- and cancellation-hardening primitives
@@ -43,6 +44,9 @@ func bslowFixpoint(name string, opt Options, selfPeriod, selfSlow model.Time, pe
 				"trajectory: busy period of flow %q overflows the time domain", name)
 		}
 		if nb == b {
+			if tr := opt.Tracer; tr != nil {
+				tr.Emit(obs.Event{Type: obs.EvBslow, Flow: name, Iters: iter + 1, Value: b})
+			}
 			return b, nil
 		}
 		if nb > horizon {

@@ -31,6 +31,7 @@ import (
 	"runtime"
 
 	"trajan/internal/model"
+	"trajan/internal/obs"
 )
 
 // SmaxMode selects how the analysis computes Smax^h_i, the maximum time
@@ -128,6 +129,17 @@ type Options struct {
 	// serial execution. Results are identical at any setting — the
 	// sweeps are pure functions of the previous iterate.
 	Parallelism int
+
+	// Tracer receives structured observability events: Smax fixed-point
+	// sweeps, warm-start seeding and outcomes, busy-period convergence,
+	// delta mutations, WhatIf batches, and per-flow bound
+	// decompositions (see internal/obs for the event schema). Nil
+	// disables tracing; every emission site is behind a nil check, so
+	// the disabled path stays allocation-free and within noise of the
+	// untraced engine (enforced by the benchmark guard tests). Tracing
+	// is observation only — results, errors and iteration counts are
+	// bit-identical with and without a tracer.
+	Tracer obs.Tracer
 }
 
 func (o Options) workers() int {

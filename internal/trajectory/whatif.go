@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"trajan/internal/model"
+	"trajan/internal/obs"
 )
 
 // Candidate describes one hypothetical mutation for WhatIf: exactly one
@@ -70,25 +71,40 @@ func (a *Analyzer) WhatIfContext(ctx context.Context, cands []Candidate) []WhatI
 	if workers > len(cands) {
 		workers = len(cands)
 	}
+	tr := a.opt.Tracer
+	if tr != nil {
+		tr.Emit(obs.Event{Type: obs.EvWhatIfBatch, Candidates: len(cands), Workers: workers})
+	}
 	run := func(k int) {
 		f := a.fork()
 		c := &cands[k]
 		var err error
+		op := "invalid"
 		switch {
 		case c.Add != nil:
+			op = "add"
 			_, err = f.AddFlow(c.Add)
 		case c.Update != nil:
+			op = "update"
 			err = f.UpdateFlow(c.Index, c.Update)
 		case c.Remove:
+			op = "remove"
 			err = f.RemoveFlow(c.Index)
 		default:
 			err = model.Errorf(model.ErrInvalidConfig, "trajectory: candidate %d specifies no mutation", k)
 		}
-		if err != nil {
+		if err == nil {
+			out[k].Result, out[k].Err = f.AnalyzeContext(ctx)
+		} else {
 			out[k].Err = err
-			return
 		}
-		out[k].Result, out[k].Err = f.AnalyzeContext(ctx)
+		if tr != nil {
+			outcome := "ok"
+			if out[k].Err != nil {
+				outcome = "err"
+			}
+			tr.Emit(obs.Event{Type: obs.EvWhatIfCand, Index: k + 1, Op: op, Outcome: outcome})
+		}
 	}
 	if workers <= 1 {
 		for k := range cands {
