@@ -53,10 +53,10 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"trajan/internal/ef"
 	"trajan/internal/feasibility"
@@ -65,6 +65,7 @@ import (
 	"trajan/internal/netcalc"
 	"trajan/internal/obs"
 	"trajan/internal/report"
+	"trajan/internal/serve"
 	"trajan/internal/trajectory"
 )
 
@@ -182,11 +183,15 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 		if err != nil {
 			return false, model.Classify(model.ErrInvalidConfig, err)
 		}
-		defer f.Close()
 		jt := obs.NewJSONTracer(f)
 		tracers = append(tracers, jt)
 		defer func() {
 			if err := jt.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trajan: trace:", err)
+			}
+			// A failed flush on close would silently truncate the log;
+			// report it like a tracer write error.
+			if err := f.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "trajan: trace:", err)
 			}
 		}()
@@ -200,9 +205,13 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 			if err != nil {
 				return false, model.Classify(model.ErrInvalidConfig, err)
 			}
-			srv := &http.Server{Handler: metrics.Handler()}
-			go func() { _ = srv.Serve(ln) }()
-			defer srv.Close()
+			// StartHTTP sets slowloris-safe timeouts and its stop function
+			// drains in-flight scrapes (Shutdown, not Close) and surfaces
+			// serve errors instead of dropping them.
+			stop := serve.StartHTTP(ln, metrics.Handler(), func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "trajan: metrics: "+format+"\n", a...)
+			})
+			defer stop(2 * time.Second)
 			fmt.Fprintf(os.Stderr, "trajan: serving metrics on http://%s/metrics\n", ln.Addr())
 		}
 		if *metricsDump {

@@ -1,0 +1,236 @@
+// Command trajand is the long-running admission-control daemon: an
+// HTTP/JSON service over one warm-start trajectory.Analyzer (package
+// internal/serve). Admit, release and renegotiate decisions are
+// serialized through a single-writer mutation loop with delta
+// re-analysis; bounds reads are served lock-free from immutable
+// snapshots; concurrent what-if probes are coalesced into batched
+// copy-on-write forks. See docs/SERVING.md for the API reference.
+//
+// Usage:
+//
+//	trajand -addr :8080 [-lmin 1 -lmax 1 | -preload flows.json]
+//	        [-smax prefix|tail|noqueue] [-workers N] [-queue 64]
+//	        [-request-timeout 5s] [-drain-timeout 10s]
+//	        [-trace events.json]
+//	trajand -loadgen churn.json -target http://host:8080
+//	        [-clients 8] [-repeat 4]
+//
+// The first form serves until SIGINT/SIGTERM, then shuts down
+// gracefully: new requests are refused (503), queued decisions drain,
+// in-flight HTTP exchanges finish within -drain-timeout. /metrics and
+// /vars expose the obs registry; -trace streams the full engine event
+// log (admissions included) as JSON Lines.
+//
+// The second form replays a churn trace (the `cmd/trajan -admit`
+// format, e.g. cmd/trajan/testdata/churn.json) against a running
+// daemon from -clients concurrent clients, -repeat times each, with
+// flow names namespaced per client — the benchmarking loadgen.
+//
+// Exit codes: 0 clean run, 2 invalid configuration or flags, 3 the
+// run was canceled, 4 internal error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trajan/internal/model"
+	"trajan/internal/obs"
+	"trajan/internal/serve"
+	"trajan/internal/trajectory"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trajand:", err)
+	}
+	os.Exit(code)
+}
+
+// exitCode maps a run outcome to the documented process exit code.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, model.ErrInvalidConfig):
+		return 2
+	case errors.Is(err, model.ErrCanceled):
+		return 3
+	default:
+		return 4
+	}
+}
+
+// onReady, when set (tests), receives the bound listener address once
+// the service is accepting requests.
+var onReady func(addr net.Addr)
+
+func run(ctx context.Context, args []string, out io.Writer) (int, error) {
+	err := runDaemon(ctx, args, out)
+	return exitCode(err), err
+}
+
+func runDaemon(ctx context.Context, args []string, out io.Writer) error {
+	fl := flag.NewFlagSet("trajand", flag.ContinueOnError)
+	var (
+		addr        = fl.String("addr", ":8080", "listen address of the admission API")
+		lmin        = fl.Int64("lmin", 1, "network minimum link delay (ignored with -preload)")
+		lmax        = fl.Int64("lmax", 1, "network maximum link delay (ignored with -preload)")
+		preload     = fl.String("preload", "", "flow-set JSON installed at startup without an admission test")
+		smaxMode    = fl.String("smax", "prefix", "Smax estimator: prefix|tail|noqueue")
+		workers     = fl.Int("workers", 0, "analysis and what-if parallelism (0 = GOMAXPROCS)")
+		queue       = fl.Int("queue", 0, "mutation/what-if queue depth before 429 backpressure (0 = 64)")
+		reqTimeout  = fl.Duration("request-timeout", 5*time.Second, "per-decision analysis budget (0 disables)")
+		drain       = fl.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget")
+		tracePath   = fl.String("trace", "", "write the JSON event log (engine + admission + HTTP events) to this file")
+		loadgenPath = fl.String("loadgen", "", "loadgen mode: replay this churn trace against -target and exit")
+		target      = fl.String("target", "", "loadgen: base URL of the daemon under load")
+		clients     = fl.Int("clients", 8, "loadgen: concurrent clients")
+		repeat      = fl.Int("repeat", 1, "loadgen: trace replays per client")
+	)
+	if err := fl.Parse(args); err != nil {
+		return model.Classify(model.ErrInvalidConfig, err)
+	}
+
+	if *loadgenPath != "" {
+		return runLoadgen(ctx, *loadgenPath, *target, *clients, *repeat, out)
+	}
+
+	opt := trajectory.Options{Parallelism: *workers}
+	switch *smaxMode {
+	case "prefix":
+		opt.Smax = trajectory.SmaxPrefixFixpoint
+	case "tail":
+		opt.Smax = trajectory.SmaxGlobalTail
+	case "noqueue":
+		opt.Smax = trajectory.SmaxNoQueue
+	default:
+		return model.Errorf(model.ErrInvalidConfig, "unknown -smax %q", *smaxMode)
+	}
+	if *workers < 0 {
+		return model.Errorf(model.ErrInvalidConfig, "-workers must be >= 0")
+	}
+
+	metrics := obs.NewMetrics()
+	metrics.GaugeFunc("trajan_scratch_pool_news", trajectory.ScratchPoolNews)
+	tracers := []obs.Tracer{metrics}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return model.Classify(model.ErrInvalidConfig, err)
+		}
+		jt := obs.NewJSONTracer(f)
+		tracers = append(tracers, jt)
+		defer func() {
+			// A failed flush on close silently truncates the log; report
+			// both the tracer's write error and the file's close error.
+			if err := jt.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trajand: trace:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trajand: trace:", err)
+			}
+		}()
+	}
+
+	cfg := serve.Config{
+		Network:        model.Network{Lmin: model.Time(*lmin), Lmax: model.Time(*lmax)},
+		Options:        opt,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTimeout,
+		Metrics:        metrics,
+	}
+	cfg.Options.Tracer = obs.Tee(tracers...)
+	if *preload != "" {
+		f, err := os.Open(*preload)
+		if err != nil {
+			return model.Classify(model.ErrInvalidConfig, err)
+		}
+		fs, err := model.ParseFlowSet(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Network = fs.Net
+		cfg.Preload = fs.Flows
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		// The service loop is already running; stop it before failing.
+		_ = srv.Shutdown(context.Background())
+		return model.Classify(model.ErrInvalidConfig, err)
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "trajand: "+format+"\n", a...)
+	}
+	stopHTTP := serve.StartHTTP(ln, srv.Handler(), logf)
+	fmt.Fprintf(out, "trajand: serving admission API on http://%s (flows=%d)\n",
+		ln.Addr(), srv.Snapshot().N())
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+
+	<-ctx.Done()
+	fmt.Fprintf(out, "trajand: shutting down (drain %v)\n", *drain)
+	// Stop the HTTP front first so in-flight exchanges finish, then
+	// drain the decision loop.
+	httpErr := stopHTTP(*drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return model.Errorf(model.ErrInternal, "drain: %w", err)
+	}
+	if httpErr != nil {
+		return model.Errorf(model.ErrInternal, "http: %w", httpErr)
+	}
+	sn := srv.Snapshot()
+	fmt.Fprintf(out, "trajand: stopped (seq=%d flows=%d)\n", sn.Seq, sn.N())
+	return nil
+}
+
+// runLoadgen replays a churn trace against a running daemon.
+func runLoadgen(ctx context.Context, path, target string, clients, repeat int, out io.Writer) error {
+	if target == "" {
+		return model.Errorf(model.ErrInvalidConfig, "-loadgen needs -target")
+	}
+	trace, err := serve.LoadTrace(path)
+	if err != nil {
+		return err
+	}
+	stats, err := serve.RunLoadgen(ctx, serve.LoadgenConfig{
+		BaseURL: target,
+		Trace:   trace,
+		Clients: clients,
+		Repeat:  repeat,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(out, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	rps := float64(stats.Requests.Load()) / stats.Elapsed.Seconds()
+	fmt.Fprintf(out, "loadgen: %d clients x %d replays: %d requests in %v (%.0f req/s)\n",
+		clients, repeat, stats.Requests.Load(), stats.Elapsed.Round(time.Millisecond), rps)
+	fmt.Fprintf(out, "loadgen: admitted=%d rejected=%d released=%d probes=%d retries=%d errors=%d final_flows=%d\n",
+		stats.Admitted.Load(), stats.Rejected.Load(), stats.Released.Load(),
+		stats.Probes.Load(), stats.Retries.Load(), stats.Errors.Load(), stats.FinalStatus.Flows)
+	return nil
+}

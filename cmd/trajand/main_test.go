@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL plus a stop function that triggers graceful shutdown and
+// waits for run to return.
+func startDaemon(t *testing.T, extraArgs ...string) (baseURL string, out *bytes.Buffer, stop func() (int, error)) {
+	t.Helper()
+	ready := make(chan net.Addr, 1)
+	onReady = func(addr net.Addr) { ready <- addr }
+	t.Cleanup(func() { onReady = nil })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	out = &bytes.Buffer{}
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, extraArgs...)
+	type result struct {
+		code int
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		code, err := run(ctx, args, out)
+		done <- result{code, err}
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case r := <-done:
+		t.Fatalf("daemon exited early: code %d, err %v, output %q", r.code, r.err, out.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	stopped := false
+	stop = func() (int, error) {
+		stopped = true
+		cancel()
+		select {
+		case r := <-done:
+			return r.code, r.err
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not stop")
+			return -1, nil
+		}
+	}
+	t.Cleanup(func() {
+		if !stopped {
+			stop()
+		}
+	})
+	return "http://" + addr.String(), out, stop
+}
+
+// TestLoadgenSmoke is the CI smoke test: boot the daemon in-process,
+// replay the churn trace from several concurrent clients (a few
+// hundred requests), and shut down cleanly with no goroutine leak.
+func TestLoadgenSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	baseURL, out, stop := startDaemon(t)
+
+	var lg bytes.Buffer
+	code, err := run(context.Background(), []string{
+		"-loadgen", "testdata/churn.json",
+		"-target", baseURL,
+		"-clients", "8",
+		"-repeat", "3",
+	}, &lg)
+	if err != nil || code != 0 {
+		t.Fatalf("loadgen: code %d, err %v, output %q", code, err, lg.String())
+	}
+	// 8 clients x 3 replays x 8 events, with probe reads alongside each
+	// add: comfortably a few hundred requests.
+	if !strings.Contains(lg.String(), "errors=0") {
+		t.Errorf("loadgen reported errors: %q", lg.String())
+	}
+	if !strings.Contains(lg.String(), "final_flows=0") {
+		t.Errorf("loadgen left flows admitted: %q", lg.String())
+	}
+
+	// The daemon is still healthy and empty after the run.
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after loadgen: HTTP %d", resp.StatusCode)
+	}
+
+	code, err = stop()
+	if err != nil || code != 0 {
+		t.Fatalf("shutdown: code %d, err %v, output %q", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "trajand: stopped") {
+		t.Errorf("missing shutdown log: %q", out.String())
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutine leak after daemon shutdown: %d before, %d after", before, n)
+	}
+}
+
+// TestDaemonPreload boots with -preload and verifies the set is
+// installed and served.
+func TestDaemonPreload(t *testing.T) {
+	baseURL, _, stop := startDaemon(t, "-preload", "testdata/preload.json")
+	resp, err := http.Get(baseURL + "/v1/bounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bounds: HTTP %d: %s", resp.StatusCode, buf.String())
+	}
+	for _, want := range []string{`"voice1"`, `"voice2"`, `"all_feasible": true`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("bounds response missing %s: %s", want, buf.String())
+		}
+	}
+	if code, err := stop(); err != nil || code != 0 {
+		t.Fatalf("shutdown: code %d, err %v", code, err)
+	}
+}
+
+// TestBadFlags: flag and config errors exit with code 2 (invalid
+// configuration), matching the documented contract.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-smax", "bogus"},
+		{"-workers", "-1"},
+		{"-loadgen", "testdata/churn.json"}, // missing -target
+		{"-preload", "testdata/does-not-exist.json"},
+	} {
+		code, err := run(context.Background(), args, &bytes.Buffer{})
+		if code != 2 || err == nil {
+			t.Errorf("args %v: code %d err %v, want code 2 and an error", args, code, err)
+		}
+	}
+}

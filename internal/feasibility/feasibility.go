@@ -123,6 +123,48 @@ func (c *Controller) emitDecision(op, flow, outcome string) {
 	}
 }
 
+// Release evicts an admitted flow by name. Removal can only shrink
+// interference, so no feasibility test is needed. It reports whether
+// the name matched an admitted flow.
+func (c *Controller) Release(name string) bool {
+	for i, g := range c.admitted {
+		if g.Name == name {
+			c.admitted = append(c.admitted[:i], c.admitted[i+1:]...)
+			c.warm = nil // the set changed outside the warm engine
+			c.emitDecision("cold", name, "released")
+			return true
+		}
+	}
+	return false
+}
+
+// TryRenegotiate replaces an admitted flow's contract (matched by
+// f.Name) and accepts only if the resulting set remains feasible; a
+// rejected renegotiation leaves the previous contract in force. The
+// returned report describes the hypothetical set either way, exactly
+// as TryAdmit does.
+func (c *Controller) TryRenegotiate(f *model.Flow) (bool, *Report, error) {
+	idx := -1
+	for i, g := range c.admitted {
+		if g.Name == f.Name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false, nil, model.Errorf(model.ErrInvalidConfig, "feasibility: renegotiate: unknown flow %q", f.Name)
+	}
+	old := c.admitted[idx]
+	c.admitted = append(c.admitted[:idx], c.admitted[idx+1:]...)
+	ok, rep, err := c.TryAdmit(f)
+	if !ok {
+		// Restore the previous contract at its original position.
+		c.admitted = append(c.admitted[:idx], append([]*model.Flow{old}, c.admitted[idx:]...)...)
+		c.warm = nil
+	}
+	return ok, rep, err
+}
+
 // TryAdmit tests the candidate flow against the current set. On
 // success the flow is committed and the post-admission report returned;
 // on refusal the state is unchanged and the hypothetical report

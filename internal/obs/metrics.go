@@ -195,6 +195,8 @@ func (m *Metrics) Emit(e Event) {
 			out = "unknown"
 		}
 		m.Counter("trajan_admission_" + out + "_total").Inc()
+	case EvServeRequest:
+		m.Counter(fmt.Sprintf("trajan_serve_requests_total{route=%q,outcome=%q}", e.Op, e.Outcome)).Inc()
 	}
 }
 

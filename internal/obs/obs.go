@@ -59,8 +59,13 @@ const (
 	// (the site, e.g. "bound").
 	EvSaturation = "saturation"
 	// EvAdmission is one admission-control decision: Flow, Op
-	// ("warm"|"cold"), Outcome ("admitted"|"rejected"|...).
+	// ("warm"|"cold"|"churn"|"serve"), Outcome ("admitted"|"rejected"|...).
 	EvAdmission = "admission.decision"
+	// EvServeRequest is one HTTP request handled by the admission
+	// service (internal/serve): Op (the route, e.g. "admit", "whatif",
+	// "bounds"), Outcome ("ok"|"client_error"|"server_error"|
+	// "backpressure"|"shutdown"|"timeout").
+	EvServeRequest = "serve.request"
 )
 
 // WorkloadTerm is one interfering flow's contribution to a bound — the

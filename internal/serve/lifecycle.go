@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTP server timeouts shared by every listener in this repo. The
+// header timeout bounds slowloris-style clients that trickle request
+// headers; the read/write timeouts bound a whole exchange; the idle
+// timeout reaps keep-alive connections.
+const (
+	readHeaderTimeout = 10 * time.Second
+	readTimeout       = time.Minute
+	writeTimeout      = time.Minute
+	idleTimeout       = 2 * time.Minute
+)
+
+// StartHTTP serves h on ln with the repo's standard timeouts and
+// returns a stop function. Stopping attempts a graceful Shutdown
+// bounded by timeout (in-flight requests drain), then falls back to
+// Close. Serve errors other than ErrServerClosed — which until now
+// were silently dropped in cmd/trajan — are reported through logf and
+// returned by stop.
+//
+// Both cmd/trajan (metrics endpoint) and cmd/trajand (service
+// endpoint) mount their listeners through this helper so the lifecycle
+// bugs fixed here stay fixed in one place.
+func StartHTTP(ln net.Listener, h http.Handler, logf func(format string, args ...any)) (stop func(timeout time.Duration) error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- srv.Serve(ln)
+	}()
+	return func(timeout time.Duration) error {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			// Drain deadline hit: abort the stragglers.
+			_ = srv.Close()
+			logf("http %s: shutdown: %v", ln.Addr(), err)
+		}
+		if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			logf("http %s: serve: %v", ln.Addr(), serr)
+			if err == nil {
+				err = serr
+			}
+		}
+		return err
+	}
+}

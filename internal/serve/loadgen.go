@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trajan/internal/model"
+)
+
+// Trace is the churn-trace schema shared with `cmd/trajan -admit`
+// (testdata/churn.json): a network and an ordered event log of flow
+// arrivals, departures and contract renegotiations.
+type Trace struct {
+	Network model.NetworkConfig `json:"network"`
+	Events  []TraceEvent        `json:"events"`
+}
+
+// TraceEvent is one trace entry. Op is "add" (Flow required), "remove"
+// (Name required) or "update" (Flow required; matched by its name).
+type TraceEvent struct {
+	Op   string            `json:"op"`
+	Name string            `json:"name,omitempty"`
+	Flow *model.FlowConfig `json:"flow,omitempty"`
+}
+
+// LoadTrace reads and strictly decodes a churn trace file.
+func LoadTrace(path string) (*Trace, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, model.Classify(model.ErrInvalidConfig, err)
+	}
+	var t Trace
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, model.Errorf(model.ErrInvalidConfig, "loadgen: decoding trace: %w", err)
+	}
+	return &t, nil
+}
+
+// LoadgenConfig drives RunLoadgen.
+type LoadgenConfig struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Trace is the event sequence each client replays.
+	Trace *Trace
+	// Clients is the number of concurrent replaying clients (default 1).
+	Clients int
+	// Repeat is how many times each client replays the trace (default 1).
+	Repeat int
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// LoadgenStats aggregates a loadgen run. Counters are written with
+// atomics so a caller may inspect them while the run is in flight.
+type LoadgenStats struct {
+	Requests    atomic.Int64 // HTTP requests issued (including retries)
+	Admitted    atomic.Int64
+	Rejected    atomic.Int64
+	Released    atomic.Int64
+	Retries     atomic.Int64 // 429 responses retried after Retry-After
+	Probes      atomic.Int64 // whatif + bounds reads
+	Errors      atomic.Int64 // non-2xx other than 429
+	Elapsed     time.Duration
+	FinalStatus HealthResponse
+}
+
+// rewriteName namespaces a trace flow name per client and repeat so
+// concurrent replays of the same trace never collide in the admitted
+// set.
+func rewriteName(name string, client, repeat int) string {
+	return fmt.Sprintf("%s#c%dr%d", name, client, repeat)
+}
+
+// RunLoadgen replays cfg.Trace against a running service from
+// cfg.Clients concurrent clients, each cfg.Repeat times. Every "add"
+// is preceded by a what-if probe of the same flow and followed by a
+// bounds read, exercising the coalesced read paths alongside the
+// mutation loop; flow names are namespaced per client so replays are
+// independent. 429 backpressure responses are retried after the
+// advertised Retry-After. On return all flows the run admitted have
+// been released.
+func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenStats, error) {
+	if cfg.Trace == nil || len(cfg.Trace.Events) == 0 {
+		return nil, model.Errorf(model.ErrInvalidConfig, "loadgen: empty trace")
+	}
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	repeat := cfg.Repeat
+	if repeat <= 0 {
+		repeat = 1
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	stats := &LoadgenStats{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lc := loadClient{base: cfg.BaseURL, hc: hc, stats: stats, ctx: ctx}
+			for r := 0; r < repeat; r++ {
+				if err := lc.replay(cfg.Trace, c, r); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	select {
+	case err := <-errc:
+		return stats, err
+	default:
+	}
+	lc := loadClient{base: cfg.BaseURL, hc: hc, stats: stats, ctx: ctx}
+	if err := lc.getJSON("/healthz", &stats.FinalStatus); err != nil {
+		return stats, err
+	}
+	logf("loadgen: %d requests in %v (%d admitted, %d rejected, %d retries, %d errors)",
+		stats.Requests.Load(), stats.Elapsed.Round(time.Millisecond),
+		stats.Admitted.Load(), stats.Rejected.Load(), stats.Retries.Load(), stats.Errors.Load())
+	return stats, nil
+}
+
+// loadClient is one replaying client.
+type loadClient struct {
+	base  string
+	hc    *http.Client
+	stats *LoadgenStats
+	ctx   context.Context
+}
+
+// replay walks the trace once, namespacing flow names with (c, r), and
+// releases whatever survived at the end.
+func (lc *loadClient) replay(t *Trace, c, r int) error {
+	live := make(map[string]bool)
+	for _, ev := range t.Events {
+		if err := lc.ctx.Err(); err != nil {
+			return model.Errorf(model.ErrCanceled, "loadgen: %w", err)
+		}
+		switch ev.Op {
+		case "add":
+			fc := rewriteFlow(ev.Flow, c, r)
+			// Probe first: one more candidate for the coalescer.
+			var wres WhatIfResponse
+			if err := lc.postJSON("/v1/whatif",
+				WhatIfRequest{Candidates: []WhatIfCandidate{{Op: "add", Flow: fc}}}, &wres); err != nil {
+				return err
+			}
+			lc.stats.Probes.Add(1)
+			var dres DecisionResponse
+			if err := lc.postJSON("/v1/admit", AdmitRequest{Flow: fc}, &dres); err != nil {
+				return err
+			}
+			switch dres.Decision {
+			case "admitted":
+				lc.stats.Admitted.Add(1)
+				live[fc.Name] = true
+			default:
+				lc.stats.Rejected.Add(1)
+			}
+			var bres BoundsResponse
+			if err := lc.getJSON("/v1/bounds", &bres); err != nil {
+				return err
+			}
+			lc.stats.Probes.Add(1)
+		case "remove":
+			name := rewriteName(ev.Name, c, r)
+			if !live[name] {
+				continue // its add was rejected
+			}
+			var dres DecisionResponse
+			if err := lc.postJSON("/v1/release", ReleaseRequest{Name: name}, &dres); err != nil {
+				return err
+			}
+			lc.stats.Released.Add(1)
+			delete(live, name)
+		case "update":
+			fc := rewriteFlow(ev.Flow, c, r)
+			if !live[fc.Name] {
+				continue
+			}
+			var dres DecisionResponse
+			if err := lc.postJSON("/v1/renegotiate", AdmitRequest{Flow: fc}, &dres); err != nil {
+				return err
+			}
+		default:
+			return model.Errorf(model.ErrInvalidConfig, "loadgen: unknown op %q", ev.Op)
+		}
+	}
+	// Leave the set as we found it.
+	for name := range live {
+		var dres DecisionResponse
+		if err := lc.postJSON("/v1/release", ReleaseRequest{Name: name}, &dres); err != nil {
+			return err
+		}
+		lc.stats.Released.Add(1)
+	}
+	return nil
+}
+
+// rewriteFlow clones a flow config with its name namespaced.
+func rewriteFlow(fc *model.FlowConfig, c, r int) *model.FlowConfig {
+	if fc == nil {
+		return nil
+	}
+	out := *fc
+	out.Name = rewriteName(fc.Name, c, r)
+	return &out
+}
+
+// maxBackpressureRetries bounds 429 retry loops so a stuck server
+// fails the run instead of hanging it.
+const maxBackpressureRetries = 50
+
+func (lc *loadClient) postJSON(path string, body, into any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return model.Classify(model.ErrInternal, err)
+	}
+	return lc.do(http.MethodPost, path, raw, into)
+}
+
+func (lc *loadClient) getJSON(path string, into any) error {
+	return lc.do(http.MethodGet, path, nil, into)
+}
+
+// do issues one request, retrying 429 backpressure after the
+// advertised Retry-After (scaled down: loadgen wants throughput, the
+// server only needs the queue to drain a little).
+func (lc *loadClient) do(method, path string, body []byte, into any) error {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(lc.ctx, method, lc.base+path, rd)
+		if err != nil {
+			return model.Classify(model.ErrInternal, err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		lc.stats.Requests.Add(1)
+		resp, err := lc.hc.Do(req)
+		if err != nil {
+			return model.Classify(model.ErrInternal, err)
+		}
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if err != nil {
+			return model.Classify(model.ErrInternal, err)
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests && attempt < maxBackpressureRetries:
+			lc.stats.Retries.Add(1)
+			select {
+			case <-time.After(10 * time.Millisecond):
+			case <-lc.ctx.Done():
+				return model.Errorf(model.ErrCanceled, "loadgen: %w", lc.ctx.Err())
+			}
+			continue
+		case resp.StatusCode >= 300:
+			lc.stats.Errors.Add(1)
+			return model.Errorf(model.ErrInternal, "loadgen: %s %s: HTTP %d: %s",
+				method, path, resp.StatusCode, bytes.TrimSpace(payload))
+		}
+		if into == nil {
+			return nil
+		}
+		if err := json.Unmarshal(payload, into); err != nil {
+			return model.Errorf(model.ErrInternal, "loadgen: %s %s: decoding response: %w", method, path, err)
+		}
+		return nil
+	}
+}

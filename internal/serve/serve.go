@@ -1,0 +1,733 @@
+// Package serve is the online admission-control service: a
+// long-running, concurrency-safe serving layer over one warm-start
+// trajectory.Analyzer. It is the deployment shape the paper's
+// Property 3 motivates for the Expedited Forwarding class — per-flow
+// state lives only at the admission controller, core routers stay
+// stateless FIFO — and the natural consumer of the delta re-analysis
+// engine: each admit/release/renegotiate decision costs one warm
+// mutation of the running flow set, not a cold rebuild.
+//
+// Architecture (see docs/SERVING.md):
+//
+//   - A single-writer mutation loop owns the Analyzer. Admit, release
+//     and renegotiate requests are serialized through a bounded channel;
+//     each decision re-analyses the mutated set and is undone on a
+//     deadline miss or divergence, exactly like feasibility.Controller.
+//     A full queue pushes back immediately (HTTP 429 + Retry-After)
+//     instead of letting latency grow without bound.
+//   - Read paths (/v1/bounds, /v1/flows, /healthz) never touch the
+//     Analyzer: they serve from an immutable Snapshot swapped atomically
+//     after every committed mutation, so any number of readers run
+//     concurrently with the writer, race-free.
+//   - What-if probes are coalesced: concurrent /v1/whatif requests
+//     queue while a batch is in flight and are drained into one
+//     Analyzer.WhatIf call, so N concurrent probes cost one wave of
+//     copy-on-write forks (parallel up to Options.Parallelism) instead
+//     of N cold analyses.
+//   - Graceful shutdown first refuses new requests (503), then drains
+//     every decision already enqueued, then stops the loop. No request
+//     that was accepted is ever dropped without a reply.
+//
+// Decisions are bit-identical to a cold feasibility.Controller replay
+// of the same request sequence over an all-EF flow set; the
+// differential test in serve_test.go enforces this.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trajan/internal/model"
+	"trajan/internal/obs"
+	"trajan/internal/trajectory"
+)
+
+// ErrUnknownFlow marks release/renegotiate/what-if targets that name no
+// admitted flow; the HTTP layer maps it to 404.
+var ErrUnknownFlow = errors.New("serve: unknown flow")
+
+// ErrShuttingDown is returned (and mapped to 503) once Shutdown has
+// begun: no new requests are accepted, queued ones still drain.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// ErrBackpressure is returned (and mapped to 429 + Retry-After) when
+// the bounded request queue is full.
+var ErrBackpressure = errors.New("serve: queue full")
+
+// Config parameterizes a Server.
+type Config struct {
+	// Network is the link-delay envelope all admitted flows share.
+	Network model.Network
+	// Options configures the underlying Analyzer. Options.Tracer
+	// receives every engine event plus the serve-layer admission
+	// decisions (obs.EvAdmission with Op "serve") and HTTP request
+	// outcomes (obs.EvServeRequest). Options.Parallelism bounds the
+	// per-batch what-if fan-out.
+	Options trajectory.Options
+	// Preload installs flows at startup without an admission test (the
+	// already-contracted set, or a lower-class background). New fails if
+	// the preloaded set is invalid or its analysis errors.
+	Preload []*model.Flow
+	// QueueDepth bounds the mutation queue and the what-if queue
+	// (each); a full queue answers 429. Zero selects 64.
+	QueueDepth int
+	// RequestTimeout is the per-decision analysis budget: a mutation
+	// whose re-analysis exceeds it is undone and answered 504, and a
+	// what-if batch is cut off with timeout outcomes. Zero disables the
+	// budget. What-if batches use this budget from batch start — it is
+	// deliberately not tied to any single client's context, because one
+	// batch serves many clients.
+	RequestTimeout time.Duration
+	// Metrics, when non-nil, is mounted at /metrics (Prometheus text)
+	// and /vars (JSON) on Handler's mux and gains a
+	// trajan_serve_queue_depth gauge. Pass the same registry inside
+	// Options.Tracer (via obs.Tee) to also fold engine events into it.
+	Metrics *obs.Metrics
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+// Snapshot is the immutable published state of the admitted flow set:
+// what the concurrent read paths serve. A snapshot is never mutated
+// after Store; readers may hold it indefinitely.
+type Snapshot struct {
+	// Seq counts committed mutations (preload is seq 1 when present).
+	Seq int64
+	// FS is the admitted flow set; nil when no flow is admitted. The
+	// set is copy-on-write — later mutations build new sets — so this
+	// reference stays valid and immutable.
+	FS *model.FlowSet
+	// Bounds[i] is the worst-case end-to-end response-time bound of
+	// FS.Flows[i] under the committed set.
+	Bounds []model.Time
+	// AllFeasible reports whether every flow with a deadline meets it.
+	AllFeasible bool
+	// MinSlack is the tightest deadline slack (TimeInfinity when no
+	// flow has a deadline).
+	MinSlack model.Time
+}
+
+// N returns the number of admitted flows.
+func (s *Snapshot) N() int {
+	if s == nil || s.FS == nil {
+		return 0
+	}
+	return s.FS.N()
+}
+
+// decision is the mutation loop's reply to one admit/release/
+// renegotiate request.
+type decision struct {
+	Outcome string // "admitted" | "rejected" | "released" | "renegotiated"
+	Reason  string // set when rejected: "deadline miss" | "unstable"
+	Err     error  // invalid request, unknown flow, timeout, internal
+	Snap    *Snapshot
+}
+
+// mutation is one serialized write request.
+type mutation struct {
+	op    string // "admit" | "release" | "renegotiate"
+	flow  *model.Flow
+	name  string
+	ctx   context.Context
+	reply chan decision
+}
+
+// whatifReq is one /v1/whatif request: a list of hypothetical
+// mutations to probe against the current set. Concurrent requests are
+// coalesced into one Analyzer.WhatIf batch.
+type whatifReq struct {
+	cands []whatifCand
+	reply chan whatifReply
+}
+
+// whatifCand is one probe, name-addressed (indexes are resolved
+// against the committed set at batch time, under the writer).
+type whatifCand struct {
+	op   string // "add" | "remove" | "update"
+	flow *model.Flow
+	name string
+}
+
+// whatifProbe is one resolved probe outcome.
+type whatifProbe struct {
+	Op     string
+	Target string
+	// Names/Deadlines describe the hypothetical set the bounds below
+	// index into.
+	Names       []string
+	Deadlines   []model.Time
+	Bounds      []model.Time
+	AllFeasible bool
+	MinSlack    model.Time
+	Err         error
+}
+
+type whatifReply struct {
+	probes []whatifProbe
+	snap   *Snapshot
+	err    error
+}
+
+// Server is the admission-control service core. Create with New, mount
+// Handler on an HTTP server (e.g. via StartHTTP), stop with Shutdown.
+type Server struct {
+	cfg Config
+	opt trajectory.Options
+
+	mutCh chan *mutation
+	wifCh chan *whatifReq
+
+	snap atomic.Pointer[Snapshot]
+
+	mu     sync.RWMutex // serializes enqueue against shutdown
+	closed bool
+	quit   chan struct{}
+	done   chan struct{}
+}
+
+// New validates the configuration, runs the preload analysis
+// synchronously (so a misconfigured daemon fails at startup, not on
+// first request), and starts the mutation loop.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Network.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Options.NonPreemption != nil {
+		return nil, model.Errorf(model.ErrInvalidConfig,
+			"serve: per-flow NonPreemption vectors cannot be remapped across mutations")
+	}
+	s := &Server{
+		cfg:   cfg,
+		opt:   cfg.Options,
+		mutCh: make(chan *mutation, cfg.queueDepth()),
+		wifCh: make(chan *whatifReq, cfg.queueDepth()),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	st := &loopState{s: s}
+	if len(cfg.Preload) > 0 {
+		flows := make([]*model.Flow, len(cfg.Preload))
+		for i, f := range cfg.Preload {
+			flows[i] = f.Clone()
+		}
+		fs, err := model.NewFlowSet(cfg.Network, flows)
+		if err != nil {
+			return nil, err
+		}
+		a, err := trajectory.NewAnalyzer(fs, s.opt)
+		if err != nil {
+			return nil, err
+		}
+		st.a = a
+		ok, bounds, minSlack, err := st.verdict(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		st.publish(bounds, minSlack, ok)
+	} else {
+		st.publish(nil, model.TimeInfinity, true)
+	}
+	if m := cfg.Metrics; m != nil {
+		m.GaugeFunc("trajan_serve_queue_depth", func() int64 {
+			return int64(len(s.mutCh) + len(s.wifCh))
+		})
+	}
+	go s.loop(st)
+	return s, nil
+}
+
+// Snapshot returns the current published state.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Shutdown stops the server gracefully: new requests are refused
+// immediately, every already-accepted request is drained to a reply,
+// then the mutation loop exits. It returns ctx.Err() if the drain
+// outlives the context (the loop still finishes draining in the
+// background — accepted requests are never dropped).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// enqueueMutation hands one write request to the loop. The bounded
+// non-blocking send is the backpressure point.
+func (s *Server) enqueueMutation(m *mutation) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case s.mutCh <- m:
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+func (s *Server) enqueueWhatIf(w *whatifReq) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case s.wifCh <- w:
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+// loop is the single writer: it owns the Analyzer, so every Analyzer
+// method call in the process happens on this goroutine (what-if
+// batches parallelize internally over copy-on-write forks, which is
+// the Analyzer's own contract). On shutdown it drains both queues —
+// the enqueue/closed handshake guarantees every accepted request is
+// already buffered — and replies to each before exiting.
+func (s *Server) loop(st *loopState) {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.quit:
+			s.drainQueues(st)
+			return
+		case m := <-s.mutCh:
+			m.reply <- st.handleMutation(m)
+		case w := <-s.wifCh:
+			st.handleWhatIfBatch(s.gatherWhatIf(w))
+		}
+	}
+}
+
+// gatherWhatIf drains every queued what-if request behind the first
+// one: the coalescing step. All of them are answered by one WhatIf
+// batch on the analyzer.
+func (s *Server) gatherWhatIf(first *whatifReq) []*whatifReq {
+	batch := []*whatifReq{first}
+	for {
+		select {
+		case w := <-s.wifCh:
+			batch = append(batch, w)
+		default:
+			return batch
+		}
+	}
+}
+
+func (s *Server) drainQueues(st *loopState) {
+	for {
+		select {
+		case m := <-s.mutCh:
+			m.reply <- st.handleMutation(m)
+		case w := <-s.wifCh:
+			st.handleWhatIfBatch(s.gatherWhatIf(w))
+		default:
+			return
+		}
+	}
+}
+
+// loopState is the mutation loop's private state. Only the loop
+// goroutine touches it.
+type loopState struct {
+	s   *Server
+	a   *trajectory.Analyzer // nil when no flow is admitted
+	seq int64
+}
+
+// isRefusal classifies analysis errors that mean "candidate refused"
+// (the configuration diverges or overflows the time domain) as opposed
+// to request or server failures — the same split feasibility.Controller
+// and the trajan -admit replay apply.
+func isRefusal(err error) bool {
+	return errors.Is(err, model.ErrUnstable) || errors.Is(err, model.ErrOverflow)
+}
+
+// verdict re-analyses the current set under ctx: feasibility of every
+// deadline, the full bounds vector, and the tightest slack.
+func (st *loopState) verdict(ctx context.Context) (ok bool, bounds []model.Time, minSlack model.Time, err error) {
+	if st.a == nil {
+		return true, nil, model.TimeInfinity, nil
+	}
+	bounds, err = st.a.BoundsContext(ctx)
+	if err != nil {
+		return false, nil, 0, err
+	}
+	ok, minSlack = true, model.TimeInfinity
+	for i, f := range st.a.FlowSet().Flows {
+		if f.Deadline <= 0 {
+			continue
+		}
+		var sat bool
+		if s := model.SubSat(f.Deadline, bounds[i], &sat); s < minSlack {
+			minSlack = s
+		}
+		if bounds[i] > f.Deadline {
+			ok = false
+		}
+	}
+	return ok, bounds, minSlack, nil
+}
+
+// publish swaps in a new immutable snapshot after a committed mutation.
+func (st *loopState) publish(bounds []model.Time, minSlack model.Time, feasible bool) *Snapshot {
+	st.seq++
+	var fs *model.FlowSet
+	if st.a != nil {
+		fs = st.a.FlowSet()
+	}
+	sn := &Snapshot{
+		Seq:         st.seq,
+		FS:          fs,
+		Bounds:      bounds,
+		AllFeasible: feasible,
+		MinSlack:    minSlack,
+	}
+	st.s.snap.Store(sn)
+	return sn
+}
+
+// rebuild reconstructs the analyzer cold from the last published
+// snapshot — the recovery path when undoing a mutation itself failed
+// and the warm engine's state can no longer be trusted.
+func (st *loopState) rebuild() {
+	sn := st.s.snap.Load()
+	if sn == nil || sn.FS == nil {
+		st.a = nil
+		return
+	}
+	a, err := trajectory.NewAnalyzer(sn.FS, st.s.opt)
+	if err != nil {
+		st.a = nil
+		return
+	}
+	st.a = a
+}
+
+func (st *loopState) emitAdmission(flow, outcome string) {
+	if tr := st.s.opt.Tracer; tr != nil {
+		tr.Emit(obs.Event{Type: obs.EvAdmission, Op: "serve", Flow: flow, Outcome: outcome})
+	}
+}
+
+func (st *loopState) findFlow(name string) int {
+	if st.a == nil {
+		return -1
+	}
+	for i, f := range st.a.FlowSet().Flows {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (st *loopState) handleMutation(m *mutation) decision {
+	switch m.op {
+	case "admit":
+		return st.admit(m)
+	case "release":
+		return st.release(m)
+	case "renegotiate":
+		return st.renegotiate(m)
+	default:
+		return decision{Err: model.Errorf(model.ErrInternal, "serve: unknown mutation op %q", m.op)}
+	}
+}
+
+// admit tests the candidate with one warm AddFlow and undoes it on
+// refusal — the delta re-analysis admission probe. Decision rule
+// (identical to feasibility.Controller): admitted iff the analysis
+// succeeds and every deadline still holds; divergence/overflow is a
+// refusal; any other analysis error is the caller's failure and leaves
+// the set unchanged.
+func (st *loopState) admit(m *mutation) decision {
+	f := m.flow
+	var idx int
+	if st.a == nil {
+		fs, err := model.NewFlowSet(st.s.cfg.Network, []*model.Flow{f})
+		if err != nil {
+			return decision{Err: model.Classify(model.ErrInvalidConfig, err), Snap: st.s.snap.Load()}
+		}
+		a, err := trajectory.NewAnalyzer(fs, st.s.opt)
+		if err != nil {
+			return decision{Err: err, Snap: st.s.snap.Load()}
+		}
+		st.a, idx = a, 0
+	} else {
+		var err error
+		idx, err = st.a.AddFlow(f)
+		if err != nil {
+			return decision{Err: model.Classify(model.ErrInvalidConfig, err), Snap: st.s.snap.Load()}
+		}
+	}
+	revert := func() {
+		if st.a.FlowSet().N() == 1 {
+			st.a = nil
+		} else if rerr := st.a.RemoveFlow(idx); rerr != nil {
+			st.rebuild()
+		}
+	}
+	ok, bounds, minSlack, err := st.verdict(m.ctx)
+	if err != nil && !isRefusal(err) {
+		revert()
+		return decision{Err: err, Snap: st.s.snap.Load()}
+	}
+	if err != nil || !ok {
+		revert()
+		reason := "deadline miss"
+		if err != nil {
+			reason = "unstable"
+		}
+		st.emitAdmission(f.Name, "rejected ("+reason+")")
+		return decision{Outcome: "rejected", Reason: reason, Snap: st.s.snap.Load()}
+	}
+	st.emitAdmission(f.Name, "admitted")
+	return decision{Outcome: "admitted", Snap: st.publish(bounds, minSlack, ok)}
+}
+
+// release evicts a flow unconditionally (removal can only shrink
+// interference) and republishes the bounds of the remaining set.
+func (st *loopState) release(m *mutation) decision {
+	i := st.findFlow(m.name)
+	if i < 0 {
+		return decision{Err: model.Errorf(model.ErrInvalidConfig, "%w %q", ErrUnknownFlow, m.name), Snap: st.s.snap.Load()}
+	}
+	if st.a.FlowSet().N() == 1 {
+		st.a = nil
+	} else if err := st.a.RemoveFlow(i); err != nil {
+		return decision{Err: err, Snap: st.s.snap.Load()}
+	}
+	ok, bounds, minSlack, err := st.verdict(m.ctx)
+	if err != nil {
+		// The removal is committed; the re-analysis failed (it cannot
+		// diverge on a shrunk set, so this is a timeout or a bug).
+		// Publish a conservative infeasible snapshot so readers see the
+		// new set rather than the stale one.
+		st.publish(nil, 0, false)
+		return decision{Err: err, Snap: st.s.snap.Load()}
+	}
+	st.emitAdmission(m.name, "released")
+	return decision{Outcome: "released", Snap: st.publish(bounds, minSlack, ok)}
+}
+
+// renegotiate replaces an admitted flow's contract and undoes the
+// replacement if any deadline would be missed — a rejected renegotiation
+// leaves the previous contract in force.
+func (st *loopState) renegotiate(m *mutation) decision {
+	f := m.flow
+	i := st.findFlow(f.Name)
+	if i < 0 {
+		return decision{Err: model.Errorf(model.ErrInvalidConfig, "%w %q", ErrUnknownFlow, f.Name), Snap: st.s.snap.Load()}
+	}
+	old := st.a.FlowSet().Flows[i].Clone()
+	if err := st.a.UpdateFlow(i, f); err != nil {
+		return decision{Err: model.Classify(model.ErrInvalidConfig, err), Snap: st.s.snap.Load()}
+	}
+	revert := func() {
+		if rerr := st.a.UpdateFlow(i, old); rerr != nil {
+			st.rebuild()
+		}
+	}
+	ok, bounds, minSlack, err := st.verdict(m.ctx)
+	if err != nil && !isRefusal(err) {
+		revert()
+		return decision{Err: err, Snap: st.s.snap.Load()}
+	}
+	if err != nil || !ok {
+		revert()
+		reason := "deadline miss"
+		if err != nil {
+			reason = "unstable"
+		}
+		st.emitAdmission(f.Name, "rejected ("+reason+")")
+		return decision{Outcome: "rejected", Reason: reason, Snap: st.s.snap.Load()}
+	}
+	st.emitAdmission(f.Name, "renegotiated")
+	return decision{Outcome: "renegotiated", Snap: st.publish(bounds, minSlack, ok)}
+}
+
+// handleWhatIfBatch answers a coalesced set of what-if requests with
+// one Analyzer.WhatIf call: indexes are resolved name→index under the
+// writer, all candidates across all requests are concatenated into a
+// single batch of copy-on-write forks, and the outcomes are sliced
+// back to their requests. The batch runs under one RequestTimeout
+// budget from batch start.
+func (st *loopState) handleWhatIfBatch(batch []*whatifReq) {
+	ctx := context.Background()
+	if d := st.s.cfg.RequestTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	// Resolve every candidate against the committed set. Unresolvable
+	// candidates (unknown names, empty-set removes) fail individually
+	// without poisoning the batch.
+	type slot struct {
+		probe *whatifProbe // reply destination
+		cand  trajectory.Candidate
+	}
+	var slots []slot
+	replies := make([][]whatifProbe, len(batch))
+	for b, w := range batch {
+		replies[b] = make([]whatifProbe, len(w.cands))
+		for k, c := range w.cands {
+			p := &replies[b][k]
+			p.Op, p.Target = c.op, c.name
+			if c.flow != nil {
+				p.Target = c.flow.Name
+			}
+			switch c.op {
+			case "add":
+				if st.a == nil {
+					// Probe against the empty set: a cold single-flow
+					// analysis, outside the fork batch.
+					*p = st.probeEmptyAdd(ctx, c.flow)
+					continue
+				}
+				slots = append(slots, slot{p, trajectory.Candidate{Add: c.flow}})
+			case "remove":
+				i := st.findFlow(c.name)
+				if i < 0 {
+					p.Err = model.Errorf(model.ErrInvalidConfig, "%w %q", ErrUnknownFlow, c.name)
+					continue
+				}
+				if st.a.FlowSet().N() == 1 {
+					// Removing the only flow leaves the trivially
+					// feasible empty set.
+					p.AllFeasible, p.MinSlack = true, model.TimeInfinity
+					continue
+				}
+				slots = append(slots, slot{p, trajectory.Candidate{Remove: true, Index: i}})
+			case "update":
+				i := st.findFlow(c.flow.Name)
+				if i < 0 {
+					p.Err = model.Errorf(model.ErrInvalidConfig, "%w %q", ErrUnknownFlow, c.flow.Name)
+					continue
+				}
+				slots = append(slots, slot{p, trajectory.Candidate{Update: c.flow, Index: i}})
+			default:
+				p.Err = model.Errorf(model.ErrInvalidConfig, "serve: what-if op %q (want add|remove|update)", c.op)
+			}
+		}
+	}
+
+	if len(slots) > 0 {
+		cands := make([]trajectory.Candidate, len(slots))
+		for x := range slots {
+			cands[x] = slots[x].cand
+		}
+		outcomes := st.a.WhatIfContext(ctx, cands)
+		for x := range slots {
+			op, target := slots[x].probe.Op, slots[x].probe.Target
+			*slots[x].probe = st.probeFromOutcome(&slots[x].cand, outcomes[x])
+			slots[x].probe.Op, slots[x].probe.Target = op, target
+		}
+	}
+
+	sn := st.s.snap.Load()
+	for b, w := range batch {
+		w.reply <- whatifReply{probes: replies[b], snap: sn}
+	}
+}
+
+// probeEmptyAdd evaluates an "add" probe when no flow is admitted.
+func (st *loopState) probeEmptyAdd(ctx context.Context, f *model.Flow) whatifProbe {
+	p := whatifProbe{Op: "add", Target: f.Name}
+	fs, err := model.NewFlowSet(st.s.cfg.Network, []*model.Flow{f.Clone()})
+	if err != nil {
+		p.Err = model.Classify(model.ErrInvalidConfig, err)
+		return p
+	}
+	a, err := trajectory.NewAnalyzer(fs, st.s.opt)
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	bounds, err := a.BoundsContext(ctx)
+	if err != nil {
+		p.Err = err
+		return p
+	}
+	fillProbe(&p, fs.Flows, bounds)
+	return p
+}
+
+// probeFromOutcome converts one WhatIf outcome into the wire probe:
+// the hypothetical set's flow names, bounds and feasibility verdict.
+func (st *loopState) probeFromOutcome(c *trajectory.Candidate, o trajectory.WhatIfOutcome) whatifProbe {
+	var p whatifProbe
+	if o.Err != nil {
+		p.Err = o.Err
+		return p
+	}
+	fillProbe(&p, st.hypotheticalSet(c), o.Result.Bounds)
+	return p
+}
+
+// hypotheticalSet reconstructs the flow metadata a candidate's Result
+// indexes into, without re-deriving the set itself: adds append, removes
+// shift down, updates replace in place — the same index contract as the
+// Analyzer mutations.
+func (st *loopState) hypotheticalSet(c *trajectory.Candidate) []*model.Flow {
+	base := st.a.FlowSet().Flows
+	switch {
+	case c.Add != nil:
+		out := make([]*model.Flow, 0, len(base)+1)
+		out = append(out, base...)
+		return append(out, c.Add)
+	case c.Update != nil:
+		out := append([]*model.Flow(nil), base...)
+		out[c.Index] = c.Update
+		return out
+	case c.Remove:
+		out := make([]*model.Flow, 0, len(base)-1)
+		out = append(out, base[:c.Index]...)
+		return append(out, base[c.Index+1:]...)
+	}
+	return base
+}
+
+// fillProbe completes a probe from the hypothetical set's flow
+// metadata and its analysed bounds.
+func fillProbe(p *whatifProbe, flows []*model.Flow, bounds []model.Time) {
+	p.Names = make([]string, len(flows))
+	p.Deadlines = make([]model.Time, len(flows))
+	p.Bounds = bounds
+	p.AllFeasible, p.MinSlack = true, model.TimeInfinity
+	for i, f := range flows {
+		p.Names[i] = f.Name
+		p.Deadlines[i] = f.Deadline
+		if f.Deadline <= 0 {
+			continue
+		}
+		var sat bool
+		if s := model.SubSat(f.Deadline, bounds[i], &sat); s < p.MinSlack {
+			p.MinSlack = s
+		}
+		if bounds[i] > f.Deadline {
+			p.AllFeasible = false
+		}
+	}
+}

@@ -28,8 +28,23 @@ import (
 // An Analyzer may be reused: Analyze, AnalyzeFlow and Bounds share the
 // converged Smax table and the view caches, so repeated queries against
 // the same flow set (admission control, what-if probing) pay the
-// topology and fixed-point cost once. An Analyzer is not safe for
-// concurrent use; it parallelizes internally per Options.Parallelism.
+// topology and fixed-point cost once.
+//
+// Concurrency contract: an Analyzer is NOT safe for concurrent use.
+// Every method — queries (Analyze, Bounds, …), mutations (AddFlow,
+// RemoveFlow, UpdateFlow) and WhatIf batches alike — must be invoked
+// from one goroutine at a time; callers that serve concurrent clients
+// must serialize access externally (internal/serve does this with a
+// single-writer loop and publishes results through immutable
+// snapshots). The Analyzer parallelizes *internally* per
+// Options.Parallelism: fixed-point sweeps fan work out to workers, and
+// WhatIf evaluates candidates on concurrent copy-on-write forks — but
+// those goroutines never outlive the method call that spawned them.
+// Results (bounds slices, FlowSet references) are safe to read from
+// other goroutines once the method has returned, provided no mutation
+// runs concurrently with the reads; internal/serve relies on the
+// flow-set mutations being copy-on-write (a committed *model.FlowSet
+// is never modified by later mutations).
 type Analyzer struct {
 	fs  *model.FlowSet
 	opt Options
