@@ -48,6 +48,62 @@ func baselineAllocs(t *testing.T, name string) int64 {
 	return found
 }
 
+// baselineNs returns the most recently recorded ns/op for a benchmark
+// name, scanning runs newest-last.
+func baselineNs(t *testing.T, name string) float64 {
+	t.Helper()
+	raw, err := os.ReadFile("BENCH_trajectory.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	found := float64(-1)
+	for _, run := range base.Runs {
+		if b, ok := run.Benchmarks[name]; ok {
+			found = b.NsPerOp
+		}
+	}
+	if found < 0 {
+		t.Fatalf("baseline has no entry for %s", name)
+	}
+	return found
+}
+
+// TestBenchGuardAnalyzeScaling pins the cold-analysis wall clock of the
+// flows32..flows128 tandem tiers within ±30% of the recorded baseline.
+// Unlike the allocs guards this compares ns/op, so the tolerance is
+// deliberately loose: it will not catch a 10% drift on a quiet machine,
+// but it fails outright if a change forfeits the flattened fixpoint
+// core (the fused all-prefix builder, run-merged jump streams, or the
+// Lemma-3 t-scan cutoffs), any of which costs well over 30% on these
+// tiers. Only regressions fail; running faster than baseline is logged.
+func TestBenchGuardAnalyzeScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	for _, n := range []int{32, 64, 128} {
+		fs := tandemSet(t, n, 5)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := trajectory.Analyze(fs, trajectory.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		name := "BenchmarkAnalyzeScaling/" + benchName("flows", n)
+		base := baselineNs(t, name)
+		got := float64(res.NsPerOp())
+		if got > base*1.3 {
+			t.Errorf("%s: %.0f ns/op, baseline %.0f (+30%% = %.0f)", name, got, base, base*1.3)
+		} else {
+			t.Logf("%s: %.0f ns/op (baseline %.0f)", name, got, base)
+		}
+	}
+}
+
 // TestBenchGuardAdmissionChurn re-runs the warm admission loop of
 // BenchmarkAdmissionChurn/flows64 with tracing disabled and fails if
 // allocs/op drift more than 5% above the recorded baseline — the

@@ -199,7 +199,7 @@ func BenchmarkAFDX(b *testing.B) {
 // count grows — the ablation DESIGN.md calls out for the Smax fixpoint
 // cost. Baselines per machine live in BENCH_trajectory.json.
 func BenchmarkAnalyzeScaling(b *testing.B) {
-	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+	for _, n := range []int{4, 8, 16, 32, 64, 128, 512, 1024} {
 		fs := tandemSet(b, n, 5)
 		b.Run(benchName("flows", n), func(b *testing.B) {
 			b.ReportAllocs()

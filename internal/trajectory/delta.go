@@ -49,7 +49,12 @@ type undoSnap struct {
 	entryBase []int
 	nEntries  int
 
+	topo    *denseTopo
+	colors  []int32
+	nColors int32
+
 	smax      smaxTable
+	smaxFlat  []model.Time
 	sweeps    int
 	converged bool
 	smaxDone  bool
@@ -134,51 +139,63 @@ func closureFrom(fs *model.FlowSet, seed []bool) []bool {
 	return in
 }
 
-// addEntryRead appends entry (flow, k) to a readIDs list, deduplicated,
-// against an explicit entry base (remapping runs while the Analyzer
-// still holds the pre-mutation bases).
-func addEntryRead(ids []int, entryBase []int, flow, k int) []int {
-	id := entryBase[flow] + k
-	for _, e := range ids {
-		if e == id {
-			return ids
-		}
-	}
-	return append(ids, id)
-}
-
 // remapView rewrites a kept view for a mutated flow list: flow indexes
 // above `removed` shift down by one (removed < 0 means no shift, only
-// the entry ids changed) and the read set is rebuilt against the new
-// entry bases. Only views that do NOT interfere with the changed flow
-// are ever remapped, so the cached constants (A offsets, M terms, slow
-// node, Bslow) remain exact. On a copy-on-write fork the view is cloned
-// first — the original stays aliased by the base Analyzer.
+// the entry ids changed), the precomputed global entry ids are
+// translated to the new bases, and the read set is rebuilt against the
+// new ids. Only views that do NOT interfere with the changed flow are
+// ever remapped, so the cached constants (A offsets, M terms, slow
+// node, Bslow) remain exact — which is why the clone below shares the
+// constant arrays (aConst, csj, iperiods, sameDir) and copies only the
+// index-bearing ones. Remapping runs while the Analyzer still holds the
+// PRE-mutation entry bases (a.entryBase); the new bases arrive as the
+// entryBase argument. On a copy-on-write fork the view is cloned first
+// — the original stays aliased by the base Analyzer.
 func (a *Analyzer) remapView(vc *viewCache, removed int, entryBase []int) *viewCache {
 	if vc == nil {
 		return nil
 	}
 	if a.cow {
-		clone := *vc
-		clone.inter = append([]cachedInterferer(nil), vc.inter...)
-		clone.readIDs = append([]int(nil), vc.readIDs...)
-		vc = &clone
+		clone := a.arena.newView()
+		*clone = *vc
+		ni := len(vc.jflow)
+		clone.jflow = arenaSlice(&a.arena.ints, ni)
+		copy(clone.jflow, vc.jflow)
+		clone.iEnt = arenaSlice(&a.arena.ints, ni)
+		copy(clone.iEnt, vc.iEnt)
+		clone.jEnt = arenaSlice(&a.arena.ints, ni)
+		copy(clone.jEnt, vc.jEnt)
+		clone.readIDs = arenaSlice(&a.arena.ints, len(vc.readIDs))
+		copy(clone.readIDs, vc.readIDs)
+		vc = clone
 	}
-	if removed >= 0 {
-		if vc.flow > removed {
-			vc.flow--
-		}
-		for x := range vc.inter {
-			if vc.inter[x].j > removed {
-				vc.inter[x].j--
-			}
-		}
+	oldFlow := vc.flow
+	oldBase := a.entryBase
+	if removed >= 0 && vc.flow > removed {
+		vc.flow--
 	}
+	newBaseI := int32(entryBase[vc.flow])
+	oldBaseI := int32(oldBase[oldFlow])
+	for x := range vc.jflow {
+		oj := int(vc.jflow[x])
+		nj := oj
+		if removed >= 0 && oj > removed {
+			nj = oj - 1
+			vc.jflow[x] = int32(nj)
+		}
+		vc.iEnt[x] = newBaseI + (vc.iEnt[x] - oldBaseI)
+		vc.jEnt[x] = int32(entryBase[nj]) + (vc.jEnt[x] - int32(oldBase[oj]))
+	}
+	// Rebuild the read set from the translated ids. The entry-id map is
+	// injective in both numberings, so the dedup pattern — and hence the
+	// id count and first-occurrence order — is preserved and the rebuild
+	// fits the existing backing exactly.
+	sc := &a.build
+	sc.markEpoch++
 	ids := vc.readIDs[:0]
-	for x := range vc.inter {
-		in := &vc.inter[x]
-		ids = addEntryRead(ids, entryBase, vc.flow, in.iIdx)
-		ids = addEntryRead(ids, entryBase, in.j, in.jIdx)
+	for x := range vc.jflow {
+		ids = sc.appendRead(ids, vc.iEnt[x])
+		ids = sc.appendRead(ids, vc.jEnt[x])
 	}
 	vc.readIDs = ids
 	return vc
@@ -200,13 +217,17 @@ func (a *Analyzer) remapPrefixRow(row []*viewCache, removed int, entryBase []int
 
 // resetSmaxState drops the cached fixed point and its error latches: a
 // mutation gives the analyzer a new flow set, and a previously latched
-// divergence verdict no longer describes it.
+// divergence verdict no longer describes it. The interference coloring
+// is topology-dependent, so it drops too.
 func (a *Analyzer) resetSmaxState() {
 	a.smax = nil
+	a.smaxFlat = nil
 	a.sweeps = 0
 	a.converged = false
 	a.smaxDone = false
 	a.smaxErr = nil
+	a.colors = nil
+	a.nColors = 0
 }
 
 // pushUndo records the current state on the snapshot chain.
@@ -227,7 +248,12 @@ func (a *Analyzer) pushUndo() {
 		entryBase: a.entryBase,
 		nEntries:  a.nEntries,
 
+		topo:    a.topo,
+		colors:  a.colors,
+		nColors: a.nColors,
+
 		smax:      a.smax,
+		smaxFlat:  a.smaxFlat,
 		sweeps:    a.sweeps,
 		converged: a.converged,
 		smaxDone:  a.smaxDone,
@@ -239,11 +265,15 @@ func (a *Analyzer) pushUndo() {
 	a.undoDepth++
 }
 
-// restore pops one snapshot.
+// restore pops one snapshot. Topo extensions never mutate the rows a
+// snapshot's topo aliases (delta constructors are copy-on-write), so
+// restoring the pointer is exact.
 func (a *Analyzer) restore(s *undoSnap) {
 	a.fs, a.full, a.prefix = s.fs, s.full, s.prefix
 	a.entryBase, a.nEntries = s.entryBase, s.nEntries
-	a.smax, a.sweeps, a.converged = s.smax, s.sweeps, s.converged
+	a.topo, a.colors, a.nColors = s.topo, s.colors, s.nColors
+	a.smax, a.smaxFlat = s.smax, s.smaxFlat
+	a.sweeps, a.converged = s.sweeps, s.converged
 	a.smaxDone, a.smaxErr = s.smaxDone, s.smaxErr
 	a.pendingSeed, a.pendingDirty = s.pendingSeed, s.pendingDirty
 	a.undo = s.prev
@@ -296,13 +326,12 @@ func (a *Analyzer) AddFlow(f *model.Flow) (idx int, err error) {
 	var seed smaxTable
 	var dirty []bool
 	if warm {
-		seed = make(smaxTable, nOld+1)
+		seed, _ = newSmaxTableFlat(nfs)
 		dirty = make([]bool, nOld+1)
 		for j := 0; j < nOld; j++ {
-			seed[j] = append([]model.Time(nil), src[j]...)
+			copy(seed[j], src[j])
 			dirty[j] = nbr[j] || srcAllDirty || (srcDirty != nil && srcDirty[j])
 		}
-		seed[nOld] = make([]model.Time, len(nfs.Flows[nOld].Path))
 		seed.fillNoQueueRow(nfs, nOld)
 		dirty[nOld] = true
 	}
@@ -312,6 +341,11 @@ func (a *Analyzer) AddFlow(f *model.Flow) (idx int, err error) {
 	a.full, a.prefix = full, prefix
 	a.entryBase = entryBase
 	a.nEntries += len(nfs.Flows[nOld].Path)
+	if a.topo != nil {
+		// Copy-on-write extension; nil (lazy full rebuild) when the new
+		// path visits nodes the dense universe has never seen.
+		a.topo = a.topo.withFlowAdded(nfs.Flows[nOld].Path)
+	}
 	a.resetSmaxState()
 	a.pendingSeed, a.pendingDirty = seed, dirty
 	if tr := a.opt.Tracer; tr != nil {
@@ -382,7 +416,7 @@ func (a *Analyzer) RemoveFlow(i int) (err error) {
 	var seed smaxTable
 	var dirty []bool
 	if warm {
-		seed = make(smaxTable, nOld-1)
+		seed, _ = newSmaxTableFlat(nfs)
 		dirty = make([]bool, nOld-1)
 	}
 	for nj := 0; nj < nOld-1; nj++ {
@@ -396,11 +430,10 @@ func (a *Analyzer) RemoveFlow(i int) (err error) {
 		}
 		if warm {
 			if closure[nj] {
-				seed[nj] = make([]model.Time, len(nfs.Flows[nj].Path))
 				seed.fillNoQueueRow(nfs, nj)
 				dirty[nj] = true
 			} else {
-				seed[nj] = append([]model.Time(nil), src[oj]...)
+				copy(seed[nj], src[oj])
 				dirty[nj] = srcAllDirty || (srcDirty != nil && srcDirty[oj])
 			}
 		}
@@ -409,6 +442,9 @@ func (a *Analyzer) RemoveFlow(i int) (err error) {
 	a.fs = nfs
 	a.full, a.prefix = full, prefix
 	a.entryBase, a.nEntries = entryBase, n
+	if a.topo != nil {
+		a.topo = a.topo.withFlowRemoved(i)
+	}
 	a.resetSmaxState()
 	a.pendingSeed, a.pendingDirty = seed, dirty
 	if tr := a.opt.Tracer; tr != nil {
@@ -469,7 +505,7 @@ func (a *Analyzer) UpdateFlow(i int, f *model.Flow) (err error) {
 	var seed smaxTable
 	var dirty []bool
 	if warm {
-		seed = make(smaxTable, n)
+		seed, _ = newSmaxTableFlat(nfs)
 		dirty = make([]bool, n)
 	}
 	for j := 0; j < n; j++ {
@@ -484,11 +520,10 @@ func (a *Analyzer) UpdateFlow(i int, f *model.Flow) (err error) {
 		}
 		if warm {
 			if closure[j] {
-				seed[j] = make([]model.Time, len(nfs.Flows[j].Path))
 				seed.fillNoQueueRow(nfs, j)
 				dirty[j] = true
 			} else {
-				seed[j] = append([]model.Time(nil), src[j]...)
+				copy(seed[j], src[j])
 				dirty[j] = srcAllDirty || (srcDirty != nil && srcDirty[j])
 			}
 		}
@@ -497,6 +532,9 @@ func (a *Analyzer) UpdateFlow(i int, f *model.Flow) (err error) {
 	a.fs = nfs
 	a.full, a.prefix = full, prefix
 	a.entryBase, a.nEntries = entryBase, nEntries
+	if a.topo != nil {
+		a.topo = a.topo.withFlowUpdated(i, nfs.Flows[i].Path)
+	}
 	a.resetSmaxState()
 	a.pendingSeed, a.pendingDirty = seed, dirty
 	if tr := a.opt.Tracer; tr != nil {

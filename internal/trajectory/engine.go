@@ -3,8 +3,6 @@ package trajectory
 import (
 	"context"
 	"errors"
-	"sync"
-	"sync/atomic"
 
 	"trajan/internal/model"
 	"trajan/internal/obs"
@@ -20,6 +18,15 @@ import (
 // dirty propagation skips views whose Smax inputs did not change in the
 // previous sweep (their cached bound is provably still exact: a view's
 // bound is a pure function of the entries it reads).
+//
+// Since the slab refactor (DESIGN.md §6) the per-view state lives in
+// structure-of-arrays form: every view's interferer arrays are carved
+// from a per-Analyzer chunked arena (slab.go), the Smax tables are flat
+// slices indexed by precomputed global entry ids, and view construction
+// runs on a dense map-free topology mirror. Sweep parallelism is
+// scheduled by greedy-coloring the interference graph; bit-identity is
+// guaranteed by the Jacobi structure itself (evaluations read an
+// immutable table, commits happen post-barrier in slot order).
 //
 // The engine returns bit-identical Results to the straight-line
 // reference implementation in reference.go; engine_test.go enforces
@@ -57,12 +64,34 @@ type Analyzer struct {
 	prefix [][]*viewCache
 
 	// entryBase[i] is the global id base of flow i's Smax entries:
-	// entry (i,k) has id entryBase[i]+k. Ids index the dirty-propagation
-	// reverse maps.
+	// entry (i,k) has id entryBase[i]+k. Ids index both the flat Smax
+	// backing and the dirty-propagation reverse maps.
 	entryBase []int
 	nEntries  int
 
+	// topo is the dense topology mirror (slab.go), built lazily and
+	// maintained copy-on-write across mutations; colors is the greedy
+	// coloring of the interference graph that schedules parallel
+	// sweeps, invalidated by any mutation.
+	topo    *denseTopo
+	colors  []int32
+	nColors int32
+
+	// arena backs every view's SoA slices; build/fix are the reusable
+	// construction and fixed-point scratches (slab.go, below); pair
+	// caches one flow's prefix relations across all prefix lengths;
+	// multi is the fused all-prefix builder's working state (buildAll).
+	arena slabArena
+	build buildScratch
+	pair  pairScratch
+	multi multiScratch
+	fix   fixScratch
+
+	// smax is the converged table; smaxFlat is its flat backing in
+	// entry-id order (always set together — evaluation gathers A
+	// offsets from the flat slice by the views' precomputed entry ids).
 	smax      smaxTable
+	smaxFlat  []model.Time
 	sweeps    int
 	converged bool
 	smaxDone  bool
@@ -71,7 +100,9 @@ type Analyzer struct {
 	// pendingSeed/pendingDirty carry warm-start state left behind by
 	// AddFlow/RemoveFlow/UpdateFlow (delta.go): a valid under-seed of the
 	// mutated set's Smax fixed point plus the per-flow dirty marks. The
-	// next ensureSmax consumes them instead of the no-queue seed.
+	// next ensureSmax consumes them instead of the no-queue seed. The
+	// seed is read-only to the fixed point (it copies the rows into a
+	// fresh flat table), so WhatIf forks share it without cloning.
 	pendingSeed  smaxTable
 	pendingDirty []bool
 
@@ -85,8 +116,7 @@ type Analyzer struct {
 	// any in-place patch (the base Analyzer and sibling forks alias them).
 	cow bool
 
-	scratch   evalScratch  // serial evaluation scratch
-	sdScratch []model.Time // chooseSlow same-direction maxima scratch
+	scratch evalScratch // serial evaluation scratch
 }
 
 // FlowSet returns the analyzer's current flow set. After mutations the
@@ -125,6 +155,67 @@ func NewAnalyzer(fs *model.FlowSet, opt Options) (*Analyzer, error) {
 	}
 	a.nEntries = n
 	return a, nil
+}
+
+// ensureTopo returns the dense topology mirror, building it on first
+// use. Mutations either patch it copy-on-write (delta.go) or nil it for
+// a lazy rebuild here.
+func (a *Analyzer) ensureTopo() *denseTopo {
+	if a.topo == nil {
+		a.topo = buildTopo(a.fs)
+	}
+	return a.topo
+}
+
+// ensurePair returns the pair-relation cache for flow i, rebuilding it
+// when it describes another flow or a stale topology. Views of one flow
+// are built back to back (the fixpoint slot list and the full-view
+// loops iterate per flow), so the one-flow granularity hits on every
+// prefix length after the first.
+func (a *Analyzer) ensurePair(i int) *pairScratch {
+	tp := a.ensureTopo()
+	if a.pair.tp != tp || a.pair.flow != i {
+		a.pair.build(a.fs, tp, i)
+	}
+	return &a.pair
+}
+
+// ensureColors returns the greedy coloring of the interference graph:
+// flows are colored in index order, each taking the smallest color not
+// used by an already-colored flow whose path intersects its own. The
+// coloring is a pure function of the topology, so it is deterministic;
+// mutations invalidate it (delta.go).
+func (a *Analyzer) ensureColors() []int32 {
+	if a.colors != nil {
+		return a.colors
+	}
+	tp := a.ensureTopo()
+	n := a.fs.N()
+	colors := make([]int32, n)
+	used := make([]bool, n+1)
+	a.nColors = 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if tp.intersect(i, j) {
+				used[colors[j]] = true
+			}
+		}
+		c := int32(0)
+		for used[c] {
+			c++
+		}
+		colors[i] = c
+		if c+1 > a.nColors {
+			a.nColors = c + 1
+		}
+		for j := 0; j < i; j++ {
+			if tp.intersect(i, j) {
+				used[colors[j]] = false
+			}
+		}
+	}
+	a.colors = colors
+	return colors
 }
 
 // Analyze computes the full Result (bounds, jitters, details, arrival
@@ -174,44 +265,42 @@ func (a *Analyzer) AnalyzeContext(ctx context.Context) (res *Result, err error) 
 		if err != nil {
 			return nil, err
 		}
-		r, tStar, err := a.safeEval(vc, a.smax, &a.scratch)
+		r, tStar, err := a.safeEval(vc, a.smaxFlat, &a.scratch)
 		if err != nil {
 			return nil, err
 		}
 		res.Bounds[i] = r
 		var jsat bool
 		res.Jitters[i] = model.SubSat(r, fs.Flows[i].MinTraversal(fs.Net.Lmin), &jsat)
-		d := FlowDetail{
-			Flow:      i,
-			Bound:     r,
-			Bslow:     vc.bslow,
-			CriticalT: tStar,
-			SlowNode:  vc.slow,
-			MaxSum:    vc.maxSum,
-			Delta:     vc.delta,
-		}
+		d := &res.Details[i]
+		d.Flow = i
+		d.Bound = r
+		d.Bslow = vc.bslow
+		d.CriticalT = tStar
+		d.SlowNode = vc.slow
+		d.MaxSum = vc.maxSum
+		d.Delta = vc.delta
 		// An unbounded verdict has no meaningful critical instant or
 		// per-interferer breakdown: the A offsets may themselves be
 		// saturated, so the Interference terms are skipped.
 		if r < model.TimeInfinity {
-			if len(vc.inter) > 0 {
-				d.Interference = make([]InterferenceTerm, 0, len(vc.inter))
+			ni := len(vc.jflow)
+			if ni > 0 {
+				d.Interference = make([]InterferenceTerm, 0, ni)
 			}
-			for x := range vc.inter {
-				in := &vc.inter[x]
-				aOff := a.smax[i][in.iIdx] + a.smax[in.j][in.jIdx] + in.aConst
+			for x := 0; x < ni; x++ {
+				aOff := a.smaxFlat[vc.iEnt[x]] + a.smaxFlat[vc.jEnt[x]] + vc.aConst[x]
 				d.Interference = append(d.Interference, InterferenceTerm{
-					Flow:          in.j,
+					Flow:          int(vc.jflow[x]),
 					A:             aOff,
-					Packets:       a.opt.count(tStar+aOff, fs.Flows[in.j].Period),
-					CSlow:         in.csj,
-					SameDirection: in.sameDir,
+					Packets:       a.opt.count(tStar+aOff, vc.iperiods[x]),
+					CSlow:         vc.csj[x],
+					SameDirection: vc.sameDir[x],
 				})
 			}
 		}
-		res.Details[i] = d
 		if tr != nil {
-			a.emitFlowBound(tr, i, &d)
+			a.emitFlowBound(tr, i, d)
 		}
 	}
 	return res, nil
@@ -243,7 +332,7 @@ func (a *Analyzer) AnalyzeFlowContext(ctx context.Context, i int) (r model.Time,
 	if err != nil {
 		return 0, err
 	}
-	r, _, err = a.safeEval(vc, a.smax, &a.scratch)
+	r, _, err = a.safeEval(vc, a.smaxFlat, &a.scratch)
 	return r, err
 }
 
@@ -273,7 +362,7 @@ func (a *Analyzer) BoundsContext(ctx context.Context) (out []model.Time, err err
 		if err != nil {
 			return nil, err
 		}
-		out[i], _, err = a.safeEval(vc, a.smax, &a.scratch)
+		out[i], _, err = a.safeEval(vc, a.smaxFlat, &a.scratch)
 		if err != nil {
 			return nil, err
 		}
@@ -304,9 +393,9 @@ func (a *Analyzer) ensureSmax(ctx context.Context) error {
 	var err error
 	switch a.opt.Smax {
 	case SmaxNoQueue:
-		t := newSmaxTable(a.fs)
+		t, flat := newSmaxTableFlat(a.fs)
 		t.fillNoQueue(a.fs)
-		a.smax, a.sweeps, a.converged = t, 0, true
+		a.smax, a.smaxFlat, a.sweeps, a.converged = t, flat, 0, true
 		if tr != nil {
 			tr.Emit(obs.Event{Type: obs.EvSmaxDone, Mode: mode, Op: "cold", Outcome: "converged"})
 		}
@@ -316,7 +405,7 @@ func (a *Analyzer) ensureSmax(ctx context.Context) error {
 				tr.Emit(obs.Event{Type: obs.EvSmaxSeed, Op: "warm",
 					Dirty: countDirty(a.pendingDirty, a.fs.N())})
 			}
-			a.smax, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx, a.pendingSeed, a.pendingDirty)
+			a.smax, a.smaxFlat, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx, a.pendingSeed, a.pendingDirty)
 			if errors.Is(err, model.ErrCanceled) {
 				// The partially advanced seed is still a valid
 				// under-seed (values only grow toward the fixed
@@ -327,7 +416,7 @@ func (a *Analyzer) ensureSmax(ctx context.Context) error {
 						Sweep: a.sweeps, Outcome: "canceled"})
 				}
 				a.pendingDirty = nil
-				a.smax = nil
+				a.smax, a.smaxFlat = nil, nil
 				return err
 			}
 			if err == nil && a.converged {
@@ -350,7 +439,7 @@ func (a *Analyzer) ensureSmax(ctx context.Context) error {
 		if tr != nil {
 			tr.Emit(obs.Event{Type: obs.EvSmaxSeed, Op: "cold", Dirty: a.fs.N()})
 		}
-		a.smax, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx, nil, nil)
+		a.smax, a.smaxFlat, a.sweeps, a.converged, err = a.enginePrefixFixpoint(ctx, nil, nil)
 		if tr != nil {
 			tr.Emit(obs.Event{Type: obs.EvSmaxDone, Mode: mode, Op: "cold",
 				Sweep: a.sweeps, Outcome: smaxOutcome(err, a.converged)})
@@ -359,7 +448,7 @@ func (a *Analyzer) ensureSmax(ctx context.Context) error {
 		if tr != nil {
 			tr.Emit(obs.Event{Type: obs.EvSmaxSeed, Op: "cold", Dirty: a.fs.N()})
 		}
-		a.smax, a.sweeps, a.converged, err = a.engineGlobalTail(ctx)
+		a.smax, a.smaxFlat, a.sweeps, a.converged, err = a.engineGlobalTail(ctx)
 		if tr != nil {
 			tr.Emit(obs.Event{Type: obs.EvSmaxDone, Mode: mode, Op: "cold",
 				Sweep: a.sweeps, Outcome: smaxOutcome(err, a.converged)})
@@ -368,7 +457,7 @@ func (a *Analyzer) ensureSmax(ctx context.Context) error {
 		err = model.Errorf(model.ErrInvalidConfig, "trajectory: unknown Smax mode %d", a.opt.Smax)
 	}
 	if errors.Is(err, model.ErrCanceled) {
-		a.smax = nil
+		a.smax, a.smaxFlat = nil, nil
 		return err
 	}
 	a.smaxDone = true
@@ -379,7 +468,7 @@ func (a *Analyzer) ensureSmax(ctx context.Context) error {
 // safeEval evaluates a cached view with panic containment: a panic in
 // the scan (a broken internal invariant) comes back as ErrInternal
 // identifying the view, instead of unwinding into the caller.
-func (a *Analyzer) safeEval(vc *viewCache, smax smaxTable, sc *evalScratch) (r, tStar model.Time, err error) {
+func (a *Analyzer) safeEval(vc *viewCache, flat []model.Time, sc *evalScratch) (r, tStar model.Time, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			r, tStar, err = 0, 0, internalPanicError(vc.flow, vc.plen, p)
@@ -388,13 +477,18 @@ func (a *Analyzer) safeEval(vc *viewCache, smax smaxTable, sc *evalScratch) (r, 
 	if testPanicHook != nil {
 		testPanicHook(vc.flow, vc.plen)
 	}
-	r, tStar = vc.eval(a.opt, smax, sc)
+	r, tStar = vc.eval(a.opt, flat, sc)
 	return r, tStar, nil
 }
 
 // fullCache returns (building on first use) the cached context of flow
 // i's full-path view.
 func (a *Analyzer) fullCache(i int) (*viewCache, error) {
+	if a.full[i] == nil {
+		if a.opt.Tracer == nil {
+			a.buildAll(i)
+		}
+	}
 	if a.full[i] == nil {
 		vc, err := a.buildView(i, len(a.fs.Flows[i].Path))
 		if err != nil {
@@ -411,6 +505,9 @@ func (a *Analyzer) prefixCache(i, k int) (*viewCache, error) {
 	if a.prefix[i] == nil {
 		a.prefix[i] = make([]*viewCache, len(a.fs.Flows[i].Path))
 	}
+	if a.prefix[i][k] == nil && a.opt.Tracer == nil {
+		a.buildAll(i)
+	}
 	if a.prefix[i][k] == nil {
 		vc, err := a.buildView(i, k)
 		if err != nil {
@@ -421,32 +518,39 @@ func (a *Analyzer) prefixCache(i, k int) (*viewCache, error) {
 	return a.prefix[i][k], nil
 }
 
-// cachedInterferer is one intersecting flow's topology-only relation to
-// a cached view. The Smax-dependent A offset reconstitutes per sweep as
-//
-//	A = smax[flow][iIdx] + smax[j][jIdx] + aConst
-//
-// with aConst = Jj − Smin^{first_{j,i}}_j − M^{first_{i,j}}_i (the
-// constant part of Lemma 2's formula).
-type cachedInterferer struct {
-	j       int
-	iIdx    int        // index of first_{j,i} on the analysed flow's path
-	jIdx    int        // index of first_{i,j} on flow j's path
-	csj     model.Time // C^{slow_{j,i}}_j
-	period  model.Time // Tj
-	aConst  model.Time
-	sameDir bool
-}
-
 // viewCache is the precomputed, Smax-independent context of one path
-// view: everything newBoundCtx derives except the A offsets.
+// view in structure-of-arrays form: everything newBoundCtx derives
+// except the A offsets. The per-interferer state lives in parallel
+// arrays carved from the Analyzer's arena (index x is one intersecting
+// flow, in ascending flow order):
+//
+//	jflow[x]  — the interfering flow's index
+//	iEnt[x]   — global Smax entry id of (flow, first_{j,i} on Pi)
+//	jEnt[x]   — global Smax entry id of (j, first_{i,j} on Pj)
+//	aConst[x] — Jj − Smin^{first_{j,i}}_j − M^{first_{i,j}}_i
+//	csj[x]    — C^{slow_{j,i}}_j (also the rTopSat charge vector)
+//	iperiods[x] — Tj
+//	sameDir[x]  — whether first_{j,i} == first_{i,j}
+//
+// The Smax-dependent A offset reconstitutes per sweep as
+// flat[iEnt[x]] + flat[jEnt[x]] + aConst[x] (Lemma 2), a pure gather
+// from the flat table — no per-interferer struct or map lookup on the
+// sweep hot path.
 type viewCache struct {
-	flow  int
-	plen  int
-	inter []cachedInterferer
+	flow int
+	plen int
+
+	jflow    []int32
+	iEnt     []int32
+	jEnt     []int32
+	aConst   []model.Time
+	csj      []model.Time
+	iperiods []model.Time
+	sameDir  []bool
 	// readIDs are the global Smax entry ids this view's A offsets read,
-	// deduplicated — the dirty-propagation dependency set.
-	readIDs []int
+	// deduplicated in first-occurrence order — the dirty-propagation
+	// dependency set.
+	readIDs []int32
 
 	bslow  model.Time
 	slow   model.NodeID
@@ -457,10 +561,11 @@ type viewCache struct {
 	period model.Time
 	jitter model.Time
 	delta  model.Time
-	// iperiods/icharges are the interferer periods and charges packed
-	// for the rTopSat saturation guard.
-	iperiods []model.Time
-	icharges []model.Time
+	// minPer/maxCharge majorize the scan's packet-count terms (minimum
+	// period and maximum charge over the view itself and every
+	// interferer) — constants of eval's quick saturation check.
+	minPer    model.Time
+	maxCharge model.Time
 	// sat is the sticky saturation flag of the build-time constants; the
 	// flag expressions mirror boundCtx's exactly (see harden.go). eval
 	// seeds its per-sweep flag from it.
@@ -468,100 +573,136 @@ type viewCache struct {
 }
 
 // buildView precomputes the cached context for flow i's view of length
-// plen, mirroring newBoundCtx term by term (including its in-order M
-// accumulation, which for interferer j ranges over the same-direction
-// interferers collected before j).
+// plen, mirroring newBoundCtx term by term. The interferer loop runs on
+// the dense topology (no map lookups) and the M-term/slow-node scans
+// are maintained incrementally in the build scratch: the reference
+// recomputes M from scratch per interferer (O(plen·ni) each), while the
+// scratch keeps per-node same-direction minima/maxima and a lazy prefix
+// fold whose AddSat operand sequence is identical to the reference's at
+// every query point — so values, sticky flags and error surfaces stay
+// bit-identical at O(plen) per same-direction interferer.
 func (a *Analyzer) buildView(i, plen int) (*viewCache, error) {
 	fs := a.fs
 	f := fs.Flows[i]
 	path := f.Path[:plen]
 	cost := f.Cost[:plen]
-	vc := &viewCache{
-		flow:   i,
-		plen:   plen,
-		period: f.Period,
-		jitter: f.Jitter,
-		clast:  cost[plen-1],
-	}
+	vc := a.arena.newView()
+	vc.flow = i
+	vc.plen = plen
+	vc.period = f.Period
+	vc.jitter = f.Jitter
+	vc.clast = cost[plen-1]
 	vc.delta = a.opt.deltaForView(i, plen, &vc.sat)
+
+	sc := &a.build
+	sc.reset(a.nEntries, plen, cost)
+	lmin := fs.Net.Lmin
+	baseI := int32(a.entryBase[i])
+	ps := a.ensurePair(i)
+	stride := ps.stride
+	fullLen := stride - 1
+	// Pass 1: count the interferers, so the SoA arrays carve at exact
+	// size and the fill below writes directly (no staging copy).
+	ni := 0
 	for j := range fs.Flows {
-		if j == i {
-			continue
+		if ps.p0[j] >= 0 && ps.jordPre[j*stride+plen] >= 0 {
+			ni++
 		}
-		rel := fs.PrefixRelation(i, plen, j)
-		if !rel.Intersects {
-			continue
-		}
-		fj := fs.Flows[j]
-		iIdx := fs.PathIndex(i, rel.FirstJI)
-		jIdx := fs.PathIndex(j, rel.FirstIJ)
-		m := vc.mTermAt(fs, path, cost, fs.PathIndex(i, rel.FirstIJ))
-		// first_{j,i} lies on Pj by construction of the path relation.
-		sminJ := fs.SminAt(j, fs.PathIndex(j, rel.FirstJI))
-		vc.inter = append(vc.inter, cachedInterferer{
-			j:       j,
-			iIdx:    iIdx,
-			jIdx:    jIdx,
-			csj:     rel.CSlowJI,
-			period:  fj.Period,
-			aConst:  model.SubSat(model.SubSat(fj.Jitter, sminJ, &vc.sat), m, &vc.sat),
-			sameDir: rel.SameDirection,
-		})
-		vc.iperiods = append(vc.iperiods, fj.Period)
-		vc.icharges = append(vc.icharges, rel.CSlowJI)
-		a.addRead(vc, i, iIdx)
-		a.addRead(vc, j, jIdx)
 	}
-	if err := vc.computeBslow(fs, a.opt); err != nil {
+	ar := &a.arena
+	vc.jflow = arenaSlice(&ar.ints, ni)
+	vc.iEnt = arenaSlice(&ar.ints, ni)
+	vc.jEnt = arenaSlice(&ar.ints, ni)
+	vc.aConst = arenaSlice(&ar.times, ni)
+	vc.csj = arenaSlice(&ar.times, ni)
+	vc.iperiods = arenaSlice(&ar.times, ni)
+	vc.sameDir = arenaSlice(&ar.bools, ni)
+	x := 0
+	for j := range fs.Flows {
+		if ps.p0[j] < 0 {
+			continue
+		}
+		col := j*stride + plen
+		jord := ps.jordPre[col]
+		if jord < 0 {
+			continue
+		}
+		csj := ps.csjPre[col]
+		per := ps.perJ[j]
+		sd := ps.sdPre[col]
+		// M ranges over the same-direction interferers collected BEFORE
+		// j, so the query precedes the absorb below.
+		m := sc.mTermAt(lmin, int(ps.p0[j]), &vc.sat)
+		// A = (Jj − Smin_j(first_{j,i})) − M: the inner SubSat is the
+		// precomputed jmsPre column; OR-ing its rail flag into vc.sat is
+		// order-independent (sticky flag), so the value AND flag match
+		// computing both SubSats against vc.sat directly.
+		if ps.jmsSat[col] {
+			vc.sat = true
+		}
+		iEnt := baseI + ps.fjiIPre[col]
+		jEnt := int32(a.entryBase[j]) + ps.fijJ[j]
+		vc.jflow[x] = int32(j)
+		vc.iEnt[x] = iEnt
+		vc.jEnt[x] = jEnt
+		vc.aConst[x] = model.SubSat(ps.jmsPre[col], m, &vc.sat)
+		vc.csj[x] = csj
+		vc.iperiods[x] = per
+		vc.sameDir[x] = sd
+		x++
+		sc.addGroup(per, csj)
+		sc.addRead(iEnt)
+		sc.addRead(jEnt)
+		if sd {
+			sc.absorbSameDir(ps.costOn[j*fullLen:j*fullLen+fullLen], plen)
+		}
+	}
+	vc.readIDs = arenaSlice(&ar.ints, len(sc.reads))
+	copy(vc.readIDs, sc.reads)
+
+	if err := a.finishView(vc, path, cost, sc); err != nil {
 		return nil, err
 	}
-	a.chooseSlow(vc, path, cost)
-	vc.fixed = model.AddSat(
-		model.AddSat(
-			model.SubSat(vc.maxSum, vc.clast, &vc.sat),
-			model.MulSat(model.Time(plen-1), fs.Net.Lmax, &vc.sat), &vc.sat),
-		vc.delta, &vc.sat)
 	return vc, nil
 }
 
-// addRead records an Smax entry in the view's dependency set, deduped.
-func (a *Analyzer) addRead(vc *viewCache, flow, k int) {
-	id := a.entryBase[flow] + k
-	for _, e := range vc.readIDs {
-		if e == id {
-			return
+// finishView runs the interferer-independent tail of a view build:
+// the busy period, the slow-node selection, the fixed W term and the
+// quick-guard majorant constants — against whichever build state
+// accumulated the view's groups and extrema (the per-Analyzer scratch
+// for buildView, a per-plen state for buildAll).
+func (a *Analyzer) finishView(vc *viewCache, path model.Path, cost []model.Time, sc *buildScratch) error {
+	fs := a.fs
+	if err := vc.computeBslow(fs, a.opt, sc); err != nil {
+		return err
+	}
+	a.finishSlow(vc, path, cost, sc)
+	vc.fixed = model.AddSat(
+		model.AddSat(
+			model.SubSat(vc.maxSum, vc.clast, &vc.sat),
+			model.MulSat(model.Time(vc.plen-1), fs.Net.Lmax, &vc.sat), &vc.sat),
+		vc.delta, &vc.sat)
+	// minPer/maxCharge majorize every packet-count term of the scan —
+	// the constants of eval's quick saturation check.
+	vc.minPer, vc.maxCharge = vc.period, vc.cslow
+	for x := range vc.iperiods {
+		if vc.iperiods[x] < vc.minPer {
+			vc.minPer = vc.iperiods[x]
+		}
+		if vc.csj[x] > vc.maxCharge {
+			vc.maxCharge = vc.csj[x]
 		}
 	}
-	vc.readIDs = append(vc.readIDs, id)
+	return nil
 }
 
-// mTermAt accumulates M up to (exclusive) position k of the view path:
-// for every earlier node, the smallest processing cost among the view's
-// own flow and the same-direction interferers collected so far, plus
-// Lmin per link.
-func (vc *viewCache) mTermAt(fs *model.FlowSet, path model.Path, cost []model.Time, k int) model.Time {
-	var s model.Time
-	for m := 0; m < k; m++ {
-		minC := cost[m]
-		for x := range vc.inter {
-			in := &vc.inter[x]
-			if !in.sameDir {
-				continue
-			}
-			if cc := fs.CostOf(in.j, path[m]); cc > 0 && cc < minC {
-				minC = cc
-			}
-		}
-		s = model.AddSat(s, model.AddSat(minC, fs.Net.Lmin, &vc.sat), &vc.sat)
-	}
-	return s
-}
-
-// computeBslow solves the busy-period equation through the shared
-// bslowFixpoint (harden.go), so divergence and overflow verdicts match
-// the reference path's exactly.
-func (vc *viewCache) computeBslow(fs *model.FlowSet, opt Options) error {
-	b, err := bslowFixpoint(fs.Flows[vc.flow].Name, opt, vc.period, vc.maxCost(fs), vc.iperiods, vc.icharges)
+// computeBslow solves the busy-period equation through
+// bslowFixpointGrouped (harden.go) over the build scratch's (period,
+// charge) groups — value- and flag-equivalent to the reference's
+// per-interferer bslowFixpoint, so divergence and overflow verdicts
+// match the reference path's exactly.
+func (vc *viewCache) computeBslow(fs *model.FlowSet, opt Options, sc *buildScratch) error {
+	b, err := bslowFixpointGrouped(fs.Flows[vc.flow].Name, opt, vc.period, vc.maxCost(fs), sc.gPer, sc.gChg, sc.gMul)
 	if err != nil {
 		return err
 	}
@@ -581,42 +722,248 @@ func (vc *viewCache) maxCost(fs *model.FlowSet) model.Time {
 	return bc
 }
 
-// chooseSlow mirrors boundCtx.chooseSlow over the cached interferers.
-func (a *Analyzer) chooseSlow(vc *viewCache, path model.Path, cost []model.Time) {
+// buildAll builds every missing view of flow i — all prefix lengths
+// and the full path — in ONE interferer sweep, filling the SoA arrays
+// directly. It exists purely for speed: buildView via the pair cache
+// recomputes (or stages and re-reads) the per-pair anchors once per
+// prefix length, while the fused sweep derives each pair's anchors
+// once and advances every view's build state in the same ascending-j
+// order a standalone build would use — so each produced view is
+// field-for-field identical to buildView's (the per-view sequences of
+// mTermAt/absorb/addGroup/addRead calls coincide).
+//
+// Only called when no tracer is installed: a traced run must emit each
+// view's EvBslow event at the reference's lazy build point, not in an
+// all-at-once batch. A view whose busy period fails to converge is
+// left nil and NOT reported here — the lazy path rebuilds it at the
+// slot that would have built it first, rediscovering the identical
+// error in the reference's order (buildView is deterministic).
+//
+// Paths longer than 64 hops fall back to the lazy path (the read-set
+// dedup keeps one bit per prefix length).
+func (a *Analyzer) buildAll(i int) {
 	fs := a.fs
-	vc.cslow = vc.maxCost(fs)
-
-	if cap(a.sdScratch) < len(path) {
-		a.sdScratch = make([]model.Time, len(path))
+	f := fs.Flows[i]
+	L := len(f.Path)
+	if L > 64 {
+		return
 	}
-	sameDirMax := a.sdScratch[:len(path)]
-	var total model.Time
-	for k, h := range path {
-		mx := cost[k]
-		for x := range vc.inter {
-			in := &vc.inter[x]
-			if !in.sameDir {
-				continue
-			}
-			if cc := fs.CostOf(in.j, h); cc > mx {
-				mx = cc
+	if a.prefix[i] == nil {
+		a.prefix[i] = make([]*viewCache, L)
+	}
+	var need uint64 // bit p-1: the plen-p view is missing
+	for p := 1; p < L; p++ {
+		if a.prefix[i][p] == nil {
+			need |= 1 << uint(p-1)
+		}
+	}
+	if a.full[i] == nil {
+		need |= 1 << uint(L-1)
+	}
+	if need == 0 {
+		return
+	}
+	tp := a.ensureTopo()
+	ms := &a.multi
+	n := fs.N()
+	posI := tp.pos[i]
+	dpi := tp.dpath[i]
+
+	// Pass 1: each interferer's activation index, histogrammed so every
+	// view's interferer count is a prefix sum.
+	ms.minKi = growN(ms.minKi, n)
+	ms.hist = growN(ms.hist, L)
+	for m := 0; m < L; m++ {
+		ms.hist[m] = 0
+	}
+	for j := 0; j < n; j++ {
+		if j == i {
+			ms.minKi[j] = -1
+			continue
+		}
+		mk := int32(-1)
+		for _, d := range tp.dpath[j] {
+			if ki := posI[d]; ki >= 0 && (mk < 0 || ki < mk) {
+				mk = ki
 			}
 		}
-		sameDirMax[k] = mx
-		total = model.AddSat(total, mx, &vc.sat)
+		ms.minKi[j] = mk
+		if mk >= 0 {
+			ms.hist[mk]++
+		}
 	}
 
+	// Carve the needed views at exact size and open their build states.
+	ms.vcs = growN(ms.vcs, L)
+	ms.xs = growN(ms.xs, L)
+	ms.st = growN(ms.st, L)
+	ar := &a.arena
+	cum := 0
+	for p := 1; p <= L; p++ {
+		cum += int(ms.hist[p-1])
+		if need&(1<<uint(p-1)) == 0 {
+			ms.vcs[p-1] = nil
+			continue
+		}
+		vc := ar.newView()
+		vc.flow = i
+		vc.plen = p
+		vc.period = f.Period
+		vc.jitter = f.Jitter
+		vc.clast = f.Cost[p-1]
+		vc.delta = a.opt.deltaForView(i, p, &vc.sat)
+		ni := cum
+		vc.jflow = arenaSlice(&ar.ints, ni)
+		vc.iEnt = arenaSlice(&ar.ints, ni)
+		vc.jEnt = arenaSlice(&ar.ints, ni)
+		vc.aConst = arenaSlice(&ar.times, ni)
+		vc.csj = arenaSlice(&ar.times, ni)
+		vc.iperiods = arenaSlice(&ar.times, ni)
+		vc.sameDir = arenaSlice(&ar.bools, ni)
+		ms.vcs[p-1] = vc
+		ms.xs[p-1] = 0
+		ms.st[p-1].resetLite(p, f.Cost[:p])
+	}
+	if len(ms.mEpoch) < a.nEntries {
+		ms.mEpoch = make([]int32, a.nEntries)
+		ms.mBits = make([]uint64, a.nEntries)
+		ms.epoch = 0
+	}
+	ms.epoch++
+
+	// Pass 2: one bucket computation per pair, then an ascending-plen
+	// combine that maintains the prefix anchors incrementally and fills
+	// each needed view's next SoA slot.
+	lmin := fs.Net.Lmin
+	baseI := int32(a.entryBase[i])
+	ms.idxAt = growN(ms.idxAt, L)
+	ms.maxAt = growN(ms.maxAt, L)
+	ms.crow = growN(ms.crow, L)
+	for j := 0; j < n; j++ {
+		mk := ms.minKi[j]
+		if mk < 0 || need>>uint(mk) == 0 {
+			continue
+		}
+		fj := fs.Flows[j]
+		costJ := fj.Cost
+		idxAt, maxAt, crow := ms.idxAt[:L], ms.maxAt[:L], ms.crow[:L]
+		for m := 0; m < L; m++ {
+			idxAt[m], maxAt[m], crow[m] = -1, 0, 0
+		}
+		for k, d := range tp.dpath[j] {
+			ki := posI[d]
+			if ki < 0 {
+				continue
+			}
+			if idxAt[ki] < 0 {
+				idxAt[ki] = int32(k) // first occurrence in j order
+			}
+			if c := costJ[k]; c > maxAt[ki] {
+				maxAt[ki] = c
+			}
+			crow[ki] = costJ[k] // last occurrence wins, like costOnView
+		}
+		// first_{i,j}: first node of Pi present on Pj (plen-independent
+		// once the prefix intersects — see pairScratch.build).
+		posJ := tp.pos[j]
+		var p0, fij int32 = -1, -1
+		for m, d := range dpi {
+			if posJ[d] >= 0 {
+				p0, fij = int32(m), posJ[d]
+				break
+			}
+		}
+		dP0 := dpi[p0]
+		jEntJ := int32(a.entryBase[j]) + fij
+		per := fj.Period
+		jord, fji := int32(-1), int32(-1)
+		var cs, jms model.Time
+		sd, jmsF := false, false
+		for p := int(mk) + 1; p <= L; p++ {
+			if k := idxAt[p-1]; k >= 0 {
+				if jord < 0 || k < jord {
+					jord, fji = k, int32(p-1)
+					sd = tp.dpath[j][k] == dP0
+					jmsF = false
+					jms = model.SubSat(fj.Jitter, fs.SminAt(j, int(k)), &jmsF)
+				}
+				if maxAt[p-1] > cs {
+					cs = maxAt[p-1]
+				}
+			}
+			if need&(1<<uint(p-1)) == 0 {
+				continue
+			}
+			vc := ms.vcs[p-1]
+			st := &ms.st[p-1]
+			// Identical per-view call order to buildView: M query before
+			// the same-direction absorb, reads in (iEnt, jEnt) order.
+			m := st.mTermAt(lmin, int(p0), &vc.sat)
+			if jmsF {
+				vc.sat = true
+			}
+			iEnt := baseI + fji
+			x := ms.xs[p-1]
+			vc.jflow[x] = int32(j)
+			vc.iEnt[x] = iEnt
+			vc.jEnt[x] = jEntJ
+			vc.aConst[x] = model.SubSat(jms, m, &vc.sat)
+			vc.csj[x] = cs
+			vc.iperiods[x] = per
+			vc.sameDir[x] = sd
+			ms.xs[p-1] = x + 1
+			st.addGroup(per, cs)
+			ms.addRead(p, st, iEnt)
+			ms.addRead(p, st, jEntJ)
+			if sd {
+				st.absorbSameDir(crow, p)
+			}
+		}
+	}
+
+	for p := 1; p <= L; p++ {
+		if need&(1<<uint(p-1)) == 0 {
+			continue
+		}
+		vc := ms.vcs[p-1]
+		st := &ms.st[p-1]
+		vc.readIDs = arenaSlice(&ar.ints, len(st.reads))
+		copy(vc.readIDs, st.reads)
+		if err := a.finishView(vc, f.Path[:p], f.Cost[:p], st); err != nil {
+			ms.vcs[p-1] = nil
+			continue // left nil; the lazy path rediscovers the error
+		}
+		if p == L {
+			a.full[i] = vc
+		} else {
+			a.prefix[i][p] = vc
+		}
+		ms.vcs[p-1] = nil
+	}
+}
+
+// finishSlow mirrors boundCtx.chooseSlow over the build scratch's
+// per-node same-direction maxima (already folded incrementally by the
+// interferer loop): the total fold and the first-maximum tie-break use
+// the identical values and AddSat order as the reference's per-node
+// rescan.
+func (a *Analyzer) finishSlow(vc *viewCache, path model.Path, cost []model.Time, sc *buildScratch) {
+	vc.cslow = vc.maxCost(a.fs)
+	var total model.Time
+	for k := range path {
+		total = model.AddSat(total, sc.maxSD[k], &vc.sat)
+	}
 	bestK := -1
 	for k := range path {
 		if cost[k] != vc.cslow {
 			continue
 		}
-		if bestK < 0 || sameDirMax[k] > sameDirMax[bestK] {
+		if bestK < 0 || sc.maxSD[k] > sc.maxSD[bestK] {
 			bestK = k
 		}
 	}
 	vc.slow = path[bestK]
-	vc.maxSum = model.SubSat(total, sameDirMax[bestK], &vc.sat)
+	vc.maxSum = model.SubSat(total, sc.maxSD[bestK], &vc.sat)
 }
 
 // evalScratch holds the per-evaluation buffers: the reconstituted A
@@ -637,71 +984,185 @@ func growTimes(s []model.Time, n int) []model.Time {
 	return s[:n]
 }
 
-// eval computes the view's bound and critical instant against the given
+// eval computes the view's bound and critical instant against the flat
 // Smax table: Property 2's maximization over the critical instants,
 // evaluated incrementally. Instead of materializing and sorting the
 // jump points of every floor term (the reference criticalInstants), the
 // scan k-way-merges one ascending jump stream per term and maintains W
 // incrementally — each jump raises exactly one term's packet count by
 // one (when its unclamped count is positive), so W updates in O(1) per
-// jump and the whole scan is allocation-free. The visited instants, the
-// W values, and the first-maximizer tie-break are identical to the
-// reference, so the result is bit-identical.
-func (vc *viewCache) eval(opt Options, smax smaxTable, sc *evalScratch) (model.Time, model.Time) {
-	ni := len(vc.inter)
+// jump and the whole scan is allocation-free.
+//
+// Two cutoffs prune the scan without changing its result (DESIGN.md §6):
+//
+//   - Streams whose first jump falls at or beyond the Lemma-3 busy-window
+//     end hi = −Ji+Bslow never fire inside the scan window, so they are
+//     dropped at init (they still contribute to W(lo)).
+//   - rem tracks the total W mass the remaining jumps can still add
+//     (Σ over future contributing jumps of their cost). After visiting
+//     instant t with value r, every later instant t' ≥ t+1 satisfies
+//     r(t') = W(t') + C^last − t' ≤ r + rem − 1, so once
+//     rem ≤ bestR − r + 1 no later instant can strictly exceed bestR
+//     and the scan stops. The first-maximizer tie-break is preserved
+//     because instants that merely TIE bestR never update it.
+//
+// The visited instants, the W values, and the tie-break are otherwise
+// identical to the reference, so the result is bit-identical.
+func (vc *viewCache) eval(opt Options, flat []model.Time, sc *evalScratch) (model.Time, model.Time) {
+	ni := len(vc.jflow)
 	as := growTimes(sc.as, ni)
 	sc.as = as
-	// The A reconstitution mirrors boundCtx.offsetA's expression tree,
-	// seeding the sticky flag from the build-time constants; the rTopSat
-	// guard below turns any saturation into the Unbounded verdict before
-	// the exact (unchecked) scan runs.
+	// The A reconstitution mirrors boundCtx.offsetA's AddSat chain with
+	// plain arithmetic: |flat entries| ≤ TimeInfinity and |aConst| ≤
+	// TimeInfinity, so both partial sums are exact in int64, and the
+	// explicit rail compares reproduce the chain's sticky flag exactly
+	// (flat values are ≥ 0, so the first add rails iff s1 ≥ Infinity; a
+	// railed aConst already set vc.sat at build time). When the flag
+	// fires the A values never reach a verdict — rTopSat below is seeded
+	// with the flag and degrades to Unbounded — so the value divergence
+	// of clamped intermediates is unobservable. The rTopSat guard also
+	// proves every count·cost product and their sum — hence rem below —
+	// stays inside the exact int64 range.
 	sat := vc.sat
-	for x := range vc.inter {
-		in := &vc.inter[x]
-		as[x] = model.AddSat(model.AddSat(smax[vc.flow][in.iIdx], smax[in.j][in.jIdx], &sat), in.aConst, &sat)
+	maxOff, minOff := vc.jitter, vc.jitter
+	iEnt, jEnt, aConst := vc.iEnt, vc.jEnt, vc.aConst
+	for x := 0; x < ni; x++ {
+		s1 := flat[iEnt[x]] + flat[jEnt[x]]
+		v := s1 + aConst[x]
+		if s1 >= model.TimeInfinity || v >= model.TimeInfinity || v <= -model.TimeInfinity {
+			sat = true
+		}
+		as[x] = v
+		if v > maxOff {
+			maxOff = v
+		}
+		if v < minOff {
+			minOff = v
+		}
 	}
 
 	lo := -vc.jitter
-	if _, saturated := rTopSat(opt, sat, vc.fixed, vc.jitter, vc.period, vc.cslow, vc.clast,
-		lo, lo+vc.bslow, as, vc.iperiods, vc.icharges); saturated {
-		return model.TimeInfinity, 0
+	hi := lo + vc.bslow
+	// Quick saturation check: every count term of the scan envelope is
+	// majorized by countSat(hi+maxOff, minPer) — counts are monotone in
+	// the window and (at non-negative windows) anti-monotone in the
+	// period, and negative windows count zero — so the envelope itself
+	// is ≤ fixed + (ni+1)·cnt·maxCharge + clast − lo. When that
+	// majorant's fold never saturates, neither does any operation of the
+	// precise rTopSat fold: each AddSat(hi, as[x]) lies between hi+minOff
+	// and hi+maxOff (both proven in-range, including StrictWindow's −1),
+	// each count is ≤ cnt, each product ≤ cnt·maxCharge and each partial
+	// sum lies in [fixed, quick]. Only when the quick check flags does
+	// eval pay the precise per-term guard — whose verdict is what
+	// decides, keeping the Unbounded boundary bit-identical.
+	qs := sat
+	top := model.AddSat(hi, maxOff, &qs)
+	bot := model.AddSat(hi, minOff, &qs)
+	if opt.StrictWindow {
+		model.SubSat(bot, 1, &qs)
 	}
-	w := vc.fixed + opt.count(lo+vc.jitter, vc.period)*vc.cslow
-	for x := range vc.inter {
-		w += opt.count(lo+as[x], vc.inter[x].period) * vc.inter[x].csj
+	cnt := opt.countSat(top, vc.minPer, &qs)
+	model.SubSat(model.AddSat(model.AddSat(vc.fixed,
+		model.MulSat(model.MulSat(model.Time(ni)+1, cnt, &qs), vc.maxCharge, &qs), &qs), vc.clast, &qs), lo, &qs)
+	if qs {
+		if _, saturated := rTopSat(opt, sat, vc.fixed, vc.jitter, vc.period, vc.cslow, vc.clast,
+			lo, hi, as, vc.iperiods, vc.csj); saturated {
+			return model.TimeInfinity, 0
+		}
 	}
-	bestR, bestT := w+vc.clast-lo, lo
 	if opt.DisableTScan {
-		return bestR, bestT
+		w := vc.fixed + opt.count(lo+vc.jitter, vc.period)*vc.cslow
+		for x := 0; x < ni; x++ {
+			w += opt.count(lo+as[x], vc.iperiods[x]) * vc.csj[x]
+		}
+		return w + vc.clast - lo, lo
 	}
 
-	hi := lo + vc.bslow
 	var shift model.Time
 	if opt.StrictWindow {
 		shift = 1
 	}
-	ns := ni + 1
-	heads := growTimes(sc.heads, ns)
-	periods := growTimes(sc.periods, ns)
-	costs := growTimes(sc.costs, ns)
-	ucount := growTimes(sc.ucount, ns)
+	heads := growTimes(sc.heads, ni+1)
+	periods := growTimes(sc.periods, ni+1)
+	costs := growTimes(sc.costs, ni+1)
+	ucount := growTimes(sc.ucount, ni+1)
 	sc.heads, sc.periods, sc.costs, sc.ucount = heads, periods, costs, ucount
 
-	// Stream s jumps at t = k·period − offset + shift, where the term's
-	// unclamped count 1+⌊(t+offset−shift)/period⌋ becomes 1+k; its
+	// One pass per term folds its W(lo) contribution AND initializes its
+	// jump stream from a single floor division: the term's count at lo
+	// is max(0, 1+⌊a/period⌋) for a = lo+offset−shift, and its first
+	// in-window jump index is ⌈a/period⌉ = ⌊a/period⌋ + (a mod ≠ 0) —
+	// the remainder is free. Stream s then jumps at t = k·period −
+	// offset + shift, where the term's unclamped count becomes 1+k; its
 	// clamped contribution rises only once the unclamped count is ≥ 1.
-	initStream := func(s int, offset, period, cost model.Time) {
-		k := model.CeilDiv(lo+offset-shift, period)
+	// Streams that never jump inside (lo, hi) are dropped here; rem
+	// accumulates the cost mass of every contributing future jump.
+	w := vc.fixed
+	ns := 0
+	var rem model.Time
+	initStream := func(offset, period, cost model.Time) {
+		a := lo + offset - shift
+		q := a / period
+		rm := a - q*period
+		if rm < 0 { // floor for negative numerators (period > 0)
+			q--
+			rm += period
+		}
+		if q >= 0 {
+			w += (1 + q) * cost
+		}
+		k := q
+		if rm != 0 {
+			k++
+		}
 		t := k*period - offset + shift
 		if t <= lo { // the t = lo jump is already folded into W(lo)
 			t += period
 			k++
 		}
-		heads[s], periods[s], costs[s], ucount[s] = t, period, cost, 1+k
+		if t >= hi {
+			return
+		}
+		heads[ns], periods[ns], costs[ns], ucount[ns] = t, period, cost, 1+k
+		// Jumps in [t, hi): nj of them; the m-th (0-based) reaches
+		// unclamped count (1+k)+m and contributes iff that is ≥ 1.
+		nj := (hi - t + period - 1) / period
+		skip := 1 - (1 + k) // leading non-contributing jumps
+		if skip < 0 {
+			skip = 0
+		}
+		if skip > nj {
+			skip = nj
+		}
+		rem += (nj - skip) * cost
+		ns++
 	}
-	initStream(0, vc.jitter, vc.period, vc.cslow)
-	for x := range vc.inter {
-		initStream(x+1, as[x], vc.inter[x].period, vc.inter[x].csj)
+	initStream(vc.jitter, vc.period, vc.cslow)
+	// Consecutive interferer terms with identical (A, period, charge)
+	// triples collapse into ONE stream carrying the summed charge: the
+	// members share every jump instant and every unclamped count, so the
+	// merged stream's W(lo) contribution, jump increments and rem mass
+	// are the exact member sums (integer multiplication distributes, and
+	// each sum is a partial sum the quick guard above proved in-range).
+	// The visited instants, W values, tie-breaks and the rem cutoff are
+	// therefore bit-identical to the per-member scan. The cap keeps the
+	// summed charge itself below TimeInfinity so its accumulation is
+	// exact; runs past the cap simply split into several streams.
+	iperiods, csj := vc.iperiods, vc.csj
+	for x := 0; x < ni; {
+		off, per, c := as[x], iperiods[x], csj[x]
+		cc := c
+		y := x + 1
+		for y < ni && as[y] == off && iperiods[y] == per && csj[y] == c && cc+c < model.TimeInfinity {
+			cc += c
+			y++
+		}
+		initStream(off, per, cc)
+		x = y
+	}
+	bestR, bestT := w+vc.clast-lo, lo
+	if rem <= 1 { // no future jump can strictly beat W(lo)'s value
+		return bestR, bestT
 	}
 
 	for {
@@ -718,127 +1179,86 @@ func (vc *viewCache) eval(opt Options, smax smaxTable, sc *evalScratch) (model.T
 			if heads[s] == t {
 				if ucount[s] >= 1 {
 					w += costs[s]
+					rem -= costs[s]
 				}
 				ucount[s]++
 				heads[s] += periods[s]
 			}
 		}
-		if r := w + vc.clast - t; r > bestR {
+		r := w + vc.clast - t
+		if r > bestR {
 			bestR, bestT = r, t
 		}
+		if rem <= bestR-r+1 {
+			return bestR, bestT
+		}
 	}
 }
 
-// engineJob pairs a cached view with its result slot for a sweep.
-type engineJob struct {
-	vc  *viewCache
-	dst *model.Time
-}
+// fixScratch is the per-Analyzer working state of the fixed-point
+// drivers: slot lists, job/result buffers, the packed reverse
+// dependency index and the global-tail iteration vectors. Reused across
+// ensureSmax runs so warm delta re-analysis (admission churn) allocates
+// only the fresh flat table per run.
+type fixScratch struct {
+	slotI        []int32
+	slotK        []int32
+	views        []*viewCache
+	results      []model.Time
+	dirty        []bool
+	jobs         []engineJob
+	sorted       []engineJob
+	colorCount   []int32
+	entryChanged []bool
+	changed      []int32
+	revCounts    []int32
+	revBack      []int32
+	rev          [][]int32
 
-// scratchPool recycles evaluation scratches across parallel sweeps and
-// across Analyzers: admission churn creates short bursts of parallel
-// evaluation on every mutation, and pooling keeps the steady state
-// allocation-free instead of growing a per-worker slice per Analyzer.
-// scratchPoolNews counts pool misses (fresh allocations) — the churn
-// gauge exported by cmd/trajan's metrics endpoint; a steadily climbing
-// value under constant load means the GC is draining the pool faster
-// than the sweep cadence refills it.
-var (
-	scratchPoolNews atomic.Int64
-	scratchPool     = sync.Pool{New: func() any {
-		scratchPoolNews.Add(1)
-		return new(evalScratch)
-	}}
-)
-
-// ScratchPoolNews reports the cumulative number of evaluation scratches
-// allocated because the pool was empty (process-wide, monotone).
-func ScratchPoolNews() int64 { return scratchPoolNews.Load() }
-
-// runJobs evaluates the jobs against an immutable Smax table, fanning
-// out across Options.workers() goroutines with pooled per-worker
-// scratches. Every worker checks the context before claiming a job (so
-// a cancellation drains the pool within one sweep) and evaluates
-// through safeEval, which contains panics as ErrInternal. All
-// goroutines are always joined before returning — a failure leaks
-// nothing. The first error (by job order) is returned.
-func (a *Analyzer) runJobs(ctx context.Context, jobs []engineJob, smax smaxTable) error {
-	workers := a.opt.workers()
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers <= 1 {
-		for k := range jobs {
-			if err := ctxErr(ctx); err != nil {
-				return err
-			}
-			r, _, err := a.safeEval(jobs[k].vc, smax, &a.scratch)
-			if err != nil {
-				return err
-			}
-			*jobs[k].dst = r
-		}
-		return nil
-	}
-	errs := make([]error, len(jobs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := scratchPool.Get().(*evalScratch)
-			defer scratchPool.Put(sc)
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				k := next.Add(1) - 1
-				if k >= int64(len(jobs)) {
-					return
-				}
-				r, _, err := a.safeEval(jobs[k].vc, smax, sc)
-				if err != nil {
-					errs[k] = err
-					continue
-				}
-				*jobs[k].dst = r
-			}
-		}()
-	}
-	wg.Wait()
-	if err := ctxErr(ctx); err != nil {
-		return err
-	}
-	for k := range errs {
-		if errs[k] != nil {
-			return errs[k]
-		}
-	}
-	return nil
+	// global-tail only:
+	tails    []model.Time
+	prevFlat []model.Time
+	next     []model.Time
+	bounds   []model.Time
+	best     []model.Time
 }
 
 // buildReverse maps every Smax entry id to the positions (in views) of
-// the cached views that read it, packed into one backing array.
-func (a *Analyzer) buildReverse(views []*viewCache) [][]int {
-	counts := make([]int, a.nEntries)
+// the cached views that read it, packed into one scratch-backed array.
+func (a *Analyzer) buildReverse(views []*viewCache) [][]int32 {
+	fx := &a.fix
+	if cap(fx.revCounts) < a.nEntries {
+		fx.revCounts = make([]int32, a.nEntries)
+	}
+	counts := fx.revCounts[:a.nEntries]
+	for e := range counts {
+		counts[e] = 0
+	}
 	total := 0
 	for _, vc := range views {
+		total += len(vc.readIDs)
 		for _, e := range vc.readIDs {
 			counts[e]++
-			total++
 		}
 	}
-	backing := make([]int, total)
-	rev := make([][]int, a.nEntries)
+	if cap(fx.revBack) < total {
+		fx.revBack = make([]int32, total)
+	}
+	backing := fx.revBack[:total]
+	if cap(fx.rev) < a.nEntries {
+		fx.rev = make([][]int32, a.nEntries)
+	}
+	rev := fx.rev[:a.nEntries]
 	off := 0
 	for e, c := range counts {
-		rev[e] = backing[off : off : off+c]
-		off += c
+		rev[e] = backing[off : off+int(c) : off+int(c)]
+		counts[e] = int32(off) // reused as the write cursor below
+		off += int(c)
 	}
 	for m, vc := range views {
 		for _, e := range vc.readIDs {
-			rev[e] = append(rev[e], m)
+			backing[counts[e]] = int32(m)
+			counts[e]++
 		}
 	}
 	return rev
@@ -857,15 +1277,19 @@ func (a *Analyzer) buildReverse(views []*viewCache) [][]int {
 // between the no-queue floor and the fixed point, with dirtyFlows
 // marking the flows whose slots need re-evaluation (nil = all): a slot
 // of a clean flow must already satisfy its equation at the seed, so it
-// is touched only when dirty propagation reaches it. The seed table is
-// taken over and mutated in place.
-func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dirtyFlows []bool) (smaxTable, int, bool, error) {
+// is touched only when dirty propagation reaches it. The seed is
+// read-only: its rows are copied into a fresh flat-backed table (WhatIf
+// forks share one pendingSeed because of this).
+func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dirtyFlows []bool) (smaxTable, []model.Time, int, bool, error) {
 	fs, opt := a.fs, a.opt
 	tr := opt.Tracer
-	t := seed
-	if t == nil {
-		t = newSmaxTable(fs)
+	t, flat := newSmaxTableFlat(fs)
+	if seed == nil {
 		t.fillNoQueue(fs)
+	} else {
+		for i := range seed {
+			copy(t[i], seed[i])
+		}
 	}
 	horizon := opt.horizon()
 
@@ -873,73 +1297,85 @@ func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dir
 	for _, f := range fs.Flows {
 		total += len(f.Path) - 1
 	}
-	type slotRef struct {
-		i, k int
-		vc   *viewCache
-	}
-	slots := make([]slotRef, 0, total)
-	views := make([]*viewCache, 0, total)
+	fx := &a.fix
+	fx.slotI = fx.slotI[:0]
+	fx.slotK = fx.slotK[:0]
+	fx.views = fx.views[:0]
 	for i, f := range fs.Flows {
 		for k := 1; k < len(f.Path); k++ {
 			vc, err := a.prefixCache(i, k)
 			if err != nil {
-				return nil, 1, false, err
+				return nil, nil, 1, false, err
 			}
-			slots = append(slots, slotRef{i, k, vc})
-			views = append(views, vc)
+			fx.slotI = append(fx.slotI, int32(i))
+			fx.slotK = append(fx.slotK, int32(k))
+			fx.views = append(fx.views, vc)
 		}
 	}
-	rev := a.buildReverse(views)
+	rev := a.buildReverse(fx.views)
 
-	results := make([]model.Time, len(slots))
-	jobs := make([]engineJob, 0, len(slots))
-	dirty := make([]bool, len(slots))
-	for m := range dirty {
-		dirty[m] = dirtyFlows == nil || dirtyFlows[slots[m].i]
+	fx.results = growTimes(fx.results, total)
+	if cap(fx.dirty) < total {
+		fx.dirty = make([]bool, total)
 	}
-	entryChanged := make([]bool, a.nEntries)
-	changed := make([]int, 0, a.nEntries)
+	dirty := fx.dirty[:total]
+	for m := range dirty {
+		dirty[m] = dirtyFlows == nil || dirtyFlows[fx.slotI[m]]
+	}
+	if cap(fx.entryChanged) < a.nEntries {
+		fx.entryChanged = make([]bool, a.nEntries)
+	}
+	entryChanged := fx.entryChanged[:a.nEntries]
+	for e := range entryChanged {
+		entryChanged[e] = false
+	}
+	changed := fx.changed[:0]
 
 	for sweep := 1; sweep <= opt.maxIterations(); sweep++ {
 		if err := ctxErr(ctx); err != nil {
-			return nil, sweep, false, err
+			fx.changed = changed
+			return nil, nil, sweep, false, err
 		}
-		jobs = jobs[:0]
-		for m := range slots {
+		jobs := fx.jobs[:0]
+		for m := range fx.views {
 			if dirty[m] {
-				jobs = append(jobs, engineJob{slots[m].vc, &results[m]})
+				jobs = append(jobs, engineJob{fx.views[m], &fx.results[m], int32(m)})
 			}
 		}
-		if err := a.runJobs(ctx, jobs, t); err != nil {
-			return nil, sweep, false, err
+		fx.jobs = jobs
+		if err := a.runJobs(ctx, jobs, flat); err != nil {
+			fx.changed = changed
+			return nil, nil, sweep, false, err
 		}
 		changed = changed[:0]
-		for m := range slots {
+		for m := range fx.views {
 			if !dirty[m] {
 				continue
 			}
-			sl := &slots[m]
+			si, sk := int(fx.slotI[m]), int(fx.slotK[m])
 			// The prefix bound is measured from generation time, so it
 			// already covers the release jitter window; arrival at the
 			// next node adds one link. results[m] ≤ TimeInfinity and
 			// Lmax < 2^60, so the raw sum is exact.
-			v := results[m] + fs.Net.Lmax
+			v := fx.results[m] + fs.Net.Lmax
 			if model.IsUnbounded(v) {
-				return nil, sweep, false, model.Errorf(model.ErrOverflow,
+				fx.changed = changed
+				return nil, nil, sweep, false, model.Errorf(model.ErrOverflow,
 					"trajectory: Smax prefix fixpoint overflows the time domain for flow %q node %d",
-					fs.Flows[sl.i].Name, fs.Flows[sl.i].Path[sl.k])
+					fs.Flows[si].Name, fs.Flows[si].Path[sk])
 			}
 			if v > horizon {
-				return nil, sweep, false, model.Errorf(model.ErrUnstable,
+				fx.changed = changed
+				return nil, nil, sweep, false, model.Errorf(model.ErrUnstable,
 					"trajectory: Smax prefix fixpoint diverges past horizon for flow %q node %d",
-					fs.Flows[sl.i].Name, fs.Flows[sl.i].Path[sl.k])
+					fs.Flows[si].Name, fs.Flows[si].Path[sk])
 			}
-			if v > t[sl.i][sl.k] {
-				t[sl.i][sl.k] = v
-				e := a.entryBase[sl.i] + sl.k
+			e := a.entryBase[si] + sk
+			if v > flat[e] {
+				flat[e] = v
 				if !entryChanged[e] {
 					entryChanged[e] = true
-					changed = append(changed, e)
+					changed = append(changed, int32(e))
 				}
 			}
 		}
@@ -948,7 +1384,8 @@ func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dir
 				Evaluated: len(jobs), Changed: len(changed)})
 		}
 		if len(changed) == 0 {
-			return t, sweep, true, nil
+			fx.changed = changed
+			return t, flat, sweep, true, nil
 		}
 		for m := range dirty {
 			dirty[m] = false
@@ -960,7 +1397,8 @@ func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dir
 			}
 		}
 	}
-	return t, opt.maxIterations(), false, nil
+	fx.changed = changed
+	return t, flat, opt.maxIterations(), false, nil
 }
 
 // engineGlobalTail is the incremental counterpart of globalTail: full
@@ -968,72 +1406,80 @@ func (a *Analyzer) enginePrefixFixpoint(ctx context.Context, seed smaxTable, dir
 // fillFromBounds changed one of the Smax entries it reads (clean views
 // keep the previous sweep's bound, which is exact for unchanged
 // inputs).
-func (a *Analyzer) engineGlobalTail(ctx context.Context) (smaxTable, int, bool, error) {
+func (a *Analyzer) engineGlobalTail(ctx context.Context) (smaxTable, []model.Time, int, bool, error) {
 	fs, opt := a.fs, a.opt
 	tr := opt.Tracer
-	bounds := append([]model.Time(nil), opt.SeedBounds...)
-	if bounds == nil {
-		var err error
-		bounds, err = busyPeriodSeed(ctx, fs, opt)
-		if err != nil {
-			return nil, 0, false, err
+	n := fs.N()
+	fx := &a.fix
+	fx.bounds = growTimes(fx.bounds, n)
+	bounds := fx.bounds
+	if opt.SeedBounds != nil {
+		if len(opt.SeedBounds) != n {
+			return nil, nil, 0, false, model.Errorf(model.ErrInvalidConfig,
+				"trajectory: %d seed bounds for %d flows", len(opt.SeedBounds), n)
 		}
-	} else if len(bounds) != fs.N() {
-		return nil, 0, false, model.Errorf(model.ErrInvalidConfig,
-			"trajectory: %d seed bounds for %d flows", len(bounds), fs.N())
+		copy(bounds, opt.SeedBounds)
+	} else {
+		seed, err := busyPeriodSeed(ctx, fs, opt)
+		if err != nil {
+			return nil, nil, 0, false, err
+		}
+		copy(bounds, seed)
 	}
 
-	views := make([]*viewCache, fs.N())
+	fx.views = fx.views[:0]
 	for i := range fs.Flows {
 		vc, err := a.fullCache(i)
 		if err != nil {
-			return nil, 1, false, err
+			return nil, nil, 1, false, err
 		}
-		views[i] = vc
+		fx.views = append(fx.views, vc)
 	}
-	rev := a.buildReverse(views)
+	rev := a.buildReverse(fx.views)
 
-	best := append([]model.Time(nil), bounds...)
-	t := newSmaxTable(fs)
-	prev := newSmaxTable(fs)
-	next := make([]model.Time, fs.N())
-	jobs := make([]engineJob, 0, fs.N())
-	dirty := make([]bool, fs.N())
+	fx.best = growTimes(fx.best, n)
+	best := fx.best
+	copy(best, bounds)
+	t, flat := newSmaxTableFlat(fs)
+	fx.prevFlat = growTimes(fx.prevFlat, len(flat))
+	prevFlat := fx.prevFlat
+	fx.next = growTimes(fx.next, n)
+	next := fx.next
+	if cap(fx.dirty) < n {
+		fx.dirty = make([]bool, n)
+	}
+	dirty := fx.dirty[:n]
 	for m := range dirty {
 		dirty[m] = true
 	}
 
 	for sweep := 1; sweep <= opt.maxIterations(); sweep++ {
 		if err := ctxErr(ctx); err != nil {
-			return nil, sweep, false, err
+			return nil, nil, sweep, false, err
 		}
-		t.fillFromBounds(fs, bounds)
+		fx.tails = t.fillFromBoundsScratch(fs, bounds, fx.tails)
 		if sweep > 1 {
 			for m := range dirty {
 				dirty[m] = false
 			}
-			for i := range t {
-				base := a.entryBase[i]
-				for k := range t[i] {
-					if t[i][k] != prev[i][k] {
-						for _, m := range rev[base+k] {
-							dirty[m] = true
-						}
+			for e := range flat {
+				if flat[e] != prevFlat[e] {
+					for _, m := range rev[e] {
+						dirty[m] = true
 					}
 				}
 			}
 		}
-		for i := range t {
-			copy(prev[i], t[i])
-		}
-		jobs = jobs[:0]
-		for m := range views {
+		copy(prevFlat, flat)
+		jobs := fx.jobs[:0]
+		for m := range fx.views {
 			if dirty[m] {
-				jobs = append(jobs, engineJob{views[m], &next[m]})
+				jobs = append(jobs, engineJob{fx.views[m], &next[m], int32(m)})
 			}
 		}
-		if err := a.runJobs(ctx, jobs, t); err != nil {
-			return nil, sweep, false, err
+		fx.jobs = jobs
+		if err := a.runJobs(ctx, jobs, flat); err != nil {
+			return nil, nil, sweep, false, err
 		}
 		for i, r := range next {
 			if r < best[i] {
@@ -1063,10 +1509,10 @@ func (a *Analyzer) engineGlobalTail(ctx context.Context) (smaxTable, int, bool, 
 		}
 		copy(bounds, next)
 		if same {
-			t.fillFromBounds(fs, best)
-			return t, sweep, true, nil
+			fx.tails = t.fillFromBoundsScratch(fs, best, fx.tails)
+			return t, flat, sweep, true, nil
 		}
 	}
-	t.fillFromBounds(fs, best)
-	return t, opt.maxIterations(), false, nil
+	fx.tails = t.fillFromBoundsScratch(fs, best, fx.tails)
+	return t, flat, opt.maxIterations(), false, nil
 }

@@ -61,6 +61,61 @@ func bslowFixpoint(name string, opt Options, selfPeriod, selfSlow model.Time, pe
 		name, opt.maxIterations())
 }
 
+// bslowFixpointGrouped is bslowFixpoint over terms grouped by identical
+// (period, charge) pairs: group g contributes mults[g] copies of
+// ⌈b/periods[g]⌉·charges[g] per iterate, computed as one multiplication
+// instead of mults[g] additions. The engine uses it with the build
+// scratch's groups; the reference keeps the per-interferer fold.
+//
+// The two folds are value- AND flag-equivalent, which is what the
+// differential tests require:
+//
+//   - Values: every term is exact until it saturates, addition of exact
+//     non-negative terms is order-independent, and q·C·mult equals the
+//     mult-fold sum of q·C exactly.
+//   - Sticky flag: all terms are non-negative, so a partial AddSat sum
+//     rails iff the total rails — independent of grouping and order.
+//     The extra MulSat(q·C, mult) can only rail when its group subtotal
+//     does, which rails the reference's running sum too; conversely any
+//     railed reference partial sum is ≤ the grouped total, railing it.
+//
+// Convergence, horizon and overflow checks therefore fire on identical
+// iterates in identical iterations, producing identical error strings
+// and EvBslow trace events.
+func bslowFixpointGrouped(name string, opt Options, selfPeriod, selfSlow model.Time, periods, charges, mults []model.Time) (model.Time, error) {
+	var sat bool
+	b := selfSlow
+	for g := range charges {
+		b = model.AddSat(b, model.MulSat(charges[g], mults[g], &sat), &sat)
+	}
+	horizon := opt.horizon()
+	for iter := 0; iter < opt.maxIterations(); iter++ {
+		nb := model.MulSat(model.CeilDiv(b, selfPeriod), selfSlow, &sat)
+		for g := range periods {
+			nb = model.AddSat(nb, model.MulSat(model.MulSat(model.CeilDiv(b, periods[g]), charges[g], &sat), mults[g], &sat), &sat)
+		}
+		if sat || model.IsUnbounded(nb) {
+			return 0, model.Errorf(model.ErrOverflow,
+				"trajectory: busy period of flow %q overflows the time domain", name)
+		}
+		if nb == b {
+			if tr := opt.Tracer; tr != nil {
+				tr.Emit(obs.Event{Type: obs.EvBslow, Flow: name, Iters: iter + 1, Value: b})
+			}
+			return b, nil
+		}
+		if nb > horizon {
+			return 0, model.Errorf(model.ErrUnstable,
+				"trajectory: busy period of flow %q diverges past horizon %d (slowest-node utilization ≥ 1)",
+				name, horizon)
+		}
+		b = nb
+	}
+	return 0, model.Errorf(model.ErrUnstable,
+		"trajectory: busy period of flow %q did not converge in %d iterations",
+		name, opt.maxIterations())
+}
+
 // rTopSat computes, with saturating arithmetic, the upper envelope of
 // the Property-2 scan: W(hi) + C^last − lo, where hi = lo + Bslow is
 // the (exclusive) top of the scanned release window. Every packet-count

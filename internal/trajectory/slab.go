@@ -1,0 +1,682 @@
+package trajectory
+
+import (
+	"trajan/internal/model"
+)
+
+// This file is the slab layer of the flattened fixpoint core (DESIGN.md
+// §6): a dense, map-free mirror of the flow-set topology, a chunked
+// arena the SoA view caches carve their slices from, and the flat
+// backing layout of the Smax tables the sweeps index by global entry
+// id. Everything here is engine-internal — the reference path
+// (reference.go / bound.go) keeps using the model-level map lookups, so
+// the differential tests cross-check the dense computations against the
+// originals on every fuzzed flow set.
+
+// denseTopo is a dense-index mirror of the flow set's topology: every
+// distinct node gets a dense id in [0, nNodes), pos[i][d] is the path
+// position of dense node d on flow i (-1 when absent), and dpath[i][k]
+// is the dense id of the k-th node on flow i's path. Both prefix
+// relations and intersection tests become pure array scans — the
+// map-heavy FlowSet.PrefixRelation was the dominant cost of cold view
+// construction (≈40% of flows128 CPU before the slab layer).
+//
+// A topo is immutable once built: the delta constructors below share
+// rows copy-on-write, so undo snapshots and WhatIf forks alias it
+// safely. nodeOf is only consulted at (re)build time, never on a hot
+// path.
+type denseTopo struct {
+	nNodes int
+	nodeOf map[model.NodeID]int32
+	pos    [][]int32 // pos[i][d]: position of dense node d on flow i, -1 if absent
+	dpath  [][]int32 // dpath[i][k]: dense id of Flows[i].Path[k]
+}
+
+// buildTopo constructs the dense mirror for a flow set. Dense ids are
+// assigned in first-appearance order over the flows' paths, so the
+// construction is deterministic.
+func buildTopo(fs *model.FlowSet) *denseTopo {
+	n := fs.N()
+	tp := &denseTopo{nodeOf: make(map[model.NodeID]int32)}
+	tp.dpath = make([][]int32, n)
+	total := 0
+	for _, f := range fs.Flows {
+		total += len(f.Path)
+	}
+	dback := make([]int32, total)
+	off := 0
+	for i, f := range fs.Flows {
+		row := dback[off : off+len(f.Path) : off+len(f.Path)]
+		off += len(f.Path)
+		for k, h := range f.Path {
+			d, ok := tp.nodeOf[h]
+			if !ok {
+				d = int32(len(tp.nodeOf))
+				tp.nodeOf[h] = d
+			}
+			row[k] = d
+		}
+		tp.dpath[i] = row
+	}
+	tp.nNodes = len(tp.nodeOf)
+	tp.pos = make([][]int32, n)
+	pback := make([]int32, n*tp.nNodes)
+	for i := range pback {
+		pback[i] = -1
+	}
+	for i := range fs.Flows {
+		row := pback[i*tp.nNodes : (i+1)*tp.nNodes : (i+1)*tp.nNodes]
+		for k, d := range tp.dpath[i] {
+			row[d] = int32(k)
+		}
+		tp.pos[i] = row
+	}
+	return tp
+}
+
+// rowFor builds the pos/dpath rows of one new path against the existing
+// dense node universe. ok is false when the path visits a node the topo
+// has never seen — the caller then rebuilds from scratch, because the
+// shared pos rows of the other flows are sized to the old universe.
+func (tp *denseTopo) rowFor(path model.Path) (prow, drow []int32, ok bool) {
+	drow = make([]int32, len(path))
+	for k, h := range path {
+		d, known := tp.nodeOf[h]
+		if !known {
+			return nil, nil, false
+		}
+		drow[k] = d
+	}
+	prow = make([]int32, tp.nNodes)
+	for d := range prow {
+		prow[d] = -1
+	}
+	for k, d := range drow {
+		prow[d] = int32(k)
+	}
+	return prow, drow, true
+}
+
+// withFlowAdded returns a topo for the flow set with path appended, or
+// nil when the path introduces new nodes (rebuild lazily). Existing
+// rows are shared — the receiver stays valid for undo snapshots.
+func (tp *denseTopo) withFlowAdded(path model.Path) *denseTopo {
+	prow, drow, ok := tp.rowFor(path)
+	if !ok {
+		return nil
+	}
+	nt := &denseTopo{nNodes: tp.nNodes, nodeOf: tp.nodeOf}
+	nt.pos = append(append(make([][]int32, 0, len(tp.pos)+1), tp.pos...), prow)
+	nt.dpath = append(append(make([][]int32, 0, len(tp.dpath)+1), tp.dpath...), drow)
+	return nt
+}
+
+// withFlowRemoved returns a topo without flow i's rows. Dense ids of a
+// node only the removed flow visited stay allocated — they are simply
+// never indexed again, which keeps every shared row valid.
+func (tp *denseTopo) withFlowRemoved(i int) *denseTopo {
+	nt := &denseTopo{nNodes: tp.nNodes, nodeOf: tp.nodeOf}
+	nt.pos = append(append(make([][]int32, 0, len(tp.pos)-1), tp.pos[:i]...), tp.pos[i+1:]...)
+	nt.dpath = append(append(make([][]int32, 0, len(tp.dpath)-1), tp.dpath[:i]...), tp.dpath[i+1:]...)
+	return nt
+}
+
+// withFlowUpdated returns a topo with flow i's rows replaced, or nil
+// when the new path introduces new nodes.
+func (tp *denseTopo) withFlowUpdated(i int, path model.Path) *denseTopo {
+	prow, drow, ok := tp.rowFor(path)
+	if !ok {
+		return nil
+	}
+	nt := &denseTopo{nNodes: tp.nNodes, nodeOf: tp.nodeOf}
+	nt.pos = append([][]int32(nil), tp.pos...)
+	nt.dpath = append([][]int32(nil), tp.dpath...)
+	nt.pos[i], nt.dpath[i] = prow, drow
+	return nt
+}
+
+// intersect reports whether the paths of flows i and j share a node —
+// the adjacency relation of the interference graph the colored sweeps
+// partition.
+func (tp *denseTopo) intersect(i, j int) bool {
+	posI := tp.pos[i]
+	for _, d := range tp.dpath[j] {
+		if posI[d] >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// denseRel is the dense counterpart of model.PathRelation for a prefix
+// view, reporting the anchors as path POSITIONS instead of node ids —
+// exactly the coordinates buildView consumes, so no PathIndex/SminAt
+// map lookup survives on the build path. Field-by-field it mirrors
+// FlowSet.PrefixRelation:
+//
+//	firstJIonI/firstJIonJ — position of first_{j,i} on Pi / on Pj
+//	firstIJonI/firstIJonJ — position of first_{i,j} on Pi / on Pj
+//	csj                   — C^{slow_{j,i}}_j over the prefix
+//	sameDir               — first_{j,i} == first_{i,j}
+//
+// TestDenseRelMatchesPrefixRelation pins the equivalence differentially.
+type denseRel struct {
+	intersects bool
+	sameDir    bool
+	csj        model.Time
+	firstJIonI int32
+	firstJIonJ int32
+	firstIJonI int32
+	firstIJonJ int32
+}
+
+// prefixRel computes the relation of flow j against the prefix of flow
+// i's path of length plen, mirroring FlowSet.PrefixRelation's scan
+// order (Pj in j's traversal order for the j-side anchors, the prefix
+// in i's order for the i-side ones) so every anchor — including the
+// first-maximum slow-node tie-break — is bit-identical.
+func (tp *denseTopo) prefixRel(fs *model.FlowSet, i, plen, j int) denseRel {
+	var r denseRel
+	posI := tp.pos[i]
+	costJ := fs.Flows[j].Cost
+	var dFirstJI int32 = -1
+	for k, d := range tp.dpath[j] {
+		ki := posI[d]
+		if ki < 0 || int(ki) >= plen {
+			continue
+		}
+		if !r.intersects {
+			r.intersects = true
+			dFirstJI = d
+			r.firstJIonJ = int32(k)
+			r.firstJIonI = ki
+			r.csj = costJ[k]
+		} else if costJ[k] > r.csj {
+			r.csj = costJ[k]
+		}
+	}
+	if !r.intersects {
+		return r
+	}
+	posJ := tp.pos[j]
+	for k, d := range tp.dpath[i][:plen] {
+		if kj := posJ[d]; kj >= 0 {
+			r.firstIJonI = int32(k)
+			r.firstIJonJ = kj
+			r.sameDir = d == dFirstJI
+			break
+		}
+	}
+	return r
+}
+
+// costOnView returns C of flow j at the m-th node of flow i's path (0
+// when j does not visit it) — the dense replacement for CostOf on the
+// M-term and slow-node scans.
+func (tp *denseTopo) costOnView(fs *model.FlowSet, j, i, m int) model.Time {
+	if p := tp.pos[j][tp.dpath[i][m]]; p >= 0 {
+		return fs.Flows[j].Cost[p]
+	}
+	return 0
+}
+
+// pairScratch caches, for ONE flow i, the prefix relations of every
+// other flow against ALL prefix lengths of Pi at once. buildView is
+// called for every prefix length of a flow back to back (the fixpoint
+// slot list and the full-view loop both iterate per flow), and
+// prefixRel rescans Pj from scratch at each length — the dominant cost
+// of cold view construction after the dense topology landed. One pass
+// per pair instead fills per-plen columns: the j-side anchors are
+// prefix combines over "which i-position does this j-node hit" buckets,
+// and the i-side anchors are plen-independent once the pair intersects
+// (the first prefix node on Pj is the first full-path node on Pj
+// whenever any shared node lies inside the prefix). Every column is the
+// value prefixRel would compute — TestDenseRelMatchesPrefixRelation
+// pins all three (pair cache, prefixRel, FlowSet.PrefixRelation)
+// against each other.
+//
+// The cache is keyed by (topo pointer, flow): every mutation installs a
+// fresh topo object (or nils it for a lazy rebuild), so a stale hit is
+// impossible, and undo restores re-validate because they restore the
+// old topo pointer together with the old flow set.
+type pairScratch struct {
+	tp     *denseTopo
+	flow   int
+	stride int // len(Pi)+1: per-plen column count, plen indexes directly
+
+	p0   []int32 // [j] first_{i,j} position on Pi; -1 when disjoint or j==flow
+	fijJ []int32 // [j] first_{i,j} position on Pj
+
+	jordPre []int32      // [j*stride+p] first_{j,i} position on Pj for plen=p; -1 before intersection
+	fjiIPre []int32      // [j*stride+p] first_{j,i} position on Pi for plen=p
+	csjPre  []model.Time // [j*stride+p] C^{slow_{j,i}}_j over the plen=p prefix
+	sdPre   []bool       // [j*stride+p] sameDir for plen=p
+
+	// jmsPre[j*stride+p] is Jj − Smin_j(first_{j,i}) — the plen-dependent
+	// half of the A constant, precomputed so buildView folds only the
+	// per-view M term. jmsSat records whether that SubSat railed; OR-ing
+	// it into the view's sticky flag is equivalent to computing the inner
+	// SubSat against the view flag directly (the flag is a sticky OR of
+	// rail events, independent of evaluation order). perJ[j] is flow j's
+	// period, saving the Flows[j] pointer chase on the view fill.
+	jmsPre []model.Time
+	jmsSat []bool
+	perJ   []model.Time
+
+	// costOn[j*L+m] is C_j at Pi[m] (0 = absent; costs are validated
+	// strictly positive, so 0 is an unambiguous sentinel) — the
+	// same-direction absorb reads this row linearly instead of chasing
+	// pos/dpath indirections per node.
+	costOn []model.Time
+
+	idxAt []int32      // temp: min j-order hitting each i-position
+	maxAt []model.Time // temp: max C_j over j-nodes hitting each i-position
+}
+
+func growN[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// build fills the scratch for flow i. O(Σj |Pj| + n·|Pi|) — amortized
+// O(|Pj|/|Pi| + 1) per (plen, j) query where prefixRel pays
+// O(|Pj| + plen) for each.
+func (ps *pairScratch) build(fs *model.FlowSet, tp *denseTopo, i int) {
+	dpi := tp.dpath[i]
+	L := len(dpi)
+	stride := L + 1
+	n := len(tp.dpath)
+	ps.tp, ps.flow, ps.stride = tp, i, stride
+	ps.p0 = growN(ps.p0, n)
+	ps.fijJ = growN(ps.fijJ, n)
+	ps.jordPre = growN(ps.jordPre, n*stride)
+	ps.fjiIPre = growN(ps.fjiIPre, n*stride)
+	ps.csjPre = growN(ps.csjPre, n*stride)
+	ps.sdPre = growN(ps.sdPre, n*stride)
+	ps.jmsPre = growN(ps.jmsPre, n*stride)
+	ps.jmsSat = growN(ps.jmsSat, n*stride)
+	ps.perJ = growN(ps.perJ, n)
+	ps.costOn = growN(ps.costOn, n*L)
+	ps.idxAt = growN(ps.idxAt, L)
+	ps.maxAt = growN(ps.maxAt, L)
+	posI := tp.pos[i]
+	for j := 0; j < n; j++ {
+		if j == i {
+			ps.p0[j] = -1
+			continue
+		}
+		idxAt, maxAt := ps.idxAt[:L], ps.maxAt[:L]
+		for m := 0; m < L; m++ {
+			idxAt[m], maxAt[m] = -1, 0
+		}
+		crow := ps.costOn[j*L : j*L+L]
+		for m := range crow {
+			crow[m] = 0
+		}
+		fj := fs.Flows[j]
+		costJ := fj.Cost
+		hit := false
+		for k, d := range tp.dpath[j] {
+			ki := posI[d]
+			if ki < 0 {
+				continue
+			}
+			hit = true
+			if idxAt[ki] < 0 {
+				idxAt[ki] = int32(k) // first occurrence in j order, like prefixRel's scan
+			}
+			if c := costJ[k]; c > maxAt[ki] {
+				maxAt[ki] = c
+			}
+			crow[ki] = costJ[k] // last occurrence wins — costOnView uses pos[j][d]
+		}
+		if !hit {
+			ps.p0[j] = -1
+			continue
+		}
+		// first_{i,j}: first node of Pi (in i order) present on Pj. The
+		// value is plen-independent: whenever some shared node has
+		// i-position < plen, the first hit is at or before it.
+		posJ := tp.pos[j]
+		var p0 int32 = -1
+		for m, d := range dpi {
+			if posJ[d] >= 0 {
+				p0 = int32(m)
+				ps.fijJ[j] = posJ[d]
+				break
+			}
+		}
+		ps.p0[j] = p0
+		ps.perJ[j] = fj.Period
+		dP0 := dpi[p0]
+		// Prefix combine: bucket p−1 activates at plen=p. jord is the
+		// minimum j-order among active buckets (= the first j-scan hit),
+		// its bucket index is its position on Pi, and csj is the running
+		// max charge — exactly prefixRel's anchors at every plen.
+		base := j * stride
+		jord, fji := int32(-1), int32(-1)
+		var cs, jms model.Time
+		sd, jmsF := false, false
+		for p := 1; p <= L; p++ {
+			if k := idxAt[p-1]; k >= 0 {
+				if jord < 0 || k < jord {
+					jord, fji = k, int32(p-1)
+					sd = tp.dpath[j][k] == dP0
+					jmsF = false
+					jms = model.SubSat(fj.Jitter, fs.SminAt(j, int(k)), &jmsF)
+				}
+				if maxAt[p-1] > cs {
+					cs = maxAt[p-1]
+				}
+			}
+			ps.jordPre[base+p] = jord
+			ps.fjiIPre[base+p] = fji
+			ps.csjPre[base+p] = cs
+			ps.sdPre[base+p] = sd
+			ps.jmsPre[base+p] = jms
+			ps.jmsSat[base+p] = jmsF
+		}
+	}
+}
+
+// slabArena hands out exact-size slices carved from chunked backing
+// arrays. The arena object holds only the current, partially filled
+// chunk of each element type: a full chunk is referenced exclusively by
+// the view slices carved from it, so dropping the views (a delta
+// mutation rebuilding a neighborhood, an abandoned WhatIf fork) lets
+// the garbage collector reclaim the chunk — churn workloads do not
+// accumulate dead slabs. Carved slices use full-capacity expressions,
+// so no append on one view can bleed into the next.
+type slabArena struct {
+	times []model.Time
+	ints  []int32
+	bools []bool
+	views []viewCache
+}
+
+// arenaChunk is the element count of a fresh chunk; requests larger
+// than a chunk get a dedicated allocation of their exact size.
+const arenaChunk = 4096
+
+func arenaSlice[T any](buf *[]T, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	if len(*buf)+n > cap(*buf) {
+		c := arenaChunk
+		if n > c {
+			c = n
+		}
+		*buf = make([]T, 0, c)
+	}
+	l := len(*buf)
+	s := (*buf)[l : l+n : l+n]
+	*buf = (*buf)[:l+n]
+	return s
+}
+
+// newView allocates one viewCache from the arena's struct chunk. The
+// returned pointer is stable: chunks are appended within capacity only.
+func (ar *slabArena) newView() *viewCache {
+	if len(ar.views) == cap(ar.views) {
+		ar.views = make([]viewCache, 0, 64)
+	}
+	ar.views = append(ar.views, viewCache{})
+	return &ar.views[len(ar.views)-1]
+}
+
+// newSmaxTableFlat allocates an Smax table whose rows alias one flat
+// backing slice, laid out in entry-id order: flat[entryBase[i]+k] ==
+// rows[i][k]. The sweeps gather A offsets straight from the flat slice
+// by precomputed global entry ids; the row view keeps every existing
+// consumer (arrival-bound copies, delta seeding, the reference path's
+// at()) working unchanged.
+func newSmaxTableFlat(fs *model.FlowSet) (smaxTable, []model.Time) {
+	t := make(smaxTable, fs.N())
+	total := 0
+	for _, f := range fs.Flows {
+		total += len(f.Path)
+	}
+	flat := make([]model.Time, total)
+	off := 0
+	for i, f := range fs.Flows {
+		t[i] = flat[off : off+len(f.Path) : off+len(f.Path)]
+		off += len(f.Path)
+	}
+	return t, flat
+}
+
+// buildScratch is the per-Analyzer working state of view construction:
+// the incremental M-term/slow-node per-node extrema, the busy-period
+// term groups, and the epoch-marked entry-id dedup of the read sets.
+// Reused across every buildView call, so steady-state churn builds
+// allocate only the arena-carved result slices.
+type buildScratch struct {
+	// gPer/gChg/gMul stage the busy-period terms grouped by identical
+	// (period, charge) pairs for bslowFixpointGrouped.
+	gPer []model.Time
+	gChg []model.Time
+	gMul []model.Time
+
+	// minSD/maxSD[m]: minimum/maximum same-direction cost at the m-th
+	// view-path node among the flow itself and the same-direction
+	// interferers absorbed so far. minSD feeds the M terms, maxSD the
+	// slow-node residue; both are maintained incrementally (O(plen) per
+	// same-direction interferer) instead of the reference's O(plen·ni)
+	// rescan per interferer.
+	minSD []model.Time
+	maxSD []model.Time
+	// mPre[k] is the saturating prefix fold Σ_{m<k}(minSD[m]+Lmin) and
+	// mSat[k] its sticky-overflow state — exactly the value and flag the
+	// reference's mTerm fold produces for a query at position k. Both
+	// are recomputed lazily (mDirty) when minSD changed.
+	mPre   []model.Time
+	mSat   []bool
+	mDirty bool
+
+	// marks/markEpoch implement O(1) entry-id dedup for the read sets;
+	// reads stages the deduped ids in first-occurrence order.
+	marks     []int32
+	markEpoch int32
+	reads     []int32
+}
+
+// reset prepares the scratch for one view build: group and read staging
+// emptied, the per-node extrema seeded with the view's own costs, and a
+// fresh dedup epoch opened.
+func (sc *buildScratch) reset(nEntries, plen int, cost []model.Time) {
+	sc.gPer = sc.gPer[:0]
+	sc.gChg = sc.gChg[:0]
+	sc.gMul = sc.gMul[:0]
+	sc.reads = sc.reads[:0]
+
+	sc.minSD = growTimes(sc.minSD, plen)
+	sc.maxSD = growTimes(sc.maxSD, plen)
+	sc.mPre = growTimes(sc.mPre, plen)
+	if cap(sc.mSat) < plen {
+		sc.mSat = make([]bool, plen)
+	}
+	sc.mSat = sc.mSat[:plen]
+	copy(sc.minSD, cost)
+	copy(sc.maxSD, cost)
+	sc.mDirty = true
+
+	if len(sc.marks) < nEntries {
+		sc.marks = make([]int32, nEntries)
+		sc.markEpoch = 0
+	}
+	sc.markEpoch++
+}
+
+// resetLite is reset without touching the marks/epoch dedup state —
+// the fused all-prefix builder (buildAll) dedups read sets through the
+// multiScratch bitmask instead, one bit per prefix length, because its
+// per-view read sets interleave within a single sweep.
+func (sc *buildScratch) resetLite(plen int, cost []model.Time) {
+	sc.gPer = sc.gPer[:0]
+	sc.gChg = sc.gChg[:0]
+	sc.gMul = sc.gMul[:0]
+	sc.reads = sc.reads[:0]
+
+	sc.minSD = growTimes(sc.minSD, plen)
+	sc.maxSD = growTimes(sc.maxSD, plen)
+	sc.mPre = growTimes(sc.mPre, plen)
+	if cap(sc.mSat) < plen {
+		sc.mSat = make([]bool, plen)
+	}
+	sc.mSat = sc.mSat[:plen]
+	copy(sc.minSD, cost)
+	copy(sc.maxSD, cost)
+	sc.mDirty = true
+}
+
+// multiScratch is the working state of the fused all-prefix view
+// builder (Analyzer.buildAll): one interferer sweep fills EVERY prefix
+// view of a flow at once, so the per-pair anchors (first-crossing
+// positions, running charge maxima, jitter-minus-Smin offsets) are
+// computed exactly once per pair instead of once per (pair, plen) —
+// and never staged through per-column arrays, whose write+read traffic
+// dominated cold construction.
+//
+//   - minKi[j] is the activation index of interferer j: j appears in
+//     the plen-p view iff p > minKi[j] (the smallest i-position shared
+//     with Pj); -1 when the paths are disjoint. hist[m] counts the
+//     interferers activating at m, so per-view interferer counts are
+//     prefix sums — the SoA arrays carve at exact size before the fill.
+//   - st[p-1] is the plen-p view's private build state (M-term extrema,
+//     busy-period groups, read staging): the fused sweep advances every
+//     view's state in the same ascending-j order buildView uses, so
+//     each per-view sequence of mTermAt/absorb/addGroup/addRead calls
+//     is identical to a standalone build of that view.
+//   - mEpoch/mBits dedup the interleaved read sets: one epoch per
+//     sweep, one bit per prefix length (hence the len(Path) ≤ 64 gate;
+//     longer paths take the lazy per-view path).
+//   - idxAt/maxAt/crow are the per-pair buckets of pairScratch.build;
+//     crow doubles as the same-direction absorb row.
+type multiScratch struct {
+	minKi []int32
+	hist  []int32
+	st    []buildScratch
+	vcs   []*viewCache
+	xs    []int32
+
+	idxAt []int32
+	maxAt []model.Time
+	crow  []model.Time
+
+	mEpoch []int32
+	mBits  []uint64
+	epoch  int32
+}
+
+// addRead dedups entry id for the plen-p view and stages it on that
+// view's read list — first-occurrence order per view, like
+// buildScratch.addRead.
+func (ms *multiScratch) addRead(p int, st *buildScratch, id int32) {
+	if ms.mEpoch[id] != ms.epoch {
+		ms.mEpoch[id] = ms.epoch
+		ms.mBits[id] = 0
+	}
+	b := uint64(1) << uint(p-1)
+	if ms.mBits[id]&b == 0 {
+		ms.mBits[id] |= b
+		st.reads = append(st.reads, id)
+	}
+}
+
+// addRead records an Smax entry id in the staged read set, deduped in
+// O(1) via the epoch marks; insertion order (first occurrence) matches
+// the reference dedup's.
+func (sc *buildScratch) addRead(id int32) {
+	if sc.marks[id] == sc.markEpoch {
+		return
+	}
+	sc.marks[id] = sc.markEpoch
+	sc.reads = append(sc.reads, id)
+}
+
+// appendRead is addRead against a caller-owned destination slice — the
+// remap path rebuilds read sets in place. The marks array grows on
+// demand because remaps run against the post-mutation entry universe.
+func (sc *buildScratch) appendRead(ids []int32, id int32) []int32 {
+	if int(id) >= len(sc.marks) {
+		grown := make([]int32, int(id)+1)
+		copy(grown, sc.marks)
+		sc.marks = grown
+	}
+	if sc.marks[id] == sc.markEpoch {
+		return ids
+	}
+	sc.marks[id] = sc.markEpoch
+	return append(ids, id)
+}
+
+// absorbSameDir folds one same-direction interferer's per-node costs
+// into the extrema, reading the pair cache's costOn row (cc = C_j at
+// the m-th view node, 0 when j does not visit it — identical to the
+// pos/dpath gather, and a 0 behaves exactly like an absent node under
+// both guards since costs are validated positive). The minSD guard
+// (cc > 0, strictly smaller) mirrors the reference mTerm's; maxSD takes
+// any strictly larger visiting cost, like the reference chooseSlow scan.
+func (sc *buildScratch) absorbSameDir(row []model.Time, plen int) {
+	for m := 0; m < plen; m++ {
+		cc := row[m]
+		if cc == 0 {
+			continue
+		}
+		if cc < sc.minSD[m] {
+			sc.minSD[m] = cc
+			sc.mDirty = true
+		}
+		if cc > sc.maxSD[m] {
+			sc.maxSD[m] = cc
+		}
+	}
+}
+
+// addGroup stages one interferer's busy-period term, merging it into an
+// existing (period, charge) group when one is found within a bounded
+// backward scan. The grouped iteration (bslowFixpointGrouped) is value-
+// and flag-equivalent to the per-interferer fold for any grouping, so
+// the scan cap only trades merge quality for build time — identical
+// terms dominate real EF flow sets, where the first probe hits.
+func (sc *buildScratch) addGroup(per, chg model.Time) {
+	g := len(sc.gPer)
+	lim := g - 8
+	if lim < 0 {
+		lim = 0
+	}
+	for x := g - 1; x >= lim; x-- {
+		if sc.gPer[x] == per && sc.gChg[x] == chg {
+			sc.gMul[x]++
+			return
+		}
+	}
+	sc.gPer = append(sc.gPer, per)
+	sc.gChg = append(sc.gChg, chg)
+	sc.gMul = append(sc.gMul, 1)
+}
+
+// mTermAt returns M up to (exclusive) position k of the view path under
+// the current minSD state, with the fold's sticky-overflow flag ORed
+// into sat — value and flag are those of the reference's from-scratch
+// fold at the same interferer state, because the prefix recomputation
+// below executes the identical AddSat operand sequence.
+func (sc *buildScratch) mTermAt(lmin model.Time, k int, sat *bool) model.Time {
+	if sc.mDirty {
+		var s model.Time
+		var sflag bool
+		for m := range sc.minSD {
+			sc.mPre[m] = s
+			sc.mSat[m] = sflag
+			s = model.AddSat(s, model.AddSat(sc.minSD[m], lmin, &sflag), &sflag)
+		}
+		sc.mDirty = false
+	}
+	if sc.mSat[k] {
+		*sat = true
+	}
+	return sc.mPre[k]
+}

@@ -1,0 +1,102 @@
+package trajectory
+
+import (
+	"testing"
+
+	"trajan/internal/model"
+)
+
+// TestDenseRelMatchesPrefixRelation differentially pins the three
+// implementations of the prefix pair relation against each other over
+// every (i, plen, j) triple of the determinism corpus:
+//
+//   - model.FlowSet.PrefixRelation — the reference, node-id anchors
+//   - denseTopo.prefixRel          — dense positional anchors
+//   - pairScratch.build            — all-plen columns in one pass
+//
+// The positional anchors must name exactly the reference's node-id
+// anchors, and the pair-cache column at plen must equal prefixRel's
+// value field by field, including the precomputed Jj − Smin_j half of
+// the A constant and its rail flag.
+func TestDenseRelMatchesPrefixRelation(t *testing.T) {
+	for si, fs := range determinismSets(t) {
+		tp := buildTopo(fs)
+		var ps pairScratch
+		n := len(fs.Flows)
+		for i := 0; i < n; i++ {
+			ps.build(fs, tp, i)
+			pi := fs.Flows[i].Path
+			L := len(pi)
+			stride := L + 1
+			for plen := 1; plen <= L; plen++ {
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					ref := fs.PrefixRelation(i, plen, j)
+					dr := tp.prefixRel(fs, i, plen, j)
+					if dr.intersects != ref.Intersects {
+						t.Fatalf("set %d (i=%d plen=%d j=%d): intersects %v ≠ ref %v",
+							si, i, plen, j, dr.intersects, ref.Intersects)
+					}
+					pj := fs.Flows[j].Path
+					if dr.intersects {
+						if pj[dr.firstJIonJ] != ref.FirstJI || pi[dr.firstJIonI] != ref.FirstJI {
+							t.Errorf("set %d (i=%d plen=%d j=%d): firstJI pos (%d on Pj, %d on Pi) ≠ ref node %d",
+								si, i, plen, j, dr.firstJIonJ, dr.firstJIonI, ref.FirstJI)
+						}
+						if pi[dr.firstIJonI] != ref.FirstIJ || pj[dr.firstIJonJ] != ref.FirstIJ {
+							t.Errorf("set %d (i=%d plen=%d j=%d): firstIJ pos (%d on Pi, %d on Pj) ≠ ref node %d",
+								si, i, plen, j, dr.firstIJonI, dr.firstIJonJ, ref.FirstIJ)
+						}
+						if dr.csj != ref.CSlowJI {
+							t.Errorf("set %d (i=%d plen=%d j=%d): csj %d ≠ ref %d",
+								si, i, plen, j, dr.csj, ref.CSlowJI)
+						}
+						if dr.sameDir != ref.SameDirection {
+							t.Errorf("set %d (i=%d plen=%d j=%d): sameDir %v ≠ ref %v",
+								si, i, plen, j, dr.sameDir, ref.SameDirection)
+						}
+					}
+					// Pair-cache column vs prefixRel, field by field. Wholly
+					// disjoint pairs leave their columns unwritten — p0[j] = -1
+					// is the sentinel consumers check first.
+					col := j*stride + plen
+					if got := ps.p0[j] >= 0 && ps.jordPre[col] >= 0; got != dr.intersects {
+						t.Fatalf("set %d (i=%d plen=%d j=%d): cache intersects %v ≠ prefixRel %v",
+							si, i, plen, j, got, dr.intersects)
+					}
+					if !dr.intersects {
+						continue
+					}
+					if ps.jordPre[col] != dr.firstJIonJ || ps.fjiIPre[col] != dr.firstJIonI {
+						t.Errorf("set %d (i=%d plen=%d j=%d): cache firstJI (%d,%d) ≠ prefixRel (%d,%d)",
+							si, i, plen, j, ps.jordPre[col], ps.fjiIPre[col], dr.firstJIonJ, dr.firstJIonI)
+					}
+					if ps.p0[j] != dr.firstIJonI || ps.fijJ[j] != dr.firstIJonJ {
+						t.Errorf("set %d (i=%d plen=%d j=%d): cache firstIJ (%d,%d) ≠ prefixRel (%d,%d)",
+							si, i, plen, j, ps.p0[j], ps.fijJ[j], dr.firstIJonI, dr.firstIJonJ)
+					}
+					if ps.csjPre[col] != dr.csj || ps.sdPre[col] != dr.sameDir {
+						t.Errorf("set %d (i=%d plen=%d j=%d): cache (csj=%d sd=%v) ≠ prefixRel (csj=%d sd=%v)",
+							si, i, plen, j, ps.csjPre[col], ps.sdPre[col], dr.csj, dr.sameDir)
+					}
+					var wantSat bool
+					wantJms := model.SubSat(fs.Flows[j].Jitter,
+						fs.SminAt(j, int(dr.firstJIonJ)), &wantSat)
+					if ps.jmsPre[col] != wantJms || ps.jmsSat[col] != wantSat {
+						t.Errorf("set %d (i=%d plen=%d j=%d): cache jms (%d,%v) ≠ want (%d,%v)",
+							si, i, plen, j, ps.jmsPre[col], ps.jmsSat[col], wantJms, wantSat)
+					}
+					// costOn row vs the per-node lookup it replaces.
+					for m := 0; m < L; m++ {
+						if got, want := ps.costOn[j*L+m], tp.costOnView(fs, j, i, m); got != want {
+							t.Errorf("set %d (i=%d j=%d m=%d): costOn %d ≠ costOnView %d",
+								si, i, j, m, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

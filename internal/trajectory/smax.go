@@ -117,6 +117,31 @@ func (t smaxTable) fillFromBounds(fs *model.FlowSet, bounds []model.Time) {
 	}
 }
 
+// fillFromBoundsScratch is fillFromBounds with a caller-owned tails
+// buffer (grown as needed, returned for reuse) so the engine's
+// per-sweep global-tail refill allocates nothing. Values are identical
+// to fillFromBounds — only the tails buffer's lifetime differs.
+func (t smaxTable) fillFromBoundsScratch(fs *model.FlowSet, bounds []model.Time, scratch []model.Time) []model.Time {
+	for i, f := range fs.Flows {
+		var tail model.Time
+		var sat bool
+		scratch = growTimes(scratch, len(f.Path))
+		for k := len(f.Path) - 1; k >= 0; k-- {
+			tail = model.AddSat(tail, f.Cost[k], &sat)
+			scratch[k] = tail
+			tail = model.AddSat(tail, fs.Net.Lmin, &sat)
+		}
+		for k := range f.Path {
+			v := model.SubSat(bounds[i], scratch[k], &sat)
+			if smin := fs.SminAt(i, k); v < smin {
+				v = smin
+			}
+			t[i][k] = v
+		}
+	}
+	return scratch
+}
+
 // computeSmax builds the Smax table for the requested mode. It returns
 // the table, the number of fixed-point sweeps used, and whether the
 // iteration converged (always true for the non-iterative mode).

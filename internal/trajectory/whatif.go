@@ -65,6 +65,9 @@ func (a *Analyzer) WhatIfContext(ctx context.Context, cands []Candidate) []WhatI
 				break
 			}
 		}
+		// Build the dense topology once here too — forks alias it, so no
+		// candidate pays the map-heavy construction on its own goroutine.
+		a.ensureTopo()
 	}
 
 	workers := a.opt.workers()
@@ -77,6 +80,11 @@ func (a *Analyzer) WhatIfContext(ctx context.Context, cands []Candidate) []WhatI
 	}
 	run := func(k int) {
 		f := a.fork()
+		// Seed the fork's serial evaluation scratch from the shared pool:
+		// candidate analyses reuse grown buffers across the batch (and
+		// across batches) instead of each fork growing its own from zero.
+		psc := scratchPool.Get().(*evalScratch)
+		f.scratch = *psc
 		c := &cands[k]
 		var err error
 		op := "invalid"
@@ -98,6 +106,8 @@ func (a *Analyzer) WhatIfContext(ctx context.Context, cands []Candidate) []WhatI
 		} else {
 			out[k].Err = err
 		}
+		*psc = f.scratch
+		scratchPool.Put(psc)
 		if tr != nil {
 			outcome := "ok"
 			if out[k].Err != nil {
@@ -143,12 +153,22 @@ func (a *Analyzer) fork() *Analyzer {
 		opt:       a.opt,
 		entryBase: a.entryBase,
 		nEntries:  a.nEntries,
+		topo:      a.topo,
 		smax:      a.smax,
+		smaxFlat:  a.smaxFlat,
 		sweeps:    a.sweeps,
 		converged: a.converged,
 		smaxDone:  a.smaxDone,
 		smaxErr:   a.smaxErr,
 		cow:       true,
+		// The fork's arena starts empty: it carves slices only for the
+		// views its own mutation rebuilds or remaps, so sibling forks
+		// never touch each other's chunks. pendingSeed/pendingDirty are
+		// shared as-is — the engine fixed point copies the seed into a
+		// fresh flat table instead of mutating it, and a fork's own
+		// mutations replace (never write through) these references.
+		pendingSeed:  a.pendingSeed,
+		pendingDirty: a.pendingDirty,
 	}
 	f.opt.Parallelism = 1
 	f.full = append([]*viewCache(nil), a.full...)
@@ -157,10 +177,6 @@ func (a *Analyzer) fork() *Analyzer {
 		if row != nil {
 			f.prefix[i] = append([]*viewCache(nil), row...)
 		}
-	}
-	if a.pendingSeed != nil {
-		f.pendingSeed = a.pendingSeed.clone()
-		f.pendingDirty = append([]bool(nil), a.pendingDirty...)
 	}
 	return f
 }
