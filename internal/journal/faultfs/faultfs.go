@@ -1,0 +1,349 @@
+// Package faultfs is an in-memory journal.FS with fault injection: it
+// models the durability semantics the journal relies on (bytes become
+// durable at Sync; everything after the last Sync may or may not
+// survive a crash) and lets tests kill the "process" at every mutating
+// filesystem operation, tear the unsynced tail, fail an fsync, or
+// short-write a frame.
+//
+// The crash model: operations are numbered 1,2,3,… across the FS
+// (creates, writes, syncs, renames, removes). CrashAt(n) makes
+// operation n fail with ErrCrashed after partially applying (a write
+// applies nothing — its bytes were never acknowledged), and every later
+// operation fails immediately: the process is dead. Reopen(tear) then
+// yields the disk a restarted process would see — every file cut to its
+// durable prefix plus up to tear bytes of the unsynced suffix, modeling
+// the kernel having flushed part of the page cache before the crash.
+//
+// Documented simplifications (conservative for the journal's usage):
+// file creation and renames are durable immediately (the journal
+// SyncDirs after both anyway, so it never relies on this), and
+// directories are flat namespaces — nested paths work but have no
+// independent metadata durability.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"sync"
+	"time"
+
+	"trajan/internal/journal"
+)
+
+// ErrCrashed is returned by every operation at and after the configured
+// crash point.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// ErrInjectedSync is returned by a Sync selected with FailSyncAt.
+var ErrInjectedSync = errors.New("faultfs: injected fsync failure")
+
+type memFile struct {
+	data    []byte
+	durable int // prefix guaranteed to survive a crash (advanced by Sync)
+}
+
+// FS implements journal.FS in memory. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type FS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+
+	ops     int // mutating operations performed
+	crashAt int // 0 = never; op number that crashes
+	crashed bool
+
+	syncs      int
+	failSyncAt int // 0 = never; Sync number that fails (without crashing)
+
+	writes       int
+	shortWriteAt int // 0 = never; Write number that writes half and reports short
+}
+
+// New returns an empty healthy filesystem.
+func New() *FS {
+	return &FS{files: make(map[string]*memFile), dirs: make(map[string]bool)}
+}
+
+// CrashAt arms the crash point: mutating operation n (1-based) fails
+// with ErrCrashed, as does everything after it. n ≤ 0 disarms.
+func (f *FS) CrashAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// FailSyncAt makes the nth Sync call (1-based) return ErrInjectedSync
+// without advancing durability and without crashing the FS.
+func (f *FS) FailSyncAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSyncAt = n
+}
+
+// ShortWriteAt makes the nth Write call (1-based) write only half its
+// bytes and report the short count with a nil error, exercising the
+// caller's n < len(p) handling.
+func (f *FS) ShortWriteAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortWriteAt = n
+}
+
+// Ops returns the number of mutating operations performed so far; a
+// test runs the workload once uncrashed to learn the crash-point range.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step counts one mutating operation and reports whether it must fail:
+// it is the crash point or the FS is already dead.
+func (f *FS) step() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.ops++
+	if f.crashAt > 0 && f.ops >= f.crashAt {
+		f.crashed = true
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Reopen returns the filesystem a restarted process observes: every
+// file truncated to its durable prefix plus up to tear bytes of the
+// unsynced suffix (the crash may have flushed part of the page cache).
+// The result is a healthy FS with no faults armed; the receiver is
+// unchanged.
+func (f *FS) Reopen(tear int) *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := New()
+	for name, mf := range f.files {
+		n := mf.durable
+		if extra := len(mf.data) - mf.durable; extra > 0 {
+			if tear < extra {
+				n += tear
+			} else {
+				n += extra
+			}
+		}
+		out.files[name] = &memFile{data: append([]byte(nil), mf.data[:n]...), durable: n}
+	}
+	for d := range f.dirs {
+		out.dirs[d] = true
+	}
+	return out
+}
+
+// file handle
+
+type handle struct {
+	fs   *FS
+	name string
+	mf   *memFile
+	off  int // read offset
+	wr   bool
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if !h.wr {
+		return 0, fs.ErrPermission
+	}
+	if err := h.fs.step(); err != nil {
+		return 0, err
+	}
+	h.fs.writes++
+	if h.fs.shortWriteAt > 0 && h.fs.writes == h.fs.shortWriteAt {
+		n := len(p) / 2
+		h.mf.data = append(h.mf.data, p[:n]...)
+		return n, nil
+	}
+	h.mf.data = append(h.mf.data, p...)
+	return len(p), nil
+}
+
+func (h *handle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.off >= len(h.mf.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.mf.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.step(); err != nil {
+		return err
+	}
+	h.fs.syncs++
+	if h.fs.failSyncAt > 0 && h.fs.syncs == h.fs.failSyncAt {
+		return ErrInjectedSync
+	}
+	h.mf.durable = len(h.mf.data)
+	return nil
+}
+
+func (h *handle) Close() error { return nil }
+
+// journal.FS implementation
+
+// OpenFile supports the flag combinations the journal uses: read-only,
+// and create|trunc|write-only.
+func (f *FS) OpenFile(name string, flag int, _ fs.FileMode) (journal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = path.Clean(name)
+	mf, ok := f.files[name]
+	writing := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	if !writing {
+		if f.crashed {
+			return nil, ErrCrashed
+		}
+		if !ok {
+			return nil, fs.ErrNotExist
+		}
+		return &handle{fs: f, name: name, mf: mf}, nil
+	}
+	// Creation / truncation mutate the namespace: one counted operation.
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	if !ok {
+		mf = &memFile{}
+		f.files[name] = mf
+	} else if flag&os.O_TRUNC != 0 {
+		mf.data = mf.data[:0]
+		mf.durable = 0
+	}
+	return &handle{fs: f, name: name, mf: mf, wr: true}, nil
+}
+
+type dirEntry struct{ name string }
+
+func (d dirEntry) Name() string               { return d.name }
+func (d dirEntry) IsDir() bool                { return false }
+func (d dirEntry) Type() fs.FileMode          { return 0 }
+func (d dirEntry) Info() (fs.FileInfo, error) { return fileInfo{d.name}, nil }
+
+type fileInfo struct{ name string }
+
+func (i fileInfo) Name() string       { return path.Base(i.name) }
+func (i fileInfo) Size() int64        { return 0 }
+func (i fileInfo) Mode() fs.FileMode  { return 0 }
+func (i fileInfo) ModTime() time.Time { return time.Time{} }
+func (i fileInfo) IsDir() bool        { return false }
+func (i fileInfo) Sys() any           { return nil }
+
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	name = path.Clean(name)
+	if !f.dirs[name] {
+		return nil, fs.ErrNotExist
+	}
+	var out []fs.DirEntry
+	for p := range f.files {
+		if path.Dir(p) == name {
+			out = append(out, dirEntry{name: path.Base(p)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	oldpath, newpath = path.Clean(oldpath), path.Clean(newpath)
+	mf, ok := f.files[oldpath]
+	if !ok {
+		return fs.ErrNotExist
+	}
+	delete(f.files, oldpath)
+	f.files[newpath] = mf
+	return nil
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	name = path.Clean(name)
+	if _, ok := f.files[name]; !ok {
+		return fs.ErrNotExist
+	}
+	delete(f.files, name)
+	return nil
+}
+
+func (f *FS) MkdirAll(name string, _ fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	name = path.Clean(name)
+	for name != "." && name != "/" && name != "" {
+		f.dirs[name] = true
+		name = path.Dir(name)
+	}
+	return nil
+}
+
+func (f *FS) SyncDir(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return err
+	}
+	if !f.dirs[path.Clean(name)] {
+		return fs.ErrNotExist
+	}
+	return nil
+}
+
+// Files returns the sorted names of files currently present —
+// diagnostic output for failing recovery tests.
+func (f *FS) Files() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.files))
+	for p := range f.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ journal.FS = (*FS)(nil)

@@ -1,0 +1,61 @@
+package journal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Record framing: every journal payload (decision record or checkpoint)
+// is written as an 8-byte header — uint32 little-endian payload length,
+// uint32 IEEE CRC32 of the payload — followed by the payload bytes. A
+// reader can therefore detect a torn tail (short header, short payload,
+// or CRC mismatch) without trusting any byte past the last fsync.
+const frameHeaderLen = 8
+
+// maxFramePayload bounds a single payload. Admission records are tiny;
+// a length prefix beyond this is treated as torn/corrupt framing, not
+// as an instruction to allocate gigabytes.
+const maxFramePayload = 16 << 20
+
+// appendFrame appends the framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// nextFrame decodes the first frame in data. ok=false means the bytes
+// at the front do not form a complete valid frame — a torn or corrupt
+// tail; rest is meaningless in that case.
+func nextFrame(data []byte) (payload, rest []byte, ok bool) {
+	if len(data) < frameHeaderLen {
+		return nil, nil, false
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if n > maxFramePayload || int(n) > len(data)-frameHeaderLen {
+		return nil, nil, false
+	}
+	payload = data[frameHeaderLen : frameHeaderLen+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, false
+	}
+	return payload, data[frameHeaderLen+int(n):], true
+}
+
+// readFrames splits data into complete valid frames, returning the
+// payloads and the byte offset of the valid prefix. Bytes past the
+// offset (if any) are a torn or corrupt tail.
+func readFrames(data []byte) (payloads [][]byte, validLen int) {
+	rest := data
+	for {
+		payload, next, ok := nextFrame(rest)
+		if !ok {
+			return payloads, len(data) - len(rest)
+		}
+		payloads = append(payloads, payload)
+		rest = next
+	}
+}

@@ -1,0 +1,71 @@
+package journal
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the journal needs. The default
+// implementation (OSFS) is the real filesystem; faultfs provides an
+// in-memory implementation with crash and fault injection for the
+// recovery tests. Durability contract: bytes written to a File are
+// durable only after Sync returns nil; file creation and renames are
+// made durable by SyncDir on the containing directory.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadDir lists a directory (fs.ReadDir semantics, sorted by name).
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(name string, perm fs.FileMode) error
+	// SyncDir fsyncs directory metadata, making creations and renames
+	// under it durable.
+	SyncDir(name string) error
+}
+
+// File is one open journal file.
+type File interface {
+	io.Writer
+	io.Reader
+	io.Closer
+	// Sync flushes written bytes to stable storage.
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,557 @@
+// Package journal is the durability layer of the admission service: an
+// append-only, fsync-on-commit write-ahead log of admission decisions.
+// The serving loop appends one record per committed mutation (admit,
+// release, renegotiate) *before* publishing the post-decision snapshot,
+// so every state a client was ever told about is reconstructible from
+// disk. Because the analysis engine is deterministic (decisions and
+// bounds are bit-identical to a cold replay — the PR-5 parity oracle),
+// replaying the journal rebuilds not just the flow set but the exact
+// bounds the crashed process would have served.
+//
+// On-disk layout (one directory per journal, typically per tenant):
+//
+//	wal-<seq16>.seg          append-only segments of framed records;
+//	                         <seq16> is the first record's sequence
+//	checkpoint-<seq16>.ckpt  full flow-set checkpoints (atomic
+//	                         tmp+rename); recovery replays only the
+//	                         records after the newest valid checkpoint
+//
+// Every payload is framed as [uint32 length][uint32 CRC32][JSON], so a
+// torn tail — the partial record of an append cut down by a crash — is
+// detected and dropped without trusting any byte past the last fsync.
+// Record sequences are contiguous; any gap after frame validation is
+// reported as corruption, never silently skipped.
+//
+// Failure model: the journal is fail-stop. The first append or
+// checkpoint error (short write, fsync failure, rename failure) latches
+// the journal; every later operation returns the same error. A process
+// that kept serving after a failed commit would hand out decisions its
+// log cannot replay — the caller is expected to stop instead
+// (cmd/trajand exits nonzero).
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"trajan/internal/model"
+	"trajan/internal/obs"
+)
+
+// Record is one committed admission decision. Seq is the snapshot
+// sequence number the decision published (contiguous, strictly
+// increasing; the initial empty/preload snapshot is seq 1 and is
+// represented by a checkpoint, not a record). Admit and renegotiate
+// carry the flow contract; release carries the name.
+type Record struct {
+	Seq  int64             `json:"seq"`
+	Op   string            `json:"op"` // "admit" | "release" | "renegotiate"
+	Name string            `json:"name,omitempty"`
+	Flow *model.FlowConfig `json:"flow,omitempty"`
+}
+
+// Checkpoint is a full flow-set snapshot: the admitted contracts at
+// sequence Seq plus the network envelope they were admitted against.
+// Recovery loads the newest valid checkpoint and replays only the
+// records after it.
+type Checkpoint struct {
+	Seq     int64               `json:"seq"`
+	Network model.NetworkConfig `json:"network"`
+	Flows   []model.FlowConfig  `json:"flows"`
+}
+
+// Options parameterizes Open.
+type Options struct {
+	// FS overrides the filesystem (fault injection, tests). Nil selects
+	// the real one.
+	FS FS
+	// SegmentMaxRecords caps records per segment before rotation.
+	// Zero selects 1024.
+	SegmentMaxRecords int
+	// Tracer, when non-nil, receives one obs.EvJournal event per
+	// append, checkpoint, rotation and recovery.
+	Tracer obs.Tracer
+	// Tenant labels emitted events.
+	Tenant string
+}
+
+func (o Options) segmentMax() int {
+	if o.SegmentMaxRecords <= 0 {
+		return 1024
+	}
+	return o.SegmentMaxRecords
+}
+
+// Recovered is the durable state found by Open.
+type Recovered struct {
+	// Checkpoint is the newest valid checkpoint, nil when none exists.
+	Checkpoint *Checkpoint
+	// Records is the contiguous record tail after the checkpoint.
+	Records []Record
+	// TornTail reports that a torn or corrupt tail (an append cut down
+	// mid-write) was detected and dropped during recovery.
+	TornTail bool
+}
+
+// HasState reports whether any durable state was recovered.
+func (r *Recovered) HasState() bool {
+	return r != nil && (r.Checkpoint != nil || len(r.Records) > 0)
+}
+
+// LastSeq returns the sequence of the recovered state: the last
+// record's, else the checkpoint's, else 0 (fresh journal).
+func (r *Recovered) LastSeq() int64 {
+	if r == nil {
+		return 0
+	}
+	if n := len(r.Records); n > 0 {
+		return r.Records[n-1].Seq
+	}
+	if r.Checkpoint != nil {
+		return r.Checkpoint.Seq
+	}
+	return 0
+}
+
+// Replay folds the record tail over the checkpoint's flow list and
+// returns the final admitted contracts. No analysis runs here: every
+// journaled decision already passed its admission test, so the set
+// algebra (admit appends, release removes, renegotiate replaces) is
+// exact. The returned network is the checkpoint's (zero when no
+// checkpoint was recovered).
+func (r *Recovered) Replay() (net model.NetworkConfig, flows []model.FlowConfig, err error) {
+	if r == nil {
+		return net, nil, nil
+	}
+	if cp := r.Checkpoint; cp != nil {
+		net = cp.Network
+		flows = append(flows, cp.Flows...)
+	}
+	find := func(name string) int {
+		for i := range flows {
+			if flows[i].Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, rec := range r.Records {
+		switch rec.Op {
+		case "admit":
+			if rec.Flow == nil {
+				return net, nil, model.Errorf(model.ErrInternal, "journal: admit record seq %d has no flow", rec.Seq)
+			}
+			if find(rec.Flow.Name) >= 0 {
+				return net, nil, model.Errorf(model.ErrInternal, "journal: admit record seq %d duplicates flow %q", rec.Seq, rec.Flow.Name)
+			}
+			flows = append(flows, *rec.Flow)
+		case "release":
+			i := find(rec.Name)
+			if i < 0 {
+				return net, nil, model.Errorf(model.ErrInternal, "journal: release record seq %d names unknown flow %q", rec.Seq, rec.Name)
+			}
+			flows = append(flows[:i], flows[i+1:]...)
+		case "renegotiate":
+			if rec.Flow == nil {
+				return net, nil, model.Errorf(model.ErrInternal, "journal: renegotiate record seq %d has no flow", rec.Seq)
+			}
+			i := find(rec.Flow.Name)
+			if i < 0 {
+				return net, nil, model.Errorf(model.ErrInternal, "journal: renegotiate record seq %d names unknown flow %q", rec.Seq, rec.Flow.Name)
+			}
+			flows[i] = *rec.Flow
+		default:
+			return net, nil, model.Errorf(model.ErrInternal, "journal: record seq %d has unknown op %q", rec.Seq, rec.Op)
+		}
+	}
+	return net, flows, nil
+}
+
+// segmentInfo tracks one on-disk segment for checkpoint pruning.
+type segmentInfo struct {
+	name    string
+	lastSeq int64 // highest valid record seq read or appended; 0 = none
+	open    bool  // the segment currently receiving appends
+}
+
+// Journal is an open write-ahead log. Append and WriteCheckpoint must
+// be called from one goroutine (the serving layer's single-writer
+// loop); Close may race with nothing. The zero Journal is invalid —
+// use Open.
+type Journal struct {
+	mu    sync.Mutex
+	dir   string
+	fs    FS
+	opt   Options
+	cur   File  // segment receiving appends, nil between rotations
+	curN  int   // records in cur
+	next  int64 // next expected record seq; 0 = unset (fresh journal)
+	segs  []segmentInfo
+	ckpts []string // on-disk checkpoint files, sorted ascending
+	err   error    // latched first IO failure
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+	tmpSuffix  = ".tmp"
+)
+
+func segName(seq int64) string  { return fmt.Sprintf("%s%016d%s", segPrefix, seq, segSuffix) }
+func ckptName(seq int64) string { return fmt.Sprintf("%s%016d%s", ckptPrefix, seq, ckptSuffix) }
+
+// Open opens (creating if needed) the journal directory, recovers its
+// durable state — newest valid checkpoint plus the contiguous record
+// tail, dropping a torn tail — and returns a Journal ready to append
+// the next record. Corruption that cannot be explained by a torn tail
+// (a CRC-valid record with a non-contiguous sequence, an unreadable
+// non-tail segment) is an error: recovery never silently skips
+// committed decisions.
+func Open(dir string, opt Options) (*Journal, *Recovered, error) {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, model.Errorf(model.ErrInternal, "journal: creating %s: %w", dir, err)
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil, model.Errorf(model.ErrInternal, "journal: listing %s: %w", dir, err)
+	}
+	var segNames, ckptNames []string
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// An interrupted checkpoint publish; never renamed, so never
+			// authoritative. Best-effort cleanup.
+			_ = fsys.Remove(path.Join(dir, name))
+		case strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix):
+			segNames = append(segNames, name)
+		case strings.HasPrefix(name, ckptPrefix) && strings.HasSuffix(name, ckptSuffix):
+			ckptNames = append(ckptNames, name)
+		}
+	}
+	sort.Strings(segNames)
+	sort.Strings(ckptNames)
+
+	j := &Journal{dir: dir, fs: fsys, opt: opt, ckpts: ckptNames}
+
+	// Newest checkpoint that reads back valid wins; older ones are kept
+	// only as fallback against exactly this case.
+	var cp *Checkpoint
+	for i := len(ckptNames) - 1; i >= 0 && cp == nil; i-- {
+		cp = j.readCheckpoint(path.Join(dir, ckptNames[i]))
+	}
+
+	rec := &Recovered{Checkpoint: cp}
+	expect := int64(1) // seq 1 is the initial snapshot, represented by a checkpoint
+	if cp != nil {
+		expect = cp.Seq
+	}
+	for _, name := range segNames {
+		records, torn, rerr := j.readSegment(path.Join(dir, name))
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		info := segmentInfo{name: name}
+		for _, r := range records {
+			if r.Seq > info.lastSeq {
+				info.lastSeq = r.Seq
+			}
+			if r.Seq <= expect {
+				continue // covered by the checkpoint (or a pre-recovery replay)
+			}
+			if r.Seq != expect+1 {
+				return nil, nil, model.Errorf(model.ErrInternal,
+					"journal: %s: record seq %d after seq %d — gap in committed log", name, r.Seq, expect)
+			}
+			rec.Records = append(rec.Records, r)
+			expect = r.Seq
+		}
+		if torn {
+			rec.TornTail = true
+		}
+		j.segs = append(j.segs, info)
+	}
+	if rec.TornTail {
+		// The torn bytes live at the tail of the last-written segment.
+		// Appends never reuse a recovered segment (a fresh one starts at
+		// the next record), so the garbage stays inert: future recoveries
+		// stop at the same spot and pick up the next segment by sequence.
+		j.emit("recover", "torn_tail", int64(len(rec.Records)))
+	} else {
+		j.emit("recover", "clean", int64(len(rec.Records)))
+	}
+	if last := rec.LastSeq(); last > 0 {
+		j.next = last + 1
+	}
+	return j, rec, nil
+}
+
+// readCheckpoint parses one checkpoint file; nil when unreadable or
+// invalid (the caller falls back to an older one).
+func (j *Journal) readCheckpoint(name string) *Checkpoint {
+	data, err := j.readFile(name)
+	if err != nil {
+		return nil
+	}
+	payload, _, ok := nextFrame(data)
+	if !ok {
+		return nil
+	}
+	var cp Checkpoint
+	if err := strictUnmarshal(payload, &cp); err != nil || cp.Seq < 1 {
+		return nil
+	}
+	return &cp
+}
+
+// readSegment parses one segment into records, stopping at the first
+// invalid frame (torn tail). A record that fails to decode after
+// passing its CRC is corruption, not tearing.
+func (j *Journal) readSegment(name string) (records []Record, torn bool, err error) {
+	data, err := j.readFile(name)
+	if err != nil {
+		return nil, false, model.Errorf(model.ErrInternal, "journal: reading %s: %w", name, err)
+	}
+	payloads, valid := readFrames(data)
+	for _, p := range payloads {
+		var r Record
+		if uerr := strictUnmarshal(p, &r); uerr != nil {
+			return nil, false, model.Errorf(model.ErrInternal, "journal: %s: CRC-valid record does not decode: %v", name, uerr)
+		}
+		records = append(records, r)
+	}
+	return records, valid < len(data), nil
+}
+
+func (j *Journal) readFile(name string) ([]byte, error) {
+	f, err := j.fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	cerr := f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return data, cerr
+}
+
+// strictUnmarshal rejects unknown fields so schema drift between writer
+// and reader surfaces as an error instead of silently dropped data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// Err returns the latched failure, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// NextSeq returns the sequence the next appended record must carry
+// (0 when the journal is fresh and the first append sets it).
+func (j *Journal) NextSeq() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Append commits one decision record: frame, write, fsync — the record
+// is durable when Append returns nil. The caller publishes the
+// corresponding snapshot only after that. Any failure latches the
+// journal (see the package comment's failure model).
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.next != 0 && rec.Seq != j.next {
+		return j.fail("append", model.Errorf(model.ErrInternal,
+			"journal: append seq %d, want %d", rec.Seq, j.next))
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return j.fail("append", model.Errorf(model.ErrInternal, "journal: encoding record: %w", err))
+	}
+	if j.cur != nil && j.curN >= j.opt.segmentMax() {
+		j.rotateLocked()
+	}
+	if j.cur == nil {
+		if err := j.openSegmentLocked(rec.Seq); err != nil {
+			return j.fail("append", err)
+		}
+	}
+	frame := appendFrame(nil, payload)
+	if n, werr := j.cur.Write(frame); werr != nil || n < len(frame) {
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		return j.fail("append", model.Errorf(model.ErrInternal, "journal: writing record seq %d: %w", rec.Seq, werr))
+	}
+	if serr := j.cur.Sync(); serr != nil {
+		return j.fail("append", model.Errorf(model.ErrInternal, "journal: fsync record seq %d: %w", rec.Seq, serr))
+	}
+	j.curN++
+	j.next = rec.Seq + 1
+	j.segs[len(j.segs)-1].lastSeq = rec.Seq
+	j.emit("append", "ok", int64(len(frame)))
+	return nil
+}
+
+// openSegmentLocked starts the segment whose first record is seq.
+// O_TRUNC rather than O_EXCL: a name collision can only be the fully
+// torn remains of a segment whose every record was cut down before
+// commit (otherwise recovery would have advanced past its sequence),
+// so truncating never discards committed data.
+func (j *Journal) openSegmentLocked(seq int64) error {
+	name := segName(seq)
+	f, err := j.fs.OpenFile(path.Join(j.dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return model.Errorf(model.ErrInternal, "journal: creating segment %s: %w", name, err)
+	}
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		_ = f.Close()
+		return model.Errorf(model.ErrInternal, "journal: fsync dir after creating %s: %w", name, err)
+	}
+	j.cur, j.curN = f, 0
+	j.segs = append(j.segs, segmentInfo{name: name, open: true})
+	j.emit("rotate", "ok", seq)
+	return nil
+}
+
+// rotateLocked closes the current segment; the next append opens a new
+// one named by its record's sequence.
+func (j *Journal) rotateLocked() {
+	if j.cur == nil {
+		return
+	}
+	_ = j.cur.Close()
+	j.cur = nil
+	j.segs[len(j.segs)-1].open = false
+}
+
+// WriteCheckpoint publishes a full flow-set checkpoint atomically
+// (tmp + fsync + rename + dir fsync), rotates the current segment, and
+// prunes checkpoints and segments the new checkpoint makes redundant
+// (the two newest checkpoints are kept; segments whose records all
+// precede the older kept checkpoint are deleted). After a successful
+// checkpoint, recovery replays only the records after it.
+func (j *Journal) WriteCheckpoint(cp Checkpoint) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if cp.Seq < 1 || (j.next != 0 && cp.Seq >= j.next) {
+		return j.fail("checkpoint", model.Errorf(model.ErrInternal,
+			"journal: checkpoint seq %d outside committed range (next %d)", cp.Seq, j.next))
+	}
+	payload, err := json.Marshal(cp)
+	if err != nil {
+		return j.fail("checkpoint", model.Errorf(model.ErrInternal, "journal: encoding checkpoint: %w", err))
+	}
+	final := ckptName(cp.Seq)
+	tmp := path.Join(j.dir, final+tmpSuffix)
+	f, err := j.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return j.fail("checkpoint", model.Errorf(model.ErrInternal, "journal: creating %s: %w", tmp, err))
+	}
+	frame := appendFrame(nil, payload)
+	n, werr := f.Write(frame)
+	if werr == nil && n < len(frame) {
+		werr = io.ErrShortWrite
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = j.fs.Remove(tmp)
+		return j.fail("checkpoint", model.Errorf(model.ErrInternal, "journal: writing checkpoint seq %d: %w", cp.Seq, werr))
+	}
+	if err := j.fs.Rename(tmp, path.Join(j.dir, final)); err != nil {
+		return j.fail("checkpoint", model.Errorf(model.ErrInternal, "journal: publishing checkpoint seq %d: %w", cp.Seq, err))
+	}
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		return j.fail("checkpoint", model.Errorf(model.ErrInternal, "journal: fsync dir after checkpoint seq %d: %w", cp.Seq, err))
+	}
+	j.ckpts = append(j.ckpts, final)
+	sort.Strings(j.ckpts)
+	if j.next == 0 {
+		j.next = cp.Seq + 1
+	}
+	j.rotateLocked()
+	j.pruneLocked()
+	j.emit("checkpoint", "ok", cp.Seq)
+	return nil
+}
+
+// pruneLocked deletes redundant files: all but the two newest
+// checkpoints, and closed segments whose records all precede the older
+// kept checkpoint (so even a fallback recovery has its full tail).
+// Deletion failures are ignored — stale files cost disk, not
+// correctness.
+func (j *Journal) pruneLocked() {
+	if len(j.ckpts) > 2 {
+		for _, name := range j.ckpts[:len(j.ckpts)-2] {
+			_ = j.fs.Remove(path.Join(j.dir, name))
+		}
+		j.ckpts = append([]string(nil), j.ckpts[len(j.ckpts)-2:]...)
+	}
+	var floor int64
+	fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(j.ckpts[0], ckptPrefix), ckptSuffix), "%d", &floor)
+	kept := j.segs[:0]
+	for _, s := range j.segs {
+		if !s.open && s.lastSeq <= floor {
+			_ = j.fs.Remove(path.Join(j.dir, s.name))
+			continue
+		}
+		kept = append(kept, s)
+	}
+	j.segs = kept
+}
+
+// fail latches err and emits the failure event.
+func (j *Journal) fail(op string, err error) error {
+	j.err = err
+	j.emit(op, "error", 0)
+	return err
+}
+
+// Close closes the current segment. Append errors already latched are
+// returned so shutdown paths cannot silently drop them.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cur != nil {
+		if cerr := j.cur.Close(); cerr != nil && j.err == nil {
+			j.err = model.Errorf(model.ErrInternal, "journal: closing segment: %w", cerr)
+		}
+		j.cur = nil
+	}
+	return j.err
+}
+
+func (j *Journal) emit(op, outcome string, v int64) {
+	if tr := j.opt.Tracer; tr != nil {
+		tr.Emit(obs.Event{Type: obs.EvJournal, Op: op, Outcome: outcome, Tenant: j.opt.Tenant, Value: model.Time(v)})
+	}
+}

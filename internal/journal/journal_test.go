@@ -1,0 +1,345 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"trajan/internal/model"
+	"trajan/internal/obs"
+)
+
+func flowCfg(name string, period model.Time) model.FlowConfig {
+	return model.FlowConfig{
+		Name:   name,
+		Period: period,
+		Path:   []model.NodeID{1, 2},
+		Cost:   json.RawMessage("2"),
+	}
+}
+
+func admitRec(seq int64, name string) Record {
+	f := flowCfg(name, 50)
+	return Record{Seq: seq, Op: "admit", Flow: &f}
+}
+
+// TestFrameRoundTrip covers the framing layer directly: valid frames
+// decode, every strict prefix is rejected as torn, and corrupting any
+// byte invalidates exactly the frame holding it.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{[]byte(`{"a":1}`), []byte(``), []byte(`{"b":"xyz"}`)}
+	var buf []byte
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	got, valid := readFrames(buf)
+	if valid != len(buf) || len(got) != len(payloads) {
+		t.Fatalf("readFrames: %d payloads, valid %d/%d", len(got), valid, len(buf))
+	}
+	for i := range payloads {
+		if string(got[i]) != string(payloads[i]) {
+			t.Fatalf("payload %d: got %q want %q", i, got[i], payloads[i])
+		}
+	}
+	// Every strict prefix must decode only the complete frames it holds.
+	for cut := 0; cut < len(buf); cut++ {
+		got, valid := readFrames(buf[:cut])
+		if valid > cut {
+			t.Fatalf("cut %d: valid %d beyond data", cut, valid)
+		}
+		for _, p := range got {
+			_ = p // decoded payloads must all be from the valid region
+		}
+		if valid == cut && cut != 0 && len(got) == 0 && cut >= frameHeaderLen+len(payloads[0]) {
+			t.Fatalf("cut %d: full first frame present but not decoded", cut)
+		}
+	}
+	// Flipping one payload byte breaks that frame's CRC.
+	mut := append([]byte(nil), buf...)
+	mut[frameHeaderLen] ^= 0xff
+	got, _ = readFrames(mut)
+	if len(got) != 0 {
+		t.Fatalf("corrupt first frame still decoded %d payloads", len(got))
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HasState() {
+		t.Fatal("fresh journal reports state")
+	}
+	for seq := int64(2); seq <= 6; seq++ {
+		if err := j.Append(admitRec(seq, fmt.Sprintf("f%d", seq))); err != nil {
+			t.Fatalf("append seq %d: %v", seq, err)
+		}
+	}
+	if err := j.Append(Record{Seq: 7, Op: "release", Name: "f3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec2.TornTail {
+		t.Fatal("clean log reported torn tail")
+	}
+	if got := rec2.LastSeq(); got != 7 {
+		t.Fatalf("LastSeq = %d, want 7", got)
+	}
+	_, flows, err := rec2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"f2", "f4", "f5", "f6"}
+	if len(flows) != len(want) {
+		t.Fatalf("replayed %d flows, want %d", len(flows), len(want))
+	}
+	for i, w := range want {
+		if flows[i].Name != w {
+			t.Fatalf("flow %d = %q, want %q", i, flows[i].Name, w)
+		}
+	}
+	// Appending continues the sequence.
+	if err := j2.Append(admitRec(8, "f8")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+func TestSeqValidation(t *testing.T) {
+	j, _, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(admitRec(2, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(admitRec(5, "b")); err == nil {
+		t.Fatal("gap append accepted")
+	}
+	// The failure latches.
+	if err := j.Append(admitRec(3, "c")); err == nil {
+		t.Fatal("append after latched failure accepted")
+	}
+	if j.Err() == nil {
+		t.Fatal("Err() nil after failure")
+	}
+}
+
+func TestTornTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(2); seq <= 4; seq++ {
+		if err := j.Append(admitRec(seq, fmt.Sprintf("f%d", seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Tear the tail: append garbage to the only segment.
+	seg := segName(2)
+	f, err := OSFS{}.OpenFile(dir+"/"+seg, 0x1|0x400 /* O_WRONLY|O_APPEND */, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x13, 0x37, 0xde, 0xad})
+	f.Close()
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	if !rec.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	if rec.LastSeq() != 4 {
+		t.Fatalf("LastSeq = %d, want 4", rec.LastSeq())
+	}
+}
+
+func TestSeqGapIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(admitRec(2, "a"))
+	j.Close()
+	// Hand-write a later segment that skips seq 3: recovery must refuse.
+	payload, _ := json.Marshal(admitRec(4, "b"))
+	f, err := OSFS{}.OpenFile(dir+"/"+segName(4), 0x40|0x200|0x1, 0o644) // O_CREATE|O_TRUNC|O_WRONLY
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(appendFrame(nil, payload))
+	f.Close()
+
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("gap in committed log recovered without error")
+	} else if !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap error = %v", err)
+	}
+}
+
+func TestCheckpointTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentMaxRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := model.NetworkConfig{Lmin: 1, Lmax: 4}
+	for seq := int64(2); seq <= 9; seq++ {
+		if err := j.Append(admitRec(seq, fmt.Sprintf("f%d", seq))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := Checkpoint{Seq: 9, Network: net}
+	for seq := int64(2); seq <= 9; seq++ {
+		cp.Flows = append(cp.Flows, flowCfg(fmt.Sprintf("f%d", seq), 50))
+	}
+	if err := j.WriteCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	// Tail after the checkpoint.
+	if err := j.Append(Record{Seq: 10, Op: "release", Name: "f2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(admitRec(11, "f11")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.Seq != 9 {
+		t.Fatalf("checkpoint = %+v", rec.Checkpoint)
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("tail = %d records, want 2", len(rec.Records))
+	}
+	gotNet, flows, err := rec.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotNet != net {
+		t.Fatalf("network = %+v, want %+v", gotNet, net)
+	}
+	names := make([]string, len(flows))
+	for i, f := range flows {
+		names[i] = f.Name
+	}
+	want := "f3 f4 f5 f6 f7 f8 f9 f11"
+	if got := strings.Join(names, " "); got != want {
+		t.Fatalf("flows = %q, want %q", got, want)
+	}
+}
+
+func TestCheckpointPruning(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{SegmentMaxRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := int64(2)
+	for ck := 0; ck < 4; ck++ {
+		for i := 0; i < 4; i++ {
+			if err := j.Append(admitRec(seq, fmt.Sprintf("f%d", seq))); err != nil {
+				t.Fatal(err)
+			}
+			seq++
+		}
+		var cp Checkpoint
+		cp.Seq = seq - 1
+		for s := int64(2); s < seq; s++ {
+			cp.Flows = append(cp.Flows, flowCfg(fmt.Sprintf("f%d", s), 50))
+		}
+		if err := j.WriteCheckpoint(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	entries, err := OSFS{}.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpts, segs int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ckptSuffix):
+			ckpts++
+		case strings.HasSuffix(e.Name(), segSuffix):
+			segs++
+		}
+	}
+	if ckpts != 2 {
+		t.Fatalf("%d checkpoints kept, want 2", ckpts)
+	}
+	// Only segments after the older kept checkpoint (seq 13) survive:
+	// the last checkpoint round's two segments.
+	if segs > 3 {
+		t.Fatalf("%d segments kept, want ≤ 3", segs)
+	}
+	// Recovery still works and sees everything.
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastSeq() != seq-1 {
+		t.Fatalf("LastSeq = %d, want %d", rec.LastSeq(), seq-1)
+	}
+}
+
+func TestJournalEvents(t *testing.T) {
+	var col obs.Collector
+	j, _, err := Open(t.TempDir(), Options{Tracer: &col, Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(admitRec(2, "a"))
+	j.WriteCheckpoint(Checkpoint{Seq: 2, Flows: []model.FlowConfig{flowCfg("a", 50)}})
+	j.Close()
+	var ops []string
+	for _, e := range col.Events() {
+		if e.Type != obs.EvJournal {
+			t.Fatalf("unexpected event type %q", e.Type)
+		}
+		if e.Tenant != "acme" {
+			t.Fatalf("event %q missing tenant label", e.Op)
+		}
+		ops = append(ops, e.Op+":"+e.Outcome)
+	}
+	want := "recover:clean rotate:ok append:ok checkpoint:ok"
+	if got := strings.Join(ops, " "); got != want {
+		t.Fatalf("events = %q, want %q", got, want)
+	}
+}
+
+func TestReplayRejectsInconsistentLog(t *testing.T) {
+	r := &Recovered{Records: []Record{{Seq: 2, Op: "release", Name: "ghost"}}}
+	if _, _, err := r.Replay(); err == nil {
+		t.Fatal("release of unknown flow replayed")
+	}
+	bad := &Recovered{Records: []Record{{Seq: 2, Op: "frobnicate"}}}
+	if _, _, err := bad.Replay(); err == nil {
+		t.Fatal("unknown op replayed")
+	}
+	if !errors.Is(model.Errorf(model.ErrInternal, "x"), model.ErrInternal) {
+		t.Skip("error taxonomy changed")
+	}
+}

@@ -140,21 +140,27 @@ func parseCosts(raw json.RawMessage, n int) ([]Time, error) {
 	return append([]Time(nil), list...), nil
 }
 
+// ConfigOfFlow converts one flow back to its wire form — the record
+// shape the admission journal persists and MarshalConfig aggregates.
+func ConfigOfFlow(f *Flow) FlowConfig {
+	costJSON, _ := json.Marshal(f.Cost)
+	return FlowConfig{
+		Name:     f.Name,
+		Period:   f.Period,
+		Jitter:   f.Jitter,
+		Deadline: f.Deadline,
+		Class:    f.Class.String(),
+		Path:     append([]NodeID(nil), f.Path...),
+		Cost:     costJSON,
+	}
+}
+
 // MarshalConfig converts a FlowSet back to its wire format (used by the
 // workload generators' CLI export).
 func (fs *FlowSet) MarshalConfig() *FlowSetConfig {
 	cfg := &FlowSetConfig{Network: NetworkConfig{Lmin: fs.Net.Lmin, Lmax: fs.Net.Lmax}}
 	for _, f := range fs.Flows {
-		costJSON, _ := json.Marshal(f.Cost)
-		cfg.Flows = append(cfg.Flows, FlowConfig{
-			Name:     f.Name,
-			Period:   f.Period,
-			Jitter:   f.Jitter,
-			Deadline: f.Deadline,
-			Class:    f.Class.String(),
-			Path:     append([]NodeID(nil), f.Path...),
-			Cost:     costJSON,
-		})
+		cfg.Flows = append(cfg.Flows, ConfigOfFlow(f))
 	}
 	return cfg
 }

@@ -194,9 +194,32 @@ func (m *Metrics) Emit(e Event) {
 		if out == "" {
 			out = "unknown"
 		}
-		m.Counter("trajan_admission_" + out + "_total").Inc()
+		name := "trajan_admission_" + out + "_total"
+		if e.Tenant != "" {
+			name += fmt.Sprintf("{tenant=%q}", e.Tenant)
+		}
+		m.Counter(name).Inc()
 	case EvServeRequest:
-		m.Counter(fmt.Sprintf("trajan_serve_requests_total{route=%q,outcome=%q}", e.Op, e.Outcome)).Inc()
+		if e.Tenant != "" {
+			m.Counter(fmt.Sprintf("trajan_serve_requests_total{route=%q,outcome=%q,tenant=%q}", e.Op, e.Outcome, e.Tenant)).Inc()
+		} else {
+			m.Counter(fmt.Sprintf("trajan_serve_requests_total{route=%q,outcome=%q}", e.Op, e.Outcome)).Inc()
+		}
+	case EvJournal:
+		name := fmt.Sprintf("trajan_journal_%s_total{outcome=%q}", e.Op, e.Outcome)
+		if e.Tenant != "" {
+			name = fmt.Sprintf("trajan_journal_%s_total{outcome=%q,tenant=%q}", e.Op, e.Outcome, e.Tenant)
+		}
+		m.Counter(name).Inc()
+		if e.Op == "append" && e.Outcome == "ok" {
+			bytes := "trajan_journal_bytes_total"
+			if e.Tenant != "" {
+				bytes += fmt.Sprintf("{tenant=%q}", e.Tenant)
+			}
+			m.Counter(bytes).Add(int64(e.Value))
+		}
+	case EvTenant:
+		m.Counter(fmt.Sprintf("trajan_tenant_lifecycle_total{op=%q,outcome=%q,tenant=%q}", e.Op, e.Outcome, e.Tenant)).Inc()
 	}
 }
 

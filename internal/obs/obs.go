@@ -66,6 +66,16 @@ const (
 	// "bounds"), Outcome ("ok"|"client_error"|"server_error"|
 	// "backpressure"|"shutdown"|"timeout").
 	EvServeRequest = "serve.request"
+	// EvJournal is one durability operation on a decision journal
+	// (internal/journal): Op ("append"|"checkpoint"|"rotate"|"recover"),
+	// Outcome ("ok"|"error", or "clean"|"torn_tail" for recover), Value
+	// (bytes appended, checkpoint seq, or records replayed).
+	EvJournal = "journal.io"
+	// EvTenant is one tenant lifecycle transition in the multi-tenant
+	// registry (internal/serve): Op ("open"|"rehydrate"|"evict"|
+	// "quarantine"|"restart"), Outcome ("ok"|"error"), Flows (flow count
+	// after the transition where meaningful).
+	EvTenant = "tenant.lifecycle"
 )
 
 // WorkloadTerm is one interfering flow's contribution to a bound — the
@@ -133,7 +143,12 @@ func (d *BoundDecomp) Sum() model.Time {
 type Event struct {
 	Seq  int64  `json:"seq"`
 	Type string `json:"type"`
-	Flow string `json:"flow,omitempty"`
+	// Tenant labels the event with the serving tenant in multi-tenant
+	// deployments; empty in single-tenant and library use (the metrics
+	// registry only adds a tenant label when this is non-empty, keeping
+	// single-tenant series names unchanged).
+	Tenant string `json:"tenant,omitempty"`
+	Flow   string `json:"flow,omitempty"`
 	// Op qualifies the event within its type: the mutation kind on
 	// EvDelta/EvWhatIfCand, the seed kind ("warm"|"cold") on
 	// EvSmaxSeed/EvSmaxDone, the admission path on EvAdmission, the

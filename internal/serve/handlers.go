@@ -176,7 +176,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			case sw.status >= 400:
 				outcome = "client_error"
 			}
-			tr.Emit(obs.Event{Type: obs.EvServeRequest, Op: route, Outcome: outcome})
+			tr.Emit(obs.Event{Type: obs.EvServeRequest, Op: route, Outcome: outcome, Tenant: s.cfg.Tenant})
 		}
 	}
 }

@@ -58,6 +58,12 @@ type LoadgenConfig struct {
 	Repeat int
 	// Client overrides the HTTP client (default http.DefaultClient).
 	Client *http.Client
+	// Tenants, when non-empty, runs the loadgen multi-tenant: client c
+	// replays against /v1/{Tenants[c mod len(Tenants)]}/... so the churn
+	// spreads across tenants, and the final health of every tenant is
+	// captured in LoadgenStats.FinalTenants. Empty replays the
+	// single-tenant (default-alias) routes.
+	Tenants []string
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +80,9 @@ type LoadgenStats struct {
 	Errors      atomic.Int64 // non-2xx other than 429
 	Elapsed     time.Duration
 	FinalStatus HealthResponse
+	// FinalTenants maps tenant name to its final health; populated only
+	// in multi-tenant runs (LoadgenConfig.Tenants non-empty).
+	FinalTenants map[string]HealthResponse
 }
 
 // rewriteName namespaces a trace flow name per client and repeat so
@@ -88,7 +97,8 @@ func rewriteName(name string, client, repeat int) string {
 // is preceded by a what-if probe of the same flow and followed by a
 // bounds read, exercising the coalesced read paths alongside the
 // mutation loop; flow names are namespaced per client so replays are
-// independent. 429 backpressure responses are retried after the
+// independent. 429 backpressure responses are retried under capped
+// exponential backoff with deterministic jitter, honoring the server's
 // advertised Retry-After. On return all flows the run admitted have
 // been released.
 func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenStats, error) {
@@ -120,7 +130,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenStats, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			lc := loadClient{base: cfg.BaseURL, hc: hc, stats: stats, ctx: ctx}
+			lc := newLoadClient(cfg, hc, stats, ctx, c)
 			for r := 0; r < repeat; r++ {
 				if err := lc.replay(cfg.Trace, c, r); err != nil {
 					errc <- err
@@ -136,9 +146,19 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenStats, error) {
 		return stats, err
 	default:
 	}
-	lc := loadClient{base: cfg.BaseURL, hc: hc, stats: stats, ctx: ctx}
+	lc := newLoadClient(cfg, hc, stats, ctx, 0)
 	if err := lc.getJSON("/healthz", &stats.FinalStatus); err != nil {
 		return stats, err
+	}
+	if len(cfg.Tenants) > 0 {
+		stats.FinalTenants = make(map[string]HealthResponse, len(cfg.Tenants))
+		for _, tenant := range cfg.Tenants {
+			var h HealthResponse
+			if err := lc.getJSON("/v1/"+tenant+"/healthz", &h); err != nil {
+				return stats, err
+			}
+			stats.FinalTenants[tenant] = h
+		}
 	}
 	logf("loadgen: %d requests in %v (%d admitted, %d rejected, %d retries, %d errors)",
 		stats.Requests.Load(), stats.Elapsed.Round(time.Millisecond),
@@ -149,9 +169,33 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenStats, error) {
 // loadClient is one replaying client.
 type loadClient struct {
 	base  string
+	api   string // route prefix: "/v1" or "/v1/{tenant}"
 	hc    *http.Client
 	stats *LoadgenStats
 	ctx   context.Context
+	// rng is the deterministic jitter state, seeded by the client index
+	// so concurrent clients desynchronize without shared state and a
+	// rerun backs off identically.
+	rng uint64
+}
+
+// newLoadClient builds client c's replayer: in multi-tenant runs the
+// client is pinned to one tenant round-robin.
+func newLoadClient(cfg LoadgenConfig, hc *http.Client, stats *LoadgenStats, ctx context.Context, c int) *loadClient {
+	lc := &loadClient{base: cfg.BaseURL, api: "/v1", hc: hc, stats: stats, ctx: ctx, rng: splitmix64(uint64(c) + 1)}
+	if len(cfg.Tenants) > 0 {
+		lc.api = "/v1/" + cfg.Tenants[c%len(cfg.Tenants)]
+	}
+	return lc
+}
+
+// splitmix64 spreads a small seed over the whole state space so nearby
+// client indexes don't produce correlated jitter streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // replay walks the trace once, namespacing flow names with (c, r), and
@@ -167,13 +211,13 @@ func (lc *loadClient) replay(t *Trace, c, r int) error {
 			fc := rewriteFlow(ev.Flow, c, r)
 			// Probe first: one more candidate for the coalescer.
 			var wres WhatIfResponse
-			if err := lc.postJSON("/v1/whatif",
+			if err := lc.postJSON(lc.api+"/whatif",
 				WhatIfRequest{Candidates: []WhatIfCandidate{{Op: "add", Flow: fc}}}, &wres); err != nil {
 				return err
 			}
 			lc.stats.Probes.Add(1)
 			var dres DecisionResponse
-			if err := lc.postJSON("/v1/admit", AdmitRequest{Flow: fc}, &dres); err != nil {
+			if err := lc.postJSON(lc.api+"/admit", AdmitRequest{Flow: fc}, &dres); err != nil {
 				return err
 			}
 			switch dres.Decision {
@@ -184,7 +228,7 @@ func (lc *loadClient) replay(t *Trace, c, r int) error {
 				lc.stats.Rejected.Add(1)
 			}
 			var bres BoundsResponse
-			if err := lc.getJSON("/v1/bounds", &bres); err != nil {
+			if err := lc.getJSON(lc.api+"/bounds", &bres); err != nil {
 				return err
 			}
 			lc.stats.Probes.Add(1)
@@ -194,7 +238,7 @@ func (lc *loadClient) replay(t *Trace, c, r int) error {
 				continue // its add was rejected
 			}
 			var dres DecisionResponse
-			if err := lc.postJSON("/v1/release", ReleaseRequest{Name: name}, &dres); err != nil {
+			if err := lc.postJSON(lc.api+"/release", ReleaseRequest{Name: name}, &dres); err != nil {
 				return err
 			}
 			lc.stats.Released.Add(1)
@@ -205,7 +249,7 @@ func (lc *loadClient) replay(t *Trace, c, r int) error {
 				continue
 			}
 			var dres DecisionResponse
-			if err := lc.postJSON("/v1/renegotiate", AdmitRequest{Flow: fc}, &dres); err != nil {
+			if err := lc.postJSON(lc.api+"/renegotiate", AdmitRequest{Flow: fc}, &dres); err != nil {
 				return err
 			}
 		default:
@@ -215,7 +259,7 @@ func (lc *loadClient) replay(t *Trace, c, r int) error {
 	// Leave the set as we found it.
 	for name := range live {
 		var dres DecisionResponse
-		if err := lc.postJSON("/v1/release", ReleaseRequest{Name: name}, &dres); err != nil {
+		if err := lc.postJSON(lc.api+"/release", ReleaseRequest{Name: name}, &dres); err != nil {
 			return err
 		}
 		lc.stats.Released.Add(1)
@@ -237,6 +281,52 @@ func rewriteFlow(fc *model.FlowConfig, c, r int) *model.FlowConfig {
 // fails the run instead of hanging it.
 const maxBackpressureRetries = 50
 
+// Backoff policy for 429 responses: exponential from backoffBase,
+// jittered, never shorter than the server's advertised Retry-After,
+// and hard-capped at backoffCap so a long Retry-After cannot park a
+// client for the rest of the run.
+const (
+	backoffBase = 5 * time.Millisecond
+	backoffCap  = 500 * time.Millisecond
+)
+
+// backoff computes the attempt-th retry delay:
+//
+//	min(max(base·2^attempt + jitter, retryAfter), cap)
+//
+// The jitter is drawn from the client's deterministic splitmix64
+// stream and spans half the exponential term, decorrelating clients
+// that were rejected by the same full queue without losing
+// reproducibility.
+func (lc *loadClient) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	if attempt > 20 {
+		attempt = 20 // 2^20·base is already far beyond the cap
+	}
+	d := backoffBase << uint(attempt)
+	if d <= 0 || d > backoffCap {
+		d = backoffCap
+	}
+	lc.rng = splitmix64(lc.rng)
+	d += time.Duration(lc.rng % uint64(d/2+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	return d
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value; malformed
+// or HTTP-date forms fall back to zero (the backoff floor applies).
+func parseRetryAfter(h string) time.Duration {
+	var secs int
+	if _, err := fmt.Sscanf(h, "%d", &secs); err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 func (lc *loadClient) postJSON(path string, body, into any) error {
 	raw, err := json.Marshal(body)
 	if err != nil {
@@ -249,9 +339,8 @@ func (lc *loadClient) getJSON(path string, into any) error {
 	return lc.do(http.MethodGet, path, nil, into)
 }
 
-// do issues one request, retrying 429 backpressure after the
-// advertised Retry-After (scaled down: loadgen wants throughput, the
-// server only needs the queue to drain a little).
+// do issues one request, retrying 429 backpressure under the jittered
+// exponential policy above.
 func (lc *loadClient) do(method, path string, body []byte, into any) error {
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
@@ -278,8 +367,9 @@ func (lc *loadClient) do(method, path string, body []byte, into any) error {
 		switch {
 		case resp.StatusCode == http.StatusTooManyRequests && attempt < maxBackpressureRetries:
 			lc.stats.Retries.Add(1)
+			delay := lc.backoff(attempt, parseRetryAfter(resp.Header.Get("Retry-After")))
 			select {
-			case <-time.After(10 * time.Millisecond):
+			case <-time.After(delay):
 			case <-lc.ctx.Done():
 				return model.Errorf(model.ErrCanceled, "loadgen: %w", lc.ctx.Err())
 			}

@@ -36,10 +36,12 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"trajan/internal/journal"
 	"trajan/internal/model"
 	"trajan/internal/obs"
 	"trajan/internal/trajectory"
@@ -86,6 +88,38 @@ type Config struct {
 	// trajan_serve_queue_depth gauge. Pass the same registry inside
 	// Options.Tracer (via obs.Tee) to also fold engine events into it.
 	Metrics *obs.Metrics
+	// Tenant names the tenant this server instance serves in a
+	// multi-tenant deployment. It labels every emitted event (and thus
+	// every trajan_* metric series); empty keeps the single-tenant
+	// series names unchanged.
+	Tenant string
+	// Journal, when non-nil, makes decisions durable: the mutation loop
+	// appends one record per committed admit/release/renegotiate —
+	// fsynced — before the snapshot swap that makes the decision
+	// visible. A journal failure refuses the mutation, latches, and
+	// every subsequent mutation is refused too (fail-stop; see
+	// OnJournalFailure). The Server owns neither Open nor Close.
+	Journal *journal.Journal
+	// CheckpointEvery writes a full flow-set checkpoint after that many
+	// committed mutations, bounding replay length. 0 selects 64;
+	// negative disables checkpoints.
+	CheckpointEvery int
+	// OnJournalFailure, when non-nil, is called at most once, from the
+	// mutation loop, when a journal append or checkpoint fails — the
+	// hook the daemon uses to begin shutdown and exit nonzero rather
+	// than keep serving with a diverged log.
+	OnJournalFailure func(error)
+	// OnPanic, when non-nil, is called at most once, from the mutation
+	// loop goroutine, after a panic in a mutation or what-if batch has
+	// quarantined the server: new requests are refused, queued ones are
+	// failed, readers keep the last published snapshot. The tenant
+	// registry uses it to restart the tenant from its journal.
+	OnPanic func(recovered any)
+	// restoreSeq, when > 0, seeds the snapshot sequence of a server
+	// rehydrated from a journal: the initial publish carries restoreSeq
+	// (not 1), so post-recovery sequence numbers continue the pre-crash
+	// ones. Set by the registry; zero for fresh servers.
+	restoreSeq int64
 }
 
 func (c Config) queueDepth() int {
@@ -93,6 +127,13 @@ func (c Config) queueDepth() int {
 		return 64
 	}
 	return c.QueueDepth
+}
+
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery == 0 {
+		return 64
+	}
+	return c.CheckpointEvery
 }
 
 // Snapshot is the immutable published state of the admitted flow set:
@@ -214,6 +255,11 @@ func New(cfg Config) (*Server, error) {
 		done:  make(chan struct{}),
 	}
 	st := &loopState{s: s}
+	if cfg.restoreSeq > 0 {
+		// Rehydrated server: the initial publish below carries the
+		// recovered sequence, so readers observe a seamless continuation.
+		st.seq = cfg.restoreSeq - 1
+	}
 	if len(cfg.Preload) > 0 {
 		flows := make([]*model.Flow, len(cfg.Preload))
 		for i, f := range cfg.Preload {
@@ -236,8 +282,20 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		st.publish(nil, model.TimeInfinity, true)
 	}
+	if j := cfg.Journal; j != nil && j.NextSeq() == 0 {
+		// Fresh journal: anchor it with a checkpoint of the initial
+		// snapshot (seq 1 — empty or preloaded), so the first mutation's
+		// record (seq 2) continues a contiguous durable sequence.
+		if err := j.WriteCheckpoint(checkpointOf(cfg.Network, s.snap.Load())); err != nil {
+			return nil, model.Errorf(model.ErrInternal, "serve: initial checkpoint: %w", err)
+		}
+	}
 	if m := cfg.Metrics; m != nil {
-		m.GaugeFunc("trajan_serve_queue_depth", func() int64 {
+		name := "trajan_serve_queue_depth"
+		if cfg.Tenant != "" {
+			name = fmt.Sprintf("trajan_serve_queue_depth{tenant=%q}", cfg.Tenant)
+		}
+		m.GaugeFunc(name, func() int64 {
 			return int64(len(s.mutCh) + len(s.wifCh))
 		})
 	}
@@ -304,6 +362,12 @@ func (s *Server) enqueueWhatIf(w *whatifReq) error {
 // the Analyzer's own contract). On shutdown it drains both queues —
 // the enqueue/closed handshake guarantees every accepted request is
 // already buffered — and replies to each before exiting.
+//
+// A panic anywhere in a mutation or what-if batch does not unwind past
+// the loop: the in-flight request is answered with an internal error,
+// the server quarantines itself (see abort), and the loop exits. The
+// process survives; in a multi-tenant registry only this tenant stops
+// accepting writes until it is restarted from its journal.
 func (s *Server) loop(st *loopState) {
 	defer close(s.done)
 	for {
@@ -312,9 +376,96 @@ func (s *Server) loop(st *loopState) {
 			s.drainQueues(st)
 			return
 		case m := <-s.mutCh:
-			m.reply <- st.handleMutation(m)
+			if p := st.deliverMutation(m); p != nil {
+				s.abort(p)
+				return
+			}
 		case w := <-s.wifCh:
-			st.handleWhatIfBatch(s.gatherWhatIf(w))
+			if p := st.safeWhatIfBatch(s.gatherWhatIf(w)); p != nil {
+				s.abort(p)
+				return
+			}
+		}
+	}
+}
+
+// deliverMutation runs one mutation with panic containment and always
+// replies, so no client blocks on a crashed loop.
+func (st *loopState) deliverMutation(m *mutation) (panicked any) {
+	d := decision{}
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = r
+			d = decision{
+				Err:  model.Errorf(model.ErrInternal, "serve: mutation loop panicked: %v", r),
+				Snap: st.s.snap.Load(),
+			}
+		}
+		select {
+		case m.reply <- d:
+		default:
+		}
+	}()
+	d = st.handleMutation(m)
+	return nil
+}
+
+// safeWhatIfBatch runs one coalesced what-if batch with panic
+// containment; on panic every request in the batch gets an error reply.
+func (st *loopState) safeWhatIfBatch(batch []*whatifReq) (panicked any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = r
+			err := model.Errorf(model.ErrInternal, "serve: what-if batch panicked: %v", r)
+			sn := st.s.snap.Load()
+			for _, w := range batch {
+				select {
+				case w.reply <- whatifReply{err: err, snap: sn}:
+				default:
+				}
+			}
+		}
+	}()
+	st.handleWhatIfBatch(batch)
+	return nil
+}
+
+// abort quarantines the server after a panic in the mutation loop: the
+// analyzer's in-memory state can no longer be trusted, so new requests
+// are refused, everything already queued is failed, and OnPanic is
+// invoked. Readers keep serving the last published snapshot — which is
+// immutable and was swapped in atomically strictly before the panic —
+// so concurrent /v1/bounds and /healthz never observe partial state.
+func (s *Server) abort(p any) {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+	}
+	s.mu.Unlock()
+	s.failQueues(model.Errorf(model.ErrInternal, "serve: quarantined after panic: %v", p))
+	if fn := s.cfg.OnPanic; fn != nil {
+		fn(p)
+	}
+}
+
+// failQueues answers everything queued with err — used when the
+// analyzer state is unusable and running the requests is not an option.
+func (s *Server) failQueues(err error) {
+	for {
+		select {
+		case m := <-s.mutCh:
+			select {
+			case m.reply <- decision{Err: err, Snap: s.snap.Load()}:
+			default:
+			}
+		case w := <-s.wifCh:
+			select {
+			case w.reply <- whatifReply{err: err, snap: s.snap.Load()}:
+			default:
+			}
+		default:
+			return
 		}
 	}
 }
@@ -338,9 +489,17 @@ func (s *Server) drainQueues(st *loopState) {
 	for {
 		select {
 		case m := <-s.mutCh:
-			m.reply <- st.handleMutation(m)
+			if p := st.deliverMutation(m); p != nil {
+				// Panic during the shutdown drain: the server is already
+				// stopping, so just fail what's left instead of restarting.
+				s.failQueues(model.Errorf(model.ErrInternal, "serve: quarantined after panic: %v", p))
+				return
+			}
 		case w := <-s.wifCh:
-			st.handleWhatIfBatch(s.gatherWhatIf(w))
+			if p := st.safeWhatIfBatch(s.gatherWhatIf(w)); p != nil {
+				s.failQueues(model.Errorf(model.ErrInternal, "serve: quarantined after panic: %v", p))
+				return
+			}
 		default:
 			return
 		}
@@ -350,9 +509,88 @@ func (s *Server) drainQueues(st *loopState) {
 // loopState is the mutation loop's private state. Only the loop
 // goroutine touches it.
 type loopState struct {
-	s   *Server
-	a   *trajectory.Analyzer // nil when no flow is admitted
-	seq int64
+	s         *Server
+	a         *trajectory.Analyzer // nil when no flow is admitted
+	seq       int64
+	sinceCkpt int  // committed mutations since the last checkpoint
+	jreported bool // OnJournalFailure already fired
+}
+
+// journalFailed reports (and wraps) a latched journal error, so every
+// mutation after a durability failure is refused instead of silently
+// diverging from the log.
+func (st *loopState) journalFailed() error {
+	j := st.s.cfg.Journal
+	if j == nil {
+		return nil
+	}
+	if err := j.Err(); err != nil {
+		return model.Errorf(model.ErrInternal, "serve: journal failed: %w", err)
+	}
+	return nil
+}
+
+// journalCommit makes one decision durable — append + fsync — strictly
+// before its snapshot is published. The record's sequence is the
+// snapshot sequence the decision will publish (st.seq+1). On failure
+// the in-memory mutation is reverted by a cold rebuild from the
+// still-pre-mutation snapshot, OnJournalFailure fires once, and the
+// latched journal refuses all further mutations.
+func (st *loopState) journalCommit(op, name string, f *model.Flow) error {
+	j := st.s.cfg.Journal
+	if j == nil {
+		return nil
+	}
+	rec := journal.Record{Seq: st.seq + 1, Op: op, Name: name}
+	if f != nil {
+		cfg := model.ConfigOfFlow(f)
+		rec.Flow = &cfg
+	}
+	if err := j.Append(rec); err != nil {
+		st.rebuild()
+		st.reportJournalFailure(err)
+		return model.Errorf(model.ErrInternal, "serve: journal append: %w", err)
+	}
+	st.sinceCkpt++
+	return nil
+}
+
+func (st *loopState) reportJournalFailure(err error) {
+	if fn := st.s.cfg.OnJournalFailure; fn != nil && !st.jreported {
+		st.jreported = true
+		fn(err)
+	}
+}
+
+// maybeCheckpoint writes a flow-set checkpoint from the just-published
+// snapshot once CheckpointEvery mutations have committed since the last
+// one, bounding recovery replay length. A checkpoint failure latches
+// the journal (the triggering mutation was already durable and stays
+// committed) and fires OnJournalFailure.
+func (st *loopState) maybeCheckpoint() {
+	j := st.s.cfg.Journal
+	every := st.s.cfg.checkpointEvery()
+	if j == nil || every <= 0 || st.sinceCkpt < every {
+		return
+	}
+	st.sinceCkpt = 0
+	if err := j.WriteCheckpoint(checkpointOf(st.s.cfg.Network, st.s.snap.Load())); err != nil {
+		st.reportJournalFailure(err)
+	}
+}
+
+// checkpointOf converts a published snapshot to its durable form.
+func checkpointOf(net model.Network, sn *Snapshot) journal.Checkpoint {
+	cp := journal.Checkpoint{
+		Seq:     sn.Seq,
+		Network: model.NetworkConfig{Lmin: net.Lmin, Lmax: net.Lmax},
+	}
+	if sn.FS != nil {
+		for _, f := range sn.FS.Flows {
+			cp.Flows = append(cp.Flows, model.ConfigOfFlow(f))
+		}
+	}
+	return cp
 }
 
 // isRefusal classifies analysis errors that mean "candidate refused"
@@ -426,7 +664,7 @@ func (st *loopState) rebuild() {
 
 func (st *loopState) emitAdmission(flow, outcome string) {
 	if tr := st.s.opt.Tracer; tr != nil {
-		tr.Emit(obs.Event{Type: obs.EvAdmission, Op: "serve", Flow: flow, Outcome: outcome})
+		tr.Emit(obs.Event{Type: obs.EvAdmission, Op: "serve", Flow: flow, Outcome: outcome, Tenant: st.s.cfg.Tenant})
 	}
 }
 
@@ -443,6 +681,9 @@ func (st *loopState) findFlow(name string) int {
 }
 
 func (st *loopState) handleMutation(m *mutation) decision {
+	if err := st.journalFailed(); err != nil {
+		return decision{Err: err, Snap: st.s.snap.Load()}
+	}
 	switch m.op {
 	case "admit":
 		return st.admit(m)
@@ -502,8 +743,13 @@ func (st *loopState) admit(m *mutation) decision {
 		st.emitAdmission(f.Name, "rejected ("+reason+")")
 		return decision{Outcome: "rejected", Reason: reason, Snap: st.s.snap.Load()}
 	}
+	if jerr := st.journalCommit("admit", "", f); jerr != nil {
+		return decision{Err: jerr, Snap: st.s.snap.Load()}
+	}
 	st.emitAdmission(f.Name, "admitted")
-	return decision{Outcome: "admitted", Snap: st.publish(bounds, minSlack, ok)}
+	d := decision{Outcome: "admitted", Snap: st.publish(bounds, minSlack, ok)}
+	st.maybeCheckpoint()
+	return d
 }
 
 // release evicts a flow unconditionally (removal can only shrink
@@ -518,6 +764,11 @@ func (st *loopState) release(m *mutation) decision {
 	} else if err := st.a.RemoveFlow(i); err != nil {
 		return decision{Err: err, Snap: st.s.snap.Load()}
 	}
+	// The removal commits unconditionally (it can only shrink
+	// interference), so it is journaled before either publish below.
+	if jerr := st.journalCommit("release", m.name, nil); jerr != nil {
+		return decision{Err: jerr, Snap: st.s.snap.Load()}
+	}
 	ok, bounds, minSlack, err := st.verdict(m.ctx)
 	if err != nil {
 		// The removal is committed; the re-analysis failed (it cannot
@@ -525,10 +776,13 @@ func (st *loopState) release(m *mutation) decision {
 		// Publish a conservative infeasible snapshot so readers see the
 		// new set rather than the stale one.
 		st.publish(nil, 0, false)
+		st.maybeCheckpoint()
 		return decision{Err: err, Snap: st.s.snap.Load()}
 	}
 	st.emitAdmission(m.name, "released")
-	return decision{Outcome: "released", Snap: st.publish(bounds, minSlack, ok)}
+	d := decision{Outcome: "released", Snap: st.publish(bounds, minSlack, ok)}
+	st.maybeCheckpoint()
+	return d
 }
 
 // renegotiate replaces an admitted flow's contract and undoes the
@@ -563,8 +817,13 @@ func (st *loopState) renegotiate(m *mutation) decision {
 		st.emitAdmission(f.Name, "rejected ("+reason+")")
 		return decision{Outcome: "rejected", Reason: reason, Snap: st.s.snap.Load()}
 	}
+	if jerr := st.journalCommit("renegotiate", "", f); jerr != nil {
+		return decision{Err: jerr, Snap: st.s.snap.Load()}
+	}
 	st.emitAdmission(f.Name, "renegotiated")
-	return decision{Outcome: "renegotiated", Snap: st.publish(bounds, minSlack, ok)}
+	d := decision{Outcome: "renegotiated", Snap: st.publish(bounds, minSlack, ok)}
+	st.maybeCheckpoint()
+	return d
 }
 
 // handleWhatIfBatch answers a coalesced set of what-if requests with

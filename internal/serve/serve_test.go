@@ -345,7 +345,7 @@ func TestWhatIfCoalescing(t *testing.T) {
 	reqs := make([]*whatifReq, probes)
 	for k := range reqs {
 		reqs[k] = &whatifReq{
-			cands: []whatifCand{{op: "add", flow: mustBuild(t, callFlow(10 + k))}},
+			cands: []whatifCand{{op: "add", flow: mustBuild(t, callFlow(10+k))}},
 			reply: make(chan whatifReply, 1),
 		}
 		if err := s.enqueueWhatIf(reqs[k]); err != nil {
@@ -420,7 +420,7 @@ func TestShutdownDrain(t *testing.T) {
 	// lands; anything accepted in the meantime must still drain.
 	var accepted []*mutation
 	for n := 0; ; n++ {
-		m := &mutation{op: "admit", flow: mustBuild(t, callFlow(9 + n)), ctx: context.Background(), reply: make(chan decision, 1)}
+		m := &mutation{op: "admit", flow: mustBuild(t, callFlow(9+n)), ctx: context.Background(), reply: make(chan decision, 1)}
 		err := s.enqueueMutation(m)
 		if err == ErrShuttingDown {
 			break
