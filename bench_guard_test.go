@@ -7,9 +7,13 @@ package trajan_test
 
 import (
 	"encoding/json"
+	"fmt"
+	"math/rand"
 	"os"
 	"testing"
 
+	"trajan/internal/model"
+	"trajan/internal/sim"
 	"trajan/internal/trajectory"
 )
 
@@ -175,5 +179,100 @@ func TestBenchGuardAnalyzerReuse(t *testing.T) {
 	base := baselineAllocs(t, "BenchmarkAnalyzerReuse/flows32")
 	if got := res.AllocsPerOp(); got > base {
 		t.Errorf("AnalyzerReuse/flows32: %d allocs/op, baseline %d", got, base)
+	}
+}
+
+// simGuardSet mirrors the sim package's bigParkingLot(33) benchmark
+// topology: 32 flows aggregating down a line, 560 packet-hops per
+// packet round.
+func simGuardSet(tb testing.TB) *model.FlowSet {
+	tb.Helper()
+	const nodes = 33
+	flows := make([]*model.Flow, nodes-1)
+	for k := range flows {
+		path := make([]model.NodeID, nodes-k)
+		for i := range path {
+			path[i] = model.NodeID(k + i)
+		}
+		flows[k] = model.UniformFlow(
+			fmt.Sprintf("p%02d", k), model.Time(20*(nodes-1)), 0, 0, 2, path...)
+	}
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), flows)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fs
+}
+
+// TestBenchGuardSimAllocs pins the calendar-queue engine's signature
+// property: a streaming run's allocations are O(in-flight packets),
+// independent of the total packet count. It replays the 1e6-tier
+// BenchmarkEngineThroughput workload and fails if allocs/op drift more
+// than 20% above baseline — losing the packet pool, the flight free
+// list, or the de-boxed scheduler heaps all cost orders of magnitude
+// more than that (the retained reference engine spends 4.1M allocs on
+// the same workload).
+func TestBenchGuardSimAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	fs := simGuardSet(t)
+	const perFlow = 1_000_000 / 560
+	eng := sim.NewEngine(fs, sim.Config{})
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunSource(b.Context(), sim.NewSporadicSource(fs, 1, perFlow, 40, 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	base := baselineAllocs(t, "BenchmarkEngineThroughput/hops1e6")
+	limit := base + base/5
+	if got := res.AllocsPerOp(); got > limit {
+		t.Errorf("EngineThroughput/hops1e6: %d allocs/op, baseline %d (+20%% = %d)", got, base, limit)
+	} else {
+		t.Logf("EngineThroughput/hops1e6: %d allocs/op (baseline %d)", got, base)
+	}
+}
+
+// TestBenchGuardSimSpeedup encodes the PR's acceptance criterion
+// directly: the calendar-queue engine must stay well ahead of the
+// reference heap engine on the same workload. Both engines run the
+// 1e5-tier workload in this process, so host speed cancels; the floor
+// is 5x against a measured 11.9x, loose enough for a noisy shared
+// runner but far below what losing the wheel, the dense tables, or the
+// pools would leave.
+func TestBenchGuardSimSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	fs := simGuardSet(t)
+	const perFlow = 100_000 / 560
+	fast := testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine(fs, sim.Config{})
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RunSource(b.Context(), sim.NewSporadicSource(fs, 1, perFlow, 40, 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ref := testing.Benchmark(func(b *testing.B) {
+		// The reference engine only takes materialized scenarios.
+		sc := sim.RandomScenario(fs, rand.New(rand.NewSource(1)), perFlow, 40, 1, 1)
+		eng := sim.NewEngine(fs, sim.Config{Reference: true})
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	speedup := float64(ref.NsPerOp()) / float64(fast.NsPerOp())
+	if speedup < 5 {
+		t.Errorf("calendar engine only %.1fx faster than the reference (want >= 5x): fast %d ns/op, ref %d ns/op",
+			speedup, fast.NsPerOp(), ref.NsPerOp())
+	} else {
+		t.Logf("calendar engine %.1fx faster than the reference (fast %d ns/op, ref %d ns/op)",
+			speedup, fast.NsPerOp(), ref.NsPerOp())
 	}
 }

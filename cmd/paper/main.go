@@ -83,6 +83,9 @@ func run(args []string, w io.Writer) error {
 		{"E14", "Breakdown utilization", "", func() (renderable, error) { return experiments.BreakdownUtilization() }},
 		{"E15", "AFDX case study", "", func() (renderable, error) { return experiments.AFDXCaseStudy() }},
 		{"E16", "Per-hop arrival bounds", "", func() (renderable, error) { return experiments.PerHopBudgets() }},
+		{"E17", "Streaming tightness sweep", "e17_tightness.csv", func() (renderable, error) {
+			return experiments.TightnessSweep(trials, 64)
+		}},
 	}
 
 	var htmlParts []string

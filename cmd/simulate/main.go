@@ -2,15 +2,26 @@
 // flow-set configuration and reports observed worst-case responses next
 // to the analytical bounds. It can search adversarially for bad
 // scenarios (-adversary), drive the DiffServ router model (-diffserv),
-// and print a Figure-2 style busy-period trace for one packet (-trace).
+// print a Figure-2 style busy-period trace for one packet (-trace),
+// and scale out: streaming traffic generators (-source), finite node
+// buffers with drop accounting (-buffer), token-bucket ingress shaping
+// (-shaper) and parallel independent replications (-replications,
+// -workers).
 //
 // Usage:
 //
 //	simulate [-config flows.json] [-packets N] [-seed S]
 //	         [-adversary] [-restarts R] [-diffserv] [-trace flowIndex]
+//	         [-source scenario|sporadic|bursty|heavy] [-buffer B]
+//	         [-shaper R/P:B] [-replications N] [-workers W]
+//
+// The exit status is nonzero if any packet is dropped while buffers
+// are unlimited — the paper's lossless model can never drop, so such a
+// run indicates a simulator bug, not congestion.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +55,11 @@ func run(args []string, out io.Writer) error {
 		traceFlow   = fl.Int("trace", -1, "print the busy-period trajectory of this flow's first packet")
 		gantt       = fl.Bool("gantt", false, "render the per-node service timeline (non-adversary runs)")
 		packetCSV   = fl.String("packet-csv", "", "write the per-packet hop log to this file (non-adversary runs)")
+		sourceKind  = fl.String("source", "scenario", "traffic generator: scenario (materialized random), sporadic, bursty, heavy")
+		buffer      = fl.Int("buffer", 0, "per-node buffer in packets (0 = unlimited, the paper's lossless model)")
+		shaper      = fl.String("shaper", "", "token-bucket ingress shaper per flow, as rate/period:burst (e.g. 2/30:8)")
+		reps        = fl.Int("replications", 1, "independent replications (seeds seed, seed+1, …)")
+		workers     = fl.Int("workers", 0, "replication worker goroutines (0 = GOMAXPROCS)")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -64,7 +80,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	tab := report.NewTable("Simulated worst responses vs trajectory bounds",
-		"flow", "observed", "bound", "tightness", "strategy")
+		"flow", "observed", "bound", "tightness", "drops", "strategy")
 
 	if *useAdv {
 		finds, err := adversary.Search(fs, adversary.Options{
@@ -75,49 +91,171 @@ func run(args []string, out io.Writer) error {
 		}
 		for i, f := range finds {
 			tab.AddRow(fs.Flows[i].Name, f.MaxResponse, traj.Bounds[i],
-				fmt.Sprintf("%.2f", float64(f.MaxResponse)/float64(traj.Bounds[i])), f.Strategy)
+				tightness(f.MaxResponse, traj.Bounds[i]), 0, f.Strategy)
 		}
-	} else {
-		eng := sim.NewEngine(fs, sim.Config{NewScheduler: sched, RecordServices: *traceFlow >= 0 || *gantt})
-		sc := sim.RandomScenario(fs, rand.New(rand.NewSource(*seed)), *packets, 100, 20, 0)
-		res, err := eng.Run(sc)
+		return tab.Render(out)
+	}
+
+	mkBucket, err := parseShaper(*shaper)
+	if err != nil {
+		return err
+	}
+	mkSource := func(rep int) (sim.ScenarioSource, error) {
+		s := *seed + int64(rep)
+		var src sim.ScenarioSource
+		switch *sourceKind {
+		case "scenario":
+			sc := sim.RandomScenario(fs, rand.New(rand.NewSource(s)), *packets, 100, 20, 0)
+			src = sc.Source()
+		case "sporadic":
+			src = sim.NewSporadicSource(fs, s, *packets, 20, 1)
+		case "bursty":
+			src = sim.NewBurstySource(fs, s, *packets, 4)
+		case "heavy":
+			src = sim.NewHeavyTailSource(fs, s, *packets)
+		default:
+			return nil, fmt.Errorf("unknown -source %q", *sourceKind)
+		}
+		if mkBucket != nil {
+			src = diffserv.ShapedSource(fs, src, func(int) *diffserv.TokenBucket { return mkBucket() })
+		}
+		return src, nil
+	}
+
+	retain := *traceFlow >= 0 || *packetCSV != ""
+	eng := sim.NewEngine(fs, sim.Config{
+		NewScheduler:   sched,
+		RecordServices: *traceFlow >= 0 || *gantt,
+		RetainPackets:  retain,
+		Buffer:         *buffer,
+	})
+
+	var res *sim.Result
+	strategy := *sourceKind
+	if strategy == "scenario" {
+		strategy = "random" // the historical label for the materialized random run
+	}
+	if *reps > 1 {
+		if retain || *gantt {
+			return fmt.Errorf("-trace/-gantt/-packet-csv need a single replication")
+		}
+		var srcErr error
+		batch, err := eng.RunReplications(context.Background(), *reps, *workers, func(rep int) sim.ScenarioSource {
+			src, err := mkSource(rep)
+			if err != nil {
+				srcErr = err
+			}
+			return src
+		})
+		if srcErr != nil {
+			return srcErr
+		}
 		if err != nil {
 			return err
 		}
-		for i, st := range res.PerFlow {
-			tab.AddRow(fs.Flows[i].Name, st.MaxResponse, traj.Bounds[i],
-				fmt.Sprintf("%.2f", float64(st.MaxResponse)/float64(traj.Bounds[i])), "random")
+		res = batch.Merged
+		strategy = fmt.Sprintf("%s x%d", strategy, *reps)
+	} else {
+		src, err := mkSource(0)
+		if err != nil {
+			return err
 		}
-		if *traceFlow >= 0 {
-			trace, err := sim.TrajectoryTrace(fs, res, *traceFlow, 0)
-			if err != nil {
-				return err
-			}
-			defer fmt.Fprintln(out, trace)
-		}
-		if *gantt {
-			to := res.Makespan
-			if to > 240 {
-				to = 240
-			}
-			g, err := sim.Gantt(fs, res, 0, to)
-			if err != nil {
-				return err
-			}
-			defer fmt.Fprintln(out, g)
-		}
-		if *packetCSV != "" {
-			f, err := os.Create(*packetCSV)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := sim.WritePacketCSV(f, fs, res); err != nil {
-				return err
-			}
+		res, err = eng.RunSource(context.Background(), src)
+		if err != nil {
+			return err
 		}
 	}
-	return tab.Render(out)
+
+	for i, st := range res.PerFlow {
+		tab.AddRow(fs.Flows[i].Name, st.MaxResponse, traj.Bounds[i],
+			tightness(st.MaxResponse, traj.Bounds[i]), st.Drops, strategy)
+	}
+
+	if *traceFlow >= 0 {
+		trace, err := sim.TrajectoryTrace(fs, res, *traceFlow, 0)
+		if err != nil {
+			return err
+		}
+		defer fmt.Fprintln(out, trace)
+	}
+	if *gantt {
+		to := res.Makespan
+		if to > 240 {
+			to = 240
+		}
+		g, err := sim.Gantt(fs, res, 0, to)
+		if err != nil {
+			return err
+		}
+		defer fmt.Fprintln(out, g)
+	}
+	if *packetCSV != "" {
+		f, err := os.Create(*packetCSV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sim.WritePacketCSV(f, fs, res); err != nil {
+			return err
+		}
+	}
+
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+	if err := renderSummary(out, res); err != nil {
+		return err
+	}
+	if *buffer == 0 && res.TotalDrops() > 0 {
+		return fmt.Errorf("invariant violated: %d packets dropped with unlimited buffers", res.TotalDrops())
+	}
+	return nil
+}
+
+// renderSummary prints the run-level accounting: delivery and drop
+// totals, the worst per-node backlog, and the makespan.
+func renderSummary(out io.Writer, res *sim.Result) error {
+	var worstNode model.NodeID
+	var worst sim.BacklogStats
+	for id, b := range res.NodeBacklog {
+		if b.MaxPackets > worst.MaxPackets ||
+			(b.MaxPackets == worst.MaxPackets && id < worstNode) {
+			worstNode, worst = id, b
+		}
+	}
+	sum := report.NewTable("Run summary", "metric", "value")
+	sum.AddRow("packets delivered", res.Delivered())
+	sum.AddRow("packets dropped", res.TotalDrops())
+	sum.AddRow("max backlog (packets)", fmt.Sprintf("%d @ node %d", worst.MaxPackets, worstNode))
+	sum.AddRow("max backlog (work)", worst.MaxWork)
+	sum.AddRow("makespan", res.Makespan)
+	return sum.Render(out)
+}
+
+func tightness(observed, bound model.Time) string {
+	if bound <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", float64(observed)/float64(bound))
+}
+
+// parseShaper parses "rate/period:burst" into a token-bucket factory;
+// an empty spec means no shaping.
+func parseShaper(spec string) (func() *diffserv.TokenBucket, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var rate, period, burst model.Time
+	if _, err := fmt.Sscanf(spec, "%d/%d:%d", &rate, &period, &burst); err != nil {
+		return nil, fmt.Errorf("bad -shaper %q (want rate/period:burst): %w", spec, err)
+	}
+	probe := diffserv.TokenBucket{Rate: rate, RatePeriod: period, Burst: burst}
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	return func() *diffserv.TokenBucket {
+		return &diffserv.TokenBucket{Rate: rate, RatePeriod: period, Burst: burst}
+	}, nil
 }
 
 func loadFlowSet(path string) (*model.FlowSet, error) {

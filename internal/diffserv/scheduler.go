@@ -1,7 +1,6 @@
 package diffserv
 
 import (
-	"container/heap"
 	"fmt"
 
 	"trajan/internal/model"
@@ -103,7 +102,8 @@ func (w *WFQ) Enqueue(q sim.QueuedPacket) {
 	}
 	finish := start + int64(q.Cost)*wfqScale/wt
 	w.lastF[q.Class] = finish
-	heap.Push(&w.q, wfqEntry{finish: finish, seq: w.arrivals, q: q})
+	w.q = append(w.q, wfqEntry{finish: finish, seq: w.arrivals, q: q})
+	w.q.siftUp(len(w.q) - 1)
 	w.arrivals++
 }
 
@@ -112,7 +112,12 @@ func (w *WFQ) Dequeue() (sim.QueuedPacket, bool) {
 	if len(w.q) == 0 {
 		return sim.QueuedPacket{}, false
 	}
-	e := heap.Pop(&w.q).(wfqEntry)
+	e := w.q[0]
+	n := len(w.q) - 1
+	w.q[0] = w.q[n]
+	w.q[n] = wfqEntry{} // release the packet reference to the engine's pool
+	w.q = w.q[:n]
+	w.q.siftDown(0)
 	w.virtual = e.finish
 	return e.q, true
 }
@@ -126,21 +131,42 @@ type wfqEntry struct {
 	q      sim.QueuedPacket
 }
 
+// wfqHeap is hand-rolled like sim's fifoHeap: container/heap's
+// interface boxing would cost two allocations per non-EF packet-hop.
 type wfqHeap []wfqEntry
 
-func (h wfqHeap) Len() int { return len(h) }
-func (h wfqHeap) Less(a, b int) bool {
+func (h wfqHeap) less(a, b int) bool {
 	if h[a].finish != h[b].finish {
 		return h[a].finish < h[b].finish
 	}
 	return h[a].seq < h[b].seq
 }
-func (h wfqHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *wfqHeap) Push(x interface{}) { *h = append(*h, x.(wfqEntry)) }
-func (h *wfqHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h wfqHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h wfqHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, i) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
 }

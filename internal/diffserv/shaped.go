@@ -1,0 +1,124 @@
+package diffserv
+
+import (
+	"trajan/internal/model"
+	"trajan/internal/sim"
+)
+
+// This file wires the DiffServ traffic conditioners into the
+// simulator's streaming packet sources: a boundary router shapes (or
+// polices) each flow before it enters the EF region, which is exactly
+// how RFC 2598 makes the aggregate conform to the arrival curves the
+// analytical bounds assume. Wrapping at the source level means any
+// generator — including the deliberately non-conforming bursty one —
+// can be conditioned without touching the engine.
+
+// packetSize is the metered size of a packet: its ingress processing
+// demand (one token per processing unit, matching TokenBucket's
+// convention).
+func packetSize(fs *model.FlowSet, flow int, spec *sim.PacketSpec) model.Time {
+	if spec.Proc != nil {
+		return spec.Proc[0]
+	}
+	return fs.Flows[flow].Cost[0]
+}
+
+// Shaped conditions each flow of an inner source through its own token
+// bucket: a packet's release becomes the earliest conforming time at or
+// after its original release (generation times are untouched, so the
+// shaping delay shows up in the measured response, like added release
+// jitter). Releases stay nondecreasing per flow.
+type Shaped struct {
+	fs      *model.FlowSet
+	src     sim.ScenarioSource
+	buckets []*TokenBucket
+	lastOut []model.Time
+}
+
+// ShapedSource wraps src with per-flow token-bucket shapers; mk(flow)
+// supplies flow's bucket (typically all with the same negotiated
+// profile). The bucket instances must not be shared with other users —
+// the wrapper owns their token state.
+func ShapedSource(fs *model.FlowSet, src sim.ScenarioSource, mk func(flow int) *TokenBucket) *Shaped {
+	s := &Shaped{
+		fs:      fs,
+		src:     src,
+		buckets: make([]*TokenBucket, src.Flows()),
+		lastOut: make([]model.Time, src.Flows()),
+	}
+	for i := range s.buckets {
+		s.buckets[i] = mk(i)
+	}
+	return s
+}
+
+func (s *Shaped) Flows() int            { return s.src.Flows() }
+func (s *Shaped) TieBreak(flow int) int { return s.src.TieBreak(flow) }
+
+func (s *Shaped) Next(flow int, spec *sim.PacketSpec) bool {
+	if !s.src.Next(flow, spec) {
+		return false
+	}
+	t := spec.Released
+	if t < s.lastOut[flow] {
+		t = s.lastOut[flow]
+	}
+	t = s.buckets[flow].Shape(t, packetSize(s.fs, flow, spec))
+	if t < s.lastOut[flow] {
+		t = s.lastOut[flow]
+	}
+	s.lastOut[flow] = t
+	spec.Released = t
+	return true
+}
+
+// Policed drops non-conforming packets at the boundary instead of
+// delaying them: each flow is metered by its own trTCM and packets
+// marked red never enter the network. Dropped packets are invisible to
+// the engine (they are not buffer drops); DroppedAt reports them.
+type Policed struct {
+	fs      *model.FlowSet
+	src     sim.ScenarioSource
+	meters  []*TRTCM
+	dropped []int
+}
+
+// PolicedSource wraps src with per-flow trTCM policers; mk(flow)
+// supplies flow's meter. The meter instances must not be shared.
+func PolicedSource(fs *model.FlowSet, src sim.ScenarioSource, mk func(flow int) *TRTCM) *Policed {
+	p := &Policed{
+		fs:      fs,
+		src:     src,
+		meters:  make([]*TRTCM, src.Flows()),
+		dropped: make([]int, src.Flows()),
+	}
+	for i := range p.meters {
+		p.meters[i] = mk(i)
+	}
+	return p
+}
+
+func (p *Policed) Flows() int            { return p.src.Flows() }
+func (p *Policed) TieBreak(flow int) int { return p.src.TieBreak(flow) }
+
+// DroppedAt is the number of flow's packets the policer discarded.
+func (p *Policed) DroppedAt(flow int) int { return p.dropped[flow] }
+
+// Dropped is the total number of policer-discarded packets.
+func (p *Policed) Dropped() int {
+	n := 0
+	for _, d := range p.dropped {
+		n += d
+	}
+	return n
+}
+
+func (p *Policed) Next(flow int, spec *sim.PacketSpec) bool {
+	for p.src.Next(flow, spec) {
+		if p.meters[flow].Mark(spec.Released, packetSize(p.fs, flow, spec)) != Red {
+			return true
+		}
+		p.dropped[flow]++
+	}
+	return false
+}

@@ -57,7 +57,7 @@ func AnalyzePeriodic(fs *model.FlowSet, offsets []model.Time, maxHyperperiods in
 		}
 	}
 
-	eng := sim.NewEngine(fs, sim.Config{})
+	eng := sim.NewEngine(fs, sim.Config{RetainPackets: true})
 	var prev [][]model.Time
 	for rounds := 2; rounds <= maxHyperperiods; rounds++ {
 		horizon := hp * model.Time(rounds)

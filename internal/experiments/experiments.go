@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -90,7 +91,7 @@ func Figure1Relations() *report.Table {
 // backwards from the last node exactly as the trajectory analysis does.
 func Figure2Trace() (string, error) {
 	fs := model.PaperExample()
-	eng := sim.NewEngine(fs, sim.Config{RecordServices: true})
+	eng := sim.NewEngine(fs, sim.Config{RecordServices: true, RetainPackets: true})
 	sc := sim.PeriodicScenario(fs, nil, 2)
 	res, err := eng.Run(sc)
 	if err != nil {
@@ -740,6 +741,101 @@ func PerHopBudgets() (*report.Table, error) {
 			t.AddRow(f.Name, h, ab, ab-prev)
 			prev = ab
 		}
+	}
+	return t, nil
+}
+
+// TightnessSweep (E17) drives the streaming replication harness on the
+// paper example: independent replications per traffic model, merged
+// statistics, and two accountings per model — per-flow worst observed
+// response against the trajectory bound (tightness ratio), and per-node
+// worst backlog against the configured buffer (occupancy ratio). The
+// sporadic model respects the flow contract, so its observed responses
+// must stay below the bounds and an unlimited-buffer run must not drop
+// — both are checked and violations are errors, making the experiment
+// a soundness gate as well as a measurement. The bursty model violates
+// sporadic separation on purpose (ratios above 1 are meaningful there),
+// and the shaped model shows a token-bucket conditioner taming it.
+func TightnessSweep(reps, npackets int) (*report.Table, error) {
+	fs := model.PaperExample()
+	traj, err := trajectory.Analyze(fs, trajectory.Options{})
+	if err != nil {
+		return nil, err
+	}
+	run := func(buffer int, mk func(rep int) sim.ScenarioSource) (*sim.Result, error) {
+		eng := sim.NewEngine(fs, sim.Config{Buffer: buffer})
+		batch, err := eng.RunReplications(context.Background(), reps, 0, mk)
+		if err != nil {
+			return nil, err
+		}
+		return batch.Merged, nil
+	}
+	sporadic := func(rep int) sim.ScenarioSource {
+		return sim.NewSporadicSource(fs, int64(rep+1), npackets, 10, 1)
+	}
+	bursty := func(rep int) sim.ScenarioSource {
+		return sim.NewBurstySource(fs, int64(rep+1), npackets, 4)
+	}
+	shaped := func(rep int) sim.ScenarioSource {
+		return diffserv.ShapedSource(fs, bursty(rep), func(i int) *diffserv.TokenBucket {
+			f := fs.Flows[i]
+			return &diffserv.TokenBucket{Rate: f.Cost[0], RatePeriod: f.Period, Burst: 2 * f.Cost[0]}
+		})
+	}
+
+	probe, err := run(0, sporadic)
+	if err != nil {
+		return nil, err
+	}
+	if d := probe.TotalDrops(); d != 0 {
+		return nil, fmt.Errorf("experiments: %d drops under unlimited buffers (simulator bug)", d)
+	}
+	for i, st := range probe.PerFlow {
+		if st.MaxResponse > traj.Bounds[i] {
+			return nil, fmt.Errorf("experiments: flow %s observed %d exceeds bound %d under in-contract traffic",
+				fs.Flows[i].Name, st.MaxResponse, traj.Bounds[i])
+		}
+	}
+	// Size finite buffers to the sporadic worst case: conformant
+	// traffic just fits, bursts have to fight for the space.
+	buffer := 1
+	for _, b := range probe.NodeBacklog {
+		if b.MaxPackets > buffer {
+			buffer = b.MaxPackets
+		}
+	}
+
+	t := report.NewTable(fmt.Sprintf("E17. Streaming tightness sweep (%d replications x %d packets/flow, buffer %d)",
+		reps, npackets, buffer),
+		"traffic", "subject", "observed", "limit", "ratio", "drops")
+	addRows := func(name string, res *sim.Result, buffer int) {
+		for i, st := range res.PerFlow {
+			t.AddRow(name, fs.Flows[i].Name, st.MaxResponse, traj.Bounds[i],
+				fmt.Sprintf("%.2f", float64(st.MaxResponse)/float64(traj.Bounds[i])), st.Drops)
+		}
+		for _, node := range fs.Nodes() {
+			b, ok := res.NodeBacklog[node]
+			if !ok {
+				continue
+			}
+			limit := buffer
+			occ := "n/a"
+			if limit > 0 {
+				occ = fmt.Sprintf("%.2f", float64(b.MaxPackets)/float64(limit))
+			}
+			t.AddRow(name, fmt.Sprintf("node %d", node), b.MaxPackets, limit, occ, b.Drops)
+		}
+	}
+	addRows("sporadic", probe, 0)
+	for _, c := range []struct {
+		name string
+		mk   func(rep int) sim.ScenarioSource
+	}{{"bursty", bursty}, {"bursty+shaper", shaped}} {
+		res, err := run(buffer, c.mk)
+		if err != nil {
+			return nil, err
+		}
+		addRows(c.name, res, buffer)
 	}
 	return t, nil
 }

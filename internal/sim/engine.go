@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 
 	"trajan/internal/model"
@@ -20,6 +19,11 @@ type QueuedPacket struct {
 	// scenario's processing-time sample); schedulers that need packet
 	// sizes (e.g. WFQ finish tags) read it here.
 	Cost model.Time
+	// fl is the calendar-queue engine's in-flight record handle (0 =
+	// none): per-hop samples of packets drawn from a streaming source
+	// live there instead of on the Packet. Schedulers must pass the
+	// struct through unchanged, which every value copy does.
+	fl int32
 }
 
 // Scheduler is a node's service discipline. The engine calls Enqueue on
@@ -37,16 +41,38 @@ type Scheduler interface {
 // Config parameterizes a simulation run.
 type Config struct {
 	// NewScheduler builds the scheduler of each node; nil selects the
-	// paper's plain FIFO discipline everywhere.
+	// paper's plain FIFO discipline everywhere. RunReplications calls
+	// the factory from several goroutines, so it must be safe for
+	// concurrent use (stateless factories are).
 	NewScheduler func(node model.NodeID) Scheduler
 	// RecordServices keeps the per-node service log needed to
 	// reconstruct busy periods (Figure 2); costs memory on long runs.
 	RecordServices bool
+	// RetainPackets keeps every delivered packet with its full
+	// itinerary in Result.Packets (sorted by flow, then sequence).
+	// Off by default: long runs then hold only in-flight packets —
+	// delivered records are recycled and memory stays O(backlog).
+	// Gantt rendering needs RecordServices; TrajectoryTrace, packet
+	// CSV export and Distribution need RetainPackets.
+	RetainPackets bool
+	// Buffer is the per-node capacity in packets (queued plus in
+	// service); an arrival at a full node is dropped and counted in
+	// FlowStats.Drops / BacklogStats.Drops. 0 means unlimited — the
+	// paper's lossless model, under which a run can never drop.
+	Buffer int
+	// BufferFor overrides Buffer per node when non-nil (return 0 for
+	// unlimited).
+	BufferFor func(node model.NodeID) int
 	// MaxEvents caps the number of simulation events processed in one
 	// run (0 = unlimited). Exceeding the budget aborts the run with
 	// model.ErrCanceled — a defence against pathological scenarios whose
 	// event cascade would otherwise run unboundedly long.
 	MaxEvents int
+	// Reference selects the original binary-heap engine instead of the
+	// calendar-queue engine. It only accepts materialized Scenarios and
+	// lossless nodes (no Buffer); differential tests pin the
+	// calendar-queue engine byte-identical to it.
+	Reference bool
 }
 
 // ServiceRecord is one completed service at a node.
@@ -61,6 +87,9 @@ type ServiceRecord struct {
 type FlowStats struct {
 	// Count is the number of delivered packets.
 	Count int
+	// Drops is the number of packets lost to full buffers (always 0
+	// with unlimited buffers).
+	Drops int
 	// MaxResponse and MinResponse are the extreme observed end-to-end
 	// response times; their difference is the observed jitter
 	// (Definition 2 measures exactly this difference in the worst case).
@@ -91,13 +120,16 @@ type BacklogStats struct {
 	// MaxWork is the largest backlog in work units (processing time
 	// admitted but not yet completed).
 	MaxWork model.Time
+	// Drops is the number of arrivals refused by a full buffer.
+	Drops int
 }
 
 // Result is the outcome of one simulation run.
 type Result struct {
 	// PerFlow[i] aggregates flow i's delivered packets.
 	PerFlow []FlowStats
-	// Packets holds every packet with its full itinerary.
+	// Packets holds every delivered packet with its full itinerary,
+	// sorted by (flow, seq). Nil unless Config.RetainPackets.
 	Packets []*Packet
 	// Services is the per-node service log (nil unless
 	// Config.RecordServices).
@@ -118,59 +150,42 @@ func (r *Result) MaxResponses() []model.Time {
 	return out
 }
 
-type eventKind int
-
-const (
-	evArrival eventKind = iota
-	evCompletion
-)
-
-type event struct {
-	at   model.Time
-	kind eventKind
-	node model.NodeID
-	q    QueuedPacket
-	seq  int // global monotone sequence for deterministic ordering
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(a, b int) bool {
-	if h[a].at != h[b].at {
-		return h[a].at < h[b].at
+// TotalDrops sums the per-flow drop counts.
+func (r *Result) TotalDrops() int {
+	n := 0
+	for _, s := range r.PerFlow {
+		n += s.Drops
 	}
-	if h[a].kind != h[b].kind {
-		// Completions free servers before same-tick arrivals start service.
-		return h[a].kind == evCompletion
+	return n
+}
+
+// Delivered sums the per-flow delivery counts.
+func (r *Result) Delivered() int {
+	n := 0
+	for _, s := range r.PerFlow {
+		n += s.Count
 	}
-	return h[a].seq < h[b].seq
+	return n
 }
-func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
-type nodeState struct {
-	sched   Scheduler
-	busy    bool
-	serving QueuedPacket
-	// backlog accounting: packets and work currently at the node.
-	pkts int
-	work model.Time
-}
-
-type linkKey struct{ from, to model.NodeID }
 
 // Engine runs scenarios against a flow set.
 type Engine struct {
 	fs  *model.FlowSet
 	cfg Config
+
+	// Dense topology, built once: node identifiers mapped to compact
+	// indices, per-flow paths and directed links pre-resolved so the
+	// hot loop never touches a map.
+	nodeIDs []model.NodeID
+	nodeIdx map[model.NodeID]int32
+	pathIdx [][]int32 // flow -> hop -> dense node index
+	linkIdx [][]int32 // flow -> hop -> dense directed-link index
+	nlinks  int
+	limits  []int // per dense node: buffer capacity (0 = unlimited)
+	// horizon bounds how far ahead of the current tick any dynamically
+	// scheduled event can land: max over per-hop costs and Lmax. It
+	// sizes the calendar queue.
+	horizon model.Time
 }
 
 // NewEngine builds a simulation engine for the flow set.
@@ -178,7 +193,52 @@ func NewEngine(fs *model.FlowSet, cfg Config) *Engine {
 	if cfg.NewScheduler == nil {
 		cfg.NewScheduler = func(model.NodeID) Scheduler { return NewFIFOScheduler() }
 	}
-	return &Engine{fs: fs, cfg: cfg}
+	e := &Engine{fs: fs, cfg: cfg}
+	e.nodeIDs = fs.Nodes()
+	e.nodeIdx = make(map[model.NodeID]int32, len(e.nodeIDs))
+	for i, id := range e.nodeIDs {
+		e.nodeIdx[id] = int32(i)
+	}
+	e.limits = make([]int, len(e.nodeIDs))
+	for i, id := range e.nodeIDs {
+		if cfg.BufferFor != nil {
+			e.limits[i] = cfg.BufferFor(id)
+		} else {
+			e.limits[i] = cfg.Buffer
+		}
+	}
+	links := make(map[[2]int32]int32)
+	e.pathIdx = make([][]int32, fs.N())
+	e.linkIdx = make([][]int32, fs.N())
+	e.horizon = fs.Net.Lmax
+	if e.horizon < 1 {
+		e.horizon = 1
+	}
+	for i, f := range fs.Flows {
+		path := make([]int32, len(f.Path))
+		for s, h := range f.Path {
+			path[s] = e.nodeIdx[h]
+		}
+		lidx := make([]int32, 0, len(f.Path)-1)
+		for s := 0; s+1 < len(f.Path); s++ {
+			key := [2]int32{path[s], path[s+1]}
+			li, ok := links[key]
+			if !ok {
+				li = int32(len(links))
+				links[key] = li
+			}
+			lidx = append(lidx, li)
+		}
+		e.pathIdx[i] = path
+		e.linkIdx[i] = lidx
+		for _, c := range f.Cost {
+			if c > e.horizon {
+				e.horizon = c
+			}
+		}
+	}
+	e.nlinks = len(links)
+	return e
 }
 
 // Run executes one scenario to completion and returns the observations.
@@ -195,164 +255,25 @@ func (e *Engine) RunContext(ctx context.Context, sc *Scenario) (*Result, error) 
 	if err := sc.Validate(e.fs); err != nil {
 		return nil, err
 	}
-	nodes := make(map[model.NodeID]*nodeState)
-	for _, h := range e.fs.Nodes() {
-		nodes[h] = &nodeState{sched: e.cfg.NewScheduler(h)}
+	if e.cfg.Reference {
+		return e.runReference(ctx, sc)
 	}
-	lastLinkArrival := make(map[linkKey]model.Time)
+	return e.runFast(ctx, sc.Source())
+}
 
-	res := &Result{
-		PerFlow:     make([]FlowStats, e.fs.N()),
-		NodeBacklog: make(map[model.NodeID]BacklogStats, len(nodes)),
+// RunSource executes the calendar-queue engine against a streaming
+// packet source. Unlike Run, the engine cannot validate a stream
+// upfront; sources must respect the contract documented on
+// ScenarioSource (out-of-range per-hop samples abort the run with an
+// error rather than corrupting the calendar).
+func (e *Engine) RunSource(ctx context.Context, src ScenarioSource) (*Result, error) {
+	if e.cfg.Reference {
+		return nil, model.Errorf(model.ErrInvalidConfig,
+			"sim: the reference engine only accepts materialized Scenarios")
 	}
-	for i := range res.PerFlow {
-		res.PerFlow[i].MaxSojourn = make([]model.Time, len(e.fs.Flows[i].Path))
+	if src.Flows() != e.fs.N() {
+		return nil, model.Errorf(model.ErrInvalidConfig,
+			"sim: source has %d flows, set has %d", src.Flows(), e.fs.N())
 	}
-
-	var h eventHeap
-	seq := 0
-	push := func(at model.Time, kind eventKind, node model.NodeID, q QueuedPacket) {
-		heap.Push(&h, event{at: at, kind: kind, node: node, q: q, seq: seq})
-		seq++
-	}
-
-	// Seed: release each packet at its ingress node.
-	for i, f := range e.fs.Flows {
-		for k, gen := range sc.Gen[i] {
-			p := &Packet{
-				Flow:      i,
-				Seq:       k,
-				Generated: gen,
-				Released:  gen + sc.jitter(i, k),
-				Hops:      make([]Hop, len(f.Path)),
-				TieBreak:  sc.tiebreak(i),
-			}
-			for s, n := range f.Path {
-				p.Hops[s].Node = n
-			}
-			res.Packets = append(res.Packets, p)
-			q := QueuedPacket{P: p, HopIndex: 0, Arrived: p.Released, Class: f.Class,
-				Cost: sc.proc(e.fs, i, k, 0)}
-			push(p.Released, evArrival, f.Path[0], q)
-		}
-	}
-
-	tryStart := func(ns *nodeState, node model.NodeID, now model.Time) {
-		if ns.busy {
-			return
-		}
-		q, ok := ns.sched.Dequeue()
-		if !ok {
-			return
-		}
-		ns.busy = true
-		ns.serving = q
-		proc := q.Cost
-		q.P.Hops[q.HopIndex].Start = now
-		q.P.Hops[q.HopIndex].Done = now + proc
-		push(now+proc, evCompletion, node, q)
-	}
-
-	// Process events in per-tick batches: all arrivals and completions
-	// at one tick take effect before any service decision at that tick,
-	// so a node chooses among every packet present — in particular the
-	// scheduler's tie-break between simultaneous arrivals is honoured.
-	var touched []model.NodeID
-	touch := func(n model.NodeID) {
-		for _, t := range touched {
-			if t == n {
-				return
-			}
-		}
-		touched = append(touched, n)
-	}
-	events := 0
-	for h.Len() > 0 {
-		now := h[0].at
-		touched = touched[:0]
-		for h.Len() > 0 && h[0].at == now {
-			events++
-			if events&1023 == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, model.Errorf(model.ErrCanceled, "sim: run canceled after %d events: %v", events, err)
-				}
-			}
-			if e.cfg.MaxEvents > 0 && events > e.cfg.MaxEvents {
-				return nil, model.Errorf(model.ErrCanceled, "sim: event budget of %d exhausted", e.cfg.MaxEvents)
-			}
-			ev := heap.Pop(&h).(event)
-			ns, ok := nodes[ev.node]
-			if !ok {
-				return nil, model.Errorf(model.ErrInternal, "sim: event for unknown node %d", ev.node)
-			}
-			touch(ev.node)
-			switch ev.kind {
-			case evArrival:
-				ev.q.P.Hops[ev.q.HopIndex].Arrived = ev.q.Arrived
-				ns.sched.Enqueue(ev.q)
-				ns.pkts++
-				ns.work += ev.q.Cost
-				if bl := res.NodeBacklog[ev.node]; ns.pkts > bl.MaxPackets || ns.work > bl.MaxWork {
-					if ns.pkts > bl.MaxPackets {
-						bl.MaxPackets = ns.pkts
-					}
-					if ns.work > bl.MaxWork {
-						bl.MaxWork = ns.work
-					}
-					res.NodeBacklog[ev.node] = bl
-				}
-
-			case evCompletion:
-				q := ev.q
-				ns.busy = false
-				ns.pkts--
-				ns.work -= q.Cost
-				f := e.fs.Flows[q.P.Flow]
-				st := &res.PerFlow[q.P.Flow]
-				sojourn := ev.at - q.Arrived
-				if sojourn > st.MaxSojourn[q.HopIndex] {
-					st.MaxSojourn[q.HopIndex] = sojourn
-				}
-				if e.cfg.RecordServices {
-					res.Services = append(res.Services, ServiceRecord{
-						Node: ev.node, Flow: q.P.Flow, Seq: q.P.Seq,
-						Arrived: q.Arrived, Start: q.P.Hops[q.HopIndex].Start, Done: ev.at,
-					})
-				}
-				if q.HopIndex == len(f.Path)-1 {
-					q.P.Delivered = ev.at
-					resp := q.P.Response()
-					if st.Count == 0 || resp > st.MaxResponse {
-						st.MaxResponse = resp
-						st.WorstSeq = q.P.Seq
-					}
-					if st.Count == 0 || resp < st.MinResponse {
-						st.MinResponse = resp
-					}
-					st.Count++
-					if ev.at > res.Makespan {
-						res.Makespan = ev.at
-					}
-				} else {
-					next := f.Path[q.HopIndex+1]
-					delay := sc.link(e.fs, q.P.Flow, q.P.Seq, q.HopIndex)
-					arr := ev.at + delay
-					// Links are FIFO: a packet cannot arrive before one
-					// that departed earlier on the same link.
-					lk := linkKey{from: ev.node, to: next}
-					if prev := lastLinkArrival[lk]; arr < prev {
-						arr = prev
-					}
-					lastLinkArrival[lk] = arr
-					nq := QueuedPacket{P: q.P, HopIndex: q.HopIndex + 1, Arrived: arr, Class: q.Class,
-						Cost: sc.proc(e.fs, q.P.Flow, q.P.Seq, q.HopIndex+1)}
-					push(arr, evArrival, next, nq)
-				}
-			}
-		}
-		for _, n := range touched {
-			tryStart(nodes[n], n, now)
-		}
-	}
-	return res, nil
+	return e.runFast(ctx, src)
 }

@@ -11,6 +11,7 @@ import (
 
 func runScenario(t *testing.T, fs *model.FlowSet, sc *Scenario, cfg Config) *Result {
 	t.Helper()
+	cfg.RetainPackets = true // these tests inspect itineraries
 	res, err := NewEngine(fs, cfg).Run(sc)
 	if err != nil {
 		t.Fatal(err)

@@ -10,7 +10,7 @@ import (
 func TestWritePacketCSV(t *testing.T) {
 	f := model.UniformFlow("f", 100, 0, 0, 4, 1, 2)
 	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{f})
-	res, err := NewEngine(fs, Config{}).Run(PeriodicScenario(fs, nil, 2))
+	res, err := NewEngine(fs, Config{RetainPackets: true}).Run(PeriodicScenario(fs, nil, 2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,541 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"math/bits"
+	"sort"
+
+	"trajan/internal/model"
+)
+
+// The calendar-queue engine. Same event semantics as reference.go —
+// differential tests pin the two byte-identical on retained-packet
+// runs — but built for throughput:
+//
+//   - Events live in a timing wheel instead of a binary heap. Every
+//     dynamically scheduled event (service completion, next-hop
+//     arrival) lands within `horizon` ticks of the current one, so a
+//     power-of-two wheel wider than the horizon gives O(1) push and an
+//     occupancy bitmap gives O(words) advance. Packet releases are
+//     unbounded, so they come from a small per-flow merge heap over
+//     the streaming source instead.
+//   - Node and link state are dense slices indexed by the engine's
+//     precomputed topology; the hot loop performs no map operation.
+//   - Packet records and their per-hop sample buffers ("flight"
+//     records) are pooled and recycled at delivery unless
+//     Config.RetainPackets, so memory is O(in-flight packets).
+//
+// Bit-identity argument, in brief: the reference orders same-tick
+// events by (kind: completions first, seq). Seed arrivals get the
+// lowest seqs in flow-major order; dynamic events get seqs in push
+// order, and pushes happen in event-processing order. The wheel
+// reproduces exactly that by processing each tick in three phases —
+// (A) wheel completions in push order, (B) source releases popped from
+// a heap keyed (Released, flow) fed by per-flow streams sorted
+// (Released, Seq), (C) wheel arrivals in push order, where zero-delay
+// arrivals appended during phase A land after all earlier pushes.
+// Service starts are order-independent across nodes (each tryStart
+// touches only its own node and schedules at a strictly future tick),
+// and both engines attempt them for the same touched set in
+// first-touch order.
+
+// maxWheelSlots bounds the wheel's footprint (a slot is two slice
+// headers); a larger horizon means the time unit is too fine for the
+// calendar queue and the caller should coarsen it.
+const maxWheelSlots = 1 << 22
+
+type fastNode struct {
+	sched   Scheduler
+	busy    bool
+	serving QueuedPacket
+	pkts    int
+	work    model.Time
+	maxPkts int
+	maxWork model.Time
+	drops   int
+}
+
+// wheelArr is one pending arrival: the target node and the queued
+// packet. Completions need no payload at all — the serving packet is
+// on the node — so they store just the node index.
+type wheelArr struct {
+	node int32
+	q    QueuedPacket
+}
+
+type wheel struct {
+	mask    model.Time
+	comp    [][]int32
+	arr     [][]wheelArr
+	occ     []uint64
+	pending int
+}
+
+func newWheel(horizon model.Time) *wheel {
+	n := model.Time(64)
+	for n <= horizon {
+		n <<= 1
+	}
+	w := &wheel{
+		mask: n - 1,
+		comp: make([][]int32, n),
+		arr:  make([][]wheelArr, n),
+		occ:  make([]uint64, n/64),
+	}
+	return w
+}
+
+func (w *wheel) mark(slot int) {
+	w.occ[slot>>6] |= 1 << uint(slot&63)
+	w.pending++
+}
+
+func (w *wheel) pushComp(at model.Time, node int32) {
+	slot := int(at & w.mask)
+	w.comp[slot] = append(w.comp[slot], node)
+	w.mark(slot)
+}
+
+func (w *wheel) pushArr(at model.Time, node int32, q QueuedPacket) {
+	slot := int(at & w.mask)
+	w.arr[slot] = append(w.arr[slot], wheelArr{node: node, q: q})
+	w.mark(slot)
+}
+
+// next returns the earliest pending event time strictly after now. All
+// pending events lie in (now, now+horizon] and the wheel is wider than
+// the horizon, so the first occupied slot at or after slot(now+1)
+// (cyclically) identifies a unique time.
+func (w *wheel) next(now model.Time) (model.Time, bool) {
+	if w.pending == 0 {
+		return 0, false
+	}
+	start := int((now + 1) & w.mask)
+	wi := start >> 6
+	if word := w.occ[wi] >> uint(start&63); word != 0 {
+		return now + 1 + model.Time(bits.TrailingZeros64(word)), true
+	}
+	nw := len(w.occ)
+	for j := 1; j <= nw; j++ {
+		k := wi + j
+		if k >= nw {
+			k -= nw
+		}
+		if w.occ[k] != 0 {
+			slot := k<<6 + bits.TrailingZeros64(w.occ[k])
+			delta := (model.Time(slot) - model.Time(start)) & w.mask
+			return now + 1 + delta, true
+		}
+	}
+	return 0, false
+}
+
+// flight holds a streamed packet's per-hop samples while it is in
+// flight; records are recycled at delivery or drop. Handle 0 means "no
+// record" — the packet uses the flow's worst-case defaults.
+type flight struct {
+	proc []model.Time
+	link []model.Time
+}
+
+// seedRef is one flow's pending release in the seed merge heap,
+// ordered by (Released, flow) — exactly the reference engine's order
+// for seed arrivals, whose seqs are assigned flow-major.
+type seedRef struct {
+	rel  model.Time
+	flow int32
+}
+
+type seedHeap []seedRef
+
+func (h seedHeap) less(a, b int) bool {
+	if h[a].rel != h[b].rel {
+		return h[a].rel < h[b].rel
+	}
+	return h[a].flow < h[b].flow
+}
+
+func (h seedHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h seedHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, i) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
+
+func (e *Engine) runFast(ctx context.Context, src ScenarioSource) (*Result, error) {
+	if e.horizon >= maxWheelSlots {
+		return nil, model.Errorf(model.ErrInvalidConfig,
+			"sim: horizon %d too wide for the calendar queue (max %d); coarsen the time unit or use the reference engine",
+			e.horizon, maxWheelSlots-1)
+	}
+	nflows := e.fs.N()
+	nodes := make([]fastNode, len(e.nodeIDs))
+	for i, id := range e.nodeIDs {
+		nodes[i].sched = e.cfg.NewScheduler(id)
+	}
+	linkLast := make([]model.Time, e.nlinks)
+	w := newWheel(e.horizon)
+
+	res := &Result{
+		PerFlow:     make([]FlowStats, nflows),
+		NodeBacklog: make(map[model.NodeID]BacklogStats, len(nodes)),
+	}
+	for i := range res.PerFlow {
+		res.PerFlow[i].MaxSojourn = make([]model.Time, len(e.fs.Flows[i].Path))
+	}
+
+	// Pools: packets and flight records cycle between the free lists
+	// and the network, so steady-state allocation is zero.
+	var pool []*Packet
+	getPacket := func() *Packet {
+		if n := len(pool); n > 0 {
+			p := pool[n-1]
+			pool = pool[:n-1]
+			return p
+		}
+		return &Packet{}
+	}
+	flights := make([]flight, 1) // index 0 = "no record"
+	var freeFl []int32
+	newFlight := func(proc, link []model.Time) int32 {
+		var fl int32
+		if n := len(freeFl); n > 0 {
+			fl = freeFl[n-1]
+			freeFl = freeFl[:n-1]
+		} else {
+			flights = append(flights, flight{})
+			fl = int32(len(flights) - 1)
+		}
+		f := &flights[fl]
+		f.proc = append(f.proc[:0], proc...)
+		f.link = append(f.link[:0], link...)
+		return fl
+	}
+	releaseFlight := func(fl int32) {
+		if fl != 0 {
+			freeFl = append(freeFl, fl)
+		}
+	}
+	procAt := func(flow int, fl int32, s int) model.Time {
+		if fl != 0 {
+			if p := flights[fl].proc; len(p) > 0 {
+				return p[s]
+			}
+		}
+		return e.fs.Flows[flow].Cost[s]
+	}
+	linkAt := func(fl int32, s int) model.Time {
+		if fl != 0 {
+			if l := flights[fl].link; len(l) > 0 {
+				return l[s]
+			}
+		}
+		return e.fs.Net.Lmax
+	}
+
+	// Seed merge heap: one pending release per flow; specs[f] is
+	// flow f's look-ahead packet (its Proc/Link stay valid until the
+	// next pull for that flow, per the ScenarioSource contract).
+	specs := make([]PacketSpec, nflows)
+	lastRel := make([]model.Time, nflows)
+	tiebreaks := make([]int, nflows)
+	classes := make([]model.Class, nflows)
+	for i := range classes {
+		classes[i] = e.fs.Flows[i].Class
+		tiebreaks[i] = src.TieBreak(i)
+	}
+	sh := make(seedHeap, 0, nflows)
+	for i := 0; i < nflows; i++ {
+		lastRel[i] = math.MinInt64
+		if src.Next(i, &specs[i]) {
+			lastRel[i] = specs[i].Released
+			sh = append(sh, seedRef{rel: specs[i].Released, flow: int32(i)})
+			sh.siftUp(len(sh) - 1)
+		}
+	}
+
+	touched := make([]int32, 0, len(nodes))
+	stamp := make([]uint64, len(nodes))
+	var tick uint64
+	touch := func(ni int32) {
+		if stamp[ni] != tick {
+			stamp[ni] = tick
+			touched = append(touched, ni)
+		}
+	}
+
+	var now model.Time
+	events := 0
+	countEvent := func() error {
+		events++
+		if events&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return model.Errorf(model.ErrCanceled, "sim: run canceled after %d events: %v", events, err)
+			}
+		}
+		if e.cfg.MaxEvents > 0 && events > e.cfg.MaxEvents {
+			return model.Errorf(model.ErrCanceled, "sim: event budget of %d exhausted", e.cfg.MaxEvents)
+		}
+		return nil
+	}
+
+	arrive := func(ni int32, q QueuedPacket) {
+		ns := &nodes[ni]
+		if lim := e.limits[ni]; lim > 0 && ns.pkts >= lim {
+			res.PerFlow[q.P.Flow].Drops++
+			ns.drops++
+			releaseFlight(q.fl)
+			pool = append(pool, q.P)
+			return
+		}
+		q.P.Hops[q.HopIndex].Arrived = q.Arrived
+		ns.sched.Enqueue(q)
+		ns.pkts++
+		ns.work += q.Cost
+		if ns.pkts > ns.maxPkts {
+			ns.maxPkts = ns.pkts
+		}
+		if ns.work > ns.maxWork {
+			ns.maxWork = ns.work
+		}
+	}
+
+	tryStart := func(ni int32) {
+		ns := &nodes[ni]
+		if ns.busy {
+			return
+		}
+		q, ok := ns.sched.Dequeue()
+		if !ok {
+			return
+		}
+		ns.busy = true
+		ns.serving = q
+		q.P.Hops[q.HopIndex].Start = now
+		q.P.Hops[q.HopIndex].Done = now + q.Cost
+		w.pushComp(now+q.Cost, ni)
+	}
+
+	for {
+		// Advance to the earliest pending tick across the wheel and
+		// the seed heap. When both have one, the wheel's is within the
+		// horizon, so a seed tick beyond it never skips wheel work.
+		switch {
+		case w.pending > 0 && len(sh) > 0:
+			wn, _ := w.next(now)
+			if st := sh[0].rel; st < wn {
+				now = st
+			} else {
+				now = wn
+			}
+		case w.pending > 0:
+			now, _ = w.next(now)
+		case len(sh) > 0:
+			now = sh[0].rel
+		default:
+			// Drained. Fold per-node maxima into the result map (an
+			// entry only for nodes that ever held a packet, matching
+			// the reference) and order retained packets canonically.
+			for ni := range nodes {
+				ns := &nodes[ni]
+				if ns.maxPkts > 0 {
+					res.NodeBacklog[e.nodeIDs[ni]] = BacklogStats{
+						MaxPackets: ns.maxPkts, MaxWork: ns.maxWork, Drops: ns.drops,
+					}
+				}
+			}
+			if e.cfg.RetainPackets {
+				sort.Slice(res.Packets, func(a, b int) bool {
+					pa, pb := res.Packets[a], res.Packets[b]
+					if pa.Flow != pb.Flow {
+						return pa.Flow < pb.Flow
+					}
+					return pa.Seq < pb.Seq
+				})
+			}
+			return res, nil
+		}
+		tick++
+		touched = touched[:0]
+		slot := int(now & w.mask)
+
+		// Phase A: completions. tryStart pushes only at future ticks,
+		// so the list is complete; zero-delay forwards appended to
+		// this slot's arrival list are handled in phase C.
+		for ci := 0; ci < len(w.comp[slot]); ci++ {
+			if err := countEvent(); err != nil {
+				return nil, err
+			}
+			ni := w.comp[slot][ci]
+			touch(ni)
+			ns := &nodes[ni]
+			q := ns.serving
+			ns.busy = false
+			ns.pkts--
+			ns.work -= q.Cost
+			flow := q.P.Flow
+			st := &res.PerFlow[flow]
+			if sojourn := now - q.Arrived; sojourn > st.MaxSojourn[q.HopIndex] {
+				st.MaxSojourn[q.HopIndex] = sojourn
+			}
+			if e.cfg.RecordServices {
+				res.Services = append(res.Services, ServiceRecord{
+					Node: e.nodeIDs[ni], Flow: flow, Seq: q.P.Seq,
+					Arrived: q.Arrived, Start: q.P.Hops[q.HopIndex].Start, Done: now,
+				})
+			}
+			path := e.pathIdx[flow]
+			if q.HopIndex == len(path)-1 {
+				q.P.Delivered = now
+				resp := q.P.Response()
+				if st.Count == 0 || resp > st.MaxResponse {
+					st.MaxResponse = resp
+					st.WorstSeq = q.P.Seq
+				}
+				if st.Count == 0 || resp < st.MinResponse {
+					st.MinResponse = resp
+				}
+				st.Count++
+				if now > res.Makespan {
+					res.Makespan = now
+				}
+				releaseFlight(q.fl)
+				if e.cfg.RetainPackets {
+					res.Packets = append(res.Packets, q.P)
+				} else {
+					pool = append(pool, q.P)
+				}
+			} else {
+				s := q.HopIndex
+				delay := linkAt(q.fl, s)
+				arr := now + delay
+				// Links are FIFO: a packet cannot arrive before one
+				// that departed earlier on the same link. The clamp
+				// stays within the horizon because the earlier
+				// arrival was pushed no later than now.
+				li := e.linkIdx[flow][s]
+				if prev := linkLast[li]; arr < prev {
+					arr = prev
+				}
+				linkLast[li] = arr
+				cost := procAt(flow, q.fl, s+1)
+				nq := QueuedPacket{P: q.P, HopIndex: s + 1, Arrived: arr,
+					Class: q.Class, Cost: cost, fl: q.fl}
+				w.pushArr(arr, path[s+1], nq)
+			}
+		}
+
+		// Phase B: packet releases due now, popped in (Released, flow)
+		// order; each pop pulls the flow's next packet into the heap.
+		for len(sh) > 0 && sh[0].rel == now {
+			if err := countEvent(); err != nil {
+				return nil, err
+			}
+			f := int(sh[0].flow)
+			spec := &specs[f]
+			path := e.pathIdx[f]
+			hops := len(path)
+			var fl int32
+			cost0 := e.fs.Flows[f].Cost[0]
+			if spec.Proc != nil || spec.Link != nil {
+				if spec.Proc != nil && len(spec.Proc) != hops {
+					return nil, model.Errorf(model.ErrInvalidConfig,
+						"sim: source gave flow %d packet %d %d proc times for %d nodes", f, spec.Seq, len(spec.Proc), hops)
+				}
+				if spec.Link != nil && len(spec.Link) != hops-1 {
+					return nil, model.Errorf(model.ErrInvalidConfig,
+						"sim: source gave flow %d packet %d %d link delays for %d links", f, spec.Seq, len(spec.Link), hops-1)
+				}
+				for s, c := range spec.Proc {
+					if c < 1 || c > e.horizon {
+						return nil, model.Errorf(model.ErrInvalidConfig,
+							"sim: source proc sample %d (flow %d packet %d hop %d) outside [1,%d]", c, f, spec.Seq, s, e.horizon)
+					}
+				}
+				for s, d := range spec.Link {
+					if d < 0 || d > e.horizon {
+						return nil, model.Errorf(model.ErrInvalidConfig,
+							"sim: source link sample %d (flow %d packet %d hop %d) outside [0,%d]", d, f, spec.Seq, s, e.horizon)
+					}
+				}
+				fl = newFlight(spec.Proc, spec.Link)
+				if spec.Proc != nil {
+					cost0 = spec.Proc[0]
+				}
+			}
+			p := getPacket()
+			p.Flow, p.Seq = f, spec.Seq
+			p.Generated, p.Released = spec.Generated, spec.Released
+			p.Delivered = 0
+			p.TieBreak = tiebreaks[f]
+			if cap(p.Hops) < hops {
+				p.Hops = make([]Hop, hops)
+			} else {
+				p.Hops = p.Hops[:hops]
+			}
+			for s := range p.Hops {
+				p.Hops[s] = Hop{Node: e.nodeIDs[path[s]]}
+			}
+			ni := path[0]
+			touch(ni)
+			arrive(ni, QueuedPacket{P: p, HopIndex: 0, Arrived: p.Released,
+				Class: classes[f], Cost: cost0, fl: fl})
+			if src.Next(f, spec) {
+				if spec.Released < lastRel[f] {
+					return nil, model.Errorf(model.ErrInvalidConfig,
+						"sim: source released flow %d packet %d at %d after releasing %d", f, spec.Seq, spec.Released, lastRel[f])
+				}
+				lastRel[f] = spec.Released
+				sh[0].rel = spec.Released
+				sh.siftDown(0)
+			} else {
+				n := len(sh) - 1
+				sh[0] = sh[n]
+				sh = sh[:n]
+				sh.siftDown(0)
+			}
+		}
+
+		// Phase C: arrivals, in push order (zero-delay forwards from
+		// phase A come last, as in the reference's seq order).
+		for ai := 0; ai < len(w.arr[slot]); ai++ {
+			if err := countEvent(); err != nil {
+				return nil, err
+			}
+			ev := w.arr[slot][ai]
+			touch(ev.node)
+			arrive(ev.node, ev.q)
+		}
+
+		for _, ni := range touched {
+			tryStart(ni)
+		}
+		w.pending -= len(w.comp[slot]) + len(w.arr[slot])
+		w.comp[slot] = w.comp[slot][:0]
+		w.arr[slot] = w.arr[slot][:0]
+		w.occ[slot>>6] &^= 1 << uint(slot&63)
+	}
+}

@@ -1,13 +1,15 @@
 package sim
 
-import "container/heap"
-
 // FIFOScheduler serves packets in arrival order — the paper's
 // scheduling model (Definition 1: a packet has priority over another on
 // node h iff it arrived earlier). Simultaneous arrivals are ordered by
 // the packets' TieBreak value, then flow, then sequence number; any
 // such order is a legal FIFO schedule, and the adversary searches over
 // TieBreak assignments.
+//
+// The heap is hand-rolled rather than container/heap: the interface
+// boxing on Push/Pop costs two allocations per packet-hop, which would
+// dominate the pooled engine's steady state.
 type FIFOScheduler struct {
 	q fifoHeap
 }
@@ -16,14 +18,23 @@ type FIFOScheduler struct {
 func NewFIFOScheduler() *FIFOScheduler { return &FIFOScheduler{} }
 
 // Enqueue inserts an arrived packet.
-func (s *FIFOScheduler) Enqueue(q QueuedPacket) { heap.Push(&s.q, q) }
+func (s *FIFOScheduler) Enqueue(q QueuedPacket) {
+	s.q = append(s.q, q)
+	s.q.siftUp(len(s.q) - 1)
+}
 
 // Dequeue pops the earliest-arrived packet.
 func (s *FIFOScheduler) Dequeue() (QueuedPacket, bool) {
 	if len(s.q) == 0 {
 		return QueuedPacket{}, false
 	}
-	return heap.Pop(&s.q).(QueuedPacket), true
+	top := s.q[0]
+	n := len(s.q) - 1
+	s.q[0] = s.q[n]
+	s.q[n] = QueuedPacket{} // release the *Packet so the pool owns it alone
+	s.q = s.q[:n]
+	s.q.siftDown(0)
+	return top, true
 }
 
 // Len reports the queue length.
@@ -31,8 +42,7 @@ func (s *FIFOScheduler) Len() int { return len(s.q) }
 
 type fifoHeap []QueuedPacket
 
-func (h fifoHeap) Len() int { return len(h) }
-func (h fifoHeap) Less(a, b int) bool {
+func (h fifoHeap) less(a, b int) bool {
 	if h[a].Arrived != h[b].Arrived {
 		return h[a].Arrived < h[b].Arrived
 	}
@@ -44,12 +54,32 @@ func (h fifoHeap) Less(a, b int) bool {
 	}
 	return h[a].P.Seq < h[b].P.Seq
 }
-func (h fifoHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *fifoHeap) Push(x interface{}) { *h = append(*h, x.(QueuedPacket)) }
-func (h *fifoHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h fifoHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h fifoHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, i) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
 }

@@ -77,7 +77,7 @@ func SteadyState(fs *model.FlowSet, seed int64, npackets int) ([]ResponseDistrib
 			maxT = f.Period
 		}
 	}
-	eng := NewEngine(fs, Config{})
+	eng := NewEngine(fs, Config{RetainPackets: true})
 	sc := RandomScenario(fs, rng, npackets, maxT, maxT/4, 0)
 	res, err := eng.Run(sc)
 	if err != nil {

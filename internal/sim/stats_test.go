@@ -15,7 +15,7 @@ func TestDistributionBasics(t *testing.T) {
 	// free (response 4).
 	sc := &Scenario{Gen: [][]model.Time{{0, 20, 40, 60}, {0}}}
 	sc.TieBreak = []int{2, 1}
-	res, err := NewEngine(fs, Config{}).Run(sc)
+	res, err := NewEngine(fs, Config{RetainPackets: true}).Run(sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,6 +59,9 @@ func TrajectoryTrace(fs *model.FlowSet, res *Result, flow, seq int) (string, err
 	if res.Services == nil {
 		return "", fmt.Errorf("sim: trajectory trace requires Config.RecordServices")
 	}
+	if res.Packets == nil {
+		return "", fmt.Errorf("sim: trajectory trace requires Config.RetainPackets")
+	}
 	var pkt *Packet
 	for _, p := range res.Packets {
 		if p.Flow == flow && p.Seq == seq {

@@ -56,7 +56,7 @@ func TestArrivalBoundsDominateSimulation(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		eng := sim.NewEngine(fs, sim.Config{})
+		eng := sim.NewEngine(fs, sim.Config{RetainPackets: true})
 		for run := 0; run < 10; run++ {
 			sc := sim.RandomScenario(fs, rng, 4, 40, 10, 0)
 			r, err := eng.Run(sc)
