@@ -86,7 +86,14 @@ func run(args []string, w io.Writer) error {
 		{"E17", "Streaming tightness sweep", "e17_tightness.csv", func() (renderable, error) {
 			return experiments.TightnessSweep(trials, 64)
 		}},
+		{"E18", "Backend tightness (trajectory vs holistic vs netcalc vs combined)", "e18_backends.csv", func() (renderable, error) {
+			return experiments.BackendTightness(5, 8*trials)
+		}},
 	}
+
+	// CSV experiments whose leading column is categorical (a fixture
+	// name, not a sweep variable) have no line-chart rendering.
+	noFigure := map[string]bool{"E18": true}
 
 	var htmlParts []string
 	for _, s := range steps {
@@ -111,8 +118,10 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			fmt.Fprintf(w, "(written to %s)\n", path)
-			// CSV experiments additionally render as SVG figures.
-			if csv, ok := out.(*report.CSV); ok {
+			// CSV experiments with a numeric leading column additionally
+			// render as SVG figures; categorical series (E18's per-flow
+			// backend comparison) stay CSV-only.
+			if csv, ok := out.(*report.CSV); ok && !noFigure[s.id] {
 				chart, err := viz.FromCSV(csv, s.title, "ticks")
 				if err != nil {
 					return fmt.Errorf("%s: chart: %w", s.id, err)

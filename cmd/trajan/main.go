@@ -6,6 +6,7 @@
 // Usage:
 //
 //	trajan -config flows.json [-method all|trajectory|holistic|netcalc]
+//	       [-backend trajectory|holistic|netcalc|combined]
 //	       [-smax prefix|tail|noqueue] [-ef] [-detail] [-explain flow]
 //	       [-sensitivity] [-timeout 30s] [-workers N]
 //	       [-trace events.json] [-metrics-addr :9090] [-metrics-dump]
@@ -42,6 +43,13 @@
 //
 // With -method all the exit verdict is the trajectory method's; the
 // baselines are informational.
+//
+// -backend selects one analysis backend (docs/BACKENDS.md) and makes
+// the verdict follow it: the bound table then carries per-flow
+// provenance — which backend produced each bound and, for -backend
+// combined (the per-flow minimum over all sound backends), its margin
+// over the best losing candidate. -backend overrides -method and is
+// exclusive with -ef.
 package main
 
 import (
@@ -107,6 +115,7 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 	var (
 		configPath  = fl.String("config", "", "flow-set JSON (default: the paper's example)")
 		method      = fl.String("method", "all", "trajectory|holistic|netcalc|all")
+		backendName = fl.String("backend", "", "analysis backend: trajectory|holistic|netcalc|combined; the bound table then carries per-flow provenance and the verdict follows the selected backend (overrides -method; see docs/BACKENDS.md)")
 		smaxMode    = fl.String("smax", "prefix", "Smax estimator: prefix|tail|noqueue")
 		useEF       = fl.Bool("ef", false, "EF-class analysis (Property 3): analyse EF flows, charge AF/BE as non-preemption blocking")
 		detail      = fl.Bool("detail", false, "print the per-flow interference breakdown")
@@ -234,6 +243,21 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 		return false, model.Classify(model.ErrInvalidConfig, err)
 	}
 	wasSplit := fs.N() != len(originals)
+
+	if *backendName != "" {
+		if *useEF {
+			return false, model.Errorf(model.ErrInvalidConfig, "-backend and -ef are exclusive; use -backend with pure-FIFO sets and -ef for the Property-3 pipeline")
+		}
+		backend, err := feasibility.ParseBackend(*backendName)
+		if err != nil {
+			return false, err
+		}
+		if wasSplit {
+			defer fmt.Fprintln(out,
+				"\n* some flows were split to satisfy Assumption 1; bounds are per virtual fragment")
+		}
+		return runBackend(ctx, fs, backend, opt, out)
+	}
 
 	if *useEF {
 		return runEF(ctx, fs, opt, out)
@@ -380,6 +404,41 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 		}
 	}
 	return allFeasible, nil
+}
+
+// runBackend runs one selected analysis backend end to end and renders
+// a bound table that carries per-flow provenance: which backend the
+// bound came from and (for -backend combined) its margin over the best
+// losing candidate. The exit verdict follows the selected backend.
+func runBackend(ctx context.Context, fs *model.FlowSet, b feasibility.Backend, opt trajectory.Options, out io.Writer) (bool, error) {
+	res, err := feasibility.AnalyzeBackend(ctx, fs, b, opt)
+	if err != nil {
+		return false, fmt.Errorf("%s backend: %w", b, err)
+	}
+	rep, err := feasibility.Check(fs, res.Bounds, res.Jitters, string(b))
+	if err != nil {
+		return false, err
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("Worst-case end-to-end response times, %s backend (%d flows, max utilization %.2f)",
+			b, fs.N(), fs.MaxUtilization()),
+		"flow", "deadline", "bound", "jitter", "backend", "margin", "feasible")
+	for i, v := range rep.Verdicts {
+		bound := fmt.Sprintf("%d", v.Bound)
+		jit := fmt.Sprintf("%d", v.Jitter)
+		if v.Bound >= model.TimeInfinity {
+			bound, jit = "inf", "-"
+		}
+		margin := "-"
+		if b == feasibility.BackendCombined && !res.Unbounded(i) {
+			margin = fmt.Sprintf("%d", res.Provenance[i].Margin)
+		}
+		tab.AddRow(v.Name, v.Deadline, bound, jit, string(res.Provenance[i].Winner), margin, v.Feasible)
+	}
+	if err := tab.Render(out); err != nil {
+		return false, err
+	}
+	return rep.AllFeasible, nil
 }
 
 // churnTrace is the -admit input: a network and an ordered event log

@@ -321,3 +321,37 @@ func TestProfileFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendFlag: every selectable backend analyses the paper example
+// end to end, the table carries the winning backend per flow, and the
+// combined backend reports a margin column.
+func TestBackendFlag(t *testing.T) {
+	for _, b := range []string{"trajectory", "holistic", "netcalc", "combined"} {
+		out := runCLI(t, "-backend", b)
+		for _, want := range []string{"tau1", b + " backend", "margin"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("-backend %s output missing %q:\n%s", b, want, out)
+			}
+		}
+	}
+	// Combined is never looser than trajectory: on the paper example the
+	// trajectory bounds win or tie, so its rows must quote them.
+	out := runCLI(t, "-backend", "combined")
+	for _, want := range []string{"31", "37", "47", "40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-backend combined output missing paper bound %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBackendFlagErrors: unknown backends and the -ef combination are
+// configuration errors.
+func TestBackendFlagErrors(t *testing.T) {
+	var b strings.Builder
+	if code, err := run([]string{"-backend", "simplex"}, &b); err == nil || code != 2 {
+		t.Errorf("unknown backend: code %d, err %v; want code 2 with error", code, err)
+	}
+	if code, err := run([]string{"-backend", "netcalc", "-ef"}, &b); err == nil || code != 2 {
+		t.Errorf("-backend with -ef: code %d, err %v; want code 2 with error", code, err)
+	}
+}

@@ -10,6 +10,7 @@
 //
 //	trajand -addr :8080 [-lmin 1 -lmax 1 | -preload flows.json]
 //	        [-journal-dir DIR] [-max-tenants N] [-checkpoint-every N]
+//	        [-backend trajectory|holistic|netcalc|combined]
 //	        [-smax prefix|tail|noqueue] [-workers N] [-queue 64]
 //	        [-request-timeout 5s] [-drain-timeout 10s]
 //	        [-trace events.json]
@@ -53,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"trajan/internal/feasibility"
 	"trajan/internal/model"
 	"trajan/internal/obs"
 	"trajan/internal/serve"
@@ -103,6 +105,7 @@ func runDaemon(ctx context.Context, args []string, out io.Writer) (retErr error)
 		maxTenants  = fl.Int("max-tenants", 0, "resident tenant bound before LRU eviction (0 = 16; needs -journal-dir)")
 		ckptEvery   = fl.Int("checkpoint-every", 0, "journal records between flow-set checkpoints (0 = 64)")
 		smaxMode    = fl.String("smax", "prefix", "Smax estimator: prefix|tail|noqueue")
+		backendName = fl.String("backend", "", "analysis backend the admission verdicts follow: trajectory|holistic|netcalc|combined (empty = warm trajectory; see docs/BACKENDS.md)")
 		workers     = fl.Int("workers", 0, "analysis and what-if parallelism (0 = GOMAXPROCS)")
 		queue       = fl.Int("queue", 0, "mutation/what-if queue depth before 429 backpressure (0 = 64)")
 		reqTimeout  = fl.Duration("request-timeout", 5*time.Second, "per-decision analysis budget (0 disables)")
@@ -175,6 +178,13 @@ func runDaemon(ctx context.Context, args []string, out io.Writer) (retErr error)
 		RequestTimeout:  *reqTimeout,
 		CheckpointEvery: *ckptEvery,
 		Metrics:         metrics,
+	}
+	if *backendName != "" {
+		backend, err := feasibility.ParseBackend(*backendName)
+		if err != nil {
+			return err
+		}
+		cfg.Backend = backend
 	}
 	cfg.Options.Tracer = obs.Tee(tracers...)
 	if *preload != "" {

@@ -839,3 +839,89 @@ func TightnessSweep(reps, npackets int) (*report.Table, error) {
 	}
 	return t, nil
 }
+
+// BackendTightness (E18) races the selectable analysis backends —
+// trajectory, holistic, netcalc, and their per-flow minimum (the
+// combined backend) — on two topology families where they rank
+// differently: a randomized 3×3 mesh with jitter and an AFDX
+// dual-switch config. Every flow gets one CSV row with all four
+// bounds, the winning backend with its margin, and a sampled simulator
+// floor. Two invariants are enforced as errors, making the experiment
+// the backend cross-validation gate CI runs: the combined bound never
+// exceeds any single backend's, and no backend's bound falls below the
+// observed worst case.
+func BackendTightness(seed int64, npackets int) (*report.CSV, error) {
+	type fixture struct {
+		name string
+		fs   *model.FlowSet
+	}
+	mesh, err := workload.Mesh(rand.New(rand.NewSource(seed)), workload.MeshParams{
+		Rows: 3, Cols: 3, Flows: 6,
+		MaxUtilization: 0.5, CostLo: 1, CostHi: 3, JitterHi: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	afdx, err := workload.AFDX(workload.AFDXParams{
+		VLs: 8, Switches: 2,
+		FrameTicks: 12, TechJitter: 100, Deadline: 4000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fixtures := []fixture{{"mesh3x3", mesh.Split}, {"afdx2sw", afdx}}
+
+	backends := []feasibility.Backend{
+		feasibility.BackendTrajectory, feasibility.BackendHolistic, feasibility.BackendNetcalc,
+	}
+	// The jittered mesh has long busy periods; give every backend the
+	// same raised fixpoint budget.
+	opt := trajectory.Options{MaxIterations: 4096}
+	csv := report.NewCSV("fixture", "flow",
+		"trajectory", "holistic", "netcalc", "combined", "winner", "margin", "sim_floor")
+	fmtBound := func(t model.Time) string {
+		if model.IsUnbounded(t) {
+			return "inf"
+		}
+		return fmt.Sprintf("%d", t)
+	}
+	for _, fx := range fixtures {
+		per := make(map[feasibility.Backend][]model.Time, len(backends))
+		for _, b := range backends {
+			res, err := feasibility.AnalyzeBackend(context.Background(), fx.fs, b, opt)
+			if err != nil {
+				return nil, fmt.Errorf("E18 %s: %s backend: %w", fx.name, b, err)
+			}
+			per[b] = res.Bounds
+		}
+		comb, err := feasibility.AnalyzeBackend(context.Background(), fx.fs, feasibility.BackendCombined, opt)
+		if err != nil {
+			return nil, fmt.Errorf("E18 %s: combined backend: %w", fx.name, err)
+		}
+		ds, err := sim.SteadyState(fx.fs, seed, npackets)
+		if err != nil {
+			return nil, fmt.Errorf("E18 %s: simulation: %w", fx.name, err)
+		}
+		for i, f := range fx.fs.Flows {
+			for _, b := range backends {
+				if comb.Bounds[i] > per[b][i] {
+					return nil, fmt.Errorf("E18 %s: combined bound %d for %s above %s bound %d",
+						fx.name, comb.Bounds[i], f.Name, b, per[b][i])
+				}
+				if per[b][i] < ds[i].Max {
+					return nil, fmt.Errorf("E18 %s: %s bound %d for %s below observed %d",
+						fx.name, b, per[b][i], f.Name, ds[i].Max)
+				}
+			}
+			csv.AddRow(fx.name, f.Name,
+				fmtBound(per[feasibility.BackendTrajectory][i]),
+				fmtBound(per[feasibility.BackendHolistic][i]),
+				fmtBound(per[feasibility.BackendNetcalc][i]),
+				fmtBound(comb.Bounds[i]),
+				string(comb.Provenance[i].Winner),
+				fmtBound(comb.Provenance[i].Margin),
+				ds[i].Max)
+		}
+	}
+	return csv, nil
+}

@@ -359,3 +359,25 @@ func TestPerHopBudgetsConsistent(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendTightnessGates: E18 runs end to end — its soundness and
+// never-looser invariants are checked inside the experiment itself, so
+// success here IS the backend cross-validation gate — and every row
+// quotes a winner from the concrete backend set.
+func TestBackendTightnessGates(t *testing.T) {
+	csv, err := BackendTightness(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	for _, want := range []string{"mesh3x3", "afdx2sw", "winner", "sim_floor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E18 CSV missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		if !strings.Contains(line, "trajectory") && !strings.Contains(line, "holistic") && !strings.Contains(line, "netcalc") {
+			t.Errorf("E18 row without a concrete winner: %s", line)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package feasibility
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"trajan/internal/adversary"
+	"trajan/internal/model"
+	"trajan/internal/obs"
+	"trajan/internal/report"
+	"trajan/internal/sim"
+	"trajan/internal/trajectory"
+	"trajan/internal/workload"
+)
+
+// backendFixture couples a flow set with the simulated worst-case
+// responses observed across its scenario battery — the floor every
+// sound backend must dominate.
+type backendFixture struct {
+	name  string
+	fs    *model.FlowSet
+	worst []model.Time
+}
+
+// parkingLot rebuilds the wide aggregation fixture of the simulator's
+// scale tests: nodes−1 flows of decreasing path length merging down one
+// line.
+func parkingLot(tb testing.TB, nodes int) *model.FlowSet {
+	tb.Helper()
+	flows := make([]*model.Flow, nodes-1)
+	for k := range flows {
+		path := make([]model.NodeID, nodes-k)
+		for i := range path {
+			path[i] = model.NodeID(k + i)
+		}
+		flows[k] = model.UniformFlow(
+			fmt.Sprintf("p%02d", k), model.Time(20*(nodes-1)), 0, 0, 2, path...)
+	}
+	return model.MustNewFlowSet(model.UnitDelayNetwork(), flows)
+}
+
+// simWorst merges per-flow maxima across scenarios.
+func simWorst(tb testing.TB, fs *model.FlowSet, scs ...*sim.Scenario) []model.Time {
+	tb.Helper()
+	worst := make([]model.Time, fs.N())
+	for _, sc := range scs {
+		res, err := sim.NewEngine(fs, sim.Config{}).Run(sc)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for i, m := range res.MaxResponses() {
+			if m > worst[i] {
+				worst[i] = m
+			}
+		}
+	}
+	return worst
+}
+
+// backendFixtures builds the cross-backend validation battery: the
+// paper example under periodic and randomized scenarios, a
+// jitter-inversion pair, the parking-lot aggregation line, and an AFDX
+// virtual-link configuration.
+func backendFixtures(tb testing.TB) []backendFixture {
+	tb.Helper()
+	var out []backendFixture
+
+	paper := model.PaperExample()
+	paperScs := []*sim.Scenario{
+		sim.PeriodicScenario(paper, []model.Time{0, 3, 5, 7, 11}, 4),
+		sim.PeriodicScenario(paper, nil, 3),
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		paperScs = append(paperScs, sim.RandomScenario(paper, rng, 6, 50, 8, 2))
+	}
+	out = append(out, backendFixture{"paper-periodic", paper, simWorst(tb, paper, paperScs...)})
+
+	fj1 := model.UniformFlow("a", 5, 20, 0, 2, 1, 2)
+	fj2 := model.UniformFlow("b", 5, 20, 0, 2, 2, 1)
+	fsj := model.MustNewFlowSet(model.UnitDelayNetwork(), []*model.Flow{fj1, fj2})
+	scj := &sim.Scenario{
+		Gen: [][]model.Time{{0, 5, 10, 15}, {0, 5, 10, 15}},
+		Jit: [][]model.Time{{20, 3, 0, 6}, {1, 19, 2, 0}},
+	}
+	out = append(out, backendFixture{"jitter", fsj, simWorst(tb, fsj, scj)})
+
+	lot := parkingLot(tb, 8)
+	lotScs := []*sim.Scenario{sim.PeriodicScenario(lot, nil, 3)}
+	for seed := int64(1); seed <= 2; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		lotScs = append(lotScs, sim.RandomScenario(lot, rng, 5, 40, 6, 1))
+	}
+	out = append(out, backendFixture{"parking-lot", lot, simWorst(tb, lot, lotScs...)})
+
+	afdx, err := workload.AFDX(workload.AFDXParams{
+		VLs: 8, Switches: 2, FrameTicks: 12, TechJitter: 100, Deadline: 4000,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	afdxScs := []*sim.Scenario{sim.PeriodicScenario(afdx, nil, 2)}
+	for seed := int64(1); seed <= 2; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		afdxScs = append(afdxScs, sim.RandomScenario(afdx, rng, 3, 200, 20, 2))
+	}
+	out = append(out, backendFixture{"afdx", afdx, simWorst(tb, afdx, afdxScs...)})
+
+	return out
+}
+
+// TestBackendSoundness is the cross-validation gate: every backend's
+// bound dominates the simulated worst case on every fixture.
+func TestBackendSoundness(t *testing.T) {
+	fixtures := backendFixtures(t)
+	for _, b := range Backends() {
+		for _, fx := range fixtures {
+			res, err := AnalyzeBackend(context.Background(), fx.fs, b, trajectory.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b, fx.name, err)
+			}
+			for i, worst := range fx.worst {
+				if res.Bounds[i] < worst {
+					t.Errorf("%s/%s flow %s: bound %d < simulated worst %d",
+						b, fx.name, fx.fs.Flows[i].Name, res.Bounds[i], worst)
+				}
+			}
+		}
+	}
+}
+
+// TestCombinedNeverLooser: the combined bound is the per-flow minimum,
+// so it can never exceed any single backend's bound on any fixture.
+func TestCombinedNeverLooser(t *testing.T) {
+	singles := []Backend{BackendTrajectory, BackendHolistic, BackendNetcalc}
+	for _, fx := range backendFixtures(t) {
+		comb, err := AnalyzeBackend(context.Background(), fx.fs, BackendCombined, trajectory.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", fx.name, err)
+		}
+		for _, b := range singles {
+			res, err := AnalyzeBackend(context.Background(), fx.fs, b, trajectory.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fx.name, b, err)
+			}
+			for i := range comb.Bounds {
+				if comb.Bounds[i] > res.Bounds[i] {
+					t.Errorf("%s flow %s: combined %d looser than %s %d",
+						fx.name, fx.fs.Flows[i].Name, comb.Bounds[i], b, res.Bounds[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCombinedProvenance: every flow of a combined run carries a
+// provenance record naming a real backend, its bound is the candidate
+// minimum, and the trace replays through report.RenderTrace without a
+// mismatch.
+func TestCombinedProvenance(t *testing.T) {
+	fs := model.PaperExample()
+	var col obs.Collector
+	res, err := AnalyzeBackend(context.Background(), fs, BackendCombined,
+		trajectory.Options{Tracer: &col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[Backend]bool{BackendTrajectory: true, BackendHolistic: true, BackendNetcalc: true}
+	if len(res.Provenance) != fs.N() {
+		t.Fatalf("%d provenance records for %d flows", len(res.Provenance), fs.N())
+	}
+	for i, p := range res.Provenance {
+		if !known[p.Winner] {
+			t.Errorf("flow %d: winner %q is not a concrete backend", i, p.Winner)
+		}
+		if len(p.Candidates) != 3 {
+			t.Errorf("flow %d: %d candidates, want 3", i, len(p.Candidates))
+		}
+		min := model.TimeInfinity
+		for _, c := range p.Candidates {
+			if c.R < min {
+				min = c.R
+			}
+			if model.IsUnbounded(c.R) != c.Unbounded {
+				t.Errorf("flow %d: candidate %s unbounded flag inconsistent", i, c.Backend)
+			}
+		}
+		if res.Bounds[i] != min {
+			t.Errorf("flow %d: combined bound %d is not the candidate minimum %d",
+				i, res.Bounds[i], min)
+		}
+		if p.Margin < 0 {
+			t.Errorf("flow %d: negative margin %d", i, p.Margin)
+		}
+	}
+	// Trace side: one provenance event per flow, verified by the
+	// renderer's candidate-minimum check.
+	events := col.Events()
+	bound := 0
+	for _, e := range events {
+		if e.Type != obs.EvFlowBound {
+			continue
+		}
+		bound++
+		if e.Decomp == nil || len(e.Decomp.Candidates) == 0 {
+			t.Errorf("flow %q: bound event without provenance candidates", e.Flow)
+		}
+	}
+	if bound != fs.N() {
+		t.Errorf("%d bound events for %d flows", bound, fs.N())
+	}
+	var sb strings.Builder
+	if err := report.RenderTrace(&sb, events); err != nil {
+		t.Errorf("RenderTrace: %v", err)
+	}
+	if !strings.Contains(sb.String(), "winner") {
+		t.Error("rendered trace does not mark the winning backend")
+	}
+	// A corrupted provenance record must fail the replay.
+	events[len(events)-1].Decomp.R++
+	if err := report.RenderTrace(&sb, events); err == nil {
+		t.Error("RenderTrace accepted a bound that is not the candidate minimum")
+	}
+}
+
+// TestSingleBackendProvenance: a plain netcalc run still records where
+// its bounds came from.
+func TestSingleBackendProvenance(t *testing.T) {
+	fs := model.PaperExample()
+	var col obs.Collector
+	res, err := AnalyzeBackend(context.Background(), fs, BackendNetcalc,
+		trajectory.Options{Tracer: &col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Provenance {
+		if p.Winner != BackendNetcalc || len(p.Candidates) != 1 {
+			t.Errorf("flow %d: provenance %+v, want single netcalc candidate", i, p)
+		}
+	}
+	if got := len(col.Events()); got != fs.N() {
+		t.Errorf("%d events for %d flows", got, fs.N())
+	}
+}
+
+// TestBackendAdversaryCrossCheck: the adversary search hunts for
+// worst-case scenarios; no backend may be beaten by anything it finds.
+func TestBackendAdversaryCrossCheck(t *testing.T) {
+	fs := model.PaperExample()
+	findings, err := adversary.Search(fs, adversary.Options{Seed: 7, Restarts: 8, Packets: 6, ClimbSteps: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Backends() {
+		res, err := AnalyzeBackend(context.Background(), fs, b, trajectory.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		for _, f := range findings {
+			if res.Bounds[f.Flow] < f.MaxResponse {
+				t.Errorf("%s flow %d: bound %d beaten by adversary %d (%s)",
+					b, f.Flow, res.Bounds[f.Flow], f.MaxResponse, f.Strategy)
+			}
+		}
+	}
+}
+
+// TestBackendJitters: the netcalc backend reports Definition-2 jitters
+// derived from its bounds.
+func TestBackendJitters(t *testing.T) {
+	fs := model.PaperExample()
+	res, err := AnalyzeBackend(context.Background(), fs, BackendNetcalc, trajectory.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fs.Flows {
+		var sat bool
+		want := model.SubSat(res.Bounds[i], f.MinTraversal(fs.Net.Lmin), &sat)
+		if res.Jitters[i] != want {
+			t.Errorf("flow %s: jitter %d, want %d", f.Name, res.Jitters[i], want)
+		}
+	}
+}
+
+// TestParseBackend accepts the four names (case-insensitively) and
+// classifies anything else as invalid config.
+func TestParseBackend(t *testing.T) {
+	for _, b := range Backends() {
+		got, err := ParseBackend(strings.ToUpper(string(b)) + " ")
+		if err != nil || got != b {
+			t.Errorf("ParseBackend(%q) = %v, %v", b, got, err)
+		}
+	}
+	if _, err := ParseBackend("simplex"); !errors.Is(err, model.ErrInvalidConfig) {
+		t.Errorf("unknown backend: got %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestCombinedUnstableBackendTolerated: a fixture that diverges under
+// the holistic iteration but not under trajectory must still produce a
+// combined result (the diverging backend joins as all-Unbounded).
+func TestCombinedUnstableBackendTolerated(t *testing.T) {
+	// Heavy utilization with jitter feedback: holistic's per-node
+	// jitter propagation diverges long before the true utilization
+	// limit, which is exactly the asymmetry the combinator absorbs.
+	var flows []*model.Flow
+	for k := 0; k < 6; k++ {
+		flows = append(flows, model.UniformFlow(
+			fmt.Sprintf("f%d", k), 40, 30, 0, 6, 1, 2, 3, 4))
+	}
+	fs := model.MustNewFlowSet(model.UnitDelayNetwork(), flows)
+	res, err := AnalyzeBackend(context.Background(), fs, BackendCombined, trajectory.Options{})
+	if err != nil {
+		t.Fatalf("combined must tolerate a single diverging backend: %v", err)
+	}
+	for i := range res.Bounds {
+		if len(res.Provenance[i].Candidates) != 3 {
+			t.Fatalf("flow %d: %d candidates, want all 3 backends represented",
+				i, len(res.Provenance[i].Candidates))
+		}
+	}
+}

@@ -131,12 +131,18 @@ func assemble(fs *model.FlowSet, nodeDelay map[model.NodeID]float64, stable bool
 			}
 			total += d
 		}
-		if inf {
-			res.Bounds[i] = model.TimeInfinity
-			res.Stable = false
-		} else {
-			res.Bounds[i] = model.Time(math.Ceil(total - 1e-9))
+		if !inf {
+			// A finite float total can still exceed the Time domain;
+			// the saturating conversion keeps it from wrapping.
+			var sat bool
+			b := ceilTime(total, &sat)
+			if !sat {
+				res.Bounds[i] = b
+				continue
+			}
 		}
+		res.Bounds[i] = model.TimeInfinity
+		res.Stable = false
 	}
 	return res
 }
@@ -200,7 +206,16 @@ func CharnyLeBoudec(fs *model.FlowSet) (*Result, error) {
 	for i, f := range fs.Flows {
 		total := float64(f.Jitter) + float64(len(f.Path))*perHop +
 			float64(len(f.Path)-1)*float64(fs.Net.Lmax)
-		res.Bounds[i] = model.Time(math.Ceil(total - 1e-9))
+		var sat bool
+		b := ceilTime(total, &sat)
+		if sat {
+			// Near the utilization threshold the fixed point blows past
+			// the Time domain: degrade to Unbounded, never wrap.
+			res.Bounds[i] = model.TimeInfinity
+			res.Stable = false
+			continue
+		}
+		res.Bounds[i] = b
 	}
 	return res, nil
 }

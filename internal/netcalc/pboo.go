@@ -172,7 +172,14 @@ func AnalyzePBOO(fs *model.FlowSet, opt Options) (*Result, error) {
 			continue
 		}
 		total := float64(f.Jitter) + d + float64(len(f.Path)-1)*float64(fs.Net.Lmax)
-		res.Bounds[i] = model.Time(math.Ceil(total - 1e-9))
+		var sat bool
+		b := ceilTime(total, &sat)
+		if sat {
+			res.Bounds[i] = model.TimeInfinity
+			res.Stable = false
+			continue
+		}
+		res.Bounds[i] = b
 	}
 	return res, nil
 }

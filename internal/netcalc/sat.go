@@ -1,0 +1,35 @@
+package netcalc
+
+import (
+	"math"
+
+	"trajan/internal/model"
+)
+
+// timeFromFloat converts a float64 analysis result (in ticks) onto the
+// saturating model.Time rails. Go's float→int64 conversion of an
+// out-of-range value is implementation-defined (in practice it wraps to
+// a garbage number, often negative), so every float→Time crossing in
+// this package must go through here: NaN, ±Inf and any magnitude on or
+// past ±TimeInfinity degrade to the rail and set the sticky *sat flag,
+// letting the caller report an explicit Unbounded verdict instead of a
+// wrapped finite bound. float64(model.TimeInfinity) = 2^60 is exactly
+// representable, so the comparisons below are exact.
+func timeFromFloat(v float64, sat *bool) model.Time {
+	if math.IsNaN(v) || v >= float64(model.TimeInfinity) {
+		*sat = true
+		return model.TimeInfinity
+	}
+	if v <= -float64(model.TimeInfinity) {
+		*sat = true
+		return -model.TimeInfinity
+	}
+	return model.Time(v)
+}
+
+// ceilTime rounds a float delay bound up to whole ticks and converts it
+// with timeFromFloat. The 1e-9 backoff absorbs float noise from curve
+// arithmetic so an exact integer result does not round up twice.
+func ceilTime(v float64, sat *bool) model.Time {
+	return timeFromFloat(math.Ceil(v-1e-9), sat)
+}

@@ -168,7 +168,17 @@ func (m *Metrics) Emit(e Event) {
 		m.Counter("trajan_whatif_batches_total").Inc()
 		m.Counter("trajan_whatif_candidates_total").Add(int64(e.Candidates))
 	case EvFlowBound:
-		if d := e.Decomp; d != nil && !d.Unbounded {
+		if d := e.Decomp; d != nil && len(d.Candidates) > 0 {
+			// Best-of-bounds provenance record: export which backend won
+			// and by how much, and leave the Lemma-2 term gauges to the
+			// trajectory engine's own decompositions (a provenance record
+			// carries no term breakdown to overwrite them with).
+			m.Counter(fmt.Sprintf("trajan_backend_wins_total{backend=%q}", d.Backend)).Inc()
+			if !d.Unbounded {
+				m.Gauge(fmt.Sprintf("trajan_bound_term{flow=%q,term=%q}", e.Flow, "combined_r")).Set(int64(d.R))
+				m.Gauge(fmt.Sprintf("trajan_bound_term{flow=%q,term=%q}", e.Flow, "combined_margin")).Set(int64(d.Margin))
+			}
+		} else if d != nil && !d.Unbounded {
 			var work int64
 			for _, t := range d.Terms {
 				work += int64(t.Work)

@@ -121,6 +121,27 @@ type BoundDecomp struct {
 	Delta model.Time `json:"delta"`
 	// Terms are the per-interferer workload contributions.
 	Terms []WorkloadTerm `json:"terms,omitempty"`
+	// Backend names the analysis backend that produced R when the
+	// bound came through the multi-backend layer (internal/feasibility:
+	// "trajectory", "holistic", "netcalc"); empty on decompositions
+	// emitted by the trajectory engine itself.
+	Backend string `json:"backend,omitempty"`
+	// Margin is how far the winning backend beat the best losing
+	// candidate (0 on ties, single-backend runs, and unbounded wins).
+	Margin model.Time `json:"margin,omitempty"`
+	// Candidates are the per-backend bounds the best-of-bounds
+	// combinator compared; R is their minimum. A decomposition carrying
+	// Candidates is a provenance record, not a Lemma-2 term breakdown —
+	// consumers must check R against the candidate minimum, not Sum.
+	Candidates []BackendBound `json:"candidates,omitempty"`
+}
+
+// BackendBound is one backend's verdict for one flow inside a
+// best-of-bounds provenance record.
+type BackendBound struct {
+	Backend   string     `json:"backend"`
+	R         model.Time `json:"r"`
+	Unbounded bool       `json:"unbounded,omitempty"`
 }
 
 // Sum recomputes the bound from the decomposition terms. For a finite

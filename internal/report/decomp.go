@@ -92,6 +92,9 @@ func renderDecomp(b *strings.Builder, e obs.Event) bool {
 		fmt.Fprintf(b, "\nflow %q: R = %s (no decomposition in trace)\n", e.Flow, fmtTime(e.Value))
 		return true
 	}
+	if len(d.Candidates) > 0 {
+		return renderProvenance(b, e)
+	}
 	if d.Unbounded {
 		fmt.Fprintf(b, "\nflow %q: R unbounded (saturated analysis; no finite decomposition)\n", e.Flow)
 		return true
@@ -124,6 +127,49 @@ func renderDecomp(b *strings.Builder, e obs.Event) bool {
 	}
 	t.AddRow("total", verdict, sum)
 	indented(b, t.String())
+	return ok
+}
+
+// renderProvenance writes one flow's best-of-bounds provenance record
+// (which backend won, by how much, against which candidates) and
+// reports whether the reported bound really is the minimum over the
+// candidates — the integrity invariant of the combined backend, in the
+// role Sum plays for Lemma-2 decompositions.
+func renderProvenance(b *strings.Builder, e obs.Event) bool {
+	d := e.Decomp
+	if d.Unbounded {
+		fmt.Fprintf(b, "\nflow %q: R unbounded under every backend\n", e.Flow)
+	} else {
+		fmt.Fprintf(b, "\nflow %q: R = %s via %s (margin %s over next backend)\n",
+			e.Flow, fmtTime(d.R), d.Backend, fmtTime(d.Margin))
+	}
+	t := NewTable("", "backend", "bound", "outcome")
+	t.aligned[2] = false // outcome column is prose
+	min := model.TimeInfinity
+	for _, c := range d.Candidates {
+		r := c.R
+		if c.Unbounded {
+			r = model.TimeInfinity
+		}
+		if r < min {
+			min = r
+		}
+		note := ""
+		if c.Backend == d.Backend {
+			note = "winner"
+		}
+		t.AddRow(c.Backend, fmtTime(r), note)
+	}
+	indented(b, t.String())
+	want := d.R
+	if d.Unbounded {
+		want = model.TimeInfinity
+	}
+	ok := want == min
+	if !ok {
+		fmt.Fprintf(b, "  MISMATCH: reported R = %s is not the candidate minimum %s\n",
+			fmtTime(d.R), fmtTime(min))
+	}
 	return ok
 }
 

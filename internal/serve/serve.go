@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trajan/internal/feasibility"
 	"trajan/internal/journal"
 	"trajan/internal/model"
 	"trajan/internal/obs"
@@ -115,6 +116,15 @@ type Config struct {
 	// failed, readers keep the last published snapshot. The tenant
 	// registry uses it to restart the tenant from its journal.
 	OnPanic func(recovered any)
+	// Backend selects which analysis backend every admission verdict
+	// and published snapshot is judged on (docs/BACKENDS.md). Empty or
+	// "trajectory" keeps the warm incremental Analyzer path; any other
+	// backend re-analyses the committed set through
+	// feasibility.AnalyzeBackend on every verdict — equally sound, but
+	// each decision is a cold analysis, so mutation cost tracks set
+	// size, not change size. The warm Analyzer still powers what-if
+	// batches and delta mechanics either way.
+	Backend feasibility.Backend
 	// restoreSeq, when > 0, seeds the snapshot sequence of a server
 	// rehydrated from a journal: the initial publish carries restoreSeq
 	// (not 1), so post-recovery sequence numbers continue the pre-crash
@@ -245,6 +255,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Options.NonPreemption != nil {
 		return nil, model.Errorf(model.ErrInvalidConfig,
 			"serve: per-flow NonPreemption vectors cannot be remapped across mutations")
+	}
+	if cfg.Backend != "" {
+		if _, err := feasibility.ParseBackend(string(cfg.Backend)); err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -602,14 +617,24 @@ func isRefusal(err error) bool {
 }
 
 // verdict re-analyses the current set under ctx: feasibility of every
-// deadline, the full bounds vector, and the tightest slack.
+// deadline, the full bounds vector, and the tightest slack. With a
+// non-default Config.Backend the bounds come from that backend (cold,
+// via feasibility.AnalyzeBackend); otherwise from the warm Analyzer.
 func (st *loopState) verdict(ctx context.Context) (ok bool, bounds []model.Time, minSlack model.Time, err error) {
 	if st.a == nil {
 		return true, nil, model.TimeInfinity, nil
 	}
-	bounds, err = st.a.BoundsContext(ctx)
-	if err != nil {
-		return false, nil, 0, err
+	if b := st.s.cfg.Backend; b != "" && b != feasibility.BackendTrajectory {
+		res, rerr := feasibility.AnalyzeBackend(ctx, st.a.FlowSet(), b, st.s.opt)
+		if rerr != nil {
+			return false, nil, 0, rerr
+		}
+		bounds = res.Bounds
+	} else {
+		bounds, err = st.a.BoundsContext(ctx)
+		if err != nil {
+			return false, nil, 0, err
+		}
 	}
 	ok, minSlack = true, model.TimeInfinity
 	for i, f := range st.a.FlowSet().Flows {

@@ -866,3 +866,48 @@ func BenchmarkServeChurn(b *testing.B) {
 		}
 	}
 }
+
+// TestServeBackendVerdicts: with Config.Backend set, every committed
+// snapshot's bounds come from the selected backend. The combined
+// backend's published bounds must equal a direct AnalyzeBackend run on
+// the committed set, and a bogus backend fails construction.
+func TestServeBackendVerdicts(t *testing.T) {
+	for _, b := range []feasibility.Backend{feasibility.BackendNetcalc, feasibility.BackendCombined} {
+		s, ts := newTestServer(t, Config{Backend: b})
+		admitted := 0
+		for k := 0; k < 3; k++ {
+			var d DecisionResponse
+			if code := postJSON(t, ts.Client(), ts.URL+"/v1/admit", AdmitRequest{Flow: callFlow(k)}, &d); code != http.StatusOK {
+				t.Fatalf("%s: admit %d: HTTP %d", b, k, code)
+			}
+			if d.Decision == "admitted" {
+				admitted++
+			}
+		}
+		if admitted == 0 {
+			t.Fatalf("%s: no flow admitted", b)
+		}
+		// A looser backend admits fewer identical flows, never more:
+		// combined includes trajectory, so it must take all three.
+		if b == feasibility.BackendCombined && admitted != 3 {
+			t.Errorf("combined: admitted %d of 3, want 3", admitted)
+		}
+		sn := s.snap.Load()
+		if sn == nil || sn.FS == nil {
+			t.Fatalf("%s: no snapshot published", b)
+		}
+		want, err := feasibility.AnalyzeBackend(context.Background(), sn.FS, b, trajectory.Options{})
+		if err != nil {
+			t.Fatalf("%s: reference analysis: %v", b, err)
+		}
+		for i := range want.Bounds {
+			if sn.Bounds[i] != want.Bounds[i] {
+				t.Errorf("%s: flow %d: snapshot bound %d, reference %d",
+					b, i, sn.Bounds[i], want.Bounds[i])
+			}
+		}
+	}
+	if _, err := New(Config{Network: model.UnitDelayNetwork(), Backend: "simplex"}); err == nil {
+		t.Error("bogus Config.Backend accepted")
+	}
+}
