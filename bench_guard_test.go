@@ -6,15 +6,18 @@
 package trajan_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"testing"
 
+	"trajan/internal/feasibility"
 	"trajan/internal/model"
 	"trajan/internal/sim"
 	"trajan/internal/trajectory"
+	"trajan/internal/workload"
 )
 
 // benchBaseline mirrors the runs array of BENCH_trajectory.json.
@@ -179,6 +182,68 @@ func TestBenchGuardAnalyzerReuse(t *testing.T) {
 	base := baselineAllocs(t, "BenchmarkAnalyzerReuse/flows32")
 	if got := res.AllocsPerOp(); got > base {
 		t.Errorf("AnalyzerReuse/flows32: %d allocs/op, baseline %d", got, base)
+	}
+}
+
+// TestBenchGuardRouteAdmit re-runs the BenchmarkRouteAdmit/workers1
+// decision loop and fails if allocs/op drift more than 10% above the
+// recorded baseline. The auto-route decision is candidate enumeration
+// plus one parallel what-if batch; losing the copy-on-write forks or
+// the pooled scratch (falling back to cold per-candidate analyzers)
+// costs several times that.
+func TestBenchGuardRouteAdmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short mode")
+	}
+	topo, err := workload.ClosTopology(3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, sl, dl int, period, cost model.Time) *model.Flow {
+		p, err := topo.Route(workload.ClosHost(sl, 0), workload.ClosHost(dl, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return model.UniformFlow(name, period, 0, 0, cost, p...)
+	}
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), []*model.Flow{
+		mk("a", 0, 1, 60, 9),
+		mk("b", 1, 2, 70, 11),
+		mk("c", 2, 3, 80, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		a, err := trajectory.NewAnalyzer(fs, trajectory.Options{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Bounds(); err != nil {
+			b.Fatal(err)
+		}
+		probe := mk("probe", 3, 0, 50, 2)
+		probe.Deadline = 45
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfs, err := feasibility.RouteCandidates(topo, probe, feasibility.DefaultRouteK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scored := feasibility.ScoreRoutesWhatIf(ctx, a, cfs, -1)
+			if win := feasibility.ChooseRoute(scored); win < 0 {
+				b.Fatal("no feasible route")
+			}
+		}
+	})
+	base := baselineAllocs(t, "BenchmarkRouteAdmit/workers1")
+	limit := base + base/10
+	if got := res.AllocsPerOp(); got > limit {
+		t.Errorf("RouteAdmit/workers1: %d allocs/op, baseline %d (+10%% = %d)", got, base, limit)
+	} else {
+		t.Logf("RouteAdmit/workers1: %d allocs/op (baseline %d)", got, base)
 	}
 }
 

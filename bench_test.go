@@ -7,13 +7,16 @@
 package trajan_test
 
 import (
+	"context"
 	"testing"
 
 	"trajan/internal/experiments"
+	"trajan/internal/feasibility"
 	"trajan/internal/holistic"
 	"trajan/internal/model"
 	"trajan/internal/netcalc"
 	"trajan/internal/trajectory"
+	"trajan/internal/workload"
 )
 
 // BenchmarkTable2_Trajectory times the full Property-2 analysis of the
@@ -378,6 +381,60 @@ func BenchmarkAdmissionCold(b *testing.B) {
 				}
 				if _, err := a.Bounds(); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteAdmit times one full auto-route admission decision
+// against a warm analyzer on a 3-spine Clos fabric: enumerate the k
+// shortest paths, score every candidate as one parallel what-if batch
+// of copy-on-write forks, and pick the winner. This is the per-request
+// cost of `/v1/admit?route=auto` after the snapshot publish.
+func BenchmarkRouteAdmit(b *testing.B) {
+	topo, err := workload.ClosTopology(3, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(name string, sl, dl int, period, cost model.Time) *model.Flow {
+		p, err := topo.Route(workload.ClosHost(sl, 0), workload.ClosHost(dl, 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return model.UniformFlow(name, period, 0, 0, cost, p...)
+	}
+	base := []*model.Flow{
+		mk("a", 0, 1, 60, 9),
+		mk("b", 1, 2, 70, 11),
+		mk("c", 2, 3, 80, 7),
+	}
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			a, err := trajectory.NewAnalyzer(fs, trajectory.Options{Parallelism: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.Bounds(); err != nil {
+				b.Fatal(err)
+			}
+			probe := mk("probe", 3, 0, 50, 2)
+			probe.Deadline = 45
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfs, err := feasibility.RouteCandidates(topo, probe, feasibility.DefaultRouteK)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scored := feasibility.ScoreRoutesWhatIf(ctx, a, cfs, -1)
+				if win := feasibility.ChooseRoute(scored); win < 0 {
+					b.Fatal("no feasible route")
 				}
 			}
 		})

@@ -89,11 +89,14 @@ func run(args []string, w io.Writer) error {
 		{"E18", "Backend tightness (trajectory vs holistic vs netcalc vs combined)", "e18_backends.csv", func() (renderable, error) {
 			return experiments.BackendTightness(5, 8*trials)
 		}},
+		{"E19", "Routing refusal (direct vs auto-route admission)", "e19_routing.csv", func() (renderable, error) {
+			return experiments.RoutingRefusal(5)
+		}},
 	}
 
 	// CSV experiments whose leading column is categorical (a fixture
 	// name, not a sweep variable) have no line-chart rendering.
-	noFigure := map[string]bool{"E18": true}
+	noFigure := map[string]bool{"E18": true, "E19": true}
 
 	var htmlParts []string
 	for _, s := range steps {

@@ -12,6 +12,7 @@
 //	       [-trace events.json] [-metrics-addr :9090] [-metrics-dump]
 //	       [-cpuprofile f] [-memprofile f]
 //	trajan -admit churn.json [same observability and tuning flags]
+//	       [-route auto -topology clos:4x4x4|topo.json [-route-k 4]]
 //	trajan -trace-report events.json
 //
 // With no -config the paper's Section-5 example is analysed.
@@ -19,7 +20,11 @@
 // -admit replays a churn trace (an event log of flow adds, removes and
 // updates) through the warm admission engine: each add is tested by a
 // delta re-analysis of the running flow set and reverted when refused,
-// so the replay cost tracks the change size, not the set size.
+// so the replay cost tracks the change size, not the set size. With
+// -route auto the submitted path of every add is only read for its
+// endpoints: up to -route-k shortest candidate paths over -topology are
+// scored as one parallel what-if batch and the flow is admitted on the
+// feasible path with the widest post-admission slack.
 //
 // Observability (see docs/OBSERVABILITY.md): -trace streams a
 // replayable JSON event log of the analysis — fixed-point sweeps,
@@ -75,6 +80,7 @@ import (
 	"trajan/internal/report"
 	"trajan/internal/serve"
 	"trajan/internal/trajectory"
+	"trajan/internal/workload"
 )
 
 func main() {
@@ -123,6 +129,9 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 		sensitivity = fl.Bool("sensitivity", false, "probe each flow's period and cost headroom (requires deadlines)")
 		timeout     = fl.Duration("timeout", 0, "abort the analysis after this duration (exit 3); 0 disables the budget")
 		admitPath   = fl.String("admit", "", "churn-trace JSON: replay add/remove/update events through the warm admission engine")
+		routeFlag   = fl.String("route", "", "with -admit: \"auto\" re-routes every add over the k-shortest paths of -topology, admitting on the best feasible one (empty or \"manual\": source routing, paths taken as submitted)")
+		topoSpec    = fl.String("topology", "", "with -route auto: the network graph candidate paths are enumerated over — a spec (line:N|ring:N|star:N|grid:RxC|clos:SxLxH|paper) or a topology JSON file")
+		routeK      = fl.Int("route-k", 0, "with -route auto: candidate-path fan-out (0 = 4)")
 		workers     = fl.Int("workers", 0, "fixpoint/evaluation parallelism (0 = GOMAXPROCS, 1 = serial)")
 		tracePath   = fl.String("trace", "", "write a structured JSON event log of the analysis to this file (see docs/OBSERVABILITY.md)")
 		traceReport = fl.String("trace-report", "", "render a previously written -trace log as a bound-decomposition report and exit")
@@ -234,8 +243,29 @@ func runAnalysis(args []string, out io.Writer) (bool, error) {
 	}
 	opt.Tracer = obs.Tee(tracers...)
 
+	var topo *model.Topology
+	switch *routeFlag {
+	case "", "manual":
+		if *topoSpec != "" || *routeK != 0 {
+			return false, model.Errorf(model.ErrInvalidConfig, "-topology and -route-k need -route auto")
+		}
+	case "auto":
+		if *admitPath == "" {
+			return false, model.Errorf(model.ErrInvalidConfig, "-route auto needs -admit")
+		}
+		if *topoSpec == "" {
+			return false, model.Errorf(model.ErrInvalidConfig, "-route auto needs -topology")
+		}
+		var terr error
+		if topo, terr = workload.LoadTopology(*topoSpec); terr != nil {
+			return false, terr
+		}
+	default:
+		return false, model.Errorf(model.ErrInvalidConfig, "-route %q (want auto or manual)", *routeFlag)
+	}
+
 	if *admitPath != "" {
-		return runAdmit(ctx, *admitPath, opt, out)
+		return runAdmit(ctx, *admitPath, opt, topo, *routeK, out)
 	}
 
 	fs, originals, err := loadFlowSet(*configPath)
@@ -459,8 +489,10 @@ type churnEvent struct {
 // runAdmit replays a churn trace through one warm analyzer: every add
 // is an admission test (delta re-analysis, revert on refusal), removes
 // and updates mutate the engine in place. The exit verdict reports
-// whether the final admitted set meets all deadlines.
-func runAdmit(ctx context.Context, path string, opt trajectory.Options, out io.Writer) (bool, error) {
+// whether the final admitted set meets all deadlines. A non-nil topo
+// turns on route=auto admission: each add is re-routed onto the best
+// feasible of its routeK shortest candidate paths before the commit.
+func runAdmit(ctx context.Context, path string, opt trajectory.Options, topo *model.Topology, routeK int, out io.Writer) (bool, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return false, model.Classify(model.ErrInvalidConfig, err)
@@ -541,6 +573,29 @@ func runAdmit(ctx context.Context, path string, opt trajectory.Options, out io.W
 			f, err := ev.Flow.Build()
 			if err != nil {
 				return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: %w", k, err)
+			}
+			if topo != nil {
+				// route=auto: enumerate candidate paths, score them all as
+				// one parallel what-if batch (cold against the empty set),
+				// and commit the best feasible one through the ordinary add
+				// below; refusals leave the set untouched.
+				cfs, err := feasibility.RouteCandidates(topo, f, routeK)
+				if err != nil {
+					return false, model.Errorf(model.ErrInvalidConfig, "admit: event %d: %w", k, err)
+				}
+				var scored []feasibility.RouteCandidate
+				if a == nil {
+					scored = feasibility.ScoreRoutesCold(ctx, net, opt, nil, cfs)
+				} else {
+					scored = feasibility.ScoreRoutesWhatIf(ctx, a, cfs, -1)
+				}
+				win := feasibility.ChooseRoute(scored)
+				if win < 0 {
+					emitDecision(f.Name, "rejected (no feasible route)")
+					tab.AddRow(k, "add", f.Name, "rejected (no feasible route)", flowCount(a), "-")
+					continue
+				}
+				f = scored[win].Flow
 			}
 			var idx int
 			if a == nil {

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	trajand -addr :8080 [-lmin 1 -lmax 1 | -preload flows.json]
+//	        [-topology clos:4x4x4|topo.json] [-route-k 4]
 //	        [-journal-dir DIR] [-max-tenants N] [-checkpoint-every N]
 //	        [-backend trajectory|holistic|netcalc|combined]
 //	        [-smax prefix|tail|noqueue] [-workers N] [-queue 64]
@@ -59,6 +60,7 @@ import (
 	"trajan/internal/obs"
 	"trajan/internal/serve"
 	"trajan/internal/trajectory"
+	"trajan/internal/workload"
 )
 
 func main() {
@@ -104,6 +106,8 @@ func runDaemon(ctx context.Context, args []string, out io.Writer) (retErr error)
 		journalDir  = fl.String("journal-dir", "", "multi-tenant crash-safe mode: per-tenant decision journals under this directory")
 		maxTenants  = fl.Int("max-tenants", 0, "resident tenant bound before LRU eviction (0 = 16; needs -journal-dir)")
 		ckptEvery   = fl.Int("checkpoint-every", 0, "journal records between flow-set checkpoints (0 = 64)")
+		topoSpec    = fl.String("topology", "", "daemon topology: a spec (line:N|ring:N|star:N|grid:RxC|clos:SxLxH|paper) or a topology JSON file; enables manual-path validation and route=auto admission")
+		routeK     = fl.Int("route-k", 0, "route=auto candidate-path fan-out (0 = 4; needs -topology)")
 		smaxMode    = fl.String("smax", "prefix", "Smax estimator: prefix|tail|noqueue")
 		backendName = fl.String("backend", "", "analysis backend the admission verdicts follow: trajectory|holistic|netcalc|combined (empty = warm trajectory; see docs/BACKENDS.md)")
 		workers     = fl.Int("workers", 0, "analysis and what-if parallelism (0 = GOMAXPROCS)")
@@ -185,6 +189,17 @@ func runDaemon(ctx context.Context, args []string, out io.Writer) (retErr error)
 			return err
 		}
 		cfg.Backend = backend
+	}
+	if *routeK != 0 && *topoSpec == "" {
+		return model.Errorf(model.ErrInvalidConfig, "-route-k needs -topology")
+	}
+	if *topoSpec != "" {
+		topo, err := workload.LoadTopology(*topoSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Topology = topo
+		cfg.RouteK = *routeK
 	}
 	cfg.Options.Tracer = obs.Tee(tracers...)
 	if *preload != "" {

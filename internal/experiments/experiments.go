@@ -850,6 +850,169 @@ func TightnessSweep(reps, npackets int) (*report.Table, error) {
 // the backend cross-validation gate CI runs: the combined bound never
 // exceeds any single backend's, and no backend's bound falls below the
 // observed worst case.
+// RoutingRefusal is E19: refusal rates of direct-path vs auto-route
+// admission on three topologies — a 3×3 mesh, the dual-column AFDX
+// backbone, and a leaf-spine Clos fabric (the first fixture with real
+// path diversity). Both arms replay the same demand sequence through
+// the sequential cold admission oracle; the direct arm scores only the
+// deterministic shortest path, the auto arm scores up to k=4 shortest
+// candidates and admits on the best feasible one (ChooseRoute). The
+// deterministic routing concentrates direct-path load (spine 0 on the
+// Clos, column A on the AFDX), so the function gates the tentpole
+// claims internally: on the Clos the auto arm must refuse strictly
+// fewer demands, and at least one demand refused on its direct path
+// must be admitted on an alternate.
+func RoutingRefusal(seed int64) (*report.CSV, error) {
+	net := model.UnitDelayNetwork()
+	opt := trajectory.Options{}
+	ctx := context.Background()
+
+	type fixture struct {
+		name    string
+		topo    *model.Topology
+		demands []*model.Flow // contracted on the deterministic direct path
+	}
+	var fixtures []fixture
+
+	{
+		topo := model.GridTopology(3, 3)
+		rng := rand.New(rand.NewSource(seed))
+		ends := [][2]model.NodeID{{0, 8}, {2, 6}, {6, 2}, {8, 0}, {0, 5}, {3, 8}, {2, 7}, {6, 1}}
+		var demands []*model.Flow
+		for k := 0; k < 16; k++ {
+			e := ends[k%len(ends)]
+			p, err := topo.Route(e[0], e[1])
+			if err != nil {
+				return nil, err
+			}
+			cost := 2 + model.Time(rng.Int63n(3))
+			period := 40 + model.Time(rng.Int63n(40))
+			demands = append(demands, model.UniformFlow(fmt.Sprintf("m%02d", k), period, 0, 30, cost, p...))
+		}
+		fixtures = append(fixtures, fixture{"mesh3x3", topo, demands})
+	}
+	{
+		topo, err := workload.AFDXTopology(12, 3)
+		if err != nil {
+			return nil, err
+		}
+		var demands []*model.Flow
+		for k := 0; k < 12; k++ {
+			src, dst := model.NodeID(1000+k), model.NodeID(2000+k)
+			p, err := topo.Route(src, dst)
+			if err != nil {
+				return nil, err
+			}
+			demands = append(demands, model.UniformFlow(fmt.Sprintf("vl%02d", k), 64, 0, 48, 4, p...))
+		}
+		fixtures = append(fixtures, fixture{"afdx3sw", topo, demands})
+	}
+	{
+		topo, err := workload.ClosTopology(3, 6, 2)
+		if err != nil {
+			return nil, err
+		}
+		// One east-west demand per unordered leaf pair, all in the same
+		// direction: distinct pairs keep Assumption 1 out of the way (two
+		// same-pair flows on different spines would violate it and pin
+		// every later same-pair demand to the first flow's spine), so the
+		// arms differ by routing freedom alone.
+		rng := rand.New(rand.NewSource(seed + 1))
+		var demands []*model.Flow
+		k := 0
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				src := workload.ClosHost(i, rng.Intn(2))
+				dst := workload.ClosHost(j, rng.Intn(2))
+				p, err := topo.Route(src, dst)
+				if err != nil {
+					return nil, err
+				}
+				cost := 3 + model.Time(rng.Int63n(3))
+				period := 50 + model.Time(rng.Int63n(40))
+				demands = append(demands, model.UniformFlow(fmt.Sprintf("c%02d", k), period, 0, 75, cost, p...))
+				k++
+			}
+		}
+		fixtures = append(fixtures, fixture{"clos3x6x2", topo, demands})
+	}
+
+	type outcome struct {
+		admitted bool
+		path     model.Path
+	}
+	run := func(fx fixture, k int) ([]outcome, error) {
+		var admitted []*model.Flow
+		res := make([]outcome, len(fx.demands))
+		for i, f := range fx.demands {
+			cfs := []*model.Flow{f.Clone()}
+			if k > 1 {
+				var err error
+				cfs, err = feasibility.RouteCandidates(fx.topo, f, k)
+				if err != nil {
+					return nil, fmt.Errorf("E19 %s: %s: %w", fx.name, f.Name, err)
+				}
+			}
+			scored := feasibility.ScoreRoutesCold(ctx, net, opt, admitted, cfs)
+			win := feasibility.ChooseRoute(scored)
+			if win < 0 {
+				continue
+			}
+			admitted = append(admitted, scored[win].Flow)
+			res[i] = outcome{admitted: true, path: scored[win].Path}
+		}
+		return res, nil
+	}
+
+	csv := report.NewCSV("fixture", "arm", "offered", "admitted", "refused", "refusal_rate", "rerouted")
+	for _, fx := range fixtures {
+		direct, err := run(fx, 1)
+		if err != nil {
+			return nil, err
+		}
+		auto, err := run(fx, feasibility.DefaultRouteK)
+		if err != nil {
+			return nil, err
+		}
+		row := func(arm string, res []outcome) (refused int) {
+			admitted, rerouted := 0, 0
+			for i, o := range res {
+				if !o.admitted {
+					refused++
+					continue
+				}
+				admitted++
+				if model.ComparePaths(o.path, fx.demands[i].Path) != 0 {
+					rerouted++
+				}
+			}
+			csv.AddRow(fx.name, arm, len(res), admitted, refused,
+				fmt.Sprintf("%.3f", float64(refused)/float64(len(res))), rerouted)
+			return refused
+		}
+		refusedDirect := row("direct", direct)
+		refusedAuto := row("auto", auto)
+		if fx.name == "clos3x6x2" {
+			if refusedAuto >= refusedDirect {
+				return nil, fmt.Errorf("E19 %s: auto refused %d, direct refused %d — auto must refuse strictly fewer",
+					fx.name, refusedAuto, refusedDirect)
+			}
+			saved := false
+			for i := range fx.demands {
+				if !direct[i].admitted && auto[i].admitted &&
+					model.ComparePaths(auto[i].path, fx.demands[i].Path) != 0 {
+					saved = true
+					break
+				}
+			}
+			if !saved {
+				return nil, fmt.Errorf("E19 %s: no demand refused on its direct path was admitted on an alternate", fx.name)
+			}
+		}
+	}
+	return csv, nil
+}
+
 func BackendTightness(seed int64, npackets int) (*report.CSV, error) {
 	type fixture struct {
 		name string

@@ -364,6 +364,38 @@ func TestPerHopBudgetsConsistent(t *testing.T) {
 // never-looser invariants are checked inside the experiment itself, so
 // success here IS the backend cross-validation gate — and every row
 // quotes a winner from the concrete backend set.
+// TestRoutingRefusalGates: E19 runs end to end — the strictly-fewer
+// refusals and saved-on-alternate invariants for the Clos fixture are
+// checked inside the experiment itself — and the rendered CSV shows a
+// strictly lower auto refusal rate on the Clos rows.
+func TestRoutingRefusalGates(t *testing.T) {
+	csv, err := RoutingRefusal(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvCells(t, csv.String())
+	refused := map[string]map[string]int64{}
+	for _, r := range rows[1:] {
+		fx, arm := r[0], r[1]
+		if refused[fx] == nil {
+			refused[fx] = map[string]int64{}
+		}
+		refused[fx][arm] = atoi(t, r[4])
+	}
+	for _, fx := range []string{"mesh3x3", "afdx3sw", "clos3x6x2"} {
+		arms, ok := refused[fx]
+		if !ok {
+			t.Fatalf("E19 CSV missing fixture %q:\n%s", fx, csv.String())
+		}
+		if arms["auto"] > arms["direct"] {
+			t.Errorf("E19 %s: auto refused %d > direct %d", fx, arms["auto"], arms["direct"])
+		}
+	}
+	if got := refused["clos3x6x2"]; got["auto"] >= got["direct"] {
+		t.Errorf("E19 clos3x6x2: auto refused %d, want strictly fewer than direct %d", got["auto"], got["direct"])
+	}
+}
+
 func TestBackendTightnessGates(t *testing.T) {
 	csv, err := BackendTightness(5, 16)
 	if err != nil {

@@ -155,6 +155,48 @@ func ConfigOfFlow(f *Flow) FlowConfig {
 	}
 }
 
+// TopologyConfig is the JSON wire format of a Topology: a list of
+// directed links, optionally mirrored. The CLI daemons load one to
+// enable path validation and auto-routing.
+//
+//	{"bidirectional": true, "links": [[0,1],[1,2]]}
+type TopologyConfig struct {
+	Links         [][2]NodeID `json:"links"`
+	Bidirectional bool        `json:"bidirectional,omitempty"`
+}
+
+// Build converts the configuration into a Topology, rejecting
+// self-links with ErrInvalidConfig (this is the loader path AddLink's
+// contract points at).
+func (tc *TopologyConfig) Build() (*Topology, error) {
+	if len(tc.Links) == 0 {
+		return nil, Errorf(ErrInvalidConfig, "model: topology config has no links")
+	}
+	t := NewTopology()
+	for i, l := range tc.Links {
+		if err := t.AddLinkChecked(l[0], l[1]); err != nil {
+			return nil, Errorf(ErrInvalidConfig, "model: topology link %d: %w", i, err)
+		}
+		if tc.Bidirectional {
+			if err := t.AddLinkChecked(l[1], l[0]); err != nil {
+				return nil, Errorf(ErrInvalidConfig, "model: topology link %d: %w", i, err)
+			}
+		}
+	}
+	return t, nil
+}
+
+// ParseTopology decodes and builds a topology configuration.
+func ParseTopology(r io.Reader) (*Topology, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg TopologyConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, Errorf(ErrInvalidConfig, "model: decoding topology: %w", err)
+	}
+	return cfg.Build()
+}
+
 // MarshalConfig converts a FlowSet back to its wire format (used by the
 // workload generators' CLI export).
 func (fs *FlowSet) MarshalConfig() *FlowSetConfig {

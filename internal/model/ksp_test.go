@@ -1,0 +1,214 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// Regression: topology errors must carry the PR 2 taxonomy so callers
+// (the serve layer's 400 mapping, the CLI exit codes) can branch with
+// errors.Is instead of parsing messages.
+func TestTopologyErrorsClassified(t *testing.T) {
+	tp := LineTopology(3)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"empty path", tp.ValidatePath(nil)},
+		{"unknown node", tp.ValidatePath(Path{9})},
+		{"missing link", tp.ValidatePath(Path{0, 2})},
+		{"flows wrap", tp.ValidateFlows([]*Flow{UniformFlow("x", 10, 0, 0, 1, 0, 2)})},
+		{"route unknown src", errOf(tp.Route(9, 0))},
+		{"route unknown dst", errOf(tp.Route(0, 9))},
+		{"route unreachable", errOf(disconnected().Route(1, 4))},
+		{"ksp bad k", errOfMany(tp.KShortestPaths(0, 2, 0))},
+		{"ksp unknown src", errOfMany(tp.KShortestPaths(9, 2, 1))},
+		{"ksp unreachable", errOfMany(disconnected().KShortestPaths(1, 4, 2))},
+		{"self link", NewTopology().AddLinkChecked(1, 1)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !errors.Is(c.err, ErrInvalidConfig) {
+			t.Errorf("%s: %v not classified ErrInvalidConfig", c.name, c.err)
+		}
+	}
+}
+
+func errOf(_ Path, err error) error { return err }
+
+func errOfMany(_ []Path, err error) error { return err }
+
+func disconnected() *Topology {
+	tp := NewTopology()
+	tp.AddLink(1, 2)
+	tp.AddLink(3, 4)
+	return tp
+}
+
+func TestAddLinkCheckedMatchesAddLink(t *testing.T) {
+	a, b := NewTopology(), NewTopology()
+	a.AddLink(1, 2)
+	a.AddLink(1, 2)
+	if err := b.AddLinkChecked(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLinkChecked(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasLink(1, 2) || b.HasLink(2, 1) {
+		t.Error("checked add broke link semantics")
+	}
+	if len(a.Nodes()) != len(b.Nodes()) {
+		t.Errorf("node sets differ: %v vs %v", a.Nodes(), b.Nodes())
+	}
+	if err := b.AddLinkChecked(5, 5); err == nil {
+		t.Error("self-link accepted by AddLinkChecked")
+	}
+	if b.HasLink(5, 5) || len(b.Nodes()) != len(a.Nodes()) {
+		t.Error("rejected self-link mutated the graph")
+	}
+}
+
+func TestKShortestPathsDiamond(t *testing.T) {
+	// 0→{1,2}→3 plus the long detour 0→4→5→3.
+	tp := NewTopology()
+	tp.AddLink(0, 1)
+	tp.AddLink(0, 2)
+	tp.AddLink(1, 3)
+	tp.AddLink(2, 3)
+	tp.AddLink(0, 4)
+	tp.AddLink(4, 5)
+	tp.AddLink(5, 3)
+	paths, err := tp.KShortestPaths(0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Path{{0, 1, 3}, {0, 2, 3}, {0, 4, 5, 3}}
+	if len(paths) != len(want) {
+		t.Fatalf("got %d paths %v, want %v", len(paths), paths, want)
+	}
+	for i := range want {
+		if ComparePaths(paths[i], want[i]) != 0 {
+			t.Errorf("paths[%d] = %v, want %v", i, paths[i], want[i])
+		}
+	}
+	// k truncates deterministically from the front of the same order.
+	two, err := tp.KShortestPaths(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || ComparePaths(two[0], want[0]) != 0 || ComparePaths(two[1], want[1]) != 0 {
+		t.Errorf("k=2 prefix mismatch: %v", two)
+	}
+}
+
+func TestKShortestPathsSelf(t *testing.T) {
+	tp := LineTopology(3)
+	paths, err := tp.KShortestPaths(1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 1 || paths[0][0] != 1 {
+		t.Errorf("self enumeration %v", paths)
+	}
+}
+
+// Property: on a grid, every enumerated path is valid, loop-free,
+// starts/ends correctly, the list is duplicate-free and sorted in the
+// (hop count, lexicographic) total order, and the first entry has
+// shortest-path length.
+func TestKShortestPathsProperties(t *testing.T) {
+	tp := GridTopology(4, 4)
+	f := func(a, b uint8, kk uint8) bool {
+		src, dst := NodeID(a%16), NodeID(b%16)
+		k := int(kk%8) + 1
+		paths, err := tp.KShortestPaths(src, dst, k)
+		if err != nil {
+			return false
+		}
+		if len(paths) == 0 || len(paths) > k {
+			return false
+		}
+		short, err := tp.Route(src, dst)
+		if err != nil || len(paths[0]) != len(short) {
+			return false
+		}
+		for i, p := range paths {
+			if p[0] != src || p[len(p)-1] != dst {
+				return false
+			}
+			if err := tp.ValidatePath(p); err != nil {
+				return false
+			}
+			seen := map[NodeID]bool{}
+			for _, n := range p {
+				if seen[n] {
+					return false // loop
+				}
+				seen[n] = true
+			}
+			if i > 0 && ComparePaths(paths[i-1], p) >= 0 {
+				return false // unordered or duplicate
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The enumeration must be byte-deterministic: same graph, same query,
+// same bytes — independent of GOMAXPROCS (the algorithm is serial; this
+// pins the contract the auto-route parity test depends on).
+func TestKShortestPathsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	tp := GridTopology(4, 5)
+	render := func() string {
+		var out string
+		for src := NodeID(0); src < 20; src += 3 {
+			for dst := NodeID(0); dst < 20; dst += 7 {
+				paths, err := tp.KShortestPaths(src, dst, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out += fmt.Sprint(paths) + "\n"
+			}
+		}
+		return out
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	one := render()
+	runtime.GOMAXPROCS(8)
+	eight := render()
+	if one != eight {
+		t.Error("enumeration differs across GOMAXPROCS")
+	}
+	if again := render(); again != eight {
+		t.Error("enumeration not stable across repeated runs")
+	}
+}
+
+// Yen's loop-free guarantee survives graphs with cycles.
+func TestKShortestPathsRing(t *testing.T) {
+	tp := NewTopology()
+	for i := 0; i < 6; i++ { // bidirectional ring: two simple paths per pair
+		tp.AddBidirectional(NodeID(i), NodeID((i+1)%6))
+	}
+	paths, err := tp.KShortestPaths(0, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("ring 0→3: got %d paths %v, want 2", len(paths), paths)
+	}
+	if len(paths[0]) != 4 || len(paths[1]) != 4 {
+		t.Errorf("ring paths %v should both have 3 hops", paths)
+	}
+}

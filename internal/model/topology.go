@@ -1,7 +1,6 @@
 package model
 
 import (
-	"fmt"
 	"sort"
 )
 
@@ -19,20 +18,36 @@ func NewTopology() *Topology {
 	return &Topology{adj: make(map[NodeID][]NodeID)}
 }
 
-// AddLink adds a directed link u→v (idempotent).
+// AddLink adds a directed link u→v (idempotent). It panics on a
+// self-link: AddLink is the literal-construction helper for topologies
+// written out in code, where u == v is a programming error, not user
+// input. Code paths that build a topology from external input
+// (generators with computed indices, CLI/config loaders) must use
+// AddLinkChecked, which degrades the same violation to a typed
+// ErrInvalidConfig.
 func (t *Topology) AddLink(u, v NodeID) {
+	if err := t.AddLinkChecked(u, v); err != nil {
+		panic(err.Error())
+	}
+}
+
+// AddLinkChecked adds a directed link u→v (idempotent), rejecting a
+// self-link with an ErrInvalidConfig error instead of panicking — the
+// loader-facing counterpart of AddLink.
+func (t *Topology) AddLinkChecked(u, v NodeID) error {
 	if u == v {
-		panic(fmt.Sprintf("model.Topology: self-link at node %d", u))
+		return Errorf(ErrInvalidConfig, "model.Topology: self-link at node %d", u)
 	}
 	for _, w := range t.adj[u] {
 		if w == v {
-			return
+			return nil
 		}
 	}
 	t.adj[u] = append(t.adj[u], v)
 	if _, ok := t.adj[v]; !ok {
 		t.adj[v] = nil
 	}
+	return nil
 }
 
 // AddBidirectional adds u→v and v→u.
@@ -68,17 +83,18 @@ func (t *Topology) Neighbors(u NodeID) []NodeID {
 	return out
 }
 
-// ValidatePath checks that a path exists edge by edge.
+// ValidatePath checks that a path exists edge by edge. Violations are
+// classified ErrInvalidConfig — the path came from user input.
 func (t *Topology) ValidatePath(p Path) error {
 	if len(p) == 0 {
-		return fmt.Errorf("topology: empty path")
+		return Errorf(ErrInvalidConfig, "topology: empty path")
 	}
 	if _, ok := t.adj[p[0]]; !ok {
-		return fmt.Errorf("topology: unknown node %d", p[0])
+		return Errorf(ErrInvalidConfig, "topology: unknown node %d", p[0])
 	}
 	for k := 1; k < len(p); k++ {
 		if !t.HasLink(p[k-1], p[k]) {
-			return fmt.Errorf("topology: no link %d→%d", p[k-1], p[k])
+			return Errorf(ErrInvalidConfig, "topology: no link %d→%d", p[k-1], p[k])
 		}
 	}
 	return nil
@@ -88,7 +104,7 @@ func (t *Topology) ValidatePath(p Path) error {
 func (t *Topology) ValidateFlows(flows []*Flow) error {
 	for _, f := range flows {
 		if err := t.ValidatePath(f.Path); err != nil {
-			return fmt.Errorf("flow %q: %w", f.Name, err)
+			return Errorf(ErrInvalidConfig, "flow %q: %w", f.Name, err)
 		}
 	}
 	return nil
@@ -99,10 +115,10 @@ func (t *Topology) ValidateFlows(flows []*Flow) error {
 // the "source routing" of the paper's footnote.
 func (t *Topology) Route(src, dst NodeID) (Path, error) {
 	if _, ok := t.adj[src]; !ok {
-		return nil, fmt.Errorf("topology: unknown source %d", src)
+		return nil, Errorf(ErrInvalidConfig, "topology: unknown source %d", src)
 	}
 	if _, ok := t.adj[dst]; !ok {
-		return nil, fmt.Errorf("topology: unknown destination %d", dst)
+		return nil, Errorf(ErrInvalidConfig, "topology: unknown destination %d", dst)
 	}
 	if src == dst {
 		return Path{src}, nil
@@ -134,7 +150,166 @@ func (t *Topology) Route(src, dst NodeID) (Path, error) {
 			queue = append(queue, v)
 		}
 	}
-	return nil, fmt.Errorf("topology: node %d unreachable from %d", dst, src)
+	return nil, Errorf(ErrInvalidConfig, "topology: node %d unreachable from %d", dst, src)
+}
+
+// ComparePaths orders paths by hop count, then lexicographically by
+// node identifier — the total order the k-shortest enumeration reports
+// its results in. It returns <0, 0 or >0 in the manner of bytes.Compare.
+func ComparePaths(a, b Path) int {
+	if len(a) != len(b) {
+		return len(a) - len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// KShortestPaths enumerates up to k loop-free paths from src to dst in
+// increasing (hop count, lexicographic) order — Yen's algorithm over
+// the same graph Route searches. The enumeration is deterministic: the
+// shortest-path subroutine always returns the lexicographically
+// smallest shortest path, so for a given graph the returned slice is a
+// pure function of (src, dst, k). Fewer than k paths are returned when
+// the graph has no more loop-free alternatives; errors are classified
+// ErrInvalidConfig (bad k, unknown nodes, unreachable destination).
+func (t *Topology) KShortestPaths(src, dst NodeID, k int) ([]Path, error) {
+	if k < 1 {
+		return nil, Errorf(ErrInvalidConfig, "topology: k-shortest paths needs k ≥ 1, got %d", k)
+	}
+	if _, ok := t.adj[src]; !ok {
+		return nil, Errorf(ErrInvalidConfig, "topology: unknown source %d", src)
+	}
+	if _, ok := t.adj[dst]; !ok {
+		return nil, Errorf(ErrInvalidConfig, "topology: unknown destination %d", dst)
+	}
+	first, ok := t.lexRoute(src, dst, nil, nil)
+	if !ok {
+		return nil, Errorf(ErrInvalidConfig, "topology: node %d unreachable from %d", dst, src)
+	}
+	shortest := []Path{first}
+	var candidates []Path
+	for len(shortest) < k {
+		prev := shortest[len(shortest)-1]
+		// Deviate from every spur node of the previously accepted path.
+		for i := 0; i+1 < len(prev); i++ {
+			spur := prev[i]
+			root := prev[:i+1]
+			bannedEdges := make(map[[2]NodeID]bool)
+			for _, p := range shortest {
+				if len(p) > i+1 && ComparePaths(p[:i+1], root) == 0 {
+					bannedEdges[[2]NodeID{p[i], p[i+1]}] = true
+				}
+			}
+			bannedNodes := make(map[NodeID]bool, i)
+			for _, n := range root[:i] {
+				bannedNodes[n] = true
+			}
+			spurPath, ok := t.lexRoute(spur, dst, bannedEdges, bannedNodes)
+			if !ok {
+				continue
+			}
+			total := append(append(Path{}, root...), spurPath[1:]...)
+			if !containsPath(shortest, total) && !containsPath(candidates, total) {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			return ComparePaths(candidates[a], candidates[b]) < 0
+		})
+		shortest = append(shortest, candidates[0])
+		candidates = candidates[1:]
+	}
+	// The incremental selection already yields non-decreasing hop counts;
+	// the final sort additionally pins the lexicographic order among
+	// equal-length paths, making the output exactly the ComparePaths
+	// order regardless of discovery order.
+	sort.Slice(shortest, func(a, b int) bool {
+		return ComparePaths(shortest[a], shortest[b]) < 0
+	})
+	return shortest, nil
+}
+
+func containsPath(set []Path, p Path) bool {
+	for _, q := range set {
+		if ComparePaths(q, p) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lexRoute returns the lexicographically smallest shortest path from
+// src to dst that avoids the banned edges and nodes, or ok=false when
+// no such path exists. It computes hop distances to dst by a reverse
+// BFS (order-independent), then walks forward greedily taking the
+// smallest admissible neighbor that stays on a shortest path.
+func (t *Topology) lexRoute(src, dst NodeID, bannedEdge map[[2]NodeID]bool, bannedNode map[NodeID]bool) (Path, bool) {
+	if bannedNode[src] || bannedNode[dst] {
+		return nil, false
+	}
+	if src == dst {
+		return Path{src}, true
+	}
+	rev := make(map[NodeID][]NodeID, len(t.adj))
+	for u, vs := range t.adj {
+		if bannedNode[u] {
+			continue
+		}
+		for _, v := range vs {
+			if bannedNode[v] || bannedEdge[[2]NodeID{u, v}] {
+				continue
+			}
+			rev[v] = append(rev[v], u)
+		}
+	}
+	dist := map[NodeID]int{dst: 0}
+	queue := []NodeID{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range rev[v] {
+			if _, seen := dist[u]; !seen {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	d, ok := dist[src]
+	if !ok {
+		return nil, false
+	}
+	p := make(Path, 0, d+1)
+	p = append(p, src)
+	for u := src; u != dst; {
+		var next NodeID
+		found := false
+		for _, v := range t.Neighbors(u) { // sorted: first hit is smallest
+			if bannedNode[v] || bannedEdge[[2]NodeID{u, v}] {
+				continue
+			}
+			if dv, ok := dist[v]; ok && dv == d-1 {
+				next, found = v, true
+				break
+			}
+		}
+		if !found {
+			return nil, false // unreachable: dist[src] guarantees a way out
+		}
+		p = append(p, next)
+		u = next
+		d--
+	}
+	return p, true
 }
 
 // LineTopology builds the bidirectional line 0–1–…–(n-1).

@@ -230,6 +230,18 @@ func (m *Metrics) Emit(e Event) {
 		}
 	case EvTenant:
 		m.Counter(fmt.Sprintf("trajan_tenant_lifecycle_total{op=%q,outcome=%q,tenant=%q}", e.Op, e.Outcome, e.Tenant)).Inc()
+	case EvRouteCandidate:
+		m.Counter(fmt.Sprintf("trajan_route_candidates_total{outcome=%q}", e.Outcome)).Inc()
+	case EvRouteDecision:
+		name := fmt.Sprintf("trajan_route_decisions_total{outcome=%q}", e.Outcome)
+		if e.Tenant != "" {
+			name = fmt.Sprintf("trajan_route_decisions_total{outcome=%q,tenant=%q}", e.Outcome, e.Tenant)
+		}
+		m.Counter(name).Inc()
+		m.Histogram("trajan_route_fanout").Observe(int64(e.Candidates))
+		if e.Index > 0 {
+			m.Histogram("trajan_route_winner_rank").Observe(int64(e.Index))
+		}
 	}
 }
 

@@ -76,6 +76,17 @@ const (
 	// "quarantine"|"restart"), Outcome ("ok"|"error"), Flows (flow count
 	// after the transition where meaningful).
 	EvTenant = "tenant.lifecycle"
+	// EvRouteCandidate is one scored candidate path of an auto-route
+	// admission: Flow, Index (1-based candidate position in k-shortest
+	// order), Op (the candidate path, rendered), Outcome ("feasible"|
+	// "infeasible"|"unstable"|"invalid"|"error"), Value (post-admission
+	// MinSlack for feasible/infeasible candidates).
+	EvRouteCandidate = "route.candidate"
+	// EvRouteDecision closes one auto-route admission: Flow, Op
+	// ("admit"|"renegotiate"), Outcome ("admitted"|"renegotiated"|
+	// "rejected"), Candidates (paths scored), Index (1-based winning
+	// candidate; 0 when refused), Value (the winner's MinSlack).
+	EvRouteDecision = "route.decision"
 )
 
 // WorkloadTerm is one interfering flow's contribution to a bound — the

@@ -40,6 +40,26 @@ type DecisionResponse struct {
 	// MinSlack is the tightest deadline slack of the committed set
 	// (absent when no admitted flow has a deadline).
 	MinSlack *model.Time `json:"min_slack,omitempty"`
+	// Path is the committed route of a route=auto decision (absent on
+	// manual-path requests and on refusals).
+	Path []model.NodeID `json:"path,omitempty"`
+	// RouteCandidates lists the per-candidate verdicts of a route=auto
+	// decision, in k-shortest order; absent on manual-path requests.
+	RouteCandidates []RouteCandidateVerdict `json:"route_candidates,omitempty"`
+}
+
+// RouteCandidateVerdict is one candidate path's verdict in a
+// route=auto decision.
+type RouteCandidateVerdict struct {
+	Path []model.NodeID `json:"path"`
+	// Decision is "feasible", "infeasible", "unstable", "invalid" or
+	// "error".
+	Decision string `json:"decision"`
+	// MinSlack is the post-admission tightest slack of the whole set on
+	// this path (absent unless the candidate analysed to a verdict).
+	MinSlack *model.Time `json:"min_slack,omitempty"`
+	// Chosen marks the committed candidate.
+	Chosen bool `json:"chosen,omitempty"`
 }
 
 // FlowVerdict is one flow's entry in BoundsResponse.
@@ -262,7 +282,31 @@ func decisionResponse(name string, d decision) DecisionResponse {
 			resp.MinSlack = &ms
 		}
 	}
+	resp.Path = d.Path
+	for i := range d.Cands {
+		c := &d.Cands[i]
+		v := RouteCandidateVerdict{Path: c.Path, Decision: c.Outcome, Chosen: i == d.Winner}
+		if (c.Outcome == "feasible" || c.Outcome == "infeasible") && c.MinSlack < model.TimeInfinity {
+			ms := c.MinSlack
+			v.MinSlack = &ms
+		}
+		resp.RouteCandidates = append(resp.RouteCandidates, v)
+	}
 	return resp
+}
+
+// routeMode parses the ?route= query of admit/renegotiate: absent or
+// "manual" keeps the submitted path, "auto" turns on routing-aware
+// admission, anything else is a client error.
+func routeMode(r *http.Request) (auto bool, err error) {
+	switch v := r.URL.Query().Get("route"); v {
+	case "", "manual":
+		return false, nil
+	case "auto":
+		return true, nil
+	default:
+		return false, model.Errorf(model.ErrInvalidConfig, "serve: route=%q (want auto or manual)", v)
+	}
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
@@ -280,7 +324,12 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, model.Classify(model.ErrInvalidConfig, err))
 		return
 	}
-	d := s.dispatch(r, &mutation{op: "admit", flow: f})
+	auto, err := routeMode(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	d := s.dispatch(r, &mutation{op: "admit", flow: f, route: auto})
 	if d.Err != nil {
 		writeError(w, d.Err)
 		return
@@ -321,7 +370,12 @@ func (s *Server) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, model.Classify(model.ErrInvalidConfig, err))
 		return
 	}
-	d := s.dispatch(r, &mutation{op: "renegotiate", flow: f})
+	auto, err := routeMode(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	d := s.dispatch(r, &mutation{op: "renegotiate", flow: f, route: auto})
 	if d.Err != nil {
 		writeError(w, d.Err)
 		return

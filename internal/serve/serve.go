@@ -116,6 +116,17 @@ type Config struct {
 	// failed, readers keep the last published snapshot. The tenant
 	// registry uses it to restart the tenant from its journal.
 	OnPanic func(recovered any)
+	// Topology, when non-nil, is the network graph the daemon serves:
+	// manual-path admit/renegotiate requests are validated edge by edge
+	// against it (a request whose path uses a nonexistent link is a 400,
+	// not an analysis of links that do not exist), and route=auto
+	// requests enumerate their candidate paths over it. Nil keeps the
+	// topology-oblivious behavior: paths are taken at face value and
+	// route=auto is refused.
+	Topology *model.Topology
+	// RouteK bounds the candidate-path fan-out of route=auto admissions.
+	// Zero selects feasibility.DefaultRouteK.
+	RouteK int
 	// Backend selects which analysis backend every admission verdict
 	// and published snapshot is judged on (docs/BACKENDS.md). Empty or
 	// "trajectory" keeps the warm incremental Analyzer path; any other
@@ -137,6 +148,13 @@ func (c Config) queueDepth() int {
 		return 64
 	}
 	return c.QueueDepth
+}
+
+func (c Config) routeK() int {
+	if c.RouteK <= 0 {
+		return feasibility.DefaultRouteK
+	}
+	return c.RouteK
 }
 
 func (c Config) checkpointEvery() int {
@@ -181,6 +199,14 @@ type decision struct {
 	Reason  string // set when rejected: "deadline miss" | "unstable"
 	Err     error  // invalid request, unknown flow, timeout, internal
 	Snap    *Snapshot
+	// Path is the committed route of a route=auto decision (nil on
+	// refusal and on manual-path requests).
+	Path model.Path
+	// Cands carries the per-candidate verdicts of a route=auto decision
+	// and Winner the index of the chosen candidate (-1 when none was
+	// feasible); Cands is nil on manual-path requests.
+	Cands  []feasibility.RouteCandidate
+	Winner int
 }
 
 // mutation is one serialized write request.
@@ -188,6 +214,7 @@ type mutation struct {
 	op    string // "admit" | "release" | "renegotiate"
 	flow  *model.Flow
 	name  string
+	route bool // route=auto: pick the path, ignore the submitted interior
 	ctx   context.Context
 	reply chan decision
 }
@@ -711,10 +738,16 @@ func (st *loopState) handleMutation(m *mutation) decision {
 	}
 	switch m.op {
 	case "admit":
+		if m.route {
+			return st.admitRoute(m)
+		}
 		return st.admit(m)
 	case "release":
 		return st.release(m)
 	case "renegotiate":
+		if m.route {
+			return st.renegotiateRoute(m)
+		}
 		return st.renegotiate(m)
 	default:
 		return decision{Err: model.Errorf(model.ErrInternal, "serve: unknown mutation op %q", m.op)}
@@ -729,6 +762,9 @@ func (st *loopState) handleMutation(m *mutation) decision {
 // the set unchanged.
 func (st *loopState) admit(m *mutation) decision {
 	f := m.flow
+	if err := st.validatePath(f); err != nil {
+		return decision{Err: err, Snap: st.s.snap.Load()}
+	}
 	var idx int
 	if st.a == nil {
 		fs, err := model.NewFlowSet(st.s.cfg.Network, []*model.Flow{f})
@@ -819,6 +855,9 @@ func (st *loopState) renegotiate(m *mutation) decision {
 	if i < 0 {
 		return decision{Err: model.Errorf(model.ErrInvalidConfig, "%w %q", ErrUnknownFlow, f.Name), Snap: st.s.snap.Load()}
 	}
+	if err := st.validatePath(f); err != nil {
+		return decision{Err: err, Snap: st.s.snap.Load()}
+	}
 	old := st.a.FlowSet().Flows[i].Clone()
 	if err := st.a.UpdateFlow(i, f); err != nil {
 		return decision{Err: model.Classify(model.ErrInvalidConfig, err), Snap: st.s.snap.Load()}
@@ -848,6 +887,147 @@ func (st *loopState) renegotiate(m *mutation) decision {
 	st.emitAdmission(f.Name, "renegotiated")
 	d := decision{Outcome: "renegotiated", Snap: st.publish(bounds, minSlack, ok)}
 	st.maybeCheckpoint()
+	return d
+}
+
+// validatePath checks a manually-routed flow's path edge by edge
+// against the daemon topology: a request that routes over links the
+// network does not have is a client error (400), not an analysis of a
+// fictional graph. Topology-oblivious servers (Config.Topology nil)
+// keep taking paths at face value.
+func (st *loopState) validatePath(f *model.Flow) error {
+	topo := st.s.cfg.Topology
+	if topo == nil {
+		return nil
+	}
+	if err := topo.ValidatePath(f.Path); err != nil {
+		return model.Errorf(model.ErrInvalidConfig, "serve: flow %q: %w", f.Name, err)
+	}
+	return nil
+}
+
+// scoreRoutes scores candidate flows — one per candidate path — as a
+// single parallel WhatIf batch of copy-on-write forks on the warm
+// analyzer. updateIdx >= 0 scores each candidate as an Update of that
+// admitted flow (path renegotiation); -1 scores Adds. With no analyzer
+// (empty set) the candidates are scored cold and sequentially, which
+// is the ScoreRoutesCold oracle against the empty set by construction.
+// Either way the outcome vector is bit-identical to the sequential
+// cold oracle's — the WhatIf contract — so ChooseRoute decides
+// identically; the parity test enforces it.
+func (st *loopState) scoreRoutes(ctx context.Context, cfs []*model.Flow, updateIdx int) []feasibility.RouteCandidate {
+	if st.a == nil {
+		return feasibility.ScoreRoutesCold(ctx, st.s.cfg.Network, st.s.opt, nil, cfs)
+	}
+	return feasibility.ScoreRoutesWhatIf(ctx, st.a, cfs, updateIdx)
+}
+
+func (st *loopState) emitRouteCandidates(flow string, cands []feasibility.RouteCandidate) {
+	tr := st.s.opt.Tracer
+	if tr == nil {
+		return
+	}
+	for i := range cands {
+		tr.Emit(obs.Event{
+			Type: obs.EvRouteCandidate, Tenant: st.s.cfg.Tenant, Flow: flow,
+			Index: i + 1, Op: fmt.Sprint(cands[i].Path),
+			Outcome: cands[i].Outcome, Value: cands[i].MinSlack,
+		})
+	}
+}
+
+func (st *loopState) emitRouteDecision(flow, op, outcome string, n, winIdx int, slack model.Time) {
+	if tr := st.s.opt.Tracer; tr != nil {
+		tr.Emit(obs.Event{
+			Type: obs.EvRouteDecision, Tenant: st.s.cfg.Tenant, Flow: flow,
+			Op: op, Outcome: outcome, Candidates: n, Index: winIdx, Value: slack,
+		})
+	}
+}
+
+// admitRoute is the route=auto admission: enumerate up to RouteK
+// shortest candidate paths between the submitted flow's endpoints,
+// score all of them as one parallel what-if batch, and commit the
+// feasible candidate with the widest post-admission MinSlack through
+// the ordinary admit path — so the journal records the resolved
+// chosen-path flow and crash recovery replays it without re-routing.
+func (st *loopState) admitRoute(m *mutation) decision {
+	topo := st.s.cfg.Topology
+	if topo == nil {
+		return decision{
+			Err:  model.Errorf(model.ErrInvalidConfig, "serve: route=auto needs a daemon topology (start with -topology)"),
+			Snap: st.s.snap.Load(),
+		}
+	}
+	cfs, err := feasibility.RouteCandidates(topo, m.flow, st.s.cfg.routeK())
+	if err != nil {
+		return decision{Err: err, Snap: st.s.snap.Load()}
+	}
+	cands := st.scoreRoutes(m.ctx, cfs, -1)
+	win := feasibility.ChooseRoute(cands)
+	st.emitRouteCandidates(m.flow.Name, cands)
+	if win < 0 {
+		st.emitRouteDecision(m.flow.Name, "admit", "rejected", len(cands), 0, 0)
+		st.emitAdmission(m.flow.Name, "rejected (no feasible route)")
+		return decision{Outcome: "rejected", Reason: "no feasible route", Cands: cands, Winner: -1, Snap: st.s.snap.Load()}
+	}
+	m2 := *m
+	m2.flow = cands[win].Flow
+	d := st.admit(&m2)
+	if d.Outcome == "admitted" {
+		d.Path = cands[win].Path
+	}
+	d.Cands, d.Winner = cands, win
+	outcome := d.Outcome
+	if outcome == "" {
+		outcome = "rejected"
+	}
+	st.emitRouteDecision(m.flow.Name, "admit", outcome, len(cands), win+1, cands[win].MinSlack)
+	return d
+}
+
+// renegotiateRoute re-routes an already-admitted flow: the same
+// candidate enumeration and batch scoring as admitRoute, but every
+// candidate is scored as an Update of the admitted flow, so a flow
+// whose current path has turned infeasible is moved to the best
+// alternate path instead of being refused. A rejection (no feasible
+// route at all) leaves the previous contract and path in force.
+func (st *loopState) renegotiateRoute(m *mutation) decision {
+	topo := st.s.cfg.Topology
+	if topo == nil {
+		return decision{
+			Err:  model.Errorf(model.ErrInvalidConfig, "serve: route=auto needs a daemon topology (start with -topology)"),
+			Snap: st.s.snap.Load(),
+		}
+	}
+	i := st.findFlow(m.flow.Name)
+	if i < 0 {
+		return decision{Err: model.Errorf(model.ErrInvalidConfig, "%w %q", ErrUnknownFlow, m.flow.Name), Snap: st.s.snap.Load()}
+	}
+	cfs, err := feasibility.RouteCandidates(topo, m.flow, st.s.cfg.routeK())
+	if err != nil {
+		return decision{Err: err, Snap: st.s.snap.Load()}
+	}
+	cands := st.scoreRoutes(m.ctx, cfs, i)
+	win := feasibility.ChooseRoute(cands)
+	st.emitRouteCandidates(m.flow.Name, cands)
+	if win < 0 {
+		st.emitRouteDecision(m.flow.Name, "renegotiate", "rejected", len(cands), 0, 0)
+		st.emitAdmission(m.flow.Name, "rejected (no feasible route)")
+		return decision{Outcome: "rejected", Reason: "no feasible route", Cands: cands, Winner: -1, Snap: st.s.snap.Load()}
+	}
+	m2 := *m
+	m2.flow = cands[win].Flow
+	d := st.renegotiate(&m2)
+	if d.Outcome == "renegotiated" {
+		d.Path = cands[win].Path
+	}
+	d.Cands, d.Winner = cands, win
+	outcome := d.Outcome
+	if outcome == "" {
+		outcome = "rejected"
+	}
+	st.emitRouteDecision(m.flow.Name, "renegotiate", outcome, len(cands), win+1, cands[win].MinSlack)
 	return d
 }
 

@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"trajan/internal/model"
+)
+
+// Node numbering of the Clos fabric: spines are 0..S-1, leaf l is
+// 100+l, host h of leaf l is 1000+100·l+h. The ranges never collide
+// for the validated sizes (≤ 99 spines, ≤ 8 leaves, ≤ 99 hosts/leaf),
+// and the ordering is deliberate — the deterministic routing prefers
+// lower node identifiers, so the direct (BFS) route between two hosts
+// always crosses spine 0, concentrating direct-path load there. That
+// is exactly the regime where auto-route admission pays off.
+
+// ClosSpine returns the node identifier of spine s.
+func ClosSpine(s int) model.NodeID { return model.NodeID(s) }
+
+// ClosLeaf returns the node identifier of leaf l.
+func ClosLeaf(l int) model.NodeID { return model.NodeID(100 + l) }
+
+// ClosHost returns the node identifier of host h on leaf l.
+func ClosHost(l, h int) model.NodeID { return model.NodeID(1000 + 100*l + h) }
+
+// ClosTopology builds a two-tier folded-Clos (leaf-spine fat-tree):
+// every leaf connects bidirectionally to every spine, and every host to
+// its leaf. Between hosts on distinct leaves there are exactly `spines`
+// equal-cost shortest paths — the first generated topology with real
+// path diversity, which the k-shortest enumeration and the auto-route
+// admission mode exercise.
+func ClosTopology(spines, leaves, hostsPerLeaf int) (*model.Topology, error) {
+	if spines < 1 || spines > 99 {
+		return nil, model.Errorf(model.ErrInvalidConfig, "workload: clos needs 1..99 spines, got %d", spines)
+	}
+	if leaves < 2 || leaves > 8 {
+		return nil, model.Errorf(model.ErrInvalidConfig, "workload: clos needs 2..8 leaves, got %d", leaves)
+	}
+	if hostsPerLeaf < 1 || hostsPerLeaf > 99 {
+		return nil, model.Errorf(model.ErrInvalidConfig, "workload: clos needs 1..99 hosts per leaf, got %d", hostsPerLeaf)
+	}
+	t := model.NewTopology()
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			if err := t.AddLinkChecked(ClosLeaf(l), ClosSpine(s)); err != nil {
+				return nil, err
+			}
+			if err := t.AddLinkChecked(ClosSpine(s), ClosLeaf(l)); err != nil {
+				return nil, err
+			}
+		}
+		for h := 0; h < hostsPerLeaf; h++ {
+			if err := t.AddLinkChecked(ClosHost(l, h), ClosLeaf(l)); err != nil {
+				return nil, err
+			}
+			if err := t.AddLinkChecked(ClosLeaf(l), ClosHost(l, h)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// ClosParams describes a randomized east-west workload on a leaf-spine
+// fabric with shortest-path source routing.
+type ClosParams struct {
+	Spines, Leaves, HostsPerLeaf int
+	// Flows is the number of host→host demands drawn; source and
+	// destination always sit on distinct leaves (east-west traffic).
+	Flows int
+	// MaxUtilization caps every node's load; demands without headroom
+	// are skipped, exactly like Mesh.
+	MaxUtilization float64
+	// CostLo, CostHi bound per-node processing times.
+	CostLo, CostHi model.Time
+	// JitterHi bounds release jitters.
+	JitterHi model.Time
+	// Deadline, when positive, applies uniformly to every demand.
+	Deadline model.Time
+}
+
+// ClosResult carries the generated set plus its provenance, mirroring
+// MeshResult: analyses run on Split, the simulator may run Original.
+type ClosResult struct {
+	Original []*model.Flow
+	Split    *model.FlowSet
+	Topology *model.Topology
+}
+
+// Clos draws random east-west demands on the fabric and routes them on
+// the deterministic shortest path (through spine 0 — see the node
+// numbering note above).
+func Clos(rng *rand.Rand, p ClosParams) (*ClosResult, error) {
+	topo, err := ClosTopology(p.Spines, p.Leaves, p.HostsPerLeaf)
+	if err != nil {
+		return nil, err
+	}
+	if p.Flows < 1 {
+		return nil, model.Errorf(model.ErrInvalidConfig, "workload: clos needs ≥1 flow")
+	}
+	if p.MaxUtilization <= 0 || p.MaxUtilization > 0.95 {
+		return nil, model.Errorf(model.ErrInvalidConfig, "workload: utilization target %.2f outside (0,0.95]", p.MaxUtilization)
+	}
+	if p.CostLo < 1 || p.CostHi < p.CostLo {
+		return nil, model.Errorf(model.ErrInvalidConfig, "workload: bad cost range [%d,%d]", p.CostLo, p.CostHi)
+	}
+	load := make(map[model.NodeID]float64)
+	rnd := func(lo, hi model.Time) model.Time {
+		if hi <= lo {
+			return lo
+		}
+		return lo + model.Time(rng.Int63n(int64(hi-lo+1)))
+	}
+	var orig []*model.Flow
+	for k := 0; k < p.Flows; k++ {
+		sl := rng.Intn(p.Leaves)
+		dl := (sl + 1 + rng.Intn(p.Leaves-1)) % p.Leaves
+		src := ClosHost(sl, rng.Intn(p.HostsPerLeaf))
+		dst := ClosHost(dl, rng.Intn(p.HostsPerLeaf))
+		path, err := topo.Route(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		cost := rnd(p.CostLo, p.CostHi)
+		var worst float64
+		for _, h := range path {
+			if load[h] > worst {
+				worst = load[h]
+			}
+		}
+		headroom := p.MaxUtilization - worst
+		if headroom <= 0.005 {
+			continue
+		}
+		period := model.Time(float64(cost)/headroom) + 1 + rnd(0, cost*4)
+		var jitter model.Time
+		if p.JitterHi > 0 {
+			jitter = rnd(0, p.JitterHi)
+		}
+		f := model.UniformFlow(fmt.Sprintf("c%d", k), period, jitter, p.Deadline, cost, path...)
+		orig = append(orig, f)
+		for _, h := range path {
+			load[h] += float64(cost) / float64(period)
+		}
+	}
+	if len(orig) == 0 {
+		return nil, model.Errorf(model.ErrInvalidConfig, "workload: utilization target admitted no clos flows")
+	}
+	split := model.EnforceAssumption1(orig)
+	fs, err := model.NewFlowSet(model.UnitDelayNetwork(), split)
+	if err != nil {
+		return nil, err
+	}
+	return &ClosResult{Original: orig, Split: fs, Topology: topo}, nil
+}
+
+// AFDXTopology builds the dual-redundant switch fabric of an ARINC 664
+// backbone: every source end-system feeds the heads of two independent
+// switch columns (network A: 0..switches-1, network B: 100..100+
+// switches-1), and both tails feed every destination end-system. Each
+// VL thus has exactly two equal-length candidate paths; the
+// deterministic route prefers network A.
+func AFDXTopology(vls, switches int) (*model.Topology, error) {
+	if vls < 1 || switches < 1 || switches > 99 {
+		return nil, model.Errorf(model.ErrInvalidConfig,
+			"workload: AFDX topology needs ≥1 VL and 1..99 switches, got %d VLs, %d switches", vls, switches)
+	}
+	t := model.NewTopology()
+	colA := func(s int) model.NodeID { return model.NodeID(s) }
+	colB := func(s int) model.NodeID { return model.NodeID(100 + s) }
+	for s := 0; s+1 < switches; s++ {
+		if err := t.AddLinkChecked(colA(s), colA(s+1)); err != nil {
+			return nil, err
+		}
+		if err := t.AddLinkChecked(colB(s), colB(s+1)); err != nil {
+			return nil, err
+		}
+	}
+	for k := 0; k < vls; k++ {
+		src, dst := model.NodeID(1000+k), model.NodeID(2000+k)
+		if err := t.AddLinkChecked(src, colA(0)); err != nil {
+			return nil, err
+		}
+		if err := t.AddLinkChecked(src, colB(0)); err != nil {
+			return nil, err
+		}
+		if err := t.AddLinkChecked(colA(switches-1), dst); err != nil {
+			return nil, err
+		}
+		if err := t.AddLinkChecked(colB(switches-1), dst); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ParseTopologySpec builds a named topology from a compact CLI spec:
+//
+//	line:N       bidirectional line of N nodes
+//	ring:N       unidirectional ring of N nodes
+//	star:N       hub 0 with N bidirectional spokes
+//	grid:RxC     R×C bidirectional mesh
+//	clos:SxLxH   leaf-spine fabric, S spines, L leaves, H hosts/leaf
+//	paper        the Section-5 example graph
+//
+// Anything else is rejected with ErrInvalidConfig; the CLIs treat specs
+// containing a path separator or .json suffix as files before calling
+// this.
+func ParseTopologySpec(spec string) (*model.Topology, error) {
+	var a, b, c int
+	switch {
+	case spec == "paper":
+		return model.PaperTopology(), nil
+	case scan1(spec, "line:%d", &a) && a >= 2:
+		return model.LineTopology(a), nil
+	case scan1(spec, "ring:%d", &a) && a >= 3:
+		return model.RingTopology(a), nil
+	case scan1(spec, "star:%d", &a) && a >= 2:
+		return model.StarTopology(a), nil
+	case scan2(spec, "grid:%dx%d", &a, &b) && a >= 2 && b >= 2:
+		return model.GridTopology(a, b), nil
+	case scan3(spec, "clos:%dx%dx%d", &a, &b, &c):
+		return ClosTopology(a, b, c)
+	}
+	return nil, model.Errorf(model.ErrInvalidConfig,
+		"workload: unknown topology spec %q (want line:N, ring:N, star:N, grid:RxC, clos:SxLxH or paper)", spec)
+}
+
+// LoadTopology resolves a CLI -topology argument: arguments containing
+// a path separator or carrying a .json suffix name a topology JSON
+// file (model.ParseTopology); anything else is a compact spec
+// (ParseTopologySpec). Every failure is a typed ErrInvalidConfig.
+func LoadTopology(arg string) (*model.Topology, error) {
+	if strings.ContainsAny(arg, `/\`) || strings.HasSuffix(arg, ".json") {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, model.Classify(model.ErrInvalidConfig, err)
+		}
+		defer f.Close()
+		return model.ParseTopology(f)
+	}
+	return ParseTopologySpec(arg)
+}
+
+func scan1(s, format string, a *int) bool {
+	n, err := fmt.Sscanf(s, format, a)
+	return err == nil && n == 1
+}
+
+func scan2(s, format string, a, b *int) bool {
+	n, err := fmt.Sscanf(s, format, a, b)
+	return err == nil && n == 2
+}
+
+func scan3(s, format string, a, b, c *int) bool {
+	n, err := fmt.Sscanf(s, format, a, b, c)
+	return err == nil && n == 3
+}
